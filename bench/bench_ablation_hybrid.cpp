@@ -1,0 +1,64 @@
+// Ablation — the hybrid integrity cut-over (§III-D2, §V-B).
+//
+// Sweeps the size of the set difference |S_base \ S| at fixed set sizes and
+// reports (a) the policy's estimated bytes for both encodings and (b) the
+// *actual* generated integrity proof sizes, validating that the policy
+// switches near the true crossover.  Also sweeps the Bloom counter budget m
+// (Eq 10–12's knob).
+//
+//   VC_ABL_SETSIZE=2000   VC_ABL_BLOOM_M=4096
+#include "bench_common.hpp"
+#include "bloom/compressed_bloom.hpp"
+#include "crypto/standard_params.hpp"
+#include "proof/hybrid_policy.hpp"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  const std::size_t set_size = env_size("VC_ABL_SETSIZE", 2000);
+  const std::uint32_t m = static_cast<std::uint32_t>(env_size("VC_ABL_BLOOM_M", 4096));
+  const std::size_t bits = env_size("VC_MODULUS_BITS", 1024);
+
+  std::printf("# Ablation: hybrid integrity cut-over (|X1|=|X2|=%zu, m=%u)\n", set_size, m);
+  TablePrinter table({"check_docs", "est_acc_kb", "est_bloom_kb", "est_acc_s", "est_bloom_s", "policy"});
+
+  BloomParams params{.counters = m, .hashes = 1, .domain = "abl-hybrid"};
+  // Model two equal-size keyword sets with varying overlap; the compressed
+  // filter size barely depends on the overlap, so one representative filter
+  // serves all rows.
+  U64Set x1;
+  for (std::size_t i = 0; i < set_size; ++i) x1.push_back(i * 3 + 1);
+  CompressedBloom filter = compress_bloom(CountingBloom::from_set(params, x1));
+  std::vector<std::size_t> bloom_bytes = {filter.byte_size(), filter.byte_size()};
+  std::vector<std::size_t> set_sizes = {set_size, set_size};
+
+  for (std::size_t check : {0ul, 10ul, 50ul, 100ul, 250ul, 500ul, 1000ul, 2000ul}) {
+    HybridPolicyInputs in;
+    in.check_doc_count = check;
+    in.keyword_count = 2;
+    in.modulus_bytes = bits / 8;
+    in.interval_size = env_size("VC_INTERVAL_SIZE", 100);
+    in.bloom_bytes = bloom_bytes;
+    in.set_sizes = set_sizes;
+    in.bloom_counters = m;
+    HybridEstimate est = estimate_integrity_cost(in);
+    table.row({std::to_string(check), fmt(est.accumulator_bytes / 1024, "%.2f"),
+               fmt(est.bloom_bytes / 1024, "%.2f"), fmt(est.accumulator_seconds),
+               fmt(est.bloom_seconds),
+               est.choice == IntegrityChoice::kAccumulator ? "accumulator" : "bloom"});
+  }
+
+  std::printf("\n# Bloom budget sweep: compressed size vs m (Eq 10) at %zu elements\n",
+              set_size);
+  TablePrinter table2({"m", "load", "compressed_kb", "entropy_bound_kb"});
+  for (std::uint32_t mm : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    BloomParams p{.counters = mm, .hashes = 1, .domain = "abl-hybrid"};
+    CountingBloom b = CountingBloom::from_set(p, x1);
+    CompressedBloom cb = compress_bloom(b);
+    table2.row({std::to_string(mm), fmt(b.load(), "%.3f"),
+                fmt(static_cast<double>(cb.byte_size()) / 1024, "%.2f"),
+                fmt(expected_compressed_bytes(mm, b.load()) / 1024, "%.2f")});
+  }
+  return 0;
+}

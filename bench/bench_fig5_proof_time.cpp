@@ -1,0 +1,46 @@
+// Fig 5 — proof generation time of all four schemes (plus raw search time)
+// vs data size, over the paper's 24-query workload.
+//
+// Paper (2601 MB Enron): Search ≈ 0.022 s; Hybrid ≈ 0.197 s avg; Interval
+// Accumulator ≈ 0.300 s; Bloom ≈ Accumulator ≈ 1.78 s.  Expected shape:
+// Hybrid < IntervalAccumulator << Bloom ≈ Accumulator, gap widening with
+// data size; search far below everything.
+//
+//   VC_DOCS="200,400,800,1600,3200"
+#include "bench_common.hpp"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  const auto doc_scales = env_sizes("VC_DOCS", {200, 400, 800, 1600, 3200});
+  std::printf("# Fig 5: average proof generation time (s) per scheme vs data size\n");
+  std::printf("# (synthetic Enron profile; 24-query workload incl. single/unknown)\n");
+  TablePrinter table({"docs", "data_mb", "search_s", "Bloom", "Accumulator",
+                      "IntervalAcc", "Hybrid"});
+
+  for (std::uint32_t docs : doc_scales) {
+    Testbed bed(bench_testbed_options(docs));
+    auto workload = bed.workload();
+
+    std::vector<double> search_times;
+    std::map<SchemeKind, std::vector<double>> proof_times;
+    for (const auto& wq : workload) {
+      for (SchemeKind scheme :
+           {SchemeKind::kBloom, SchemeKind::kAccumulator,
+            SchemeKind::kIntervalAccumulator, SchemeKind::kHybrid}) {
+        SearchResponse resp = bed.engine().search(wq.query, scheme);
+        proof_times[scheme].push_back(resp.proof_seconds);
+        if (scheme == SchemeKind::kHybrid) search_times.push_back(resp.search_seconds);
+        // Every proof must verify — a benchmark of invalid proofs is void.
+        bed.owner_verifier().verify(resp);
+      }
+    }
+    table.row({std::to_string(docs), fmt(corpus_mb(bed.corpus()), "%.2f"),
+               fmt(mean(search_times)), fmt(mean(proof_times[SchemeKind::kBloom])),
+               fmt(mean(proof_times[SchemeKind::kAccumulator])),
+               fmt(mean(proof_times[SchemeKind::kIntervalAccumulator])),
+               fmt(mean(proof_times[SchemeKind::kHybrid]))});
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig 6 — average proof size (KB) of all four schemes vs data size.
+//
+// Paper: Hybrid smallest; Bloom flat-ish (filter-dominated); Accumulator
+// grows with unbounded check elements; IntervalAccumulator slightly above
+// Accumulator (per-interval descriptors).  Expected shape: Hybrid <= Bloom,
+// Accumulator grows, IntervalAccumulator > Accumulator.
+//
+//   VC_DOCS="200,400,800,1600"
+#include "bench_common.hpp"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  const auto doc_scales = env_sizes("VC_DOCS", {200, 400, 800, 1600});
+  std::printf("# Fig 6: average proof size (KB) per scheme vs data size\n");
+  TablePrinter table({"docs", "data_mb", "Bloom", "Accumulator", "IntervalAcc", "Hybrid"});
+
+  for (std::uint32_t docs : doc_scales) {
+    Testbed bed(bench_testbed_options(docs));
+    auto workload = bed.workload();
+    std::map<SchemeKind, std::vector<double>> sizes;
+    for (const auto& wq : workload) {
+      for (SchemeKind scheme :
+           {SchemeKind::kBloom, SchemeKind::kAccumulator,
+            SchemeKind::kIntervalAccumulator, SchemeKind::kHybrid}) {
+        SearchResponse resp = bed.engine().search(wq.query, scheme);
+        sizes[scheme].push_back(static_cast<double>(resp.proof_size_bytes()) / 1024.0);
+      }
+    }
+    table.row({std::to_string(docs), fmt(corpus_mb(bed.corpus()), "%.2f"),
+               fmt(mean(sizes[SchemeKind::kBloom]), "%.2f"),
+               fmt(mean(sizes[SchemeKind::kAccumulator]), "%.2f"),
+               fmt(mean(sizes[SchemeKind::kIntervalAccumulator]), "%.2f"),
+               fmt(mean(sizes[SchemeKind::kHybrid]), "%.2f")});
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table II — the cost pre-computing saves: average time to compute the
+// prime representatives needed by the 24-query workload, from cold caches.
+//
+// Paper (Core i7): 0.094 s at 100 MB up to 8.078 s at 2601 MB — i.e. 92.6–
+// 97.6% of hybrid proof time, all paid offline by the prime manager.
+// Expected shape: grows with data size, dwarfs the hybrid proof times of
+// Fig 5.
+//
+//   VC_DOCS="100,200,400"
+#include "bench_common.hpp"
+
+using namespace vc;
+using namespace vc::bench;
+
+int main() {
+  const auto doc_scales = env_sizes("VC_DOCS", {200, 800, 1600});
+  std::printf("# Table II: average per-query prime computation time (s), cold cache\n");
+  TablePrinter table({"docs", "data_mb", "avg_prime_s", "records_touched"});
+
+  for (std::uint32_t docs : doc_scales) {
+    Testbed bed(bench_testbed_options(docs));
+    auto workload = bed.workload();
+
+    PrimeCache tuple_primes(bed.options().index.tuple_prime_config());
+    PrimeCache doc_primes(bed.options().index.doc_prime_config());
+    std::vector<double> times;
+    std::uint64_t records = 0;
+    for (const auto& wq : workload) {
+      tuple_primes.clear();
+      doc_primes.clear();
+      Stopwatch sw;
+      for (const auto& raw : wq.query.keywords) {
+        std::string term = normalize_term(raw);
+        const auto* entry = bed.vindex().find(term);
+        if (entry == nullptr) continue;  // unknown keyword: no primes needed
+        for (const Posting& p : entry->postings) {
+          (void)tuple_primes.get(InvertedIndex::encode_tuple(p));
+          (void)doc_primes.get(InvertedIndex::encode_doc(p.doc_id));
+          ++records;
+        }
+      }
+      times.push_back(sw.seconds());
+    }
+    table.row({std::to_string(docs), fmt(corpus_mb(bed.corpus()), "%.2f"),
+               fmt(mean(times)), std::to_string(records)});
+  }
+  return 0;
+}

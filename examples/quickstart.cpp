@@ -1,0 +1,82 @@
+// Quickstart — the whole library in one file.
+//
+// A data owner indexes a handful of documents, outsources the verifiable
+// index to a cloud, runs a two-keyword search, and verifies the returned
+// proof.  Then the cloud tries to drop a result and gets caught.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "crypto/standard_params.hpp"
+#include "search/engine.hpp"
+#include "support/errors.hpp"
+#include "support/threadpool.hpp"
+
+using namespace vc;
+
+int main() {
+  // --- 1. Owner-side setup -------------------------------------------------
+  // Accumulator parameters (pinned 1024-bit safe-prime modulus) and keys.
+  auto owner_ctx = AccumulatorContext::owner(standard_accumulator_modulus(1024),
+                                             standard_qr_generator(1024));
+  DeterministicRng rng(/*seed=*/2024);
+  SigningKey owner_key = generate_signing_key(rng, 1024);
+  SigningKey cloud_key = generate_signing_key(rng, 1024);
+
+  // A small corpus.
+  Corpus corpus("memos");
+  corpus.add("memo-0", "Rescheduling the budget meeting with Mary to Thursday");
+  corpus.add("memo-1", "Mary presented the quarterly budget and forecasts");
+  corpus.add("memo-2", "Meeting notes: infrastructure budget approved");
+  corpus.add("memo-3", "Mary's meeting about the offsite is cancelled");
+  corpus.add("memo-4", "Lunch menu for Thursday: soup and sandwiches");
+
+  // Build the verifiable index: inverted index + accumulators + interval
+  // trees + signed Bloom filters + dictionary gap intervals.
+  VerifiableIndexConfig config;  // paper defaults: 1024-bit, interval 100
+  ThreadPool pool;
+  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
+                                                owner_key, config, pool);
+  std::printf("indexed %zu terms, %llu records\n", vidx.term_count(),
+              static_cast<unsigned long long>(vidx.index().record_count()));
+
+  // --- 2. Outsource: the cloud gets the index and PUBLIC parameters only ---
+  auto cloud_ctx = AccumulatorContext::public_side(owner_ctx.params());
+  SearchEngine cloud(vidx, cloud_ctx, cloud_key, &pool);
+
+  // --- 3. Search with proofs ------------------------------------------------
+  Query query{.id = 1, .keywords = {"budget", "meeting"}};
+  SearchResponse resp = cloud.search(query, SchemeKind::kHybrid);
+  const auto& multi = std::get<MultiKeywordResponse>(resp.body);
+  std::printf("query \"budget meeting\": %zu matching documents, proof %zu bytes "
+              "(search %.4fs, proof %.4fs)\n",
+              multi.result.docs.size(), resp.proof_size_bytes(), resp.search_seconds,
+              resp.proof_seconds);
+  for (std::uint64_t doc : multi.result.docs) {
+    std::printf("  doc %llu: %s\n", static_cast<unsigned long long>(doc),
+                corpus[static_cast<std::size_t>(doc)].text.c_str());
+  }
+
+  // --- 4. Owner-side verification -------------------------------------------
+  ResultVerifier verifier(owner_ctx, owner_key.verify_key(), cloud_key.verify_key(),
+                          config);
+  verifier.verify(resp);
+  std::printf("proof verified: the cloud searched correctly and completely\n");
+
+  // --- 5. A cheating cloud is caught -----------------------------------------
+  auto& tampered = std::get<MultiKeywordResponse>(resp.body);
+  std::uint64_t hidden = tampered.result.docs.back();
+  tampered.result.docs.pop_back();
+  for (auto& postings : tampered.result.postings) {
+    while (!postings.empty() && postings.back().doc_id == hidden) postings.pop_back();
+  }
+  resp.cloud_sig = cloud_key.sign(resp.payload_bytes());
+  try {
+    verifier.verify(resp);
+    std::printf("ERROR: tampered response passed verification!\n");
+    return 1;
+  } catch (const VerifyError& e) {
+    std::printf("tampered response rejected: %s\n", e.what());
+  }
+  return 0;
+}

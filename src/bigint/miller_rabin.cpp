@@ -1,0 +1,69 @@
+#include "bigint/miller_rabin.hpp"
+
+#include <array>
+
+#include "support/rng.hpp"
+
+namespace vc {
+
+namespace {
+
+constexpr std::array<unsigned long, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller-Rabin round: returns true if `a` does NOT witness compositeness.
+bool mr_round(const Bigint& n, const Bigint& n_minus_1, const Bigint& d, std::size_t s,
+              const Bigint& a) {
+  Bigint x = Bigint::pow_mod(a, d, n);
+  if (x.is_one() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < s; ++i) {
+    x = Bigint::mod(x * x, n);
+    if (x == n_minus_1) return true;
+    if (x.is_one()) return false;  // nontrivial sqrt of 1
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const Bigint& n, DeterministicRng& rng, int rounds) {
+  if (n < Bigint(2)) return false;
+  for (unsigned long p : kSmallPrimes) {
+    Bigint bp(static_cast<long>(p));
+    if (n == bp) return true;
+    Bigint r;
+    mpz_tdiv_r_ui(r.raw_mut(), n.raw(), p);
+    if (r.is_zero()) return false;
+  }
+  // n is odd and > 251 here.  Decompose n-1 = 2^s * d.
+  Bigint n_minus_1 = n - Bigint(1);
+  Bigint d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    mpz_tdiv_q_2exp(d.raw_mut(), d.raw(), 1);
+    ++s;
+  }
+  // Base 2 first (cheap, catches most composites), then random bases.
+  if (!mr_round(n, n_minus_1, d, s, Bigint(2))) return false;
+  Bigint span = n - Bigint(4);  // bases in [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    Bigint a = Bigint::random_below(rng, span) + Bigint(2);
+    if (!mr_round(n, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+Bigint next_prime_from(const Bigint& n, DeterministicRng& rng, int rounds) {
+  Bigint c = n;
+  if (c < Bigint(2)) return Bigint(2);
+  if (!c.is_odd()) c += Bigint(1);
+  while (!is_probable_prime(c, rng, rounds)) {
+    c += Bigint(2);
+  }
+  return c;
+}
+
+}  // namespace vc

@@ -1,0 +1,24 @@
+// Probabilistic primality testing implemented from scratch.
+//
+// The accumulator's security requires every accumulated element to be prime
+// (§II-A): composite "prime representatives" would let an adversary factor
+// witnesses.  We use trial division by small primes followed by Miller–Rabin
+// with randomized bases; 40 rounds gives error < 2^-80 per call.
+#pragma once
+
+#include <cstddef>
+
+#include "bigint/bigint.hpp"
+
+namespace vc {
+
+class DeterministicRng;
+
+// Miller-Rabin with `rounds` random bases (plus base 2 always).
+bool is_probable_prime(const Bigint& n, DeterministicRng& rng, int rounds = 40);
+
+// First prime >= n (search by odd increments).  Used by safe-prime and
+// representative search paths that want a deterministic scan.
+Bigint next_prime_from(const Bigint& n, DeterministicRng& rng, int rounds = 40);
+
+}  // namespace vc

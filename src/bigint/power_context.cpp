@@ -1,0 +1,50 @@
+#include "bigint/power_context.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+PowerContext::PowerContext(Bigint n) : n_(std::move(n)) {
+  if (n_ < Bigint(2)) throw UsageError("PowerContext: modulus must be >= 2");
+}
+
+PowerContext::PowerContext(Bigint n, Bigint p, Bigint q) : n_(std::move(n)) {
+  if (!(p * q == n_)) throw UsageError("PowerContext: p*q != n");
+  Trapdoor t{.p = std::move(p),
+             .q = std::move(q),
+             .phi = Bigint(),
+             .p_minus_1 = Bigint(),
+             .q_minus_1 = Bigint(),
+             .q_inv_mod_p = Bigint()};
+  t.p_minus_1 = t.p - Bigint(1);
+  t.q_minus_1 = t.q - Bigint(1);
+  t.phi = t.p_minus_1 * t.q_minus_1;
+  t.q_inv_mod_p = Bigint::invert_mod(t.q, t.p);
+  trapdoor_ = std::move(t);
+}
+
+const Bigint& PowerContext::phi() const {
+  if (!trapdoor_) throw UsageError("PowerContext: phi() requires the trapdoor");
+  return trapdoor_->phi;
+}
+
+Bigint PowerContext::pow(const Bigint& base, const Bigint& exp) const {
+  if (exp.is_negative()) {
+    return pow(inv(base), -exp);
+  }
+  if (!trapdoor_) {
+    return Bigint::pow_mod(base, exp, n_);
+  }
+  const Trapdoor& t = *trapdoor_;
+  // Reduce the exponent per prime factor, exponentiate mod p and mod q,
+  // recombine with Garner's formula:
+  //   m = m_q + q * ((m_p - m_q) * q^{-1} mod p)
+  Bigint ep = Bigint::mod(exp, t.p_minus_1);
+  Bigint eq = Bigint::mod(exp, t.q_minus_1);
+  Bigint mp = Bigint::pow_mod(Bigint::mod(base, t.p), ep, t.p);
+  Bigint mq = Bigint::pow_mod(Bigint::mod(base, t.q), eq, t.q);
+  Bigint h = Bigint::mod((mp - mq) * t.q_inv_mod_p, t.p);
+  return mq + t.q * h;
+}
+
+}  // namespace vc

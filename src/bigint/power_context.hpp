@@ -1,0 +1,52 @@
+// Trapdoor-aware modular exponentiation.
+//
+// The data owner knows the factorization n = p·q and therefore φ(n); by
+// Euler's theorem it can reduce every exponent mod φ(n) and additionally
+// split the exponentiation over p and q with CRT (§II-B3).  The cloud and
+// any third party know only n and must exponentiate with full-width
+// exponents — exactly the asymmetry the paper's Table I measures.  Both
+// sides share this one interface so benchmarks can time either.
+#pragma once
+
+#include <optional>
+
+#include "bigint/bigint.hpp"
+
+namespace vc {
+
+class PowerContext {
+ public:
+  // Public side: only the modulus is known.
+  explicit PowerContext(Bigint n);
+  // Trapdoor side: p and q are the (secret) factors of n.
+  PowerContext(Bigint n, Bigint p, Bigint q);
+
+  [[nodiscard]] bool has_trapdoor() const { return trapdoor_.has_value(); }
+  [[nodiscard]] const Bigint& modulus() const { return n_; }
+  // Euler totient; throws UsageError when no trapdoor is held.
+  [[nodiscard]] const Bigint& phi() const;
+
+  // base^exp mod n.  Negative exponents invert the base first (requires
+  // gcd(base, n) = 1, which holds for all accumulator values in QR_n).
+  // With a trapdoor the exponent is reduced mod phi(n) and the two prime
+  // powers are combined with CRT; without one this is a plain powm.
+  [[nodiscard]] Bigint pow(const Bigint& base, const Bigint& exp) const;
+
+  [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const {
+    return Bigint::mod(a * b, n_);
+  }
+  [[nodiscard]] Bigint inv(const Bigint& a) const { return Bigint::invert_mod(a, n_); }
+
+ private:
+  struct Trapdoor {
+    Bigint p, q;
+    Bigint phi;
+    Bigint p_minus_1, q_minus_1;
+    Bigint q_inv_mod_p;  // CRT recombination constant
+  };
+
+  Bigint n_;
+  std::optional<Trapdoor> trapdoor_;
+};
+
+}  // namespace vc

@@ -1,0 +1,159 @@
+#include "bloom/arith_coder.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+namespace {
+constexpr std::uint64_t kTop = 0xFFFFFFFFULL;
+constexpr std::uint64_t kHalf = 0x80000000ULL;
+constexpr std::uint64_t kQuarter = 0x40000000ULL;
+constexpr std::uint64_t kThreeQuarter = 0xC0000000ULL;
+constexpr std::uint32_t kMaxTotal = 1u << 16;
+}  // namespace
+
+void ArithEncoder::emit_bit(bool bit) {
+  auto push = [this](bool b) {
+    bit_buf_ = bit_buf_ << 1 | static_cast<std::uint64_t>(b);
+    if (++bit_count_ == 8) {
+      out_.push_back(static_cast<std::uint8_t>(bit_buf_));
+      bit_buf_ = 0;
+      bit_count_ = 0;
+    }
+  };
+  push(bit);
+  while (pending_ > 0) {
+    push(!bit);
+    --pending_;
+  }
+}
+
+void ArithEncoder::encode(std::uint32_t cum_lo, std::uint32_t cum_hi, std::uint32_t total) {
+  if (!(cum_lo < cum_hi && cum_hi <= total) || total > kMaxTotal) {
+    throw UsageError("ArithEncoder: bad frequency slice");
+  }
+  std::uint64_t range = high_ - low_ + 1;
+  high_ = low_ + range * cum_hi / total - 1;
+  low_ = low_ + range * cum_lo / total;
+  while (true) {
+    if (high_ < kHalf) {
+      emit_bit(false);
+    } else if (low_ >= kHalf) {
+      emit_bit(true);
+      low_ -= kHalf;
+      high_ -= kHalf;
+    } else if (low_ >= kQuarter && high_ < kThreeQuarter) {
+      ++pending_;
+      low_ -= kQuarter;
+      high_ -= kQuarter;
+    } else {
+      break;
+    }
+    low_ <<= 1;
+    high_ = (high_ << 1) | 1;
+  }
+}
+
+Bytes ArithEncoder::finish() {
+  // Disambiguate the final interval with one more bit (plus pending).
+  ++pending_;
+  emit_bit(low_ >= kQuarter);
+  // Pad the last byte.
+  while (bit_count_ != 0) {
+    bit_buf_ <<= 1;
+    if (++bit_count_ == 8) {
+      out_.push_back(static_cast<std::uint8_t>(bit_buf_));
+      bit_buf_ = 0;
+      bit_count_ = 0;
+    }
+  }
+  return std::move(out_);
+}
+
+ArithDecoder::ArithDecoder(std::span<const std::uint8_t> data) : data_(data) {
+  for (int i = 0; i < 32; ++i) code_ = code_ << 1 | static_cast<std::uint64_t>(read_bit());
+}
+
+bool ArithDecoder::read_bit() {
+  if (byte_pos_ >= data_.size()) return false;  // zero-pad past the end
+  bool bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+  if (++bit_pos_ == 8) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+  return bit;
+}
+
+std::uint32_t ArithDecoder::decode_target(std::uint32_t total) {
+  if (total == 0 || total > kMaxTotal) throw UsageError("ArithDecoder: bad total");
+  std::uint64_t range = high_ - low_ + 1;
+  std::uint64_t target = ((code_ - low_ + 1) * total - 1) / range;
+  if (target >= total) throw ParseError("arithmetic decoder out of range");
+  return static_cast<std::uint32_t>(target);
+}
+
+void ArithDecoder::consume(std::uint32_t cum_lo, std::uint32_t cum_hi, std::uint32_t total) {
+  std::uint64_t range = high_ - low_ + 1;
+  high_ = low_ + range * cum_hi / total - 1;
+  low_ = low_ + range * cum_lo / total;
+  while (true) {
+    if (high_ < kHalf) {
+      // nothing
+    } else if (low_ >= kHalf) {
+      low_ -= kHalf;
+      high_ -= kHalf;
+      code_ -= kHalf;
+    } else if (low_ >= kQuarter && high_ < kThreeQuarter) {
+      low_ -= kQuarter;
+      high_ -= kQuarter;
+      code_ -= kQuarter;
+    } else {
+      break;
+    }
+    low_ <<= 1;
+    high_ = (high_ << 1) | 1;
+    code_ = (code_ << 1) | static_cast<std::uint64_t>(read_bit());
+  }
+}
+
+AdaptiveModel::AdaptiveModel(std::uint32_t alphabet_size)
+    : freq_(alphabet_size, 1), total_(alphabet_size) {
+  if (alphabet_size == 0 || alphabet_size >= kMaxTotal / 2) {
+    throw UsageError("AdaptiveModel: bad alphabet size");
+  }
+}
+
+void AdaptiveModel::bump(std::uint32_t symbol) {
+  freq_[symbol] += 32;
+  total_ += 32;
+  if (total_ >= kMaxTotal) {
+    total_ = 0;
+    for (auto& f : freq_) {
+      f = (f + 1) / 2;
+      total_ += f;
+    }
+  }
+}
+
+void AdaptiveModel::encode(ArithEncoder& enc, std::uint32_t symbol) {
+  if (symbol >= freq_.size()) throw UsageError("AdaptiveModel: symbol out of range");
+  std::uint32_t lo = 0;
+  for (std::uint32_t s = 0; s < symbol; ++s) lo += freq_[s];
+  enc.encode(lo, lo + freq_[symbol], total_);
+  bump(symbol);
+}
+
+std::uint32_t AdaptiveModel::decode(ArithDecoder& dec) {
+  std::uint32_t target = dec.decode_target(total_);
+  std::uint32_t lo = 0;
+  std::uint32_t symbol = 0;
+  while (lo + freq_[symbol] <= target) {
+    lo += freq_[symbol];
+    ++symbol;
+  }
+  dec.consume(lo, lo + freq_[symbol], total_);
+  bump(symbol);
+  return symbol;
+}
+
+}  // namespace vc

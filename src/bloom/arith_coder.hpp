@@ -1,0 +1,78 @@
+// Adaptive arithmetic coding, implemented from scratch.
+//
+// Replaces the Moffat coder the paper used (§IV) for compressing counting
+// Bloom filters.  Classic Witten–Neal–Cleary integer arithmetic coding with
+// 32-bit precision and carry-free underflow handling, plus an adaptive
+// order-0 frequency model.  Counter streams are very low entropy (load l is
+// well below 1 in all the paper's configurations), so the compressed size
+// tracks the m·H(l) bound of Eq 10 closely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace vc {
+
+class ArithEncoder {
+ public:
+  ArithEncoder() = default;
+
+  // Encodes a symbol occupying the cumulative-frequency slice
+  // [cum_lo, cum_hi) of total.  Requires 0 <= cum_lo < cum_hi <= total and
+  // total <= 2^16 (so the 32-bit range never underflows).
+  void encode(std::uint32_t cum_lo, std::uint32_t cum_hi, std::uint32_t total);
+
+  // Flushes the final interval; the encoder must not be reused afterwards.
+  [[nodiscard]] Bytes finish();
+
+ private:
+  void emit_bit(bool bit);
+
+  std::uint64_t low_ = 0;
+  std::uint64_t high_ = 0xFFFFFFFFULL;
+  std::uint64_t pending_ = 0;
+  std::uint64_t bit_buf_ = 0;
+  int bit_count_ = 0;
+  Bytes out_;
+};
+
+class ArithDecoder {
+ public:
+  explicit ArithDecoder(std::span<const std::uint8_t> data);
+
+  // Returns the cumulative-frequency value of the next symbol; the caller
+  // maps it to a symbol and then calls consume() with that symbol's slice.
+  [[nodiscard]] std::uint32_t decode_target(std::uint32_t total);
+  void consume(std::uint32_t cum_lo, std::uint32_t cum_hi, std::uint32_t total);
+
+ private:
+  bool read_bit();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+  std::uint64_t low_ = 0;
+  std::uint64_t high_ = 0xFFFFFFFFULL;
+  std::uint64_t code_ = 0;
+};
+
+// Order-0 adaptive model over a fixed alphabet; identical evolution on the
+// encode and decode sides keeps them in sync.
+class AdaptiveModel {
+ public:
+  explicit AdaptiveModel(std::uint32_t alphabet_size);
+
+  void encode(ArithEncoder& enc, std::uint32_t symbol);
+  [[nodiscard]] std::uint32_t decode(ArithDecoder& dec);
+
+ private:
+  void bump(std::uint32_t symbol);
+
+  std::vector<std::uint32_t> freq_;
+  std::uint32_t total_;
+};
+
+}  // namespace vc

@@ -1,0 +1,34 @@
+// Compressed counting Bloom filters (Mitzenmacher-style, §III-D2, Eq 10).
+//
+// The wire form of a Bloom integrity proof carries the filters compressed
+// with the adaptive arithmetic coder; at typical loads (l << 1) this lands
+// near the m·H(l)-bit entropy bound, an order of magnitude below the raw
+// counter array.  Counters >= 255 escape to a varint (never hit at sane
+// loads, but lossless-ness must not depend on the load).
+#pragma once
+
+#include "bloom/counting_bloom.hpp"
+
+namespace vc {
+
+struct CompressedBloom {
+  BloomParams params;
+  std::uint64_t element_count = 0;
+  Bytes payload;  // arithmetic-coded counter stream
+
+  [[nodiscard]] std::size_t byte_size() const;
+
+  void write(ByteWriter& w) const;
+  static CompressedBloom read(ByteReader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+  friend bool operator==(const CompressedBloom&, const CompressedBloom&) = default;
+};
+
+CompressedBloom compress_bloom(const CountingBloom& filter);
+CountingBloom decompress_bloom(const CompressedBloom& compressed);
+
+// Eq 10: expected compressed size (in bytes, rounded up) of a counting
+// filter with m counters under load l.
+double expected_compressed_bytes(std::uint32_t counters, double load);
+
+}  // namespace vc

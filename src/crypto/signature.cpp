@@ -1,0 +1,117 @@
+#include "crypto/signature.hpp"
+
+#include <fstream>
+
+#include "crypto/keygen.hpp"
+#include "hash/sha256.hpp"
+#include "support/errors.hpp"
+
+namespace vc {
+
+namespace {
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+}  // namespace
+
+Bigint fdh_hash(std::span<const std::uint8_t> msg, const Bigint& n) {
+  // Expand SHA256(msg) to one byte less than the modulus width, guaranteeing
+  // the hash value is < n without modular reduction bias mattering here.
+  Digest seed = Sha256::hash(msg);
+  std::size_t len = (n.bit_length() - 1) / 8;
+  if (len == 0) len = 1;
+  Bytes expanded = mgf1_sha256(seed, len);
+  return Bigint::mod(Bigint::from_bytes(expanded), n);
+}
+
+bool VerifyKey::verify(std::span<const std::uint8_t> msg, const Signature& sig) const {
+  if (n_.is_zero()) throw UsageError("verify with empty key");
+  if (sig.s.is_negative() || !(sig.s < n_)) return false;
+  Bigint h = fdh_hash(msg, n_);
+  return Bigint::pow_mod(sig.s, e_, n_) == h;
+}
+
+bool VerifyKey::verify(std::string_view msg, const Signature& sig) const {
+  return verify(as_bytes(msg), sig);
+}
+
+Digest VerifyKey::fingerprint() const {
+  ByteWriter w;
+  write(w);
+  return Sha256::hash(w.data());
+}
+
+void VerifyKey::write(ByteWriter& w) const {
+  n_.write(w);
+  e_.write(w);
+}
+
+VerifyKey VerifyKey::read(ByteReader& r) {
+  Bigint n = Bigint::read(r);
+  Bigint e = Bigint::read(r);
+  return VerifyKey(std::move(n), std::move(e));
+}
+
+SigningKey::SigningKey(Bigint n, Bigint e, Bigint d, Bigint p, Bigint q)
+    : vk_(n, std::move(e)),
+      d_(std::move(d)),
+      p_(std::move(p)),
+      q_(std::move(q)),
+      ctx_(PowerContext(n, p_, q_)) {}
+
+void SigningKey::write(ByteWriter& w) const {
+  w.str("vc.signing-key.v1");
+  vk_.write(w);
+  d_.write(w);
+  p_.write(w);
+  q_.write(w);
+}
+
+SigningKey SigningKey::read(ByteReader& r) {
+  if (r.str() != "vc.signing-key.v1") throw ParseError("bad signing-key tag");
+  VerifyKey vk = VerifyKey::read(r);
+  Bigint d = Bigint::read(r);
+  Bigint p = Bigint::read(r);
+  Bigint q = Bigint::read(r);
+  return SigningKey(vk.modulus(), vk.exponent(), std::move(d), std::move(p), std::move(q));
+}
+
+void SigningKey::save(const std::string& path) const {
+  ByteWriter w;
+  write(w);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw UsageError("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+SigningKey SigningKey::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw UsageError("cannot open for read: " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(data);
+  SigningKey key = read(r);
+  r.expect_done();
+  return key;
+}
+
+Signature SigningKey::sign(std::span<const std::uint8_t> msg) const {
+  if (!ctx_) throw UsageError("sign with empty key");
+  Bigint h = fdh_hash(msg, vk_.modulus());
+  return Signature{ctx_->pow(h, d_)};
+}
+
+Signature SigningKey::sign(std::string_view msg) const { return sign(as_bytes(msg)); }
+
+SigningKey generate_signing_key(DeterministicRng& rng, std::size_t modulus_bits) {
+  const Bigint e(65537);
+  while (true) {
+    RsaModulus m = generate_modulus(rng, modulus_bits, /*safe=*/false);
+    Bigint lambda = Bigint::lcm(m.p - Bigint(1), m.q - Bigint(1));
+    if (!Bigint::gcd(e, lambda).is_one()) continue;
+    Bigint d = Bigint::invert_mod(e, lambda);
+    return SigningKey(std::move(m.n), e, std::move(d), std::move(m.p), std::move(m.q));
+  }
+}
+
+}  // namespace vc

@@ -1,0 +1,81 @@
+// Deterministic RSA full-domain-hash signatures.
+//
+// Every message between the data owner and the cloud is signed (Fig 1) so
+// that either party can present the other's statements to a third party
+// (§III-F).  The scheme is RSA-FDH over SHA-256 with MGF1 expansion to the
+// modulus width: deterministic (no per-signature randomness to manage) and
+// sufficient for the two-party arbitration model.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "bigint/bigint.hpp"
+#include "bigint/power_context.hpp"
+#include "hash/sha256.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+
+// A signature is a single ring element.
+struct Signature {
+  Bigint s;
+
+  void write(ByteWriter& w) const { s.write(w); }
+  static Signature read(ByteReader& r) { return Signature{Bigint::read(r)}; }
+  [[nodiscard]] std::size_t encoded_size() const { return s.encoded_size(); }
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+class VerifyKey {
+ public:
+  VerifyKey() = default;
+  VerifyKey(Bigint n, Bigint e) : n_(std::move(n)), e_(std::move(e)) {}
+
+  [[nodiscard]] bool verify(std::span<const std::uint8_t> msg, const Signature& sig) const;
+  [[nodiscard]] bool verify(std::string_view msg, const Signature& sig) const;
+
+  [[nodiscard]] const Bigint& modulus() const { return n_; }
+  [[nodiscard]] const Bigint& exponent() const { return e_; }
+  // Stable identifier for key lookup in protocol messages.
+  [[nodiscard]] Digest fingerprint() const;
+
+  void write(ByteWriter& w) const;
+  static VerifyKey read(ByteReader& r);
+  friend bool operator==(const VerifyKey&, const VerifyKey&) = default;
+
+ private:
+  Bigint n_;
+  Bigint e_;
+};
+
+class SigningKey {
+ public:
+  SigningKey() = default;
+  SigningKey(Bigint n, Bigint e, Bigint d, Bigint p, Bigint q);
+
+  [[nodiscard]] Signature sign(std::span<const std::uint8_t> msg) const;
+  [[nodiscard]] Signature sign(std::string_view msg) const;
+  [[nodiscard]] const VerifyKey& verify_key() const { return vk_; }
+
+  // Private-key persistence (CLI key files; plaintext — prototype only).
+  void write(ByteWriter& w) const;
+  static SigningKey read(ByteReader& r);
+  void save(const std::string& path) const;
+  static SigningKey load(const std::string& path);
+
+ private:
+  VerifyKey vk_;
+  Bigint d_;
+  Bigint p_, q_;                     // retained for serialization
+  std::optional<PowerContext> ctx_;  // CRT-accelerated signing
+};
+
+// Generates an RSA-FDH key pair with public exponent 65537.
+SigningKey generate_signing_key(DeterministicRng& rng, std::size_t modulus_bits = 1024);
+
+// The full-domain hash both sides compute: MGF1-SHA256(msg) reduced mod n.
+Bigint fdh_hash(std::span<const std::uint8_t> msg, const Bigint& n);
+
+}  // namespace vc

@@ -1,0 +1,29 @@
+#include "data/testbed.hpp"
+
+namespace vc {
+
+Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
+  const std::size_t bits = options_.index.modulus_bits;
+  owner_ctx_ = std::make_unique<AccumulatorContext>(
+      AccumulatorContext::owner(standard_accumulator_modulus(bits),
+                                standard_qr_generator(bits)));
+  pub_ctx_ = std::make_unique<AccumulatorContext>(
+      AccumulatorContext::public_side(owner_ctx_->params()));
+
+  DeterministicRng key_rng(options_.corpus.seed, "vc.testbed.keys");
+  owner_key_ = generate_signing_key(key_rng, std::max<std::size_t>(bits, 512));
+  cloud_key_ = generate_signing_key(key_rng, std::max<std::size_t>(bits, 512));
+
+  pool_ = std::make_unique<ThreadPool>(options_.pool_workers);
+  corpus_ = generate_corpus(options_.corpus);
+  vidx_ = std::make_unique<VerifiableIndex>(
+      VerifiableIndex::build(InvertedIndex::build(corpus_), *owner_ctx_, owner_key_,
+                             options_.index, *pool_, options_.strategy, &build_stats_));
+  engine_ = std::make_unique<SearchEngine>(*vidx_, *pub_ctx_, cloud_key_, pool_.get());
+  owner_verifier_ = std::make_unique<ResultVerifier>(
+      *owner_ctx_, owner_key_.verify_key(), cloud_key_.verify_key(), options_.index);
+  third_party_verifier_ = std::make_unique<ResultVerifier>(
+      *pub_ctx_, owner_key_.verify_key(), cloud_key_.verify_key(), options_.index);
+}
+
+}  // namespace vc

@@ -1,0 +1,63 @@
+// One-call experiment fixture: corpus → inverted index → verifiable index →
+// engine + verifiers, with all keys generated from the seed.  Every
+// benchmark and example builds on this so that scale knobs live in exactly
+// one place.
+#pragma once
+
+#include <memory>
+
+#include "crypto/standard_params.hpp"
+#include "data/workload.hpp"
+#include "search/engine.hpp"
+#include "support/threadpool.hpp"
+
+namespace vc {
+
+struct TestbedOptions {
+  SynthSpec corpus;                  // corpus profile (enron/newsgroup/custom)
+  VerifiableIndexConfig index;       // crypto + index parameters
+  std::size_t pool_workers = 0;      // 0 = hardware concurrency
+  BalanceStrategy strategy = BalanceStrategy::kRecordBased;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options);
+
+  [[nodiscard]] const TestbedOptions& options() const { return options_; }
+  [[nodiscard]] const BuildStats& build_stats() const { return build_stats_; }
+  [[nodiscard]] const Corpus& corpus() const { return corpus_; }
+  [[nodiscard]] VerifiableIndex& vindex() { return *vidx_; }
+  [[nodiscard]] const VerifiableIndex& vindex() const { return *vidx_; }
+  [[nodiscard]] SearchEngine& engine() { return *engine_; }
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] const AccumulatorContext& owner_ctx() const { return *owner_ctx_; }
+  [[nodiscard]] const AccumulatorContext& public_ctx() const { return *pub_ctx_; }
+  [[nodiscard]] const SigningKey& owner_key() const { return owner_key_; }
+  [[nodiscard]] const SigningKey& cloud_key() const { return cloud_key_; }
+
+  // Owner-side (trapdoor) and third-party (public) verifiers.
+  [[nodiscard]] ResultVerifier& owner_verifier() { return *owner_verifier_; }
+  [[nodiscard]] ResultVerifier& third_party_verifier() { return *third_party_verifier_; }
+
+  // The 24-query mix for this testbed's corpus.
+  [[nodiscard]] std::vector<WorkloadQuery> workload() const {
+    return paper_query_workload(options_.corpus);
+  }
+
+ private:
+  TestbedOptions options_;
+  Corpus corpus_;
+  BuildStats build_stats_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<AccumulatorContext> owner_ctx_;
+  std::unique_ptr<AccumulatorContext> pub_ctx_;
+  SigningKey owner_key_;
+  SigningKey cloud_key_;
+  std::unique_ptr<VerifiableIndex> vidx_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::unique_ptr<ResultVerifier> owner_verifier_;
+  std::unique_ptr<ResultVerifier> third_party_verifier_;
+};
+
+}  // namespace vc

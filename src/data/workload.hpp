@@ -1,0 +1,31 @@
+// Query workloads (§V-A).
+//
+// The paper evaluates 24 queries against the Enron index: 2 single-keyword,
+// 16 two-keyword and 6 three-keyword queries, two of which (one two-keyword
+// and one three-keyword) contain unknown search keywords.  This module
+// reproduces that mix against a synthetic corpus: keywords are drawn from
+// vocabulary ranks spanning frequent, medium and rare terms so posting-list
+// sizes vary the way real query logs do.
+#pragma once
+
+#include <vector>
+
+#include "search/engine.hpp"
+#include "text/synth.hpp"
+
+namespace vc {
+
+struct WorkloadQuery {
+  Query query;
+  std::size_t keyword_count = 0;
+  bool has_unknown = false;
+};
+
+// The paper's 24-query mix for a corpus generated from `spec`.
+std::vector<WorkloadQuery> paper_query_workload(const SynthSpec& spec);
+
+// Only the multi-keyword, fully-known queries (proof benchmarks often want
+// exactly these).
+std::vector<Query> known_multi_queries(const std::vector<WorkloadQuery>& workload);
+
+}  // namespace vc

@@ -1,0 +1,34 @@
+#include "hash/hmac.hpp"
+
+#include <array>
+
+namespace vc {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> msg) {
+  std::array<std::uint8_t, 64> k_block{};
+  if (key.size() > 64) {
+    Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), k_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k_block.begin());
+  }
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k_block[i] ^ 0x36;
+    opad[i] = k_block[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update(ipad).update(msg);
+  Digest inner_d = inner.finish();
+  Sha256 outer;
+  outer.update(opad).update(inner_d);
+  return outer.finish();
+}
+
+Digest hmac_sha256(std::string_view key, std::string_view msg) {
+  return hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+}
+
+}  // namespace vc

@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104), used as the keyed hash behind prime-representative
+// derivation so that distinct domains (tuples, docIDs, dictionary gaps, ...)
+// produce independent representative streams.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "hash/sha256.hpp"
+
+namespace vc {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> msg);
+Digest hmac_sha256(std::string_view key, std::string_view msg);
+
+}  // namespace vc

@@ -1,0 +1,45 @@
+// SHA-256 implemented from scratch (FIPS 180-4).
+//
+// Used for: RSA-FDH message signing, prime-representative derivation, Bloom
+// filter hashing, and content fingerprints of index components.  A from-
+// scratch implementation keeps the library dependency-free beyond GMP and
+// lets tests pin the exact digest of every canonical encoding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "support/bytes.hpp"
+
+namespace vc {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view s);
+  // Finalizes; the object must not be updated afterwards.
+  Digest finish();
+
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view s);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+// MGF1-SHA256 mask generation (RFC 8017): expands a seed to `len` bytes.
+// Used to build full-domain hashes the size of an RSA modulus.
+Bytes mgf1_sha256(std::span<const std::uint8_t> seed, std::size_t len);
+
+}  // namespace vc

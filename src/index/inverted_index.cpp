@@ -1,0 +1,166 @@
+#include "index/inverted_index.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/bytes.hpp"
+#include "support/errors.hpp"
+
+namespace vc {
+
+InvertedIndex InvertedIndex::build(const Corpus& corpus, TokenizerConfig config) {
+  InvertedIndex idx;
+  idx.config_ = config;
+  for (const Document& doc : corpus) {
+    idx.add_document(doc.id, doc.text);
+  }
+  return idx;
+}
+
+std::vector<std::string> InvertedIndex::add_document(std::uint32_t doc_id,
+                                                     std::string_view text) {
+  std::map<std::string, std::uint32_t, std::less<>> tf;
+  for (std::string& term : analyze(text, config_)) {
+    tf[std::move(term)] += 1;
+  }
+  std::vector<std::string> touched;
+  touched.reserve(tf.size());
+  for (auto& [term, count] : tf) {
+    PostingList& list = terms_[term];
+    if (!list.empty() && list.back().doc_id >= doc_id) {
+      throw UsageError("add_document: docIDs must be added in increasing order");
+    }
+    list.push_back(Posting{doc_id, count});
+    ++records_;
+    touched.push_back(term);
+  }
+  doc_count_ = std::max(doc_count_, doc_id + 1);
+  return touched;
+}
+
+std::map<std::string, PostingList, std::less<>> InvertedIndex::remove_documents(
+    std::span<const std::uint64_t> doc_ids) {
+  std::map<std::string, PostingList, std::less<>> removed;
+  for (auto it = terms_.begin(); it != terms_.end();) {
+    PostingList& list = it->second;
+    PostingList kept, gone;
+    for (const Posting& p : list) {
+      if (std::binary_search(doc_ids.begin(), doc_ids.end(),
+                             static_cast<std::uint64_t>(p.doc_id))) {
+        gone.push_back(p);
+      } else {
+        kept.push_back(p);
+      }
+    }
+    if (!gone.empty()) {
+      records_ -= gone.size();
+      removed.emplace(it->first, std::move(gone));
+      list = std::move(kept);
+    }
+    if (list.empty()) {
+      it = terms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+const PostingList* InvertedIndex::find(std::string_view term) const {
+  auto it = terms_.find(term);
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> InvertedIndex::dictionary() const {
+  std::vector<std::string> out;
+  out.reserve(terms_.size());
+  for (const auto& [term, list] : terms_) out.push_back(term);
+  return out;
+}
+
+U64Set InvertedIndex::doc_set(const PostingList& list) {
+  U64Set out;
+  out.reserve(list.size());
+  for (const Posting& p : list) out.push_back(encode_doc(p.doc_id));
+  return out;
+}
+
+U64Set InvertedIndex::tuple_set(const PostingList& list) {
+  U64Set out;
+  out.reserve(list.size());
+  for (const Posting& p : list) out.push_back(encode_tuple(p));
+  return out;
+}
+
+PostingList InvertedIndex::filter_by_docs(const PostingList& list,
+                                          std::span<const std::uint64_t> doc_ids) {
+  PostingList out;
+  out.reserve(doc_ids.size());
+  for (const Posting& p : list) {
+    if (std::binary_search(doc_ids.begin(), doc_ids.end(), encode_doc(p.doc_id))) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void InvertedIndex::write(ByteWriter& w) const {
+  w.str("vc.inverted-index.v1");
+  w.u32(doc_count_);
+  w.u64(records_);
+  w.varint(terms_.size());
+  for (const auto& [term, list] : terms_) {
+    w.str(term);
+    w.varint(list.size());
+    std::uint32_t prev = 0;
+    for (const Posting& p : list) {
+      w.varint(p.doc_id - prev);  // delta-encoded docIDs
+      w.varint(p.tf);
+      prev = p.doc_id;
+    }
+  }
+}
+
+InvertedIndex InvertedIndex::read(ByteReader& r) {
+  if (r.str() != "vc.inverted-index.v1") throw ParseError("bad index header");
+  InvertedIndex idx;
+  idx.doc_count_ = r.u32();
+  idx.records_ = r.u64();
+  std::uint64_t n_terms = r.varint();
+  for (std::uint64_t t = 0; t < n_terms; ++t) {
+    std::string term = r.str();
+    std::uint64_t n = r.varint();
+    PostingList list;
+    list.reserve(n);
+    std::uint32_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint32_t delta = static_cast<std::uint32_t>(r.varint());
+      std::uint32_t tf = static_cast<std::uint32_t>(r.varint());
+      prev += delta;
+      list.push_back(Posting{prev, tf});
+    }
+    idx.terms_.emplace(std::move(term), std::move(list));
+  }
+  return idx;
+}
+
+void InvertedIndex::save(const std::string& path) const {
+  ByteWriter w;
+  write(w);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw UsageError("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+InvertedIndex InvertedIndex::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw UsageError("cannot open for read: " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(data);
+  InvertedIndex idx = read(r);
+  r.expect_done();
+  return idx;
+}
+
+}  // namespace vc

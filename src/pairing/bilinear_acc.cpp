@@ -1,0 +1,166 @@
+#include "pairing/bilinear_acc.hpp"
+
+#include "hash/sha256.hpp"
+#include "support/errors.hpp"
+
+namespace vc::bn {
+
+namespace {
+
+Bigint zr_mod(const Bigint& x) { return Bigint::mod(x, group_order()); }
+
+Bigint zr_mul(const Bigint& a, const Bigint& b) { return zr_mod(a * b); }
+
+// Generic multi-exponentiation against a power vector: Π base[k]^{c_k}.
+G1Point combine_g1(const std::vector<G1Point>& powers, std::span<const Bigint> coeffs) {
+  if (coeffs.size() > powers.size()) {
+    throw UsageError("bilinear accumulator degree bound exceeded");
+  }
+  G1Point acc;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    if (coeffs[k].is_zero()) continue;
+    acc = acc.add(powers[k].mul(coeffs[k]));
+  }
+  return acc;
+}
+
+G2Point combine_g2(const std::vector<G2Point>& powers, std::span<const Bigint> coeffs) {
+  if (coeffs.size() > powers.size()) {
+    throw UsageError("bilinear accumulator degree bound exceeded");
+  }
+  G2Point acc;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    if (coeffs[k].is_zero()) continue;
+    acc = acc.add(powers[k].mul(coeffs[k]));
+  }
+  return acc;
+}
+
+// f_X(s) mod r for the trapdoor paths.
+Bigint eval_roots_at(std::span<const Bigint> xs, const Bigint& s) {
+  Bigint acc(1);
+  for (const Bigint& x : xs) acc = zr_mul(acc, zr_mod(s + x));
+  return acc;
+}
+
+}  // namespace
+
+BilinearSetup bilinear_setup(DeterministicRng& rng, std::size_t max_degree) {
+  if (max_degree == 0) throw UsageError("bilinear setup needs degree >= 1");
+  BilinearSetup setup;
+  // s uniform in [1, r).
+  do {
+    setup.trapdoor = Bigint::random_below(rng, group_order());
+  } while (setup.trapdoor.is_zero());
+
+  setup.params.g1_powers.reserve(max_degree + 1);
+  setup.params.g2_powers.reserve(max_degree + 1);
+  Bigint sk(1);
+  for (std::size_t k = 0; k <= max_degree; ++k) {
+    setup.params.g1_powers.push_back(G1Point::generator().mul(sk));
+    setup.params.g2_powers.push_back(G2Point::generator().mul(sk));
+    sk = zr_mul(sk, setup.trapdoor);
+  }
+  return setup;
+}
+
+Bigint hash_to_zr(std::uint64_t element) {
+  ByteWriter w;
+  w.str("vc.bilinear.elem");
+  w.u64(element);
+  Digest d = Sha256::hash(w.data());
+  return zr_mod(Bigint::from_bytes(d));
+}
+
+std::vector<Bigint> poly_from_roots(std::span<const Bigint> xs) {
+  // Π (z + x_i), coefficients constant-term first.
+  std::vector<Bigint> coeffs = {Bigint(1)};
+  for (const Bigint& x : xs) {
+    std::vector<Bigint> next(coeffs.size() + 1, Bigint(0));
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      next[k] = zr_mod(next[k] + zr_mul(coeffs[k], x));  // · x  (constant part)
+      next[k + 1] = zr_mod(next[k + 1] + coeffs[k]);     // · z
+    }
+    coeffs = std::move(next);
+  }
+  return coeffs;
+}
+
+Bigint poly_eval(std::span<const Bigint> coeffs, const Bigint& z) {
+  Bigint acc(0);
+  for (std::size_t k = coeffs.size(); k-- > 0;) {
+    acc = zr_mod(zr_mul(acc, z) + coeffs[k]);
+  }
+  return acc;
+}
+
+G1Point accumulate_trapdoor(const BilinearParams& params, const Bigint& s,
+                            std::span<const Bigint> xs) {
+  return params.g1().mul(eval_roots_at(xs, s));
+}
+
+G1Point accumulate_public(const BilinearParams& params, std::span<const Bigint> xs) {
+  return combine_g1(params.g1_powers, poly_from_roots(xs));
+}
+
+G1Point subset_witness_trapdoor(const BilinearParams& params, const Bigint& s,
+                                std::span<const Bigint> rest) {
+  return params.g1().mul(eval_roots_at(rest, s));
+}
+
+G1Point subset_witness_public(const BilinearParams& params, std::span<const Bigint> rest) {
+  return combine_g1(params.g1_powers, poly_from_roots(rest));
+}
+
+bool verify_subset(const BilinearParams& params, const G1Point& acc, const G1Point& witness,
+                   std::span<const Bigint> subset) {
+  // e(W, g2^{f_S(s)}) == e(acc, g2).
+  G2Point rhs_exp = combine_g2(params.g2_powers, poly_from_roots(subset));
+  return pairing(witness, rhs_exp) == pairing(acc, params.g2());
+}
+
+BilinearNonmembershipWitness nonmembership_witness_trapdoor(const BilinearParams& params,
+                                                            const Bigint& s,
+                                                            std::span<const Bigint> xs,
+                                                            const Bigint& x) {
+  // rem = f_X(−x);  q(s) = (f_X(s) − rem)/(s + x).
+  Bigint rem(1);
+  for (const Bigint& xi : xs) rem = zr_mul(rem, zr_mod(xi - x));
+  if (rem.is_zero()) throw CryptoError("bilinear nonmembership: element present");
+  Bigint fx = eval_roots_at(xs, s);
+  Bigint q = zr_mul(zr_mod(fx - rem), Bigint::invert_mod(zr_mod(s + x), group_order()));
+  return BilinearNonmembershipWitness{params.g1().mul(q), rem};
+}
+
+BilinearNonmembershipWitness nonmembership_witness_public(const BilinearParams& params,
+                                                          std::span<const Bigint> xs,
+                                                          const Bigint& x) {
+  std::vector<Bigint> f = poly_from_roots(xs);
+  Bigint rem = poly_eval(f, zr_mod(-x));
+  if (rem.is_zero()) throw CryptoError("bilinear nonmembership: element present");
+  // Synthetic division of g(z) = f(z) − rem by (z + x), exact because
+  // g(−x) = 0.  With g = Σ g_k z^k of degree d (monic) and q = Σ q_k z^k:
+  //   q_{d−1} = g_d,    q_{k−1} = g_k − x·q_k   for k = d−1 … 1,
+  // and the k = 0 identity g_0 = x·q_0 holds automatically.
+  std::vector<Bigint> g = f;
+  g[0] = zr_mod(g[0] - rem);
+  const std::size_t d = g.size() - 1;
+  std::vector<Bigint> q(d, Bigint(0));
+  q[d - 1] = g[d];
+  for (std::size_t k = d - 1; k >= 1; --k) {
+    q[k - 1] = zr_mod(g[k] - zr_mul(x, q[k]));
+  }
+  return BilinearNonmembershipWitness{combine_g1(params.g1_powers, q), rem};
+}
+
+bool verify_nonmembership(const BilinearParams& params, const G1Point& acc,
+                          const BilinearNonmembershipWitness& witness, const Bigint& x) {
+  // e(W, g2^{s+x}) · e(g1, g2)^{rem} == e(acc, g2).
+  if (witness.rem.is_zero()) return false;
+  G2Point g2_s_plus_x = params.g2_powers[1].add(params.g2().mul(x));
+  Gt lhs = pairing(witness.w, g2_s_plus_x) *
+           pairing(params.g1(), params.g2()).pow(zr_mod(witness.rem));
+  return lhs == pairing(acc, params.g2());
+}
+
+}  // namespace vc::bn

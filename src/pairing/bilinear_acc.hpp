@@ -1,0 +1,82 @@
+// Bilinear-map accumulator (Nguyen'05; the [41] construction the paper's
+// conclusion proposes comparing against).
+//
+// Setup fixes a secret s ∈ Zr and publishes (g1, g2, g2^s) plus power
+// vectors g1^{s^k}, g2^{s^k} up to a degree bound.  A set X ⊂ Zr
+// accumulates to acc = g1^{f_X(s)} with f_X(z) = Π_{x∈X}(z + x):
+//
+//   subset S ⊆ X:   W = g1^{f_{X\S}(s)};   e(W, g2^{f_S(s)}) = e(acc, g2)
+//   x ∉ X:          rem = f_X(−x) ≠ 0,  q(z) = (f_X(z) − rem)/(z + x),
+//                   W = g1^{q(s)};  e(W, g2^{s+x}) · e(g1,g2)^{rem} = e(acc,g2)
+//
+// Contrast with the RSA accumulator of src/accumulator: elements are Zr
+// scalars (no prime representatives needed!), witnesses are ~64-byte group
+// elements instead of ~128-byte ring elements, but verification costs
+// pairings and the public parameters grow linearly with the degree bound.
+// bench_ablation_bilinear quantifies the trade.
+#pragma once
+
+#include "pairing/pairing.hpp"
+#include "support/rng.hpp"
+
+namespace vc::bn {
+
+struct BilinearParams {
+  std::vector<G1Point> g1_powers;  // g1^{s^k}, k = 0..degree
+  std::vector<G2Point> g2_powers;  // g2^{s^k}, k = 0..degree
+
+  [[nodiscard]] const G1Point& g1() const { return g1_powers[0]; }
+  [[nodiscard]] const G2Point& g2() const { return g2_powers[0]; }
+  [[nodiscard]] std::size_t degree() const { return g1_powers.size() - 1; }
+};
+
+struct BilinearSetup {
+  BilinearParams params;  // public
+  Bigint trapdoor;        // s — owner-side only
+};
+
+// Generates parameters supporting sets/subsets up to `max_degree` elements.
+BilinearSetup bilinear_setup(DeterministicRng& rng, std::size_t max_degree);
+
+// Deterministic map of arbitrary 64-bit elements into Zr (hashing replaces
+// the RSA scheme's prime representatives — a real usability advantage).
+Bigint hash_to_zr(std::uint64_t element);
+
+// --- polynomial helpers over Zr (exposed for tests) -------------------------
+// Coefficients of Π (z + x_i), constant term first.
+std::vector<Bigint> poly_from_roots(std::span<const Bigint> xs);
+// Evaluates a coefficient polynomial at point `z` mod r.
+Bigint poly_eval(std::span<const Bigint> coeffs, const Bigint& z);
+
+// --- accumulation -------------------------------------------------------------
+// Owner path: one exponentiation with f_X(s) mod r.
+G1Point accumulate_trapdoor(const BilinearParams& params, const Bigint& s,
+                            std::span<const Bigint> xs);
+// Public path: expand the polynomial and combine the published powers.
+G1Point accumulate_public(const BilinearParams& params, std::span<const Bigint> xs);
+
+// --- membership ----------------------------------------------------------------
+// Witness that S ⊆ X: W = g1^{f_{X\S}(s)}.  `rest` must be X \ S.
+G1Point subset_witness_trapdoor(const BilinearParams& params, const Bigint& s,
+                                std::span<const Bigint> rest);
+G1Point subset_witness_public(const BilinearParams& params, std::span<const Bigint> rest);
+bool verify_subset(const BilinearParams& params, const G1Point& acc, const G1Point& witness,
+                   std::span<const Bigint> subset);
+
+// --- nonmembership ---------------------------------------------------------------
+struct BilinearNonmembershipWitness {
+  G1Point w;
+  Bigint rem;  // f_X(−x) ≠ 0
+};
+// Witness that x ∉ X (throws CryptoError when x ∈ X).
+BilinearNonmembershipWitness nonmembership_witness_trapdoor(const BilinearParams& params,
+                                                            const Bigint& s,
+                                                            std::span<const Bigint> xs,
+                                                            const Bigint& x);
+BilinearNonmembershipWitness nonmembership_witness_public(const BilinearParams& params,
+                                                          std::span<const Bigint> xs,
+                                                          const Bigint& x);
+bool verify_nonmembership(const BilinearParams& params, const G1Point& acc,
+                          const BilinearNonmembershipWitness& witness, const Bigint& x);
+
+}  // namespace vc::bn

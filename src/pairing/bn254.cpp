@@ -1,0 +1,33 @@
+#include "pairing/bn254.hpp"
+
+namespace vc::bn {
+
+const Bigint& field_modulus() {
+  static const Bigint p = Bigint::from_decimal(
+      "21888242871839275222246405745257275088696311157297823662689037894645226208583");
+  return p;
+}
+
+const Bigint& group_order() {
+  static const Bigint r = Bigint::from_decimal(
+      "21888242871839275222246405745257275088548364400416034343698204186575808495617");
+  return r;
+}
+
+const Bigint& final_exp_power() {
+  static const Bigint e = [] {
+    const Bigint& p = field_modulus();
+    Bigint p12(1);
+    for (int i = 0; i < 12; ++i) p12 *= p;
+    return Bigint::div_exact(p12 - Bigint(1), group_order());
+  }();
+  return e;
+}
+
+Bigint fp_add(const Bigint& a, const Bigint& b) { return Bigint::mod(a + b, field_modulus()); }
+Bigint fp_sub(const Bigint& a, const Bigint& b) { return Bigint::mod(a - b, field_modulus()); }
+Bigint fp_mul(const Bigint& a, const Bigint& b) { return Bigint::mod(a * b, field_modulus()); }
+Bigint fp_neg(const Bigint& a) { return Bigint::mod(-a, field_modulus()); }
+Bigint fp_inv(const Bigint& a) { return Bigint::invert_mod(a, field_modulus()); }
+
+}  // namespace vc::bn

@@ -1,0 +1,35 @@
+// BN254 (alt_bn128) curve parameters.
+//
+// The paper's conclusion proposes comparing the RSA-accumulator design with
+// bilinear-map accumulators [Papamanthou et al., CRYPTO'11].  This module
+// tree implements that comparison's substrate from scratch: the BN254
+// pairing-friendly curve (the alt_bn128 parameterization), a tower
+// Fp2→Fp6→Fp12, and a Tate pairing with denominator elimination.  The
+// implementation optimizes for clarity and testability over speed — the
+// pairing costs a few hundred milliseconds, which is ample for the
+// accumulator-comparison benchmarks.
+//
+//   E  : y² = x³ + 3            over Fp       (G1, generator (1, 2))
+//   E' : y² = x³ + 3/(9+u)      over Fp2      (G2, D-type sextic twist)
+//   r  : prime group order; embedding degree 12.
+#pragma once
+
+#include "bigint/bigint.hpp"
+
+namespace vc::bn {
+
+// Base field modulus p.
+const Bigint& field_modulus();
+// Group order r.
+const Bigint& group_order();
+// (p^12 - 1) / r — the Tate final-exponentiation exponent (memoized).
+const Bigint& final_exp_power();
+
+// --- Fp helpers (all values canonical in [0, p)) ---------------------------
+Bigint fp_add(const Bigint& a, const Bigint& b);
+Bigint fp_sub(const Bigint& a, const Bigint& b);
+Bigint fp_mul(const Bigint& a, const Bigint& b);
+Bigint fp_neg(const Bigint& a);
+Bigint fp_inv(const Bigint& a);
+
+}  // namespace vc::bn

@@ -1,0 +1,172 @@
+#include "pairing/curve.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc::bn {
+
+// --- G1 ----------------------------------------------------------------------
+
+bool G1Point::on_curve() const {
+  if (is_identity()) return true;
+  // y² == x³ + 3.
+  Bigint lhs = fp_mul(coords_->y, coords_->y);
+  Bigint rhs = fp_add(fp_mul(fp_mul(coords_->x, coords_->x), coords_->x), Bigint(3));
+  return lhs == rhs;
+}
+
+G1Point G1Point::negate() const {
+  if (is_identity()) return {};
+  return G1Point(coords_->x, fp_neg(coords_->y));
+}
+
+G1Point G1Point::dbl() const {
+  if (is_identity()) return {};
+  if (coords_->y.is_zero()) return {};
+  // λ = 3x² / 2y.
+  Bigint lambda = fp_mul(fp_mul(Bigint(3), fp_mul(coords_->x, coords_->x)),
+                         fp_inv(fp_mul(Bigint(2), coords_->y)));
+  Bigint x3 = fp_sub(fp_mul(lambda, lambda), fp_mul(Bigint(2), coords_->x));
+  Bigint y3 = fp_sub(fp_mul(lambda, fp_sub(coords_->x, x3)), coords_->y);
+  return G1Point(std::move(x3), std::move(y3));
+}
+
+G1Point G1Point::add(const G1Point& other) const {
+  if (is_identity()) return other;
+  if (other.is_identity()) return *this;
+  if (coords_->x == other.coords_->x) {
+    if (coords_->y == other.coords_->y) return dbl();
+    return {};  // P + (-P)
+  }
+  Bigint lambda = fp_mul(fp_sub(other.coords_->y, coords_->y),
+                         fp_inv(fp_sub(other.coords_->x, coords_->x)));
+  Bigint x3 = fp_sub(fp_sub(fp_mul(lambda, lambda), coords_->x), other.coords_->x);
+  Bigint y3 = fp_sub(fp_mul(lambda, fp_sub(coords_->x, x3)), coords_->y);
+  return G1Point(std::move(x3), std::move(y3));
+}
+
+G1Point G1Point::mul(const Bigint& k) const {
+  Bigint e = Bigint::mod(k, group_order());
+  G1Point result;
+  G1Point base = *this;
+  std::size_t bits = e.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (e.test_bit(i)) result = result.add(base);
+    base = base.dbl();
+  }
+  return result;
+}
+
+bool operator==(const G1Point& a, const G1Point& b) {
+  if (a.is_identity() || b.is_identity()) return a.is_identity() == b.is_identity();
+  return a.coords_->x == b.coords_->x && a.coords_->y == b.coords_->y;
+}
+
+void G1Point::write(ByteWriter& w) const {
+  w.u8(is_identity() ? 0 : 1);
+  if (!is_identity()) {
+    coords_->x.write(w);
+    coords_->y.write(w);
+  }
+}
+
+G1Point G1Point::read(ByteReader& r) {
+  if (r.u8() == 0) return {};
+  Bigint x = Bigint::read(r);
+  Bigint y = Bigint::read(r);
+  return G1Point(std::move(x), std::move(y));
+}
+
+// --- G2 ----------------------------------------------------------------------
+
+const Fp2& G2Point::twist_b() {
+  static const Fp2 b = Fp2::from_fp(Bigint(3)) * Fp2::xi().inverse();
+  return b;
+}
+
+G2Point G2Point::generator() {
+  // EIP-197 / alt_bn128 G2 generator.
+  static const G2Point g = [] {
+    Fp2 x{Bigint::from_decimal("108570469990230571359445707622328294813707563595785"
+                               "18086990519993285655852781"),
+          Bigint::from_decimal("115597320329863871079910040213922857839258128618211"
+                               "92530917403151452391805634")};
+    Fp2 y{Bigint::from_decimal("849565392312343141760497324748927243841819058726360"
+                               "0148770280649306958101930"),
+          Bigint::from_decimal("408236787586343368133220340314543556831685132759340"
+                               "1208105741076214120093531")};
+    return G2Point(std::move(x), std::move(y));
+  }();
+  return g;
+}
+
+bool G2Point::on_curve() const {
+  if (is_identity()) return true;
+  Fp2 lhs = coords_->y.square();
+  Fp2 rhs = coords_->x.square() * coords_->x + twist_b();
+  return lhs == rhs;
+}
+
+G2Point G2Point::negate() const {
+  if (is_identity()) return {};
+  return G2Point(coords_->x, coords_->y.neg());
+}
+
+G2Point G2Point::dbl() const {
+  if (is_identity()) return {};
+  if (coords_->y.is_zero()) return {};
+  Fp2 three = Fp2::from_fp(Bigint(3));
+  Fp2 two = Fp2::from_fp(Bigint(2));
+  Fp2 lambda = three * coords_->x.square() * (two * coords_->y).inverse();
+  Fp2 x3 = lambda.square() - two * coords_->x;
+  Fp2 y3 = lambda * (coords_->x - x3) - coords_->y;
+  return G2Point(std::move(x3), std::move(y3));
+}
+
+G2Point G2Point::add(const G2Point& other) const {
+  if (is_identity()) return other;
+  if (other.is_identity()) return *this;
+  if (coords_->x == other.coords_->x) {
+    if (coords_->y == other.coords_->y) return dbl();
+    return {};
+  }
+  Fp2 lambda = (other.coords_->y - coords_->y) * (other.coords_->x - coords_->x).inverse();
+  Fp2 x3 = lambda.square() - coords_->x - other.coords_->x;
+  Fp2 y3 = lambda * (coords_->x - x3) - coords_->y;
+  return G2Point(std::move(x3), std::move(y3));
+}
+
+G2Point G2Point::mul(const Bigint& k) const {
+  Bigint e = Bigint::mod(k, group_order());
+  G2Point result;
+  G2Point base = *this;
+  std::size_t bits = e.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (e.test_bit(i)) result = result.add(base);
+    base = base.dbl();
+  }
+  return result;
+}
+
+bool operator==(const G2Point& a, const G2Point& b) {
+  if (a.is_identity() || b.is_identity()) return a.is_identity() == b.is_identity();
+  return a.coords_->x == b.coords_->x && a.coords_->y == b.coords_->y;
+}
+
+void G2Point::write(ByteWriter& w) const {
+  w.u8(is_identity() ? 0 : 1);
+  if (!is_identity()) {
+    coords_->x.a.write(w);
+    coords_->x.b.write(w);
+    coords_->y.a.write(w);
+    coords_->y.b.write(w);
+  }
+}
+
+G2Point G2Point::read(ByteReader& r) {
+  if (r.u8() == 0) return {};
+  Fp2 x{Bigint::read(r), Bigint::read(r)};
+  Fp2 y{Bigint::read(r), Bigint::read(r)};
+  return G2Point(std::move(x), std::move(y));
+}
+
+}  // namespace vc::bn

@@ -1,0 +1,78 @@
+// The BN254 groups: G1 = E(Fp)[r] with E: y² = x³ + 3, and G2 as the
+// r-torsion of the sextic twist E'(Fp2): y² = x³ + 3/(9+u).
+//
+// Affine coordinates with explicit points at infinity — a deliberate
+// clarity-over-speed choice (one field inversion per group operation); the
+// accumulator comparison needs hundreds of operations, not millions.
+#pragma once
+
+#include <optional>
+
+#include "pairing/fields.hpp"
+
+namespace vc::bn {
+
+// A point on E(Fp); nullopt coordinates encode the identity.
+class G1Point {
+ public:
+  G1Point() = default;  // identity
+  G1Point(Bigint x, Bigint y) : coords_(Coords{std::move(x), std::move(y)}) {}
+
+  static G1Point generator() { return G1Point(Bigint(1), Bigint(2)); }
+
+  [[nodiscard]] bool is_identity() const { return !coords_.has_value(); }
+  [[nodiscard]] const Bigint& x() const { return coords_->x; }
+  [[nodiscard]] const Bigint& y() const { return coords_->y; }
+  [[nodiscard]] bool on_curve() const;
+
+  [[nodiscard]] G1Point add(const G1Point& other) const;
+  [[nodiscard]] G1Point dbl() const;
+  [[nodiscard]] G1Point negate() const;
+  [[nodiscard]] G1Point mul(const Bigint& k) const;  // k taken mod r
+
+  friend bool operator==(const G1Point&, const G1Point&);
+
+  void write(ByteWriter& w) const;
+  static G1Point read(ByteReader& r);
+
+ private:
+  struct Coords {
+    Bigint x, y;
+  };
+  std::optional<Coords> coords_;
+};
+
+// A point on the twist E'(Fp2).
+class G2Point {
+ public:
+  G2Point() = default;  // identity
+  G2Point(Fp2 x, Fp2 y) : coords_(Coords{std::move(x), std::move(y)}) {}
+
+  // The standard alt_bn128 G2 generator (EIP-197 constants).
+  static G2Point generator();
+  // b' = 3 / (9 + u).
+  static const Fp2& twist_b();
+
+  [[nodiscard]] bool is_identity() const { return !coords_.has_value(); }
+  [[nodiscard]] const Fp2& x() const { return coords_->x; }
+  [[nodiscard]] const Fp2& y() const { return coords_->y; }
+  [[nodiscard]] bool on_curve() const;
+
+  [[nodiscard]] G2Point add(const G2Point& other) const;
+  [[nodiscard]] G2Point dbl() const;
+  [[nodiscard]] G2Point negate() const;
+  [[nodiscard]] G2Point mul(const Bigint& k) const;
+
+  friend bool operator==(const G2Point&, const G2Point&);
+
+  void write(ByteWriter& w) const;
+  static G2Point read(ByteReader& r);
+
+ private:
+  struct Coords {
+    Fp2 x, y;
+  };
+  std::optional<Coords> coords_;
+};
+
+}  // namespace vc::bn

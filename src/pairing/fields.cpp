@@ -1,0 +1,119 @@
+#include "pairing/fields.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc::bn {
+
+// --- Fp2 -----------------------------------------------------------------------
+
+Fp2 operator+(const Fp2& x, const Fp2& y) { return Fp2{fp_add(x.a, y.a), fp_add(x.b, y.b)}; }
+Fp2 operator-(const Fp2& x, const Fp2& y) { return Fp2{fp_sub(x.a, y.a), fp_sub(x.b, y.b)}; }
+
+Fp2 operator*(const Fp2& x, const Fp2& y) {
+  // (a + bu)(c + du) = (ac - bd) + (ad + bc)u   with u² = -1.
+  Bigint ac = fp_mul(x.a, y.a);
+  Bigint bd = fp_mul(x.b, y.b);
+  Bigint ad = fp_mul(x.a, y.b);
+  Bigint bc = fp_mul(x.b, y.a);
+  return Fp2{fp_sub(ac, bd), fp_add(ad, bc)};
+}
+
+Fp2 Fp2::neg() const { return Fp2{fp_neg(a), fp_neg(b)}; }
+
+Fp2 Fp2::inverse() const {
+  // 1/(a+bu) = (a - bu)/(a² + b²).
+  Bigint norm = fp_add(fp_mul(a, a), fp_mul(b, b));
+  if (norm.is_zero()) throw CryptoError("Fp2 inverse of zero");
+  Bigint inv = fp_inv(norm);
+  return Fp2{fp_mul(a, inv), fp_mul(fp_neg(b), inv)};
+}
+
+Fp2 Fp2::scalar(const Bigint& k) const { return Fp2{fp_mul(a, k), fp_mul(b, k)}; }
+
+// --- Fp6 -----------------------------------------------------------------------
+
+Fp6 operator+(const Fp6& x, const Fp6& y) { return Fp6{x.a + y.a, x.b + y.b, x.c + y.c}; }
+Fp6 operator-(const Fp6& x, const Fp6& y) { return Fp6{x.a - y.a, x.b - y.b, x.c - y.c}; }
+
+Fp6 operator*(const Fp6& x, const Fp6& y) {
+  // Schoolbook with v³ = ξ.
+  Fp2 xi = Fp2::xi();
+  Fp2 t0 = x.a * y.a;
+  Fp2 t1 = x.a * y.b + x.b * y.a;
+  Fp2 t2 = x.a * y.c + x.b * y.b + x.c * y.a;
+  Fp2 t3 = x.b * y.c + x.c * y.b;  // coefficient of v³ -> ξ
+  Fp2 t4 = x.c * y.c;              // coefficient of v⁴ -> ξ·v
+  return Fp6{t0 + t3 * xi, t1 + t4 * xi, t2};
+}
+
+Fp6 Fp6::neg() const { return Fp6{a.neg(), b.neg(), c.neg()}; }
+
+Fp6 Fp6::mul_by_v() const {
+  // (a + bv + cv²)·v = cξ + av + bv².
+  return Fp6{c * Fp2::xi(), a, b};
+}
+
+Fp6 Fp6::inverse() const {
+  // Standard formula: with A = a² − ξbc, B = ξc² − ab, C = b² − ac,
+  // (a + bv + cv²)⁻¹ = (A + Bv + Cv²) / (aA + ξ(cB + bC)).
+  Fp2 xi = Fp2::xi();
+  Fp2 big_a = a.square() - xi * (b * c);
+  Fp2 big_b = xi * c.square() - a * b;
+  Fp2 big_c = b.square() - a * c;
+  Fp2 denom = a * big_a + xi * (c * big_b + b * big_c);
+  Fp2 inv = denom.inverse();
+  return Fp6{big_a * inv, big_b * inv, big_c * inv};
+}
+
+// --- Fp12 ----------------------------------------------------------------------
+
+Fp12 operator+(const Fp12& x, const Fp12& y) { return Fp12{x.a + y.a, x.b + y.b}; }
+Fp12 operator-(const Fp12& x, const Fp12& y) { return Fp12{x.a - y.a, x.b - y.b}; }
+
+Fp12 operator*(const Fp12& x, const Fp12& y) {
+  // (a + bw)(c + dw) = (ac + bd·v) + (ad + bc)w   with w² = v.
+  Fp6 ac = x.a * y.a;
+  Fp6 bd = x.b * y.b;
+  Fp6 ad = x.a * y.b;
+  Fp6 bc = x.b * y.a;
+  return Fp12{ac + bd.mul_by_v(), ad + bc};
+}
+
+Fp12 Fp12::neg() const { return Fp12{a.neg(), b.neg()}; }
+
+Fp12 Fp12::inverse() const {
+  // 1/(a + bw) = (a - bw)/(a² - b²·v).
+  Fp6 denom = a * a - (b * b).mul_by_v();
+  Fp6 inv = denom.inverse();
+  return Fp12{a * inv, b.neg() * inv};
+}
+
+Fp12 Fp12::pow(const Bigint& e) const {
+  if (e.is_negative()) throw UsageError("Fp12::pow: negative exponent");
+  Fp12 result = Fp12::one();
+  Fp12 base = *this;
+  std::size_t bits = e.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (e.test_bit(i)) result = result * base;
+    base = base.square();
+  }
+  return result;
+}
+
+void Fp12::write(ByteWriter& w) const {
+  for (const Fp2* f2 : {&a.a, &a.b, &a.c, &b.a, &b.b, &b.c}) {
+    f2->a.write(w);
+    f2->b.write(w);
+  }
+}
+
+Fp12 Fp12::read(ByteReader& r) {
+  Fp12 out = Fp12::zero();
+  for (Fp2* f2 : {&out.a.a, &out.a.b, &out.a.c, &out.b.a, &out.b.b, &out.b.c}) {
+    f2->a = Bigint::read(r);
+    f2->b = Bigint::read(r);
+  }
+  return out;
+}
+
+}  // namespace vc::bn

@@ -1,0 +1,83 @@
+// Extension-field tower for BN254: Fp2 = Fp[u]/(u²+1),
+// Fp6 = Fp2[v]/(v³−ξ) with ξ = 9+u, Fp12 = Fp6[w]/(w²−v).
+//
+// Plain schoolbook arithmetic with value-semantic types; every operation
+// returns canonical representatives.  Speed comes later in the tower (the
+// Miller loop mostly multiplies sparse lines), and correctness is pinned by
+// field-axiom property tests plus pairing bilinearity.
+#pragma once
+
+#include "pairing/bn254.hpp"
+
+namespace vc::bn {
+
+struct Fp2 {
+  Bigint a;  // coefficient of 1
+  Bigint b;  // coefficient of u
+
+  static Fp2 zero() { return Fp2{Bigint(0), Bigint(0)}; }
+  static Fp2 one() { return Fp2{Bigint(1), Bigint(0)}; }
+  static Fp2 from_fp(const Bigint& x) { return Fp2{Bigint::mod(x, field_modulus()), Bigint(0)}; }
+  // ξ = 9 + u, the cubic/sextic non-residue the tower is built on.
+  static Fp2 xi() { return Fp2{Bigint(9), Bigint(1)}; }
+
+  [[nodiscard]] bool is_zero() const { return a.is_zero() && b.is_zero(); }
+
+  friend Fp2 operator+(const Fp2& x, const Fp2& y);
+  friend Fp2 operator-(const Fp2& x, const Fp2& y);
+  friend Fp2 operator*(const Fp2& x, const Fp2& y);
+  friend bool operator==(const Fp2&, const Fp2&) = default;
+
+  [[nodiscard]] Fp2 neg() const;
+  [[nodiscard]] Fp2 square() const { return *this * *this; }
+  [[nodiscard]] Fp2 inverse() const;  // throws CryptoError on zero
+  [[nodiscard]] Fp2 scalar(const Bigint& k) const;
+};
+
+struct Fp6 {
+  Fp2 a, b, c;  // a + b·v + c·v²
+
+  static Fp6 zero() { return Fp6{Fp2::zero(), Fp2::zero(), Fp2::zero()}; }
+  static Fp6 one() { return Fp6{Fp2::one(), Fp2::zero(), Fp2::zero()}; }
+  static Fp6 from_fp2(const Fp2& x) { return Fp6{x, Fp2::zero(), Fp2::zero()}; }
+
+  [[nodiscard]] bool is_zero() const { return a.is_zero() && b.is_zero() && c.is_zero(); }
+
+  friend Fp6 operator+(const Fp6& x, const Fp6& y);
+  friend Fp6 operator-(const Fp6& x, const Fp6& y);
+  friend Fp6 operator*(const Fp6& x, const Fp6& y);
+  friend bool operator==(const Fp6&, const Fp6&) = default;
+
+  [[nodiscard]] Fp6 neg() const;
+  // Multiplication by v (the Fp12 reduction step: v·v² = ξ).
+  [[nodiscard]] Fp6 mul_by_v() const;
+  [[nodiscard]] Fp6 inverse() const;
+};
+
+struct Fp12 {
+  Fp6 a, b;  // a + b·w
+
+  static Fp12 zero() { return Fp12{Fp6::zero(), Fp6::zero()}; }
+  static Fp12 one() { return Fp12{Fp6::one(), Fp6::zero()}; }
+  static Fp12 from_fp(const Bigint& x) {
+    return Fp12{Fp6::from_fp2(Fp2::from_fp(x)), Fp6::zero()};
+  }
+
+  [[nodiscard]] bool is_zero() const { return a.is_zero() && b.is_zero(); }
+  [[nodiscard]] bool is_one() const { return *this == one(); }
+
+  friend Fp12 operator+(const Fp12& x, const Fp12& y);
+  friend Fp12 operator-(const Fp12& x, const Fp12& y);
+  friend Fp12 operator*(const Fp12& x, const Fp12& y);
+  friend bool operator==(const Fp12&, const Fp12&) = default;
+
+  [[nodiscard]] Fp12 neg() const;
+  [[nodiscard]] Fp12 square() const { return *this * *this; }
+  [[nodiscard]] Fp12 inverse() const;
+  [[nodiscard]] Fp12 pow(const Bigint& e) const;  // e >= 0
+
+  void write(ByteWriter& w) const;
+  static Fp12 read(ByteReader& r);
+};
+
+}  // namespace vc::bn

@@ -1,0 +1,28 @@
+// The Tate pairing on BN254.
+//
+// e : G1 × G2 → GT = μ_r ⊂ Fp12*, computed as the classic Miller loop over
+// the group order r with denominator elimination (vertical lines land in
+// the subfield Fp6 and are annihilated by the final exponentiation), then
+// the full final exponentiation f^((p^12−1)/r) by plain square-and-multiply.
+// Deliberately the textbook algorithm: a few hundred milliseconds per
+// pairing, correctness pinned by bilinearity/nondegeneracy property tests —
+// exactly what the accumulator comparison needs and nothing more.
+#pragma once
+
+#include "pairing/curve.hpp"
+
+namespace vc::bn {
+
+// GT element (the pairing value after final exponentiation).
+using Gt = Fp12;
+
+// The reduced Tate pairing.  Identity inputs map to 1 (the GT identity).
+Gt pairing(const G1Point& p, const G2Point& q);
+
+// The Miller loop value before final exponentiation (exposed for tests).
+Fp12 miller_loop(const G1Point& p, const G2Point& q);
+
+// Applies f^((p^12-1)/r).
+Gt final_exponentiation(const Fp12& f);
+
+}  // namespace vc::bn

@@ -1,0 +1,101 @@
+#include "primes/prime_cache.hpp"
+
+#include <fstream>
+
+#include "support/errors.hpp"
+#include "support/threadpool.hpp"
+
+namespace vc {
+
+PrimeCache::PrimeCache(PrimeRepConfig config) : gen_(std::move(config)) {}
+
+Bigint PrimeCache::get(std::uint64_t element) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = cache_.find(element);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Bigint rep = gen_.representative(element);
+  {
+    std::unique_lock lock(mu_);
+    cache_.emplace(element, rep);
+  }
+  return rep;
+}
+
+bool PrimeCache::try_get(std::uint64_t element, Bigint& out) const {
+  std::shared_lock lock(mu_);
+  auto it = cache_.find(element);
+  if (it == cache_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void PrimeCache::precompute(std::span<const std::uint64_t> elements, ThreadPool& pool) {
+  // Compute into a private vector per chunk, then merge once; avoids lock
+  // contention on the hot path.
+  std::vector<std::pair<std::uint64_t, Bigint>> computed(elements.size());
+  pool.parallel_for(0, elements.size(), [&](std::size_t i) {
+    computed[i] = {elements[i], gen_.representative(elements[i])};
+  });
+  std::unique_lock lock(mu_);
+  for (auto& [k, v] : computed) {
+    cache_.emplace(k, std::move(v));
+  }
+}
+
+void PrimeCache::clear() {
+  std::unique_lock lock(mu_);
+  cache_.clear();
+}
+
+std::size_t PrimeCache::size() const {
+  std::shared_lock lock(mu_);
+  return cache_.size();
+}
+
+void PrimeCache::write(ByteWriter& w) const {
+  std::shared_lock lock(mu_);
+  w.str("vc.prime-cache.v1");
+  w.varint(cache_.size());
+  for (const auto& [k, v] : cache_) {
+    w.u64(k);
+    v.write(w);
+  }
+}
+
+void PrimeCache::read_into(ByteReader& r) {
+  if (r.str() != "vc.prime-cache.v1") throw ParseError("bad prime-cache header");
+  std::uint64_t count = r.varint();
+  std::unique_lock lock(mu_);
+  cache_.clear();
+  cache_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t k = r.u64();
+    cache_.emplace(k, Bigint::read(r));
+  }
+}
+
+void PrimeCache::save(const std::string& path) const {
+  ByteWriter w;
+  write(w);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw UsageError("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+void PrimeCache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw UsageError("cannot open for read: " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(data);
+  read_into(r);
+  r.expect_done();
+}
+
+}  // namespace vc

@@ -1,0 +1,64 @@
+// The Prime Representative DB (Fig 4's "prime manager").
+//
+// Computing a representative costs dozens of Miller–Rabin tests; the paper's
+// headline optimization (§III-D3, Table II) is to pre-compute and store the
+// representatives of every index element offline, so that online proof
+// generation only performs table lookups.  This cache is that store: a
+// thread-safe map from 64-bit elements to primes, with bulk parallel
+// pre-computation and binary save/load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "primes/prime_rep.hpp"
+
+namespace vc {
+
+class ThreadPool;
+
+class PrimeCache {
+ public:
+  explicit PrimeCache(PrimeRepConfig config);
+
+  // Returns the representative of `element`, computing and caching it if
+  // absent.  Thread-safe.
+  Bigint get(std::uint64_t element);
+
+  // Lookup without computing; returns false if not cached.
+  bool try_get(std::uint64_t element, Bigint& out) const;
+
+  // Pre-computes representatives for all elements (the offline phase).
+  // Work is split over the pool in contiguous chunks.
+  void precompute(std::span<const std::uint64_t> elements, ThreadPool& pool);
+
+  // Drops every cached entry (benchmarks use this to measure cold paths).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  // Binary persistence of the cache contents.
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+  // Buffer-level forms (embedded in the verifiable-index artifact).
+  void write(ByteWriter& w) const;
+  void read_into(ByteReader& r);
+
+  [[nodiscard]] const PrimeRepGenerator& generator() const { return gen_; }
+
+ private:
+  PrimeRepGenerator gen_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, Bigint> cache_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace vc

@@ -1,0 +1,157 @@
+#include "privacy/private_index.hpp"
+
+#include "hash/hmac.hpp"
+#include "support/errors.hpp"
+#include "text/stemmer.hpp"
+
+namespace vc {
+
+namespace {
+constexpr std::size_t kTagBytes = 16;
+constexpr char kHexDigits[] = "0123456789abcdef";
+}  // namespace
+
+PrivacyKey PrivacyKey::generate(DeterministicRng& rng) {
+  PrivacyKey key;
+  key.token_key_ = rng.bytes(32);
+  key.content_key_ = rng.bytes(32);
+  key.mac_key_ = rng.bytes(32);
+  return key;
+}
+
+std::string PrivacyKey::token_for(std::string_view normalized_term) const {
+  Digest mac = hmac_sha256(token_key_, {reinterpret_cast<const std::uint8_t*>(
+                                            normalized_term.data()),
+                                        normalized_term.size()});
+  // 25 chars: one forced digit + 24 hex chars (96 bits) — stemmer-proof,
+  // tokenizer-stable, collision-safe for any realistic vocabulary.
+  std::string token;
+  token.reserve(25);
+  token.push_back(kHexDigits[mac[31] % 10]);
+  for (int i = 0; i < 12; ++i) {
+    token.push_back(kHexDigits[mac[i] >> 4]);
+    token.push_back(kHexDigits[mac[i] & 0xF]);
+  }
+  return token;
+}
+
+std::string PrivacyKey::token_for_keyword(std::string_view raw_keyword,
+                                          const TokenizerConfig& config) const {
+  std::string norm = normalize_term(raw_keyword, config);
+  if (norm.empty()) return {};
+  return token_for(norm);
+}
+
+Bytes PrivacyKey::encrypt_document(std::uint32_t doc_id, std::string_view text) const {
+  std::array<std::uint8_t, 12> nonce{};
+  for (int i = 0; i < 4; ++i) nonce[i] = static_cast<std::uint8_t>(doc_id >> (8 * i));
+  ChaCha20 stream(content_key_, nonce, /*initial_counter=*/0);
+  Bytes out;
+  out.reserve(text.size() + kTagBytes);
+  std::array<std::uint8_t, 64> block{};
+  std::size_t in_block = 64;
+  for (char c : text) {
+    if (in_block == 64) {
+      block = stream.next_block();
+      in_block = 0;
+    }
+    out.push_back(static_cast<std::uint8_t>(c) ^ block[in_block++]);
+  }
+  // Encrypt-then-MAC over (docID || ciphertext).
+  ByteWriter mac_input;
+  mac_input.u32(doc_id);
+  mac_input.raw(out);
+  Digest tag = hmac_sha256(mac_key_, mac_input.data());
+  out.insert(out.end(), tag.begin(), tag.begin() + kTagBytes);
+  return out;
+}
+
+std::string PrivacyKey::decrypt_document(std::uint32_t doc_id,
+                                         std::span<const std::uint8_t> sealed) const {
+  if (sealed.size() < kTagBytes) throw CryptoError("sealed document too short");
+  auto ct = sealed.subspan(0, sealed.size() - kTagBytes);
+  auto tag = sealed.subspan(sealed.size() - kTagBytes);
+  ByteWriter mac_input;
+  mac_input.u32(doc_id);
+  mac_input.raw(ct);
+  Digest expect = hmac_sha256(mac_key_, mac_input.data());
+  if (!std::equal(tag.begin(), tag.end(), expect.begin())) {
+    throw CryptoError("document ciphertext tampered");
+  }
+  std::array<std::uint8_t, 12> nonce{};
+  for (int i = 0; i < 4; ++i) nonce[i] = static_cast<std::uint8_t>(doc_id >> (8 * i));
+  ChaCha20 stream(content_key_, nonce, 0);
+  std::string text;
+  text.reserve(ct.size());
+  std::array<std::uint8_t, 64> block{};
+  std::size_t in_block = 64;
+  for (std::uint8_t b : ct) {
+    if (in_block == 64) {
+      block = stream.next_block();
+      in_block = 0;
+    }
+    text.push_back(static_cast<char>(b ^ block[in_block++]));
+  }
+  return text;
+}
+
+void PrivacyKey::write(ByteWriter& w) const {
+  w.str("vc.privacy-key.v1");
+  w.bytes(token_key_);
+  w.bytes(content_key_);
+  w.bytes(mac_key_);
+}
+
+PrivacyKey PrivacyKey::read(ByteReader& r) {
+  if (r.str() != "vc.privacy-key.v1") throw ParseError("bad privacy-key tag");
+  PrivacyKey key;
+  key.token_key_ = r.bytes();
+  key.content_key_ = r.bytes();
+  key.mac_key_ = r.bytes();
+  return key;
+}
+
+Corpus tokenize_corpus(const Corpus& corpus, const PrivacyKey& key,
+                       const TokenizerConfig& config) {
+  Corpus out(corpus.name() + "-private");
+  for (const Document& doc : corpus) {
+    std::string token_text;
+    for (const std::string& term : analyze(doc.text, config)) {
+      token_text += key.token_for(term);
+      token_text.push_back(' ');
+    }
+    out.add("enc-" + std::to_string(doc.id), std::move(token_text));
+  }
+  return out;
+}
+
+EncryptedStore EncryptedStore::seal(const Corpus& corpus, const PrivacyKey& key) {
+  EncryptedStore store;
+  store.documents.reserve(corpus.size());
+  for (const Document& doc : corpus) {
+    store.documents.push_back(key.encrypt_document(doc.id, doc.text));
+  }
+  return store;
+}
+
+std::string EncryptedStore::open(std::uint32_t doc_id, const PrivacyKey& key) const {
+  if (doc_id >= documents.size()) throw UsageError("no such document");
+  return key.decrypt_document(doc_id, documents[doc_id]);
+}
+
+void EncryptedStore::write(ByteWriter& w) const {
+  w.str("vc.encrypted-store.v1");
+  w.varint(documents.size());
+  for (const Bytes& d : documents) w.bytes(d);
+}
+
+EncryptedStore EncryptedStore::read(ByteReader& r) {
+  if (r.str() != "vc.encrypted-store.v1") throw ParseError("bad encrypted-store tag");
+  EncryptedStore store;
+  std::uint64_t n = r.varint();
+  store.documents.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) store.documents.push_back(r.bytes());
+  return store;
+}
+
+}  // namespace vc

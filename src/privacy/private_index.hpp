@@ -1,0 +1,81 @@
+// Index privacy via searchable-encryption-style tokens (§VII future work).
+//
+// The paper's verifiable index reveals the plaintext vocabulary and
+// document contents to the cloud.  Its conclusion points to searchable
+// symmetric encryption as the fix; this module implements the standard
+// deterministic-token construction over the existing machinery:
+//
+//   * every normalized term is replaced owner-side by a PRF token
+//     HMAC(K, term) before the verifiable index is built — the cloud
+//     searches, proves and maintains the index over opaque tokens;
+//   * documents are encrypted under ChaCha20 with per-document nonces, so
+//     the cloud stores only ciphertext and the (verifiable) token index;
+//   * queries are tokenized by the owner, so the cloud learns only which
+//     opaque tokens are asked for (the usual SSE access/search pattern
+//     leakage — no more, no less).
+//
+// All proof machinery is unchanged: proofs argue about token sets exactly
+// as they argued about term sets, so verification carries over verbatim.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+#include "text/corpus.hpp"
+#include "text/tokenizer.hpp"
+
+namespace vc {
+
+class PrivacyKey {
+ public:
+  static PrivacyKey generate(DeterministicRng& rng);
+
+  // Deterministic PRF token of a *normalized* term.  Tokens are 25-char
+  // [0-9a-f] strings starting with a digit, so they pass the tokenizer
+  // unchanged, are never stop words, and the Porter stemmer leaves them
+  // alone (it only rewrites pure-alphabetic words).
+  [[nodiscard]] std::string token_for(std::string_view normalized_term) const;
+
+  // Normalize (tokenize + stem) a raw keyword, then token it; empty if the
+  // keyword normalizes away.
+  [[nodiscard]] std::string token_for_keyword(std::string_view raw_keyword,
+                                              const TokenizerConfig& config = {}) const;
+
+  // Document encryption: ChaCha20 under a per-document nonce derived from
+  // the docID; the 16-byte HMAC tag makes tampering detectable.
+  [[nodiscard]] Bytes encrypt_document(std::uint32_t doc_id, std::string_view text) const;
+  // Throws CryptoError if the ciphertext was tampered with.
+  [[nodiscard]] std::string decrypt_document(std::uint32_t doc_id,
+                                             std::span<const std::uint8_t> sealed) const;
+
+  void write(ByteWriter& w) const;
+  static PrivacyKey read(ByteReader& r);
+  friend bool operator==(const PrivacyKey&, const PrivacyKey&) = default;
+
+ private:
+  Bytes token_key_;    // PRF key for term tokens
+  Bytes content_key_;  // ChaCha20 key for document bodies
+  Bytes mac_key_;      // HMAC key for ciphertext integrity
+};
+
+// The owner-side transformation: analyze every document (tokenize, stop-
+// word filter, stem) and emit a corpus whose "text" is the space-joined
+// token stream.  Building a VerifiableIndex over the result yields the
+// private index; tf statistics are preserved per token.
+Corpus tokenize_corpus(const Corpus& corpus, const PrivacyKey& key,
+                       const TokenizerConfig& config = {});
+
+// Sealed document store the cloud keeps alongside the private index.
+struct EncryptedStore {
+  std::vector<Bytes> documents;  // indexed by docID
+
+  static EncryptedStore seal(const Corpus& corpus, const PrivacyKey& key);
+  [[nodiscard]] std::string open(std::uint32_t doc_id, const PrivacyKey& key) const;
+
+  void write(ByteWriter& w) const;
+  static EncryptedStore read(ByteReader& r);
+};
+
+}  // namespace vc

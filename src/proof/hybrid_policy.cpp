@@ -1,0 +1,89 @@
+#include "proof/hybrid_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vc {
+
+namespace {
+// Rough per-element cost constants on commodity hardware, scaled by ring
+// width.  Only ratios matter: the policy compares the two estimates.
+constexpr double kRingOpSeconds = 3e-6;   // per element inside witness math
+constexpr double kHashSeconds = 2e-6;     // per element Bloom hashing
+}  // namespace
+
+HybridEstimate estimate_integrity_cost(const HybridPolicyInputs& in) {
+  HybridEstimate est;
+  const double ring = static_cast<double>(in.modulus_bytes) + 4;  // element + framing
+  const double q = static_cast<double>(std::max<std::size_t>(in.keyword_count, 2));
+  const double isz = static_cast<double>(std::max<std::size_t>(in.interval_size, 1));
+  const double ring_scale = static_cast<double>(in.modulus_bytes) / 128.0;
+  const double check = static_cast<double>(in.check_doc_count);
+
+  // --- accumulator encoding -------------------------------------------------
+  // Bytes: the check docs themselves (≈5 B varint each), one membership
+  // evidence whose interval parts the check docs fill *densely* (they are
+  // consecutive members of the base term's own interval tree), and up to
+  // Q-1 nonmembership groups.
+  double acc_touched = std::ceil(check / isz);
+  est.accumulator_bytes =
+      check * 5.0 + (acc_touched + 1.0) * 4.0 * ring + (q - 1.0) * 4.0 * ring;
+  // Time: each touched interval of the base tree costs ~interval_size ring
+  // operations for the membership witness.  Nonmembership work is grouped
+  // per interval of the *target* keyword's tree, so its total is bounded by
+  // that keyword's set size — the witness for an interval covers every
+  // check doc falling in it at once.
+  double max_other = 0;
+  for (std::size_t sz : in.set_sizes) max_other = std::max(max_other, static_cast<double>(sz));
+  double nonmember_work = std::min(check * isz, max_other + check);
+  est.accumulator_seconds =
+      (acc_touched * isz + check + nonmember_work) * kRingOpSeconds * ring_scale;
+
+  // --- Bloom encoding ---------------------------------------------------------
+  const double m = static_cast<double>(std::max<std::size_t>(in.bloom_counters, 1));
+  std::size_t base = in.set_sizes.empty()
+                         ? 0
+                         : *std::min_element(in.set_sizes.begin(), in.set_sizes.end());
+  double result_size = std::max(0.0, static_cast<double>(base) - check);
+  std::vector<double> diffs(in.set_sizes.size());
+  double total_set = 0;
+  for (std::size_t i = 0; i < in.set_sizes.size(); ++i) {
+    diffs[i] = std::max(0.0, static_cast<double>(in.set_sizes[i]) - result_size);
+    total_set += static_cast<double>(in.set_sizes[i]);
+  }
+  double filters = 0;
+  double expected_checks = 0;
+  for (std::size_t i = 0; i < in.bloom_bytes.size(); ++i) {
+    filters += static_cast<double>(in.bloom_bytes[i]) + ring;  // filter + signature
+    // A difference element lands in C_i only when its slot is "open", i.e.
+    // every other filter carries a non-result element there (k = 1 hashes) —
+    // the sharp version of Eq 11/12, evaluated on the difference sets.
+    double open_prob = 1.0;
+    for (std::size_t j = 0; j < diffs.size(); ++j) {
+      if (j != i) open_prob *= 1.0 - std::exp(-diffs[j] / m);
+    }
+    if (i < diffs.size()) expected_checks += diffs[i] * open_prob;
+  }
+  // Check elements scatter across their term's intervals (they come from the
+  // big sets), so each pays its own interval part on the wire.
+  est.bloom_bytes = filters + expected_checks * (5.0 + 4.0 * ring) + q * 4.0 * ring;
+  est.bloom_seconds = total_set * kHashSeconds +
+                      expected_checks * isz * kRingOpSeconds * ring_scale;
+
+  // --- the rule ----------------------------------------------------------------
+  // Both fast → the smaller proof wins; otherwise generation time decides
+  // ("use Bloom filters when set difference is large").
+  if (est.accumulator_seconds < in.fast_threshold_seconds &&
+      est.bloom_seconds < in.fast_threshold_seconds) {
+    est.choice = est.accumulator_bytes <= est.bloom_bytes ? IntegrityChoice::kAccumulator
+                                                          : IntegrityChoice::kBloom;
+  } else {
+    est.choice = est.accumulator_seconds <= est.bloom_seconds
+                     ? IntegrityChoice::kAccumulator
+                     : IntegrityChoice::kBloom;
+  }
+  return est;
+}
+
+}  // namespace vc

@@ -1,0 +1,46 @@
+// The hybrid scheme's per-query integrity choice (§III-D2, §V-B).
+//
+// Accumulator-based integrity discloses the complement set S_base \ S and
+// proves a nonmembership witness per check doc's group — cheap and compact
+// when the set difference is small, but both the bytes and (especially) the
+// witness-generation time grow with the difference.  Bloom-based integrity
+// pays the signed filters up front and then only the colliding check
+// elements.  The paper's rule — "use Bloom filters when set difference is
+// large" — is therefore primarily a *time* rule (§V-B1: Bloom proofs "are
+// faster to generate than those sets with many check elements"), with size
+// as the tie-breaker when both encodings are fast.  This estimator models
+// both costs from quantities the cloud already holds and applies exactly
+// that rule.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace vc {
+
+enum class IntegrityChoice { kAccumulator, kBloom };
+
+struct HybridPolicyInputs {
+  std::size_t check_doc_count = 0;   // |S_base \ S|
+  std::size_t keyword_count = 0;     // Q
+  std::size_t modulus_bytes = 128;   // ring element size
+  std::size_t interval_size = 100;   // witnesses touch ~interval_size values
+  // Per-keyword compressed Bloom sizes (bytes) and doc-set sizes.
+  std::span<const std::size_t> bloom_bytes;
+  std::span<const std::size_t> set_sizes;
+  std::size_t bloom_counters = 4096;  // m
+  // When both encodings are estimated faster than this, pick by bytes.
+  double fast_threshold_seconds = 0.02;
+};
+
+struct HybridEstimate {
+  double accumulator_bytes = 0;
+  double bloom_bytes = 0;
+  double accumulator_seconds = 0;
+  double bloom_seconds = 0;
+  IntegrityChoice choice = IntegrityChoice::kAccumulator;
+};
+
+HybridEstimate estimate_integrity_cost(const HybridPolicyInputs& in);
+
+}  // namespace vc

@@ -1,0 +1,151 @@
+// Proof and response data model (§III-C, §III-E).
+//
+// A multi-keyword response carries the result postings, a correctness proof
+// (per-keyword membership evidence on tuples), and an integrity proof in
+// one of two encodings: accumulator-based (complement set + membership +
+// nonmembership witnesses) or Bloom-based (signed filters + check
+// elements).  Single-keyword and unknown-keyword queries use the cheap
+// fallback proofs of §III-D4/D5.  Everything here has a canonical byte
+// encoding: the cloud signs it, Fig 6 measures it.
+#pragma once
+
+#include <variant>
+
+#include "interval/dict_intervals.hpp"
+#include "proof/evidence.hpp"
+#include "vindex/statements.hpp"
+
+namespace vc {
+
+// The four evaluated schemes (§V).
+enum class SchemeKind : std::uint8_t {
+  kAccumulator = 0,          // flat witnesses everywhere (baseline)
+  kBloom = 1,                // flat correctness + Bloom integrity ([22])
+  kIntervalAccumulator = 2,  // interval witnesses everywhere
+  kHybrid = 3,               // interval witnesses + per-query integrity choice
+};
+const char* scheme_name(SchemeKind scheme);
+
+// --- search result ------------------------------------------------------------
+
+struct SearchResult {
+  std::vector<std::string> keywords;   // normalized known keywords
+  U64Set docs;                         // S = ∩ keyword doc sets
+  std::vector<PostingList> postings;   // R_i per keyword (docs ∩ keyword i)
+
+  void write(ByteWriter& w) const;
+  static SearchResult read(ByteReader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+  friend bool operator==(const SearchResult&, const SearchResult&) = default;
+};
+
+// --- correctness proof ---------------------------------------------------------
+
+struct CorrectnessProof {
+  // One evidence per keyword, proving R_i's tuples ⊆ keyword i's tuple set.
+  std::vector<MembershipEvidence> keywords;
+
+  void write(ByteWriter& w) const;
+  static CorrectnessProof read(ByteReader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+// --- integrity proofs ----------------------------------------------------------
+
+// Accumulator-based (§II-C): disclose C = S_base \ S, prove C ⊆ S_base, and
+// prove each element of C absent from some other keyword's set.
+struct NonmembershipGroup {
+  std::uint32_t keyword = 0;  // index into SearchResult::keywords
+  U64Set docs;                // check docs assigned to this keyword
+  NonmembershipEvidence evidence;
+
+  void write(ByteWriter& w) const;
+  static NonmembershipGroup read(ByteReader& r);
+};
+
+struct AccumulatorIntegrity {
+  std::uint32_t base_keyword = 0;  // the smallest posting list (§III-C)
+  U64Set check_docs;               // S_base \ S
+  MembershipEvidence check_membership;  // check_docs ⊆ base doc set
+  std::vector<NonmembershipGroup> groups;
+
+  void write(ByteWriter& w) const;
+  static AccumulatorIntegrity read(ByteReader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+// Bloom-based (§III-D2, [22]): per keyword the owner-signed filter, the
+// check elements C_i ⊆ X_i \ S, and a membership witness for C_i.
+struct BloomKeywordPart {
+  BloomAttestation bloom;
+  U64Set check_elements;
+  MembershipEvidence check_membership;
+
+  void write(ByteWriter& w) const;
+  static BloomKeywordPart read(ByteReader& r);
+};
+
+struct BloomIntegrity {
+  std::vector<BloomKeywordPart> parts;  // one per keyword
+
+  void write(ByteWriter& w) const;
+  static BloomIntegrity read(ByteReader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+using IntegrityProof = std::variant<AccumulatorIntegrity, BloomIntegrity>;
+
+// --- the assembled query proof ---------------------------------------------------
+
+struct QueryProof {
+  SchemeKind scheme = SchemeKind::kHybrid;
+  std::vector<TermAttestation> terms;  // parallel to SearchResult::keywords
+  CorrectnessProof correctness;
+  IntegrityProof integrity;
+
+  void write(ByteWriter& w) const;
+  static QueryProof read(ByteReader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+// --- response variants ------------------------------------------------------------
+
+struct MultiKeywordResponse {
+  SearchResult result;
+  QueryProof proof;
+};
+
+// §III-D5: the whole posting list plus the owner's signature is the proof.
+struct SingleKeywordResponse {
+  std::string keyword;
+  PostingList postings;
+  TermAttestation attestation;
+};
+
+// §III-D4: gap-interval proof that the keyword is not in the dictionary.
+struct UnknownKeywordResponse {
+  std::string keyword;  // normalized unknown keyword
+  GapProof gap;
+  DictAttestation dict;
+};
+
+struct SearchResponse {
+  std::uint64_t query_id = 0;
+  std::vector<std::string> raw_keywords;
+  std::variant<MultiKeywordResponse, SingleKeywordResponse, UnknownKeywordResponse> body;
+  Signature cloud_sig;  // over payload_bytes()
+
+  // Unsigned runtime metadata (benchmark instrumentation, not serialized).
+  double search_seconds = 0;
+  double proof_seconds = 0;
+
+  // The canonical bytes the cloud signs.
+  [[nodiscard]] Bytes payload_bytes() const;
+  // Proof bytes only (Fig 6's metric): everything except the result itself.
+  [[nodiscard]] std::size_t proof_size_bytes() const;
+
+  void write(ByteWriter& w) const;
+  static SearchResponse read(ByteReader& r);
+};
+
+}  // namespace vc

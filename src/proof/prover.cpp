@@ -1,0 +1,276 @@
+#include "proof/prover.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "support/errors.hpp"
+#include "support/threadpool.hpp"
+
+namespace vc {
+
+Prover::Prover(const VerifiableIndex& vidx, AccumulatorContext ctx, ThreadPool* pool)
+    : vidx_(vidx), ctx_(std::move(ctx)), pool_(pool) {}
+
+std::vector<const VerifiableIndex::Entry*> Prover::lookup(const SearchResult& result) const {
+  if (result.keywords.size() < 2) {
+    throw UsageError("Prover::prove expects a multi-keyword result");
+  }
+  if (result.keywords.size() != result.postings.size()) {
+    throw UsageError("result keywords/postings mismatch");
+  }
+  std::vector<const VerifiableIndex::Entry*> entries;
+  entries.reserve(result.keywords.size());
+  for (const auto& kw : result.keywords) {
+    const auto* e = vidx_.find(kw);
+    if (e == nullptr) throw UsageError("keyword not in verifiable index: " + kw);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+MembershipEvidence Prover::prove_tuple_membership(const VerifiableIndex::Entry& entry,
+                                                  std::span<const std::uint64_t> tuples,
+                                                  bool interval_form) const {
+  MembershipEvidence ev;
+  ev.interval_form = interval_form;
+  if (interval_form) {
+    ev.interval = entry.tuple_intervals.prove_membership(ctx_, tuples, vidx_.tuple_primes());
+    return ev;
+  }
+  // Flat Eq-4 witness: g^(Π reps of all postings not in the subset).
+  std::vector<Bigint> rest;
+  rest.reserve(entry.postings.size());
+  for (const Posting& p : entry.postings) {
+    std::uint64_t t = InvertedIndex::encode_tuple(p);
+    if (!std::binary_search(tuples.begin(), tuples.end(), t)) {
+      rest.push_back(vidx_.tuple_primes().get(t));
+    }
+  }
+  ev.flat_witness = membership_witness(ctx_, rest);
+  return ev;
+}
+
+MembershipEvidence Prover::prove_doc_membership(const VerifiableIndex::Entry& entry,
+                                                std::span<const std::uint64_t> docs,
+                                                bool interval_form) const {
+  MembershipEvidence ev;
+  ev.interval_form = interval_form;
+  if (interval_form) {
+    ev.interval = entry.doc_intervals.prove_membership(ctx_, docs, vidx_.doc_primes());
+    return ev;
+  }
+  std::vector<Bigint> rest;
+  rest.reserve(entry.postings.size());
+  for (const Posting& p : entry.postings) {
+    std::uint64_t d = InvertedIndex::encode_doc(p.doc_id);
+    if (!std::binary_search(docs.begin(), docs.end(), d)) {
+      rest.push_back(vidx_.doc_primes().get(d));
+    }
+  }
+  ev.flat_witness = membership_witness(ctx_, rest);
+  return ev;
+}
+
+NonmembershipEvidence Prover::prove_doc_nonmembership(const VerifiableIndex::Entry& entry,
+                                                      std::span<const std::uint64_t> docs,
+                                                      bool interval_form) const {
+  NonmembershipEvidence ev;
+  ev.interval_form = interval_form;
+  if (interval_form) {
+    ev.interval = entry.doc_intervals.prove_nonmembership(ctx_, docs, vidx_.doc_primes());
+    return ev;
+  }
+  std::vector<Bigint> set_reps, outsider_reps;
+  set_reps.reserve(entry.postings.size());
+  for (const Posting& p : entry.postings) {
+    set_reps.push_back(vidx_.doc_primes().get(InvertedIndex::encode_doc(p.doc_id)));
+  }
+  outsider_reps.reserve(docs.size());
+  for (std::uint64_t d : docs) outsider_reps.push_back(vidx_.doc_primes().get(d));
+  ev.flat = nonmembership_witness(ctx_, set_reps, outsider_reps);
+  return ev;
+}
+
+namespace {
+
+// The base keyword of the integrity proof is the smallest posting list —
+// its complement bounds the proof size (§III-C).
+std::size_t pick_base(std::span<const VerifiableIndex::Entry* const> entries) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i]->postings.size() < entries[best]->postings.size()) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+AccumulatorIntegrity Prover::make_accumulator_integrity(
+    const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+    bool interval_form) const {
+  AccumulatorIntegrity integrity;
+  std::size_t base = pick_base(entries);
+  integrity.base_keyword = static_cast<std::uint32_t>(base);
+
+  U64Set base_docs = InvertedIndex::doc_set(entries[base]->postings);
+  integrity.check_docs = set_difference(base_docs, result.docs);
+  integrity.check_membership =
+      prove_doc_membership(*entries[base], integrity.check_docs, interval_form);
+
+  // Assign every check doc to the smallest other keyword missing it, then
+  // aggregate one nonmembership witness per keyword (§III-C).
+  std::vector<U64Set> doc_sets(entries.size());
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i == base) continue;
+    doc_sets[i] = InvertedIndex::doc_set(entries[i]->postings);
+    order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return doc_sets[a].size() < doc_sets[b].size();
+  });
+  std::vector<U64Set> grouped(entries.size());
+  for (std::uint64_t doc : integrity.check_docs) {
+    bool assigned = false;
+    for (std::size_t i : order) {
+      if (!std::binary_search(doc_sets[i].begin(), doc_sets[i].end(), doc)) {
+        grouped[i].push_back(doc);
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) {
+      // Impossible for a correctly computed result: a doc in every keyword
+      // set belongs to the intersection.
+      throw CryptoError("integrity: check doc present in every keyword set");
+    }
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (grouped[i].empty()) continue;
+    NonmembershipGroup g;
+    g.keyword = static_cast<std::uint32_t>(i);
+    g.docs = std::move(grouped[i]);
+    g.evidence = prove_doc_nonmembership(*entries[i], g.docs, interval_form);
+    integrity.groups.push_back(std::move(g));
+  }
+  return integrity;
+}
+
+BloomIntegrity Prover::make_bloom_integrity(
+    const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+    bool interval_form) const {
+  const BloomParams& params = vidx_.config().bloom;
+  // B̂ = element-wise min over every keyword's signed filter; slots where
+  // B(S) falls short need check elements from every keyword.
+  CountingBloom bs = CountingBloom::from_set(params, result.docs);
+  std::vector<bool> open(params.counters, false);
+  for (std::uint32_t j = 0; j < params.counters; ++j) {
+    std::uint32_t bhat = entries[0]->doc_bloom.counter(j);
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      bhat = std::min(bhat, entries[i]->doc_bloom.counter(j));
+    }
+    open[j] = bs.counter(j) < bhat;
+  }
+
+  BloomIntegrity integrity;
+  CountingBloom probe(params);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    BloomKeywordPart part;
+    part.bloom = entries[i]->bloom_attestation;
+    for (const Posting& p : entries[i]->postings) {
+      std::uint64_t d = InvertedIndex::encode_doc(p.doc_id);
+      if (std::binary_search(result.docs.begin(), result.docs.end(), d)) continue;
+      for (std::uint32_t j : probe.positions(d)) {
+        if (open[j]) {
+          part.check_elements.push_back(d);
+          break;
+        }
+      }
+    }
+    part.check_membership =
+        prove_doc_membership(*entries[i], part.check_elements, interval_form);
+    integrity.parts.push_back(std::move(part));
+  }
+  return integrity;
+}
+
+HybridEstimate Prover::hybrid_estimate(const SearchResult& result) const {
+  auto entries = lookup(result);
+  std::size_t base = pick_base(entries);
+  U64Set base_docs = InvertedIndex::doc_set(entries[base]->postings);
+  std::vector<std::size_t> bloom_bytes, set_sizes;
+  for (const auto* e : entries) {
+    bloom_bytes.push_back(e->bloom_attestation.stmt.doc_bloom.byte_size());
+    set_sizes.push_back(e->postings.size());
+  }
+  HybridPolicyInputs in;
+  in.check_doc_count = base_docs.size() - result.docs.size();
+  in.keyword_count = entries.size();
+  in.modulus_bytes = (ctx_.n().bit_length() + 7) / 8;
+  in.interval_size = vidx_.config().interval_size;
+  in.bloom_bytes = bloom_bytes;
+  in.set_sizes = set_sizes;
+  in.bloom_counters = vidx_.config().bloom.counters;
+  return estimate_integrity_cost(in);
+}
+
+QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
+  auto entries = lookup(result);
+  const bool interval_form =
+      scheme == SchemeKind::kIntervalAccumulator || scheme == SchemeKind::kHybrid;
+
+  QueryProof proof;
+  proof.scheme = scheme;
+  for (const auto* e : entries) proof.terms.push_back(e->attestation);
+
+  // Correctness and integrity build concurrently (Fig 4's managers).
+  auto build_correctness = [&]() {
+    CorrectnessProof correctness;
+    correctness.keywords.resize(entries.size());
+    auto one = [&](std::size_t i) {
+      U64Set tuples = InvertedIndex::tuple_set(result.postings[i]);
+      std::sort(tuples.begin(), tuples.end());
+      correctness.keywords[i] = prove_tuple_membership(*entries[i], tuples, interval_form);
+    };
+    if (pool_ != nullptr) {
+      std::vector<std::future<void>> futs;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        futs.push_back(pool_->submit([&, i] { one(i); }));
+      }
+      for (auto& f : futs) f.get();
+    } else {
+      for (std::size_t i = 0; i < entries.size(); ++i) one(i);
+    }
+    return correctness;
+  };
+
+  auto build_integrity = [&]() -> IntegrityProof {
+    switch (scheme) {
+      case SchemeKind::kAccumulator:
+      case SchemeKind::kIntervalAccumulator:
+        return make_accumulator_integrity(result, entries, interval_form);
+      case SchemeKind::kBloom:
+        return make_bloom_integrity(result, entries, /*interval_form=*/false);
+      case SchemeKind::kHybrid: {
+        HybridEstimate est = hybrid_estimate(result);
+        if (est.choice == IntegrityChoice::kAccumulator) {
+          return make_accumulator_integrity(result, entries, /*interval_form=*/true);
+        }
+        return make_bloom_integrity(result, entries, /*interval_form=*/true);
+      }
+    }
+    throw UsageError("unknown scheme");
+  };
+
+  if (pool_ != nullptr) {
+    auto integrity_fut = pool_->submit(build_integrity);
+    proof.correctness = build_correctness();
+    proof.integrity = integrity_fut.get();
+  } else {
+    proof.correctness = build_correctness();
+    proof.integrity = build_integrity();
+  }
+  return proof;
+}
+
+}  // namespace vc

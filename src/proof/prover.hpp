@@ -1,0 +1,63 @@
+// Cloud-side proof generation (§III-C, Fig 4's proof manager).
+//
+// The prover holds the verifiable index the owner uploaded and the *public*
+// accumulator parameters — no trapdoor.  Flat witnesses therefore cost time
+// linear in posting-list size (the Accumulator/Bloom schemes' weakness,
+// Fig 2/5) while interval witnesses only touch ~interval_size elements per
+// value (the Interval Accumulator / Hybrid schemes' strength).  Correctness
+// and integrity proofs are generated concurrently when a pool is supplied,
+// matching the paper's parallel proof pipeline.
+#pragma once
+
+#include "proof/hybrid_policy.hpp"
+#include "proof/proof_types.hpp"
+#include "vindex/verifiable_index.hpp"
+
+namespace vc {
+
+class ThreadPool;
+
+class Prover {
+ public:
+  // `ctx` is normally the public side; passing an owner context makes the
+  // prover impersonate an owner-run cloud (used by some benchmarks).
+  Prover(const VerifiableIndex& vidx, AccumulatorContext ctx, ThreadPool* pool = nullptr);
+
+  // Builds the full proof for a computed multi-keyword result.
+  [[nodiscard]] QueryProof prove(const SearchResult& result, SchemeKind scheme) const;
+
+  // The integrity-choice estimate the hybrid scheme would make (exposed for
+  // the ablation benchmarks).
+  [[nodiscard]] HybridEstimate hybrid_estimate(const SearchResult& result) const;
+
+ private:
+  struct EntryRef {
+    const VerifiableIndex::Entry* entry;
+  };
+
+  [[nodiscard]] std::vector<const VerifiableIndex::Entry*> lookup(
+      const SearchResult& result) const;
+
+  [[nodiscard]] MembershipEvidence prove_tuple_membership(
+      const VerifiableIndex::Entry& entry, std::span<const std::uint64_t> tuples,
+      bool interval_form) const;
+  [[nodiscard]] MembershipEvidence prove_doc_membership(const VerifiableIndex::Entry& entry,
+                                                        std::span<const std::uint64_t> docs,
+                                                        bool interval_form) const;
+  [[nodiscard]] NonmembershipEvidence prove_doc_nonmembership(
+      const VerifiableIndex::Entry& entry, std::span<const std::uint64_t> docs,
+      bool interval_form) const;
+
+  [[nodiscard]] AccumulatorIntegrity make_accumulator_integrity(
+      const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+      bool interval_form) const;
+  [[nodiscard]] BloomIntegrity make_bloom_integrity(
+      const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+      bool interval_form) const;
+
+  const VerifiableIndex& vidx_;
+  AccumulatorContext ctx_;
+  ThreadPool* pool_;
+};
+
+}  // namespace vc

@@ -1,0 +1,208 @@
+#include "proof/verifier.hpp"
+
+#include <algorithm>
+
+#include "bloom/compressed_bloom.hpp"
+#include "support/errors.hpp"
+
+namespace vc {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw VerifyError(what);
+}
+
+}  // namespace
+
+ResultVerifier::ResultVerifier(AccumulatorContext ctx, VerifyKey owner_key,
+                               VerifyKey cloud_key, VerifiableIndexConfig config)
+    : ctx_(std::move(ctx)),
+      owner_key_(std::move(owner_key)),
+      cloud_key_(std::move(cloud_key)),
+      config_(config),
+      tuple_primes_(std::make_unique<PrimeCache>(config.tuple_prime_config())),
+      doc_primes_(std::make_unique<PrimeCache>(config.doc_prime_config())) {}
+
+void ResultVerifier::reset_prime_caches() const {
+  tuple_primes_->clear();
+  doc_primes_->clear();
+}
+
+void ResultVerifier::verify(const SearchResponse& response) const {
+  // Check 1 (§III-E): results and proofs signed by the cloud.
+  require(cloud_key_.verify(response.payload_bytes(), response.cloud_sig),
+          "cloud signature invalid");
+  if (const auto* multi = std::get_if<MultiKeywordResponse>(&response.body)) {
+    verify_multi(*multi);
+  } else if (const auto* single = std::get_if<SingleKeywordResponse>(&response.body)) {
+    verify_single(*single);
+  } else {
+    verify_unknown(std::get<UnknownKeywordResponse>(response.body));
+  }
+}
+
+void ResultVerifier::verify_multi(const MultiKeywordResponse& multi) const {
+  const SearchResult& result = multi.result;
+  const QueryProof& proof = multi.proof;
+  const std::size_t q = result.keywords.size();
+  require(q >= 2, "multi-keyword response needs at least two keywords");
+  require(result.postings.size() == q, "postings/keyword count mismatch");
+  require(proof.terms.size() == q, "attestation/keyword count mismatch");
+  require(proof.correctness.keywords.size() == q, "correctness/keyword count mismatch");
+  require(is_sorted_unique(result.docs), "result docs not a sorted set");
+
+  // Owner attestations bind each keyword to its accumulators.
+  for (std::size_t i = 0; i < q; ++i) {
+    require(proof.terms[i].verify(owner_key_), "term attestation signature invalid");
+    require(proof.terms[i].stmt.term == result.keywords[i],
+            "attestation term does not match keyword");
+  }
+
+  // Check 2: every keyword's tuples cover exactly the result docs.
+  for (std::size_t i = 0; i < q; ++i) {
+    U64Set docs = InvertedIndex::doc_set(result.postings[i]);
+    require(is_sorted_unique(docs), "result postings not sorted");
+    require(docs == result.docs, "keyword result covers different documents");
+  }
+
+  // Check 3: correctness — R_i ⊆ I_i via tuple membership evidence.
+  for (std::size_t i = 0; i < q; ++i) {
+    U64Set tuples = InvertedIndex::tuple_set(result.postings[i]);
+    std::sort(tuples.begin(), tuples.end());
+    require(proof.correctness.keywords[i].verify(ctx_, proof.terms[i].stmt.tuple_acc,
+                                                 proof.terms[i].stmt.tuple_root, tuples,
+                                                 *tuple_primes_),
+            "correctness proof invalid");
+  }
+
+  // Check 4: integrity.
+  if (const auto* acc = std::get_if<AccumulatorIntegrity>(&proof.integrity)) {
+    verify_accumulator_integrity(multi, *acc);
+  } else {
+    verify_bloom_integrity(multi, std::get<BloomIntegrity>(proof.integrity));
+  }
+}
+
+void ResultVerifier::verify_accumulator_integrity(const MultiKeywordResponse& multi,
+                                                  const AccumulatorIntegrity& integrity) const {
+  const SearchResult& result = multi.result;
+  const QueryProof& proof = multi.proof;
+  const std::size_t q = result.keywords.size();
+  require(integrity.base_keyword < q, "integrity base keyword out of range");
+  const TermStatement& base = proof.terms[integrity.base_keyword].stmt;
+
+  require(is_sorted_unique(integrity.check_docs), "check docs not a sorted set");
+  require(sets_disjoint(integrity.check_docs, result.docs),
+          "check docs overlap the result");
+  // Completeness pin: |S| + |C| must exhaust the owner-signed posting count,
+  // so S ∪ C (both proven subsets) is the *entire* base set and no document
+  // can have been silently dropped.
+  require(result.docs.size() + integrity.check_docs.size() == base.posting_count,
+          "integrity proof does not cover the whole base posting list");
+  require(integrity.check_membership.verify(ctx_, base.doc_acc, base.doc_root,
+                                            integrity.check_docs, *doc_primes_),
+          "check-doc membership proof invalid");
+
+  // Every check doc must be proven absent from exactly one other keyword.
+  U64Set covered;
+  for (const NonmembershipGroup& g : integrity.groups) {
+    require(g.keyword < q, "nonmembership group keyword out of range");
+    require(g.keyword != integrity.base_keyword,
+            "nonmembership group may not target the base keyword");
+    require(is_sorted_unique(g.docs), "nonmembership group docs not sorted");
+    require(is_subset(g.docs, integrity.check_docs),
+            "nonmembership group covers unknown docs");
+    require(sets_disjoint(g.docs, covered), "check doc covered twice");
+    covered = set_union(covered, g.docs);
+    const TermStatement& target = proof.terms[g.keyword].stmt;
+    require(g.evidence.verify(ctx_, target.doc_acc, target.doc_root, g.docs, *doc_primes_),
+            "nonmembership proof invalid");
+  }
+  require(covered == integrity.check_docs, "not all check docs proven absent");
+}
+
+void ResultVerifier::verify_bloom_integrity(const MultiKeywordResponse& multi,
+                                            const BloomIntegrity& integrity) const {
+  const SearchResult& result = multi.result;
+  const QueryProof& proof = multi.proof;
+  const std::size_t q = result.keywords.size();
+  require(integrity.parts.size() == q, "bloom integrity needs one part per keyword");
+
+  std::vector<CountingBloom> filters;
+  filters.reserve(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    const BloomKeywordPart& part = integrity.parts[i];
+    require(part.bloom.verify(owner_key_), "bloom attestation signature invalid");
+    require(part.bloom.stmt.term == result.keywords[i],
+            "bloom attestation term mismatch");
+    require(part.bloom.stmt.doc_bloom.params == config_.bloom,
+            "bloom attestation parameter mismatch");
+    // The signed filter must describe the signed posting list.
+    require(part.bloom.stmt.doc_bloom.element_count == proof.terms[i].stmt.posting_count,
+            "bloom element count does not match posting count");
+    filters.push_back(decompress_bloom(part.bloom.stmt.doc_bloom));
+  }
+
+  // Disjointness (§III-E): every C_i is disjoint from the claimed result,
+  // and no element may appear in *all* check sets — a document hidden from
+  // the true intersection would have to (it belongs to every keyword's
+  // set), which is exactly how dropped results are caught.  For Q = 2 this
+  // reduces to the paper's pairwise disjointness; for Q >= 3 an element
+  // may honestly sit in several (but not all) differences X_i \ X.
+  U64Set common = integrity.parts[0].check_elements;
+  for (std::size_t i = 0; i < q; ++i) {
+    const U64Set& ci = integrity.parts[i].check_elements;
+    require(is_sorted_unique(ci), "check elements not a sorted set");
+    require(sets_disjoint(ci, result.docs), "check elements overlap the result");
+    if (i > 0) common = set_intersection(common, ci);
+  }
+  require(common.empty(), "an element appears in every check set");
+
+  // Slot accounting (Eq 7/8/9 generalized to Q filters).
+  CountingBloom bs = CountingBloom::from_set(config_.bloom, result.docs);
+  std::vector<CountingBloom> check_filters;
+  check_filters.reserve(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    check_filters.push_back(
+        CountingBloom::from_set(config_.bloom, integrity.parts[i].check_elements));
+  }
+  for (std::uint32_t j = 0; j < config_.bloom.counters; ++j) {
+    std::uint32_t bhat = filters[0].counter(j);
+    for (std::size_t i = 1; i < q; ++i) bhat = std::min(bhat, filters[i].counter(j));
+    require(bs.counter(j) <= bhat, "result filter exceeds the signed filters");
+    if (bs.counter(j) == bhat) continue;
+    for (std::size_t i = 0; i < q; ++i) {
+      require(bs.counter(j) + check_filters[i].counter(j) == filters[i].counter(j),
+              "check elements do not close the filter gap");
+    }
+  }
+
+  // C_i ⊆ X_i via membership evidence on the doc accumulator.
+  for (std::size_t i = 0; i < q; ++i) {
+    const BloomKeywordPart& part = integrity.parts[i];
+    require(part.check_membership.verify(ctx_, proof.terms[i].stmt.doc_acc,
+                                         proof.terms[i].stmt.doc_root,
+                                         part.check_elements, *doc_primes_),
+            "check-element membership proof invalid");
+  }
+}
+
+void ResultVerifier::verify_single(const SingleKeywordResponse& single) const {
+  require(single.attestation.verify(owner_key_), "term attestation signature invalid");
+  require(single.attestation.stmt.term == single.keyword, "attestation term mismatch");
+  require(single.attestation.stmt.posting_count == single.postings.size(),
+          "posting count mismatch");
+  require(postings_digest(single.postings) == single.attestation.stmt.postings_digest,
+          "postings digest mismatch");
+}
+
+void ResultVerifier::verify_unknown(const UnknownKeywordResponse& unknown) const {
+  require(unknown.dict.verify(owner_key_), "dictionary attestation signature invalid");
+  require(DictionaryIntervals::verify_unknown(ctx_, unknown.dict.stmt.gap_root,
+                                              unknown.keyword, unknown.gap,
+                                              config_.dict_prime_config()),
+          "unknown-keyword gap proof invalid");
+}
+
+}  // namespace vc

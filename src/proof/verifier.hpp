@@ -1,0 +1,51 @@
+// Result verification (§III-E) for the owner and for third parties.
+//
+// The verifier reconstructs nothing from local state — it holds only the
+// public accumulator parameters, the owner's and the cloud's verify keys,
+// and the index configuration (to derive prime representatives).  Passing
+// an owner context (with trapdoor) gives the fast owner-side verification;
+// a public context gives the slower third-party verification (§III-F).
+//
+// Table I's two modes map to the verifier's prime cache: "default" starts
+// cold (the verifier recomputes every representative), "with prime" starts
+// from a warm cache (the representatives effectively ship with the proof).
+#pragma once
+
+#include "proof/proof_types.hpp"
+#include "vindex/verifiable_index.hpp"
+
+namespace vc {
+
+class ResultVerifier {
+ public:
+  ResultVerifier(AccumulatorContext ctx, VerifyKey owner_key, VerifyKey cloud_key,
+                 VerifiableIndexConfig config);
+
+  // Performs every check of §III-E; throws VerifyError naming the first
+  // failed check.  The response's raw keywords are not interpreted — the
+  // response body names the normalized keywords the proofs are about.
+  void verify(const SearchResponse& response) const;
+
+  // The verifier-side prime manager; pre-warm to model Table I "with prime".
+  [[nodiscard]] PrimeCache& tuple_primes() const { return *tuple_primes_; }
+  [[nodiscard]] PrimeCache& doc_primes() const { return *doc_primes_; }
+  void reset_prime_caches() const;
+
+ private:
+  void verify_multi(const MultiKeywordResponse& multi) const;
+  void verify_single(const SingleKeywordResponse& single) const;
+  void verify_unknown(const UnknownKeywordResponse& unknown) const;
+  void verify_accumulator_integrity(const MultiKeywordResponse& multi,
+                                    const AccumulatorIntegrity& integrity) const;
+  void verify_bloom_integrity(const MultiKeywordResponse& multi,
+                              const BloomIntegrity& integrity) const;
+
+  AccumulatorContext ctx_;
+  VerifyKey owner_key_;
+  VerifyKey cloud_key_;
+  VerifiableIndexConfig config_;
+  mutable std::unique_ptr<PrimeCache> tuple_primes_;
+  mutable std::unique_ptr<PrimeCache> doc_primes_;
+};
+
+}  // namespace vc

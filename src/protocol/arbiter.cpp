@@ -1,0 +1,45 @@
+#include "protocol/arbiter.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+const char* ruling_name(Ruling ruling) {
+  switch (ruling) {
+    case Ruling::kQueryForged: return "query-forged";
+    case Ruling::kMismatched: return "response-mismatched";
+    case Ruling::kCloudCheated: return "cloud-cheated";
+    case Ruling::kResponseValid: return "response-valid";
+  }
+  return "?";
+}
+
+ThirdPartyArbiter::ThirdPartyArbiter(AccumulatorContext public_ctx, VerifyKey owner_key,
+                                     VerifyKey cloud_key, VerifiableIndexConfig config)
+    : owner_key_(owner_key),
+      verifier_(std::move(public_ctx), std::move(owner_key), std::move(cloud_key),
+                std::move(config)) {}
+
+Ruling ThirdPartyArbiter::arbitrate(const Transcript& transcript) const {
+  last_reason_.clear();
+  // An owner cannot frame the cloud with a query it never signed, and the
+  // cloud cannot substitute a different query's response (§III-F).
+  if (!transcript.query.verify(owner_key_)) {
+    last_reason_ = "query signature invalid";
+    return Ruling::kQueryForged;
+  }
+  if (transcript.response.query_id != transcript.query.query.id ||
+      transcript.response.raw_keywords != transcript.query.query.keywords) {
+    last_reason_ = "response does not answer the signed query";
+    return Ruling::kMismatched;
+  }
+  try {
+    verifier_.verify(transcript.response);
+  } catch (const VerifyError& e) {
+    last_reason_ = e.what();
+    return Ruling::kCloudCheated;
+  }
+  return Ruling::kResponseValid;
+}
+
+}  // namespace vc

@@ -1,0 +1,39 @@
+// Third-party arbitration (§III-F).
+//
+// Given a disputed transcript the arbiter decides, using only public
+// parameters and the two verify keys, whether the cloud misbehaved or the
+// owner's accusation is false.  Because the arbiter has no trapdoor, its
+// verification pays full-width exponentiations — the cost asymmetry the
+// paper notes for third-party checks.
+#pragma once
+
+#include "proof/verifier.hpp"
+#include "protocol/messages.hpp"
+
+namespace vc {
+
+enum class Ruling {
+  kQueryForged,     // the "owner's" query signature is invalid — owner at fault
+  kMismatched,      // response does not answer the signed query — cloud at fault
+  kCloudCheated,    // proofs do not verify — cloud at fault
+  kResponseValid,   // everything checks out — accusation dismissed
+};
+
+const char* ruling_name(Ruling ruling);
+
+class ThirdPartyArbiter {
+ public:
+  ThirdPartyArbiter(AccumulatorContext public_ctx, VerifyKey owner_key, VerifyKey cloud_key,
+                    VerifiableIndexConfig config);
+
+  [[nodiscard]] Ruling arbitrate(const Transcript& transcript) const;
+  // The reason behind the most recent non-valid ruling.
+  [[nodiscard]] const std::string& last_reason() const { return last_reason_; }
+
+ private:
+  VerifyKey owner_key_;
+  ResultVerifier verifier_;
+  mutable std::string last_reason_;
+};
+
+}  // namespace vc

@@ -1,0 +1,48 @@
+#include "protocol/cloud.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+CloudService::CloudService(const VerifiableIndex& vidx, AccumulatorContext public_ctx,
+                           SigningKey cloud_key, VerifyKey owner_key, ThreadPool* pool,
+                           SchemeKind scheme)
+    : engine_(vidx, std::move(public_ctx), cloud_key, pool),
+      key_(std::move(cloud_key)),
+      owner_key_(std::move(owner_key)),
+      scheme_(scheme) {}
+
+SearchResponse CloudService::handle(const SignedQuery& query) {
+  if (!query.verify(owner_key_)) {
+    throw VerifyError("query is not signed by the data owner");
+  }
+  SearchResponse resp = engine_.search(query.query, scheme_);
+  ++served_;
+  if (behavior_ == CloudBehavior::kHonest) return resp;
+
+  // Misbehaviour modes tamper with the already-proven response, exactly the
+  // situation the owner's verification must catch.
+  if (auto* multi = std::get_if<MultiKeywordResponse>(&resp.body)) {
+    if (behavior_ == CloudBehavior::kDropLastResult && !multi->result.docs.empty()) {
+      std::uint64_t hidden = multi->result.docs.back();
+      multi->result.docs.pop_back();
+      for (auto& postings : multi->result.postings) {
+        if (!postings.empty() && postings.back().doc_id == hidden) postings.pop_back();
+      }
+    } else if (behavior_ == CloudBehavior::kInflateWeight &&
+               !multi->result.postings.empty() && !multi->result.postings[0].empty()) {
+      multi->result.postings[0][0].tf += 100;
+    }
+    resp.cloud_sig = key_.sign(resp.payload_bytes());
+  } else if (auto* single = std::get_if<SingleKeywordResponse>(&resp.body)) {
+    if (behavior_ == CloudBehavior::kDropLastResult && !single->postings.empty()) {
+      single->postings.pop_back();
+    } else if (behavior_ == CloudBehavior::kInflateWeight && !single->postings.empty()) {
+      single->postings[0].tf += 100;
+    }
+    resp.cloud_sig = key_.sign(resp.payload_bytes());
+  }
+  return resp;
+}
+
+}  // namespace vc

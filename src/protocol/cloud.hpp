@@ -1,0 +1,43 @@
+// The cloud role (Fig 1 right).
+//
+// Wraps the search engine with the signed-message protocol: it rejects
+// queries that are not validly signed by the owner (so it can later
+// disprove forged-query accusations) and signs every response.  For tests
+// and the arbitration example it can also be configured to misbehave in
+// the ways the paper's threat model names: dropping results or tampering
+// with weights.
+#pragma once
+
+#include "protocol/messages.hpp"
+
+namespace vc {
+
+enum class CloudBehavior {
+  kHonest,
+  kDropLastResult,   // return partial results (the economic-incentive cheat)
+  kInflateWeight,    // tamper with a tf weight in the results
+};
+
+class CloudService {
+ public:
+  CloudService(const VerifiableIndex& vidx, AccumulatorContext public_ctx,
+               SigningKey cloud_key, VerifyKey owner_key, ThreadPool* pool = nullptr,
+               SchemeKind scheme = SchemeKind::kHybrid);
+
+  // Throws VerifyError if the query signature is invalid.
+  [[nodiscard]] SearchResponse handle(const SignedQuery& query);
+
+  void set_behavior(CloudBehavior behavior) { behavior_ = behavior; }
+  [[nodiscard]] const VerifyKey& verify_key() const { return key_.verify_key(); }
+  [[nodiscard]] std::uint64_t queries_served() const { return served_; }
+
+ private:
+  SearchEngine engine_;
+  SigningKey key_;
+  VerifyKey owner_key_;
+  SchemeKind scheme_;
+  CloudBehavior behavior_ = CloudBehavior::kHonest;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace vc

@@ -1,0 +1,218 @@
+#include "protocol/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+namespace {
+
+std::string read_until_headers_end(int fd, std::string& buffer) {
+  char chunk[2048];
+  while (buffer.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) throw Error("http: connection closed mid-headers");
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > 1 << 20) throw Error("http: headers too large");
+  }
+  std::size_t end = buffer.find("\r\n\r\n");
+  std::string headers = buffer.substr(0, end);
+  buffer.erase(0, end + 4);
+  return headers;
+}
+
+std::size_t content_length_of(const std::string& headers) {
+  // Case-insensitive scan for Content-Length.
+  std::string lower;
+  lower.reserve(headers.size());
+  for (char c : headers) lower.push_back(static_cast<char>(std::tolower(c)));
+  std::size_t pos = lower.find("content-length:");
+  if (pos == std::string::npos) return 0;
+  return static_cast<std::size_t>(std::strtoull(lower.c_str() + pos + 15, nullptr, 10));
+}
+
+void read_body(int fd, std::string& buffer, std::size_t length) {
+  char chunk[4096];
+  while (buffer.size() < length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) throw Error("http: connection closed mid-body");
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) throw Error("http: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string make_response(int status, const std::string& reason, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: text/plain\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpFrontend::HttpFrontend(CloudService& cloud, std::uint16_t port) : cloud_(cloud) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw UsageError("http: cannot create socket");
+  int yes = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw UsageError("http: cannot bind port");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw UsageError("http: cannot listen");
+  }
+}
+
+HttpFrontend::~HttpFrontend() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpFrontend::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpFrontend::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept() with a self-connection.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpFrontend::serve_loop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    try {
+      handle_connection(fd);
+    } catch (const Error&) {
+      // Connection-level problems end that request only.
+    }
+    ::close(fd);
+  }
+}
+
+void HttpFrontend::handle_connection(int fd) {
+  std::string buffer;
+  std::string headers = read_until_headers_end(fd, buffer);
+  std::size_t line_end = headers.find("\r\n");
+  std::string request_line = headers.substr(0, line_end);
+  read_body(fd, buffer, content_length_of(headers));
+
+  std::string method = request_line.substr(0, request_line.find(' '));
+  std::size_t path_start = request_line.find(' ') + 1;
+  std::string path = request_line.substr(path_start,
+                                         request_line.find(' ', path_start) - path_start);
+
+  if (method == "GET" && path == "/healthz") {
+    send_all(fd, make_response(200, "OK", "ok\n"));
+    return;
+  }
+  if (method == "GET" && path == "/stats") {
+    send_all(fd, make_response(200, "OK",
+                               "queries_served=" + std::to_string(cloud_.queries_served()) +
+                                   "\n"));
+    return;
+  }
+  if (method == "POST" && path == "/search") {
+    try {
+      Bytes raw = from_hex(buffer);
+      ByteReader r(raw);
+      SignedQuery query = SignedQuery::read(r);
+      r.expect_done();
+      SearchResponse resp = cloud_.handle(query);
+      ByteWriter w;
+      resp.write(w);
+      send_all(fd, make_response(200, "OK", to_hex(w.data())));
+    } catch (const VerifyError& e) {
+      send_all(fd, make_response(403, "Forbidden", std::string(e.what()) + "\n"));
+    } catch (const Error& e) {
+      send_all(fd, make_response(400, "Bad Request", std::string(e.what()) + "\n"));
+    }
+    return;
+  }
+  send_all(fd, make_response(404, "Not Found", "not found\n"));
+}
+
+std::string http_request(std::uint16_t port, const std::string& method,
+                         const std::string& path, const std::string& body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("http: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw Error("http: cannot connect");
+  }
+  std::string req = method + " " + path + " HTTP/1.1\r\n";
+  req += "Host: 127.0.0.1\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  req += "Connection: close\r\n\r\n";
+  req += body;
+  try {
+    send_all(fd, req);
+    std::string buffer;
+    std::string headers = read_until_headers_end(fd, buffer);
+    read_body(fd, buffer, content_length_of(headers));
+    if (headers.find("200") == std::string::npos) {
+      throw Error("http: request failed: " + buffer);
+    }
+    ::close(fd);
+    return buffer;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+SearchResponse http_search(std::uint16_t port, const SignedQuery& query) {
+  std::string body = to_hex(query.encode());
+  std::string resp_hex = http_request(port, "POST", "/search", body);
+  Bytes raw = from_hex(resp_hex);
+  ByteReader r(raw);
+  SearchResponse resp = SearchResponse::read(r);
+  r.expect_done();
+  return resp;
+}
+
+}  // namespace vc

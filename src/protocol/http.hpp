@@ -1,0 +1,55 @@
+// Minimal HTTP frontend (Fig 4's entry point).
+//
+// A deliberately small HTTP/1.1 server over POSIX sockets exposing the
+// signed-search protocol:
+//   POST /search   body = hex(SignedQuery)      -> hex(SearchResponse)
+//   GET  /healthz                               -> "ok"
+//   GET  /stats                                 -> queries served
+// Binary payloads travel hex-encoded so the wire format stays the canonical
+// one the signatures cover.  One acceptor thread, requests served
+// sequentially — a demo frontend, not a production server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "protocol/cloud.hpp"
+
+namespace vc {
+
+class HttpFrontend {
+ public:
+  // Binds 127.0.0.1:port (port 0 picks a free port).  Throws UsageError on
+  // bind failure.
+  HttpFrontend(CloudService& cloud, std::uint16_t port = 0);
+  ~HttpFrontend();
+
+  HttpFrontend(const HttpFrontend&) = delete;
+  HttpFrontend& operator=(const HttpFrontend&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  CloudService& cloud_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+// Tiny blocking HTTP client for tests/examples: sends one request and
+// returns the response body.  Throws Error on transport problems.
+std::string http_request(std::uint16_t port, const std::string& method,
+                         const std::string& path, const std::string& body);
+
+// Convenience wrapper: run a signed query through a frontend.
+SearchResponse http_search(std::uint16_t port, const SignedQuery& query);
+
+}  // namespace vc

@@ -1,0 +1,1 @@
+#include "protocol/messages.hpp"

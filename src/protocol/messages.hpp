@@ -1,0 +1,44 @@
+// Signed protocol messages (Fig 1).
+//
+// Every message between the data owner and the cloud is signed so that
+// either party can present the other's statements to a third party: the
+// owner cannot disown a query it issued, the cloud cannot disown a response
+// it served (§III-F).
+#pragma once
+
+#include "search/engine.hpp"
+
+namespace vc {
+
+struct SignedQuery {
+  Query query;
+  Signature owner_sig;
+
+  [[nodiscard]] bool verify(const VerifyKey& owner_key) const {
+    return owner_key.verify(query.encode(), owner_sig);
+  }
+  void write(ByteWriter& w) const {
+    query.write(w);
+    owner_sig.write(w);
+  }
+  static SignedQuery read(ByteReader& r) {
+    SignedQuery q;
+    q.query = Query::read(r);
+    q.owner_sig = Signature::read(r);
+    return q;
+  }
+  [[nodiscard]] Bytes encode() const {
+    ByteWriter w;
+    write(w);
+    return std::move(w).take();
+  }
+  friend bool operator==(const SignedQuery&, const SignedQuery&) = default;
+};
+
+// A complete signed exchange, the unit a third party arbitrates over.
+struct Transcript {
+  SignedQuery query;
+  SearchResponse response;
+};
+
+}  // namespace vc

@@ -1,0 +1,44 @@
+#include "protocol/owner.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+DataOwner::DataOwner(AccumulatorContext owner_ctx, SigningKey owner_key, VerifyKey cloud_key,
+                     VerifiableIndexConfig config)
+    : key_(std::move(owner_key)),
+      verifier_(std::move(owner_ctx), key_.verify_key(), std::move(cloud_key),
+                std::move(config)) {}
+
+SignedQuery DataOwner::issue_query(std::vector<std::string> keywords) {
+  Query q{.id = next_query_id_++, .keywords = std::move(keywords)};
+  SignedQuery signed_q{q, key_.sign(q.encode())};
+  pending_.push_back(signed_q);
+  return signed_q;
+}
+
+void DataOwner::receive_response(const SearchResponse& response) {
+  auto it = std::find_if(pending_.begin(), pending_.end(), [&](const SignedQuery& q) {
+    return q.query.id == response.query_id;
+  });
+  if (it == pending_.end()) {
+    throw VerifyError("response does not answer any pending query");
+  }
+  if (it->query.keywords != response.raw_keywords) {
+    throw VerifyError("response keywords differ from the signed query");
+  }
+  transcripts_.push_back(Transcript{*it, response});
+  pending_.erase(it);
+  verifier_.verify(response);  // throws on cloud misbehaviour
+}
+
+const Transcript& DataOwner::transcript_for(std::uint64_t query_id) const {
+  for (const auto& t : transcripts_) {
+    if (t.query.query.id == query_id) return t;
+  }
+  throw UsageError("no transcript for query id");
+}
+
+}  // namespace vc

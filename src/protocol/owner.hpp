@@ -1,0 +1,41 @@
+// The data-owner role (Fig 1 left).
+//
+// After outsourcing, the owner keeps only: its signing key, the accumulator
+// trapdoor, and the two public verify keys.  It issues signed queries,
+// verifies responses, and retains transcripts so it can prove cloud errors
+// to a third party.
+#pragma once
+
+#include <vector>
+
+#include "proof/verifier.hpp"
+#include "protocol/messages.hpp"
+
+namespace vc {
+
+class DataOwner {
+ public:
+  DataOwner(AccumulatorContext owner_ctx, SigningKey owner_key, VerifyKey cloud_key,
+            VerifiableIndexConfig config);
+
+  [[nodiscard]] SignedQuery issue_query(std::vector<std::string> keywords);
+
+  // Verifies a response against the matching retained query.  Throws
+  // VerifyError when the cloud misbehaved; the transcript is retained
+  // either way as evidence.
+  void receive_response(const SearchResponse& response);
+
+  [[nodiscard]] const VerifyKey& verify_key() const { return key_.verify_key(); }
+  [[nodiscard]] const std::vector<Transcript>& transcripts() const { return transcripts_; }
+  // The evidence bundle for a dispute over query `id`.
+  [[nodiscard]] const Transcript& transcript_for(std::uint64_t query_id) const;
+
+ private:
+  SigningKey key_;
+  ResultVerifier verifier_;
+  std::uint64_t next_query_id_ = 1;
+  std::vector<SignedQuery> pending_;
+  std::vector<Transcript> transcripts_;
+};
+
+}  // namespace vc

@@ -1,0 +1,134 @@
+#include "search/engine.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+#include "text/tokenizer.hpp"
+
+namespace vc {
+
+Bytes Query::encode() const {
+  ByteWriter w;
+  write(w);
+  return std::move(w).take();
+}
+
+void Query::write(ByteWriter& w) const {
+  w.str("vc.query.v1");
+  w.u64(id);
+  w.varint(keywords.size());
+  for (const auto& k : keywords) w.str(k);
+}
+
+Query Query::read(ByteReader& r) {
+  if (r.str() != "vc.query.v1") throw ParseError("bad query tag");
+  Query q;
+  q.id = r.u64();
+  std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) q.keywords.push_back(r.str());
+  return q;
+}
+
+SearchEngine::SearchEngine(const VerifiableIndex& vidx, AccumulatorContext cloud_ctx,
+                           SigningKey cloud_key, ThreadPool* pool)
+    : vidx_(vidx),
+      ctx_(std::move(cloud_ctx)),
+      cloud_key_(std::move(cloud_key)),
+      prover_(vidx, ctx_, pool) {}
+
+SearchEngine::Classified SearchEngine::classify(const Query& query) const {
+  if (query.keywords.empty()) throw UsageError("empty query");
+  Classified c;
+  for (const auto& raw : query.keywords) {
+    std::string norm = normalize_term(raw);
+    if (norm.empty()) continue;  // punctuation-only keyword
+    if (std::find(c.known.begin(), c.known.end(), norm) != c.known.end()) continue;
+    if (std::find(c.unknown.begin(), c.unknown.end(), norm) != c.unknown.end()) continue;
+    if (vidx_.find(norm) != nullptr) {
+      c.known.push_back(norm);
+    } else {
+      c.unknown.push_back(norm);
+    }
+  }
+  if (c.known.empty() && c.unknown.empty()) {
+    throw UsageError("query normalized to nothing");
+  }
+  return c;
+}
+
+SearchResult SearchEngine::intersect(const std::vector<std::string>& keywords) const {
+  SearchResult result;
+  result.keywords = keywords;
+  std::vector<U64Set> doc_sets;
+  doc_sets.reserve(keywords.size());
+  for (const auto& kw : keywords) {
+    doc_sets.push_back(InvertedIndex::doc_set(vidx_.find(kw)->postings));
+  }
+  result.docs = set_intersection_many(doc_sets);
+  result.postings.reserve(keywords.size());
+  for (const auto& kw : keywords) {
+    result.postings.push_back(
+        InvertedIndex::filter_by_docs(vidx_.find(kw)->postings, result.docs));
+  }
+  return result;
+}
+
+SearchResult SearchEngine::execute_only(const Query& query) const {
+  Classified c = classify(query);
+  if (!c.unknown.empty() || c.known.size() < 2) {
+    SearchResult r;
+    r.keywords = c.known;
+    if (c.unknown.empty() && c.known.size() == 1) {
+      r.postings.push_back(vidx_.find(c.known[0])->postings);
+      r.docs = InvertedIndex::doc_set(r.postings[0]);
+    }
+    return r;
+  }
+  return intersect(c.known);
+}
+
+SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const {
+  SearchResponse resp;
+  resp.query_id = query.id;
+  resp.raw_keywords = query.keywords;
+
+  Stopwatch sw;
+  Classified c = classify(query);
+
+  if (!c.unknown.empty()) {
+    // §III-D4: any unknown keyword empties the intersection; the proof is
+    // the pre-computed gap witness — O(log |W|) lookup.
+    resp.search_seconds = sw.seconds();
+    sw.reset();
+    UnknownKeywordResponse body;
+    body.keyword = c.unknown.front();
+    body.gap = vidx_.dictionary().prove_unknown(body.keyword);
+    body.dict = vidx_.dict_attestation();
+    resp.body = std::move(body);
+    resp.proof_seconds = sw.seconds();
+  } else if (c.known.size() == 1) {
+    // §III-D5: single keyword — the owner's signature is the proof.
+    const auto* entry = vidx_.find(c.known[0]);
+    resp.search_seconds = sw.seconds();
+    sw.reset();
+    SingleKeywordResponse body;
+    body.keyword = c.known[0];
+    body.postings = entry->postings;
+    body.attestation = entry->attestation;
+    resp.body = std::move(body);
+    resp.proof_seconds = sw.seconds();
+  } else {
+    MultiKeywordResponse body;
+    body.result = intersect(c.known);
+    resp.search_seconds = sw.seconds();
+    sw.reset();
+    body.proof = prover_.prove(body.result, scheme);
+    resp.proof_seconds = sw.seconds();
+    resp.body = std::move(body);
+  }
+  resp.cloud_sig = cloud_key_.sign(resp.payload_bytes());
+  return resp;
+}
+
+}  // namespace vc

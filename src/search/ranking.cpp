@@ -1,0 +1,61 @@
+#include "search/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+std::vector<RankedDoc> rank_results(const MultiKeywordResponse& response,
+                                    const DictAttestation& dict,
+                                    const RankingOptions& options) {
+  const SearchResult& result = response.result;
+  const QueryProof& proof = response.proof;
+  if (result.keywords.size() != result.postings.size() ||
+      proof.terms.size() != result.keywords.size()) {
+    throw UsageError("rank_results: malformed response");
+  }
+  const double n_docs = std::max<double>(1.0, static_cast<double>(dict.stmt.document_count));
+
+  std::unordered_map<std::uint32_t, double> scores;
+  scores.reserve(result.docs.size());
+  for (std::uint64_t d : result.docs) scores[static_cast<std::uint32_t>(d)] = 0;
+
+  for (std::size_t k = 0; k < result.keywords.size(); ++k) {
+    // df from the signed term attestation, never from the cloud's claims.
+    const double df = std::max<double>(1.0,
+        static_cast<double>(proof.terms[k].stmt.posting_count));
+    // Robertson-style idf, floored at a small positive value so frequent
+    // terms cannot produce negative contributions.
+    const double idf = std::max(0.05, std::log((n_docs - df + 0.5) / (df + 0.5) + 1.0));
+    for (const Posting& p : result.postings[k]) {
+      auto it = scores.find(p.doc_id);
+      if (it == scores.end()) continue;  // verifier would have rejected this
+      const double tf = static_cast<double>(p.tf);
+      switch (options.model) {
+        case RankingModel::kTfSum:
+          it->second += tf;
+          break;
+        case RankingModel::kTfIdf:
+          it->second += tf * std::log(n_docs / df);
+          break;
+        case RankingModel::kBm25Lite:
+          it->second += idf * tf * (options.k1 + 1.0) / (tf + options.k1);
+          break;
+      }
+    }
+  }
+
+  std::vector<RankedDoc> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [doc, score] : scores) ranked.push_back(RankedDoc{doc, score});
+  std::sort(ranked.begin(), ranked.end(), [](const RankedDoc& a, const RankedDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  return ranked;
+}
+
+}  // namespace vc

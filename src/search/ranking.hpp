@@ -1,0 +1,45 @@
+// Client-side ranking of verified results (§III-E).
+//
+// After verification, the owner ranks the result documents using the tf
+// weights in the returned tuples.  Every quantity the models need comes
+// from *owner-signed* data: tf values are covered by the correctness proof,
+// per-term document frequencies by the term attestations' posting counts,
+// and the corpus size by the dictionary attestation — so a malicious cloud
+// cannot skew the ranking without breaking a proof.  (Verifying a
+// *server-side* ranking is the paper's stated future work; this is the
+// client-side computation it defers to.)
+#pragma once
+
+#include "proof/proof_types.hpp"
+#include "vindex/statements.hpp"
+
+namespace vc {
+
+enum class RankingModel {
+  kTfSum,    // Σ tf over query terms
+  kTfIdf,    // Σ tf · ln(N / df)
+  kBm25Lite, // Σ idf · tf(k1+1)/(tf+k1) — BM25 with b = 0 (postings carry no
+             // document lengths, so length normalization is unavailable)
+};
+
+struct RankingOptions {
+  RankingModel model = RankingModel::kBm25Lite;
+  double k1 = 1.2;  // BM25 saturation
+};
+
+struct RankedDoc {
+  std::uint32_t doc_id = 0;
+  double score = 0;
+
+  friend bool operator==(const RankedDoc&, const RankedDoc&) = default;
+};
+
+// Ranks a *verified* multi-keyword response.  `dict` supplies the signed
+// corpus document count.  Results come back sorted by descending score
+// (ties broken by ascending docID for determinism).  Throws UsageError on a
+// response whose shape doesn't permit ranking.
+std::vector<RankedDoc> rank_results(const MultiKeywordResponse& response,
+                                    const DictAttestation& dict,
+                                    const RankingOptions& options = {});
+
+}  // namespace vc

@@ -1,0 +1,71 @@
+#include "setops/setops.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+bool is_sorted_unique(std::span<const std::uint64_t> xs) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] <= xs[i - 1]) return false;
+  }
+  return true;
+}
+
+U64Set set_intersection(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) {
+  U64Set out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+U64Set set_intersection_many(std::span<const U64Set> sets) {
+  if (sets.empty()) return {};
+  // Intersect smallest-first: every step's output is bounded by the
+  // smallest set, so the total work is near-minimal.
+  std::vector<const U64Set*> order;
+  order.reserve(sets.size());
+  for (const auto& s : sets) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const U64Set* a, const U64Set* b) { return a->size() < b->size(); });
+  U64Set acc = *order.front();
+  for (std::size_t i = 1; i < order.size() && !acc.empty(); ++i) {
+    acc = set_intersection(acc, *order[i]);
+  }
+  return acc;
+}
+
+U64Set set_difference(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) {
+  U64Set out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+U64Set set_union(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) {
+  U64Set out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+bool sets_disjoint(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_subset(std::span<const std::uint64_t> sub, std::span<const std::uint64_t> super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+}  // namespace vc

@@ -1,0 +1,34 @@
+// Sorted-set operations backing the search engine (§III-C).
+//
+// Multi-keyword search is modelled as the intersection of the keywords'
+// docID sets; the integrity proof needs the complement Si \ S of the
+// smallest posting list.  All inputs and outputs are sorted, duplicate-free
+// vectors of 64-bit values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vc {
+
+using U64Set = std::vector<std::uint64_t>;
+
+// True if `xs` is sorted and strictly increasing.
+bool is_sorted_unique(std::span<const std::uint64_t> xs);
+
+U64Set set_intersection(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b);
+
+// Multi-way intersection; empty input list yields an empty set.
+U64Set set_intersection_many(std::span<const U64Set> sets);
+
+// a \ b.
+U64Set set_difference(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b);
+
+U64Set set_union(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b);
+
+bool sets_disjoint(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b);
+
+bool is_subset(std::span<const std::uint64_t> sub, std::span<const std::uint64_t> super);
+
+}  // namespace vc

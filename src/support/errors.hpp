@@ -1,0 +1,45 @@
+// Exception hierarchy for the vcsearch library.
+//
+// All recoverable failures surface as subclasses of vc::Error so callers can
+// catch the whole library with one handler while still distinguishing
+// verification failures (an *expected* outcome when the cloud misbehaves)
+// from programming or parsing errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vc {
+
+// Base class for all vcsearch errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed serialized data (truncated buffer, bad tag, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+// Cryptographic precondition violated (element not prime, not coprime, ...).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+// A proof failed to verify.  Carries a human-readable reason identifying the
+// first check that failed (useful when presenting evidence to a third party).
+class VerifyError : public Error {
+ public:
+  explicit VerifyError(const std::string& what) : Error("verify: " + what) {}
+};
+
+// Invalid argument or unsupported configuration.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error("usage: " + what) {}
+};
+
+}  // namespace vc

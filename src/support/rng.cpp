@@ -1,0 +1,145 @@
+#include "support/rng.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(std::span<const std::uint8_t> key, std::span<const std::uint8_t> nonce,
+                   std::uint32_t initial_counter) {
+  if (key.size() != 32 || nonce.size() != 12) throw UsageError("ChaCha20 key/nonce size");
+  state_[0] = 0x61707865; state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32; state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+std::array<std::uint8_t, 64> ChaCha20::next_block() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = x[i] + state_[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  state_[12] += 1;  // counter
+  return out;
+}
+
+DeterministicRng::DeterministicRng(std::uint64_t seed) : DeterministicRng(seed, "vc.rng") {}
+
+DeterministicRng::DeterministicRng(std::uint64_t seed, std::string_view label) {
+  // Expand (seed, label) into a 32-byte key via repeated mixing.  This does
+  // not need to be a standard KDF: it only needs to be deterministic and to
+  // decorrelate labels, which the ChaCha permutation then amplifies.
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+  }
+  for (int i = 0; i < 4; ++i) {
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    for (int j = 0; j < 8; ++j) key_[8 * i + j] = static_cast<std::uint8_t>(h >> (8 * j));
+    h += seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+  }
+  nonce_.fill(0);
+}
+
+DeterministicRng::DeterministicRng(std::span<const std::uint8_t> key,
+                                   std::span<const std::uint8_t> nonce) {
+  std::memcpy(key_.data(), key.data(), 32);
+  std::memcpy(nonce_.data(), nonce.data(), 12);
+}
+
+void DeterministicRng::refill() {
+  ChaCha20 stream(key_, nonce_, counter_);
+  buf_ = stream.next_block();
+  counter_ += 1;
+  buf_pos_ = 0;
+}
+
+void DeterministicRng::fill(std::span<std::uint8_t> out) {
+  for (std::uint8_t& b : out) {
+    if (buf_pos_ >= buf_.size()) refill();
+    b = buf_[buf_pos_++];
+  }
+}
+
+Bytes DeterministicRng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t DeterministicRng::next_u64() {
+  std::array<std::uint8_t, 8> b;
+  fill(b);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t DeterministicRng::below(std::uint64_t bound) {
+  if (bound == 0) throw UsageError("below(0)");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = ~0ULL - ~0ULL % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double DeterministicRng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+DeterministicRng DeterministicRng::fork(std::string_view label) {
+  // Child key = keystream bytes of a dedicated block mixed with the label.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::array<std::uint8_t, 32> child_key;
+  fill(child_key);
+  std::array<std::uint8_t, 12> child_nonce{};
+  for (int i = 0; i < 8; ++i) child_nonce[i] = static_cast<std::uint8_t>(h >> (8 * i));
+  return DeterministicRng(child_key, child_nonce);
+}
+
+}  // namespace vc

@@ -1,0 +1,64 @@
+// Explicit structured parallelism for vcsearch.
+//
+// The paper runs the index manager, prime manager and proof manager on
+// separate cores (Fig 4) and pre-computes prime representatives with an MPI
+// job (§IV).  This thread pool is the single parallel runtime behind both:
+// tasks are submitted as futures, and parallel_for provides the
+// static-partition loop used by the owner-side builder.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vc {
+
+class ThreadPool {
+ public:
+  // workers == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  // Schedules fn; the returned future rethrows any exception from fn.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs body(i) for i in [begin, end), partitioned into contiguous chunks.
+  // Blocks until every iteration completed; rethrows the first exception.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  // Shared process-wide pool sized to the hardware.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace vc

@@ -1,0 +1,38 @@
+#include "text/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+void Corpus::add(std::string doc_name, std::string text) {
+  total_bytes_ += text.size();
+  docs_.push_back(Document{.id = static_cast<std::uint32_t>(docs_.size()),
+                           .name = std::move(doc_name),
+                           .text = std::move(text)});
+}
+
+std::size_t Corpus::load_directory(const std::string& dir, std::size_t max_docs) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) throw UsageError("not a directory: " + dir);
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic docID assignment
+  std::size_t loaded = 0;
+  for (const auto& path : files) {
+    if (max_docs != 0 && loaded >= max_docs) break;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    add(path.lexically_relative(dir).string(), std::move(text));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace vc

@@ -1,0 +1,48 @@
+// Document corpus abstraction.
+//
+// A corpus is an ordered collection of (docID, name, text) records.  The
+// evaluation datasets are message corpora (Enron e-mail, 20-newsgroups);
+// this library loads real directories of text files when available and
+// otherwise synthesizes statistically matched corpora (synth.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vc {
+
+struct Document {
+  std::uint32_t id = 0;
+  std::string name;
+  std::string text;
+};
+
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string doc_name, std::string text);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return docs_.size(); }
+  [[nodiscard]] bool empty() const { return docs_.empty(); }
+  [[nodiscard]] const Document& operator[](std::size_t i) const { return docs_[i]; }
+  [[nodiscard]] auto begin() const { return docs_.begin(); }
+  [[nodiscard]] auto end() const { return docs_.end(); }
+
+  // Total text bytes — the "data size (MB)" axis of Fig 5/6.
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  // Loads every regular file under `dir` (recursively) as one document.
+  // Returns the number of files loaded; throws UsageError if dir is absent.
+  std::size_t load_directory(const std::string& dir, std::size_t max_docs = 0);
+
+ private:
+  std::string name_ = "corpus";
+  std::vector<Document> docs_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace vc

@@ -1,0 +1,299 @@
+#include "text/stemmer.hpp"
+
+#include <algorithm>
+
+namespace vc {
+
+namespace {
+
+// Direct transcription of Porter's reference algorithm.  Indices are signed
+// ints exactly as in the original: the stem is w_[0..end_], j_ may reach -1
+// for an empty stem, and measure(-1) == 0.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word)
+      : w_(std::move(word)), end_(static_cast<int>(w_.size()) - 1) {}
+
+  std::string run() {
+    if (w_.size() <= 2) return w_;
+    step1a();
+    if (end_ > 0) step1b();
+    if (end_ > 0) step1c();
+    if (end_ > 0) step2();
+    if (end_ > 0) step3();
+    if (end_ > 0) step4();
+    if (end_ > 0) step5a();
+    if (end_ > 0) step5b();
+    return w_.substr(0, static_cast<std::size_t>(end_) + 1);
+  }
+
+ private:
+  [[nodiscard]] bool is_consonant(int i) const {
+    switch (w_[static_cast<std::size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Porter's measure m: the number of VC sequences in w_[0..j].
+  [[nodiscard]] int measure(int j) const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!is_consonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  [[nodiscard]] bool vowel_in_stem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool double_consonant(int i) const {
+    if (i < 1) return false;
+    if (w_[static_cast<std::size_t>(i)] != w_[static_cast<std::size_t>(i) - 1]) return false;
+    return is_consonant(i);
+  }
+
+  // cvc pattern ending at i where the final c is not w, x or y (*o rule).
+  [[nodiscard]] bool cvc(int i) const {
+    if (i < 2 || !is_consonant(i) || is_consonant(i - 1) || !is_consonant(i - 2)) {
+      return false;
+    }
+    char c = w_[static_cast<std::size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool ends(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > end_ + 1) return false;
+    if (w_.compare(static_cast<std::size_t>(end_ + 1 - len), s.size(), s) != 0) return false;
+    j_ = end_ - len;
+    return true;
+  }
+
+  void set_to(std::string_view s) {
+    w_.replace(static_cast<std::size_t>(j_ + 1), static_cast<std::size_t>(end_ - j_), s);
+    end_ = j_ + static_cast<int>(s.size());
+  }
+
+  void replace_if_m_positive(std::string_view s) {
+    if (measure(j_) > 0) set_to(s);
+  }
+
+  void step1a() {
+    if (w_[static_cast<std::size_t>(end_)] != 's') return;
+    if (ends("sses")) {
+      end_ -= 2;
+    } else if (ends("ies")) {
+      set_to("i");
+    } else if (end_ >= 1 && w_[static_cast<std::size_t>(end_) - 1] != 's') {
+      --end_;
+    }
+  }
+
+  void step1b() {
+    if (ends("eed")) {
+      if (measure(j_) > 0) --end_;
+      return;
+    }
+    bool stripped = false;
+    if (ends("ed") && vowel_in_stem(j_)) {
+      end_ = j_;
+      stripped = true;
+    } else if (ends("ing") && vowel_in_stem(j_)) {
+      end_ = j_;
+      stripped = true;
+    }
+    if (!stripped || end_ < 0) return;
+    j_ = end_;
+    if (ends("at")) {
+      set_to("ate");
+    } else if (ends("bl")) {
+      set_to("ble");
+    } else if (ends("iz")) {
+      set_to("ize");
+    } else if (double_consonant(end_)) {
+      char c = w_[static_cast<std::size_t>(end_)];
+      if (c != 'l' && c != 's' && c != 'z') --end_;
+    } else if (measure(end_) == 1 && cvc(end_)) {
+      j_ = end_;
+      set_to(std::string(1, 'e'));
+      // set_to replaced nothing (j_ == end_), so just append the e:
+    }
+  }
+
+  void step1c() {
+    if (ends("y") && vowel_in_stem(j_)) w_[static_cast<std::size_t>(end_)] = 'i';
+  }
+
+  void step2() {
+    switch (w_[static_cast<std::size_t>(end_) - 1]) {
+      case 'a':
+        if (ends("ational")) { replace_if_m_positive("ate"); break; }
+        if (ends("tional")) { replace_if_m_positive("tion"); break; }
+        break;
+      case 'c':
+        if (ends("enci")) { replace_if_m_positive("ence"); break; }
+        if (ends("anci")) { replace_if_m_positive("ance"); break; }
+        break;
+      case 'e':
+        if (ends("izer")) { replace_if_m_positive("ize"); break; }
+        break;
+      case 'l':
+        if (ends("bli")) { replace_if_m_positive("ble"); break; }
+        if (ends("alli")) { replace_if_m_positive("al"); break; }
+        if (ends("entli")) { replace_if_m_positive("ent"); break; }
+        if (ends("eli")) { replace_if_m_positive("e"); break; }
+        if (ends("ousli")) { replace_if_m_positive("ous"); break; }
+        break;
+      case 'o':
+        if (ends("ization")) { replace_if_m_positive("ize"); break; }
+        if (ends("ation")) { replace_if_m_positive("ate"); break; }
+        if (ends("ator")) { replace_if_m_positive("ate"); break; }
+        break;
+      case 's':
+        if (ends("alism")) { replace_if_m_positive("al"); break; }
+        if (ends("iveness")) { replace_if_m_positive("ive"); break; }
+        if (ends("fulness")) { replace_if_m_positive("ful"); break; }
+        if (ends("ousness")) { replace_if_m_positive("ous"); break; }
+        break;
+      case 't':
+        if (ends("aliti")) { replace_if_m_positive("al"); break; }
+        if (ends("iviti")) { replace_if_m_positive("ive"); break; }
+        if (ends("biliti")) { replace_if_m_positive("ble"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void step3() {
+    switch (w_[static_cast<std::size_t>(end_)]) {
+      case 'e':
+        if (ends("icate")) { replace_if_m_positive("ic"); break; }
+        if (ends("ative")) { replace_if_m_positive(""); break; }
+        if (ends("alize")) { replace_if_m_positive("al"); break; }
+        break;
+      case 'i':
+        if (ends("iciti")) { replace_if_m_positive("ic"); break; }
+        break;
+      case 'l':
+        if (ends("ical")) { replace_if_m_positive("ic"); break; }
+        if (ends("ful")) { replace_if_m_positive(""); break; }
+        break;
+      case 's':
+        if (ends("ness")) { replace_if_m_positive(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void step4() {
+    switch (w_[static_cast<std::size_t>(end_) - 1]) {
+      case 'a':
+        if (ends("al")) break;
+        return;
+      case 'c':
+        if (ends("ance")) break;
+        if (ends("ence")) break;
+        return;
+      case 'e':
+        if (ends("er")) break;
+        return;
+      case 'i':
+        if (ends("ic")) break;
+        return;
+      case 'l':
+        if (ends("able")) break;
+        if (ends("ible")) break;
+        return;
+      case 'n':
+        if (ends("ant")) break;
+        if (ends("ement")) break;
+        if (ends("ment")) break;
+        if (ends("ent")) break;
+        return;
+      case 'o':
+        if (ends("ion") && j_ >= 0 &&
+            (w_[static_cast<std::size_t>(j_)] == 's' || w_[static_cast<std::size_t>(j_)] == 't')) {
+          break;
+        }
+        if (ends("ou")) break;
+        return;
+      case 's':
+        if (ends("ism")) break;
+        return;
+      case 't':
+        if (ends("ate")) break;
+        if (ends("iti")) break;
+        return;
+      case 'u':
+        if (ends("ous")) break;
+        return;
+      case 'v':
+        if (ends("ive")) break;
+        return;
+      case 'z':
+        if (ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (measure(j_) > 1) end_ = j_;
+  }
+
+  void step5a() {
+    if (w_[static_cast<std::size_t>(end_)] != 'e') return;
+    int m = measure(end_ - 1);
+    if (m > 1 || (m == 1 && !cvc(end_ - 1))) --end_;
+  }
+
+  void step5b() {
+    if (w_[static_cast<std::size_t>(end_)] == 'l' && double_consonant(end_) &&
+        measure(end_) > 1) {
+      --end_;
+    }
+  }
+
+  std::string w_;
+  int end_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return std::string(word);  // only pure ASCII words
+  }
+  return Stemmer(std::string(word)).run();
+}
+
+}  // namespace vc

@@ -1,0 +1,15 @@
+// Porter stemming algorithm, implemented from scratch.
+//
+// (M.F. Porter, "An algorithm for suffix stripping", 1980.)  Replaces the
+// Lemur toolkit's stemming stage.  Operates on lowercase ASCII words;
+// non-alphabetic input is returned unchanged.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace vc {
+
+std::string porter_stem(std::string_view word);
+
+}  // namespace vc

@@ -1,0 +1,70 @@
+#include "text/stopwords.hpp"
+
+#include <array>
+#include <string_view>
+#include <unordered_set>
+
+namespace vc {
+
+namespace {
+
+// A compact English function-word list; same role as Mallet's stoplist.
+constexpr auto kStopwords = std::to_array<std::string_view>({
+    "a", "about", "above", "across", "after", "afterwards", "again", "against",
+    "all", "almost", "alone", "along", "already", "also", "although", "always",
+    "am", "among", "amongst", "an", "and", "another", "any", "anyhow", "anyone",
+    "anything", "anyway", "anywhere", "are", "around", "as", "at", "back", "be",
+    "became", "because", "become", "becomes", "becoming", "been", "before",
+    "beforehand", "behind", "being", "below", "beside", "besides", "between",
+    "beyond", "both", "but", "by", "can", "cannot", "could", "did", "do", "does",
+    "doing", "done", "down", "during", "each", "either", "else", "elsewhere",
+    "enough", "etc", "even", "ever", "every", "everyone", "everything",
+    "everywhere", "except", "few", "for", "former", "formerly", "from", "further",
+    "had", "has", "have", "having", "he", "hence", "her", "here", "hereafter",
+    "hereby", "herein", "hereupon", "hers", "herself", "him", "himself", "his",
+    "how", "however", "i", "ie", "if", "in", "indeed", "instead", "into", "is",
+    "it", "its", "itself", "just", "last", "latter", "latterly", "least", "less",
+    "let", "like", "likely", "may", "me", "meanwhile", "might", "mine", "more",
+    "moreover", "most", "mostly", "much", "must", "my", "myself", "namely",
+    "neither", "never", "nevertheless", "next", "no", "nobody", "none", "nor",
+    "not", "nothing", "now", "nowhere", "of", "off", "often", "on", "once", "one",
+    "only", "onto", "or", "other", "others", "otherwise", "our", "ours",
+    "ourselves", "out", "over", "own", "per", "perhaps", "rather", "re", "same",
+    "seem", "seemed", "seeming", "seems", "several", "she", "should", "since",
+    "so", "some", "somehow", "someone", "something", "sometime", "sometimes",
+    "somewhere", "still", "such", "than", "that", "the", "their", "theirs",
+    "them", "themselves", "then", "thence", "there", "thereafter", "thereby",
+    "therefore", "therein", "thereupon", "these", "they", "this", "those",
+    "though", "through", "throughout", "thru", "thus", "to", "together", "too",
+    "toward", "towards", "under", "until", "up", "upon", "us", "very", "via",
+    "was", "we", "well", "were", "what", "whatever", "when", "whence", "whenever",
+    "where", "whereafter", "whereas", "whereby", "wherein", "whereupon",
+    "wherever", "whether", "which", "while", "whither", "who", "whoever", "whole",
+    "whom", "whose", "why", "will", "with", "within", "without", "would", "yet",
+    "you", "your", "yours", "yourself", "yourselves", "the", "of", "and",
+    // Common e-mail / newsgroup boilerplate (the datasets are message corpora).
+    "subject", "wrote", "writes", "article", "newsgroup", "email", "mail",
+    "sent", "received", "cc", "bcc", "fwd", "reply", "original", "message",
+    "http", "www", "com", "org", "net", "edu", "gov", "html", "htm",
+    "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday",
+    "mon", "tue", "wed", "thu", "fri", "sat", "sun",
+    "am", "pm", "gmt", "est", "pst", "cst",
+    "dont", "cant", "wont", "didnt", "doesnt", "isnt", "arent", "wasnt",
+    "werent", "couldnt", "shouldnt", "wouldnt", "im", "ive", "ill", "id",
+    "youre", "youve", "youll", "youd", "hes", "shes", "theyre", "theyve",
+    "weve", "wed", "thats", "whats", "heres", "theres", "wheres",
+});
+
+const std::unordered_set<std::string_view>& stopword_set() {
+  static const std::unordered_set<std::string_view> set(kStopwords.begin(), kStopwords.end());
+  return set;
+}
+
+}  // namespace
+
+bool is_stopword(std::string_view word) { return stopword_set().contains(word); }
+
+std::size_t stopword_count() { return stopword_set().size(); }
+
+}  // namespace vc

@@ -1,0 +1,13 @@
+// English stop-word list in the spirit of Mallet's (§V-A used Mallet's
+// 823-word list).  Checked before stemming.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace vc {
+
+bool is_stopword(std::string_view word);
+std::size_t stopword_count();
+
+}  // namespace vc

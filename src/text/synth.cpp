@@ -1,0 +1,100 @@
+#include "text/synth.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+
+SynthSpec enron_profile(std::uint32_t num_docs, std::uint64_t seed) {
+  // Enron: 517,424 docs / 1.67 M unique terms => ~3.2 terms per doc of new
+  // vocabulary; average df 144.1.  Scaling vocab with doc count keeps both
+  // ratios roughly stable under the Zipf draw.
+  SynthSpec spec;
+  spec.name = "enron-synth";
+  spec.num_docs = num_docs;
+  spec.min_doc_words = 60;
+  spec.max_doc_words = 420;  // e-mails are small but heavy-tailed
+  spec.vocab_size = std::max<std::uint32_t>(2000, num_docs * 3);
+  spec.zipf_s = 1.1;
+  spec.seed = seed;
+  return spec;
+}
+
+SynthSpec newsgroup_profile(std::uint32_t num_docs, std::uint64_t seed) {
+  // 20NG: 19,997 docs / 185,910 terms => ~9.3 new terms per doc; avg df 140.6.
+  SynthSpec spec;
+  spec.name = "20ng-synth";
+  spec.num_docs = num_docs;
+  spec.min_doc_words = 120;
+  spec.max_doc_words = 900;  // newsgroup posts are longer
+  spec.vocab_size = std::max<std::uint32_t>(2000, num_docs * 9);
+  spec.zipf_s = 1.05;
+  spec.seed = seed;
+  return spec;
+}
+
+std::string synth_word(const SynthSpec& spec, std::uint32_t rank) {
+  // Deterministic pronounceable-ish word per (seed, rank): consonant-vowel
+  // pairs from a rank-keyed stream.  5-9 letters keeps everything clear of
+  // the tokenizer's length filters and the stemmer leaves most intact.
+  DeterministicRng rng(spec.seed ^ (0x9e3779b97f4a7c15ULL * (rank + 1)), "vc.synth.word");
+  static constexpr char kCons[] = "bcdfghjklmnpqrstvwz";
+  static constexpr char kVow[] = "aeiou";
+  std::size_t pairs = 3 + rng.below(3);  // 6..10 letters
+  std::string w;
+  w.reserve(2 * pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    w.push_back(kCons[rng.below(sizeof(kCons) - 1)]);
+    w.push_back(kVow[rng.below(sizeof(kVow) - 1)]);
+  }
+  return w;
+}
+
+Corpus generate_corpus(const SynthSpec& spec) {
+  if (spec.num_docs == 0 || spec.vocab_size == 0) {
+    throw UsageError("synthetic corpus needs docs and vocabulary");
+  }
+  if (spec.min_doc_words == 0 || spec.max_doc_words < spec.min_doc_words) {
+    throw UsageError("bad doc word bounds");
+  }
+  // Zipf CDF over ranks; sampled by binary search.
+  std::vector<double> cdf(spec.vocab_size);
+  double acc = 0;
+  for (std::uint32_t r = 0; r < spec.vocab_size; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), spec.zipf_s);
+    cdf[r] = acc;
+  }
+  const double total = acc;
+
+  // Memoize surface words (generated lazily: high ranks are rarely drawn).
+  std::vector<std::string> words(spec.vocab_size);
+  auto word_at = [&](std::uint32_t rank) -> const std::string& {
+    if (words[rank].empty()) words[rank] = synth_word(spec, rank);
+    return words[rank];
+  };
+
+  DeterministicRng rng(spec.doc_seed != 0 ? spec.doc_seed : spec.seed, "vc.synth.corpus");
+  Corpus corpus(spec.name);
+  for (std::uint32_t d = 0; d < spec.num_docs; ++d) {
+    std::uint32_t n_words =
+        spec.min_doc_words + static_cast<std::uint32_t>(rng.below(
+                                 spec.max_doc_words - spec.min_doc_words + 1));
+    std::string text;
+    text.reserve(n_words * 8);
+    for (std::uint32_t i = 0; i < n_words; ++i) {
+      double u = rng.next_double() * total;
+      auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      std::uint32_t rank = static_cast<std::uint32_t>(it - cdf.begin());
+      if (rank >= spec.vocab_size) rank = spec.vocab_size - 1;
+      text += word_at(rank);
+      text.push_back(i % 13 == 12 ? '\n' : ' ');
+    }
+    corpus.add(spec.name + "/" + std::to_string(d), std::move(text));
+  }
+  return corpus;
+}
+
+}  // namespace vc

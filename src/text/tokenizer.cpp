@@ -1,0 +1,63 @@
+#include "text/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+
+namespace vc {
+
+namespace {
+
+bool is_token_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+}
+
+bool pure_number(std::string_view token) {
+  return std::all_of(token.begin(), token.end(), [](char c) { return c >= '0' && c <= '9'; });
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view text, const TokenizerConfig& config) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= config.min_length && current.size() <= config.max_length &&
+        !(config.drop_pure_numbers && pure_number(current))) {
+      out.push_back(current);
+    }
+    current.clear();
+  };
+  for (char raw : text) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (is_token_char(c)) {
+      current.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> analyze(std::string_view text, const TokenizerConfig& config) {
+  std::vector<std::string> tokens = tokenize(text, config);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (is_stopword(t)) continue;
+    std::string stem = porter_stem(t);
+    if (stem.size() >= config.min_length) out.push_back(std::move(stem));
+  }
+  return out;
+}
+
+std::string normalize_term(std::string_view word, const TokenizerConfig& config) {
+  std::vector<std::string> tokens = tokenize(word, config);
+  if (tokens.empty()) return {};
+  return porter_stem(tokens.front());
+}
+
+}  // namespace vc

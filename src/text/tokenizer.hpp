@@ -1,0 +1,33 @@
+// Tokenization for index construction.
+//
+// Replaces the Lemur toolkit's document parsing (§IV): lowercases ASCII,
+// splits on anything that is not a letter or digit, and drops tokens that
+// are too short, too long, or purely numeric noise.  The output alphabet is
+// [a-z0-9]+, which keeps every token safely below the dictionary-interval
+// +inf sentinel.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vc {
+
+struct TokenizerConfig {
+  std::size_t min_length = 2;
+  std::size_t max_length = 32;
+  bool drop_pure_numbers = true;
+
+  friend bool operator==(const TokenizerConfig&, const TokenizerConfig&) = default;
+};
+
+std::vector<std::string> tokenize(std::string_view text, const TokenizerConfig& config = {});
+
+// Full index-side normalization: tokenize, drop stop words, Porter-stem.
+std::vector<std::string> analyze(std::string_view text, const TokenizerConfig& config = {});
+
+// Normalization of a single query keyword (lowercase + stem); returns an
+// empty string if the keyword tokenizes away entirely.
+std::string normalize_term(std::string_view word, const TokenizerConfig& config = {});
+
+}  // namespace vc

@@ -1,0 +1,61 @@
+#include "vindex/balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+std::vector<std::vector<std::size_t>> partition_terms(
+    std::span<const std::size_t> record_counts, std::size_t workers,
+    BalanceStrategy strategy) {
+  if (workers == 0) throw UsageError("partition_terms: need at least one worker");
+  const std::size_t n = record_counts.size();
+  std::vector<std::vector<std::size_t>> groups(workers);
+  if (n == 0) return groups;
+
+  if (strategy == BalanceStrategy::kTermBased) {
+    // Contiguous chunks with (as close as possible) equal term counts —
+    // the "simple strategy" the paper found inefficient.
+    std::size_t per = n / workers, extra = n % workers;
+    std::size_t i = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      std::size_t take = per + (w < extra ? 1 : 0);
+      for (std::size_t k = 0; k < take; ++k) groups[w].push_back(i++);
+    }
+    return groups;
+  }
+
+  // Record-based: longest-processing-time greedy. Sort terms by record
+  // count descending, always assign to the least-loaded worker.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return record_counts[a] > record_counts[b];
+  });
+  std::vector<std::size_t> load(workers, 0);
+  for (std::size_t t : order) {
+    std::size_t w = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    groups[w].push_back(t);
+    load[w] += record_counts[t];
+  }
+  return groups;
+}
+
+double modeled_speedup(std::span<const std::size_t> record_counts, std::size_t workers,
+                       BalanceStrategy strategy) {
+  auto groups = partition_terms(record_counts, workers, strategy);
+  std::size_t total = 0, max_load = 0;
+  for (const auto& g : groups) {
+    std::size_t load = 0;
+    for (std::size_t t : g) load += record_counts[t];
+    total += load;
+    max_load = std::max(max_load, load);
+  }
+  if (max_load == 0) return static_cast<double>(workers);
+  return static_cast<double>(total) / static_cast<double>(max_load);
+}
+
+}  // namespace vc

@@ -1,0 +1,34 @@
+// Load balancing for parallel pre-computation (§IV, Fig 9).
+//
+// The paper pre-computes prime representatives and accumulators with an MPI
+// job over 15 cluster nodes and finds that balancing the number of *index
+// records* per process scales nearly linearly, while balancing the number
+// of *terms* stalls past 16 processes because posting-list sizes are
+// heavily skewed.  This module implements both partitioning strategies for
+// the thread-pool builder and a deterministic speedup model
+// (total work / max per-worker work) used to reproduce Fig 9 on hosts with
+// fewer cores than the paper's cluster (this container has one).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vc {
+
+enum class BalanceStrategy {
+  kTermBased,    // equal number of terms per worker (contiguous chunks)
+  kRecordBased,  // LPT greedy on per-term record counts
+};
+
+// Partitions term indices 0..n-1 into `workers` groups.
+std::vector<std::vector<std::size_t>> partition_terms(
+    std::span<const std::size_t> record_counts, std::size_t workers, BalanceStrategy strategy);
+
+// Achievable speedup of the partition: total records / max per-worker records.
+// This is what wall-clock speedup converges to when per-record cost dominates
+// (prime representative search is per-record).
+double modeled_speedup(std::span<const std::size_t> record_counts, std::size_t workers,
+                       BalanceStrategy strategy);
+
+}  // namespace vc

@@ -1,0 +1,90 @@
+#include "vindex/statements.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc {
+
+namespace {
+template <typename T>
+Bytes encode_of(const T& t) {
+  ByteWriter w;
+  t.write(w);
+  return std::move(w).take();
+}
+}  // namespace
+
+void TermStatement::write(ByteWriter& w) const {
+  w.str("vc.term-stmt.v1");
+  w.str(term);
+  tuple_acc.write(w);
+  doc_acc.write(w);
+  tuple_root.write(w);
+  doc_root.write(w);
+  w.u64(posting_count);
+  w.raw(postings_digest);
+}
+
+TermStatement TermStatement::read(ByteReader& r) {
+  if (r.str() != "vc.term-stmt.v1") throw ParseError("bad term statement tag");
+  TermStatement s;
+  s.term = r.str();
+  s.tuple_acc = Bigint::read(r);
+  s.doc_acc = Bigint::read(r);
+  s.tuple_root = Bigint::read(r);
+  s.doc_root = Bigint::read(r);
+  s.posting_count = r.u64();
+  auto d = r.raw(s.postings_digest.size());
+  std::copy(d.begin(), d.end(), s.postings_digest.begin());
+  return s;
+}
+
+Bytes TermStatement::encode() const { return encode_of(*this); }
+std::size_t TermStatement::encoded_size() const { return encode().size(); }
+
+void BloomStatement::write(ByteWriter& w) const {
+  w.str("vc.bloom-stmt.v1");
+  w.str(term);
+  doc_bloom.write(w);
+}
+
+BloomStatement BloomStatement::read(ByteReader& r) {
+  if (r.str() != "vc.bloom-stmt.v1") throw ParseError("bad bloom statement tag");
+  BloomStatement s;
+  s.term = r.str();
+  s.doc_bloom = CompressedBloom::read(r);
+  return s;
+}
+
+Bytes BloomStatement::encode() const { return encode_of(*this); }
+std::size_t BloomStatement::encoded_size() const { return encode().size(); }
+
+void DictStatement::write(ByteWriter& w) const {
+  w.str("vc.dict-stmt.v1");
+  gap_root.write(w);
+  w.u64(word_count);
+  w.u64(document_count);
+}
+
+DictStatement DictStatement::read(ByteReader& r) {
+  if (r.str() != "vc.dict-stmt.v1") throw ParseError("bad dict statement tag");
+  DictStatement s;
+  s.gap_root = Bigint::read(r);
+  s.word_count = r.u64();
+  s.document_count = r.u64();
+  return s;
+}
+
+Bytes DictStatement::encode() const { return encode_of(*this); }
+std::size_t DictStatement::encoded_size() const { return encode().size(); }
+
+Digest postings_digest(const PostingList& postings) {
+  ByteWriter w;
+  w.varint(postings.size());
+  for (const Posting& p : postings) {
+    w.u32(p.doc_id);
+    w.u32(p.tf);
+  }
+  return Sha256::hash(w.data());
+}
+
+}  // namespace vc

@@ -1,0 +1,97 @@
+// Owner-signed statements (§III-B).
+//
+// The data owner signs every component of the verifiable index before
+// outsourcing it; the cloud later attaches these attestations to proofs so
+// that the owner — who kept *nothing* locally — and any third party can
+// re-authenticate the accumulator values a proof argues against.
+#pragma once
+
+#include <string>
+
+#include "bloom/compressed_bloom.hpp"
+#include "crypto/signature.hpp"
+#include "hash/sha256.hpp"
+#include "index/inverted_index.hpp"
+
+namespace vc {
+
+// The core per-term statement: binds a term to its two flat accumulators
+// (tuples and docIDs, §III-B), its two interval-tree roots, and a digest of
+// the full posting list (used by the single-keyword fallback, §III-D5).
+struct TermStatement {
+  std::string term;
+  Bigint tuple_acc;       // flat accumulator over (docID, tf) tuples
+  Bigint doc_acc;         // flat accumulator over docIDs
+  Bigint tuple_root;      // interval-tree root over tuples
+  Bigint doc_root;        // interval-tree root over docIDs
+  std::uint64_t posting_count = 0;
+  Digest postings_digest{};  // SHA-256 of the canonical posting list
+
+  void write(ByteWriter& w) const;
+  static TermStatement read(ByteReader& r);
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] std::size_t encoded_size() const;
+  friend bool operator==(const TermStatement&, const TermStatement&) = default;
+};
+
+// Separately signed per-term Bloom filter of the docID set.  Split from the
+// core statement so that non-Bloom proofs never pay its bytes.
+struct BloomStatement {
+  std::string term;
+  CompressedBloom doc_bloom;
+
+  void write(ByteWriter& w) const;
+  static BloomStatement read(ByteReader& r);
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] std::size_t encoded_size() const;
+  friend bool operator==(const BloomStatement&, const BloomStatement&) = default;
+};
+
+// Signed dictionary statement: the root of the gap-interval accumulator
+// over all indexed terms (§III-D4).
+struct DictStatement {
+  Bigint gap_root;
+  std::uint64_t word_count = 0;
+  // Total indexed documents; lets the client compute IDF-style ranking
+  // weights from owner-signed quantities only (§III-E).
+  std::uint64_t document_count = 0;
+
+  void write(ByteWriter& w) const;
+  static DictStatement read(ByteReader& r);
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] std::size_t encoded_size() const;
+  friend bool operator==(const DictStatement&, const DictStatement&) = default;
+};
+
+template <typename Statement>
+struct Attested {
+  Statement stmt;
+  Signature sig;
+
+  void write(ByteWriter& w) const {
+    stmt.write(w);
+    sig.write(w);
+  }
+  static Attested read(ByteReader& r) {
+    Attested a;
+    a.stmt = Statement::read(r);
+    a.sig = Signature::read(r);
+    return a;
+  }
+  [[nodiscard]] std::size_t encoded_size() const {
+    return stmt.encoded_size() + sig.encoded_size();
+  }
+  [[nodiscard]] bool verify(const VerifyKey& owner_key) const {
+    return owner_key.verify(stmt.encode(), sig);
+  }
+  friend bool operator==(const Attested&, const Attested&) = default;
+};
+
+using TermAttestation = Attested<TermStatement>;
+using BloomAttestation = Attested<BloomStatement>;
+using DictAttestation = Attested<DictStatement>;
+
+// Canonical digest of a posting list (docID/tf pairs in order).
+Digest postings_digest(const PostingList& postings);
+
+}  // namespace vc

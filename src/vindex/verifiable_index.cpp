@@ -1,0 +1,425 @@
+#include "vindex/verifiable_index.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+
+#include "bloom/compressed_bloom.hpp"
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+#include "support/threadpool.hpp"
+
+namespace vc {
+
+VerifiableIndex::Entry VerifiableIndex::build_entry(const std::string& term,
+                                                    const PostingList& postings,
+                                                    const AccumulatorContext& owner_ctx,
+                                                    const SigningKey& owner_key) const {
+  Entry e;
+  e.postings = postings;
+  U64Set tuples = InvertedIndex::tuple_set(postings);
+  U64Set docs = InvertedIndex::doc_set(postings);
+  // tuple_set is sorted by construction (doc_id major); doc ids are sorted.
+  std::sort(tuples.begin(), tuples.end());
+  IntervalConfig icfg{.interval_size = config_.interval_size};
+  e.tuple_intervals = IntervalIndex::build(owner_ctx, tuples, *tuple_primes_, icfg);
+  e.doc_intervals = IntervalIndex::build(owner_ctx, docs, *doc_primes_, icfg);
+
+  std::vector<Bigint> tuple_reps, doc_reps;
+  tuple_reps.reserve(tuples.size());
+  doc_reps.reserve(docs.size());
+  for (std::uint64_t t : tuples) tuple_reps.push_back(tuple_primes_->get(t));
+  for (std::uint64_t d : docs) doc_reps.push_back(doc_primes_->get(d));
+
+  e.doc_bloom = CountingBloom::from_set(config_.bloom, docs);
+
+  TermStatement stmt;
+  stmt.term = term;
+  stmt.tuple_acc = owner_ctx.accumulate(tuple_reps);
+  stmt.doc_acc = owner_ctx.accumulate(doc_reps);
+  stmt.tuple_root = e.tuple_intervals.root();
+  stmt.doc_root = e.doc_intervals.root();
+  stmt.posting_count = postings.size();
+  stmt.postings_digest = postings_digest(postings);
+  e.attestation = TermAttestation{stmt, owner_key.sign(stmt.encode())};
+
+  BloomStatement bstmt;
+  bstmt.term = term;
+  bstmt.doc_bloom = compress_bloom(e.doc_bloom);
+  e.bloom_attestation = BloomAttestation{bstmt, owner_key.sign(bstmt.encode())};
+  return e;
+}
+
+VerifiableIndex VerifiableIndex::build(InvertedIndex index,
+                                       const AccumulatorContext& owner_ctx,
+                                       const SigningKey& owner_key,
+                                       VerifiableIndexConfig config, ThreadPool& pool,
+                                       BalanceStrategy strategy, BuildStats* stats) {
+  VerifiableIndex vidx(config);
+  vidx.index_ = std::move(index);
+
+  // Phase 1 (offline, §III-D3): pre-compute all prime representatives.
+  // Work is partitioned across the pool by the chosen strategy.
+  Stopwatch sw;
+  std::vector<const PostingList*> lists;
+  std::vector<const std::string*> term_names;
+  std::vector<std::size_t> record_counts;
+  for (const auto& [term, list] : vidx.index_.terms()) {
+    term_names.push_back(&term);
+    lists.push_back(&list);
+    record_counts.push_back(list.size());
+  }
+  auto groups = partition_terms(record_counts, std::max<std::size_t>(1, pool.worker_count()),
+                                strategy);
+  {
+    std::vector<std::future<void>> futs;
+    for (const auto& group : groups) {
+      if (group.empty()) continue;
+      futs.push_back(pool.submit([&, group] {
+        for (std::size_t t : group) {
+          for (const Posting& p : *lists[t]) {
+            (void)vidx.tuple_primes_->get(InvertedIndex::encode_tuple(p));
+            (void)vidx.doc_primes_->get(InvertedIndex::encode_doc(p.doc_id));
+          }
+        }
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+  double prime_seconds = sw.seconds();
+
+  // Phase 2: per-term accumulators, interval trees, Blooms, signatures.
+  sw.reset();
+  std::vector<Entry> built(lists.size());
+  {
+    std::vector<std::future<void>> futs;
+    for (const auto& group : groups) {
+      if (group.empty()) continue;
+      futs.push_back(pool.submit([&, group] {
+        for (std::size_t t : group) {
+          built[t] = vidx.build_entry(*term_names[t], *lists[t], owner_ctx, owner_key);
+        }
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+  for (std::size_t t = 0; t < built.size(); ++t) {
+    vidx.entries_.emplace(*term_names[t], std::move(built[t]));
+  }
+  double accumulate_seconds = sw.seconds();
+
+  // Phase 3: dictionary gap intervals (unknown keywords, §III-D4).
+  double dict_seconds = vidx.rebuild_dictionary(owner_ctx, owner_key);
+
+  if (stats != nullptr) {
+    stats->prime_precompute_seconds = prime_seconds;
+    stats->accumulate_seconds = accumulate_seconds;
+    stats->dictionary_seconds = dict_seconds;
+    stats->records = vidx.index_.record_count();
+    stats->terms = vidx.entries_.size();
+  }
+  return vidx;
+}
+
+const VerifiableIndex::Entry* VerifiableIndex::find(std::string_view term) const {
+  auto it = entries_.find(term);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+double VerifiableIndex::rebuild_dictionary(const AccumulatorContext& owner_ctx,
+                                           const SigningKey& owner_key) {
+  Stopwatch sw;
+  dict_ = DictionaryIntervals::build(owner_ctx, index_.dictionary(),
+                                     config_.dict_prime_config());
+  DictStatement stmt{dict_.root(), dict_.word_count(), index_.doc_count()};
+  dict_attestation_ = DictAttestation{stmt, owner_key.sign(stmt.encode())};
+  return sw.seconds();
+}
+
+namespace {
+
+void write_config(ByteWriter& w, const VerifiableIndexConfig& cfg) {
+  w.varint(cfg.modulus_bits);
+  w.varint(cfg.rep_bits);
+  w.varint(cfg.interval_size);
+  w.varint(static_cast<std::uint64_t>(cfg.prime_mr_rounds));
+  cfg.bloom.write(w);
+}
+
+VerifiableIndexConfig read_config(ByteReader& r) {
+  VerifiableIndexConfig cfg;
+  cfg.modulus_bits = r.varint();
+  cfg.rep_bits = r.varint();
+  cfg.interval_size = r.varint();
+  cfg.prime_mr_rounds = static_cast<int>(r.varint());
+  cfg.bloom = BloomParams::read(r);
+  return cfg;
+}
+
+}  // namespace
+
+void VerifiableIndex::save(const std::string& path, bool include_prime_caches) const {
+  ByteWriter w;
+  w.str("vc.verifiable-index.v1");
+  write_config(w, config_);
+  index_.write(w);
+  w.varint(entries_.size());
+  for (const auto& [term, e] : entries_) {
+    w.str(term);
+    e.tuple_intervals.write(w);
+    e.doc_intervals.write(w);
+    e.doc_bloom.write(w);
+    e.attestation.write(w);
+    e.bloom_attestation.write(w);
+  }
+  dict_.write(w);
+  dict_attestation_.write(w);
+  w.u8(include_prime_caches ? 1 : 0);
+  if (include_prime_caches) {
+    tuple_primes_->write(w);
+    doc_primes_->write(w);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw UsageError("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+VerifiableIndex VerifiableIndex::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw UsageError("cannot open for read: " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ByteReader r(data);
+  if (r.str() != "vc.verifiable-index.v1") throw ParseError("bad verifiable-index tag");
+  VerifiableIndex vidx(read_config(r));
+  vidx.index_ = InvertedIndex::read(r);
+  std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string term = r.str();
+    Entry e;
+    e.tuple_intervals = IntervalIndex::read(r);
+    e.doc_intervals = IntervalIndex::read(r);
+    e.doc_bloom = CountingBloom::read(r);
+    e.attestation = TermAttestation::read(r);
+    e.bloom_attestation = BloomAttestation::read(r);
+    const PostingList* postings = vidx.index_.find(term);
+    if (postings == nullptr) throw ParseError("entry for unknown term: " + term);
+    e.postings = *postings;
+    vidx.entries_.emplace(std::move(term), std::move(e));
+  }
+  vidx.dict_ = DictionaryIntervals::read(r);
+  vidx.dict_attestation_ = DictAttestation::read(r);
+  if (r.u8() != 0) {
+    vidx.tuple_primes_->read_into(r);
+    vidx.doc_primes_->read_into(r);
+  }
+  r.expect_done();
+  return vidx;
+}
+
+void VerifiableIndex::validate(const VerifyKey& owner_key) const {
+  auto require = [](bool ok, const std::string& what) {
+    if (!ok) throw VerifyError(what);
+  };
+  require(entries_.size() == index_.term_count(),
+          "entry count does not match the inverted index");
+  for (const auto& [term, e] : entries_) {
+    require(index_.find(term) != nullptr, "entry term missing from index: " + term);
+    require(e.attestation.verify(owner_key), "term attestation invalid: " + term);
+    require(e.bloom_attestation.verify(owner_key), "bloom attestation invalid: " + term);
+    require(e.attestation.stmt.term == term, "attestation names wrong term: " + term);
+    require(e.bloom_attestation.stmt.term == term, "bloom names wrong term: " + term);
+    require(e.attestation.stmt.posting_count == e.postings.size(),
+            "posting count mismatch: " + term);
+    require(e.attestation.stmt.postings_digest == postings_digest(e.postings),
+            "postings digest mismatch: " + term);
+    require(e.attestation.stmt.tuple_root == e.tuple_intervals.root(),
+            "tuple interval root mismatch: " + term);
+    require(e.attestation.stmt.doc_root == e.doc_intervals.root(),
+            "doc interval root mismatch: " + term);
+    require(e.doc_bloom == decompress_bloom(e.bloom_attestation.stmt.doc_bloom),
+            "bloom filter mismatch: " + term);
+    require(e.tuple_intervals.element_count() == e.postings.size(),
+            "tuple interval cardinality mismatch: " + term);
+    require(e.doc_intervals.element_count() == e.postings.size(),
+            "doc interval cardinality mismatch: " + term);
+  }
+  require(dict_attestation_.verify(owner_key), "dictionary attestation invalid");
+  require(dict_attestation_.stmt.gap_root == dict_.root(), "dictionary root mismatch");
+  require(dict_attestation_.stmt.word_count == dict_.word_count(),
+          "dictionary word count mismatch");
+  require(dict_.word_count() == index_.term_count(),
+          "dictionary does not cover the index terms");
+}
+
+UpdateTimings VerifiableIndex::add_documents(const std::vector<Document>& docs,
+                                             const AccumulatorContext& owner_ctx,
+                                             const SigningKey& owner_key,
+                                             bool rebuild_dict) {
+  if (!owner_ctx.has_trapdoor()) {
+    throw UsageError("add_documents requires the owner context");
+  }
+  UpdateTimings t;
+
+  // Index the new documents, collecting per-term added postings.
+  std::map<std::string, PostingList, std::less<>> added;
+  for (const Document& doc : docs) {
+    std::size_t before_records = index_.record_count();
+    (void)before_records;
+    for (const std::string& term : index_.add_document(doc.id, doc.text)) {
+      const PostingList& list = *index_.find(term);
+      added[term].push_back(list.back());
+      ++t.added_postings;
+    }
+  }
+  t.touched_terms = added.size();
+  bool new_terms = false;
+
+  for (auto& [term, new_postings] : added) {
+    auto it = entries_.find(term);
+    if (it == entries_.end()) {
+      // Brand-new term: build its entry from scratch (small list).
+      Stopwatch sw;
+      Entry e = build_entry(term, *index_.find(term), owner_ctx, owner_key);
+      t.new_term_seconds += sw.seconds();
+      ++t.new_terms;
+      entries_.emplace(term, std::move(e));
+      new_terms = true;
+      continue;
+    }
+    Entry& e = it->second;
+    U64Set new_tuples, new_docs;
+    for (const Posting& p : new_postings) {
+      new_tuples.push_back(InvertedIndex::encode_tuple(p));
+      new_docs.push_back(InvertedIndex::encode_doc(p.doc_id));
+      e.postings.push_back(p);
+    }
+    std::sort(new_tuples.begin(), new_tuples.end());
+    std::sort(new_docs.begin(), new_docs.end());
+
+    // Eq 5: flat accumulator updates — cost proportional to the *added*
+    // elements only, independent of the existing set size.
+    Stopwatch sw;
+    std::vector<Bigint> tuple_reps, doc_reps;
+    for (std::uint64_t v : new_tuples) tuple_reps.push_back(tuple_primes_->get(v));
+    for (std::uint64_t v : new_docs) doc_reps.push_back(doc_primes_->get(v));
+    TermStatement stmt = e.attestation.stmt;
+    stmt.tuple_acc = owner_ctx.add_elements(stmt.tuple_acc, tuple_reps);
+    stmt.doc_acc = owner_ctx.add_elements(stmt.doc_acc, doc_reps);
+    t.flat_accumulator_seconds += sw.seconds();
+
+    // Bloom: decompress the signed filter, add, recompress (§V-D).
+    sw.reset();
+    CountingBloom stored = decompress_bloom(e.bloom_attestation.stmt.doc_bloom);
+    for (std::uint64_t d : new_docs) {
+      stored.add(d);
+      e.doc_bloom.add(d);
+    }
+    CompressedBloom recompressed = compress_bloom(stored);
+    t.bloom_seconds += sw.seconds();
+
+    // Interval trees: incremental insert into touched intervals.
+    sw.reset();
+    e.tuple_intervals.insert(owner_ctx, new_tuples, *tuple_primes_);
+    e.doc_intervals.insert(owner_ctx, new_docs, *doc_primes_);
+    stmt.tuple_root = e.tuple_intervals.root();
+    stmt.doc_root = e.doc_intervals.root();
+    t.interval_seconds += sw.seconds();
+
+    // Re-sign the updated statements.
+    sw.reset();
+    stmt.posting_count = e.postings.size();
+    stmt.postings_digest = postings_digest(e.postings);
+    e.attestation = TermAttestation{stmt, owner_key.sign(stmt.encode())};
+    BloomStatement bstmt{term, std::move(recompressed)};
+    e.bloom_attestation = BloomAttestation{bstmt, owner_key.sign(bstmt.encode())};
+    t.sign_seconds += sw.seconds();
+  }
+
+  if (rebuild_dict && new_terms) {
+    t.dictionary_seconds = rebuild_dictionary(owner_ctx, owner_key);
+  }
+  return t;
+}
+
+UpdateTimings VerifiableIndex::remove_documents(std::span<const std::uint64_t> doc_ids,
+                                                const AccumulatorContext& owner_ctx,
+                                                const SigningKey& owner_key,
+                                                bool rebuild_dict) {
+  if (!owner_ctx.has_trapdoor()) {
+    throw UsageError("remove_documents requires the owner context");
+  }
+  UpdateTimings t;
+  U64Set sorted_ids(doc_ids.begin(), doc_ids.end());
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+
+  auto removed = index_.remove_documents(sorted_ids);
+  t.touched_terms = removed.size();
+  bool terms_vanished = false;
+
+  for (auto& [term, gone] : removed) {
+    auto it = entries_.find(term);
+    if (it == entries_.end()) continue;  // defensive; should not happen
+    Entry& e = it->second;
+    t.added_postings += gone.size();  // postings *changed* by this update
+
+    if (index_.find(term) == nullptr) {
+      // Every posting of this term is gone: drop the whole entry.
+      entries_.erase(it);
+      terms_vanished = true;
+      continue;
+    }
+
+    U64Set gone_tuples, gone_docs;
+    for (const Posting& p : gone) {
+      gone_tuples.push_back(InvertedIndex::encode_tuple(p));
+      gone_docs.push_back(InvertedIndex::encode_doc(p.doc_id));
+    }
+    std::sort(gone_tuples.begin(), gone_tuples.end());
+    std::sort(gone_docs.begin(), gone_docs.end());
+    e.postings = *index_.find(term);
+
+    // Eq 6: flat accumulator deletion via the inverse exponent mod phi(n).
+    Stopwatch sw;
+    std::vector<Bigint> tuple_reps, doc_reps;
+    for (std::uint64_t v : gone_tuples) tuple_reps.push_back(tuple_primes_->get(v));
+    for (std::uint64_t v : gone_docs) doc_reps.push_back(doc_primes_->get(v));
+    TermStatement stmt = e.attestation.stmt;
+    stmt.tuple_acc = owner_ctx.delete_elements(stmt.tuple_acc, tuple_reps);
+    stmt.doc_acc = owner_ctx.delete_elements(stmt.doc_acc, doc_reps);
+    t.flat_accumulator_seconds += sw.seconds();
+
+    // Bloom: counter decrements + recompress the signed filter.
+    sw.reset();
+    CountingBloom stored = decompress_bloom(e.bloom_attestation.stmt.doc_bloom);
+    for (std::uint64_t d : gone_docs) {
+      stored.remove(d);
+      e.doc_bloom.remove(d);
+    }
+    CompressedBloom recompressed = compress_bloom(stored);
+    t.bloom_seconds += sw.seconds();
+
+    // Interval trees: in-place element removal.
+    sw.reset();
+    e.tuple_intervals.remove(owner_ctx, gone_tuples, *tuple_primes_);
+    e.doc_intervals.remove(owner_ctx, gone_docs, *doc_primes_);
+    stmt.tuple_root = e.tuple_intervals.root();
+    stmt.doc_root = e.doc_intervals.root();
+    t.interval_seconds += sw.seconds();
+
+    sw.reset();
+    stmt.posting_count = e.postings.size();
+    stmt.postings_digest = postings_digest(e.postings);
+    e.attestation = TermAttestation{stmt, owner_key.sign(stmt.encode())};
+    BloomStatement bstmt{term, std::move(recompressed)};
+    e.bloom_attestation = BloomAttestation{bstmt, owner_key.sign(bstmt.encode())};
+    t.sign_seconds += sw.seconds();
+  }
+
+  if (rebuild_dict && terms_vanished) {
+    t.dictionary_seconds = rebuild_dictionary(owner_ctx, owner_key);
+  }
+  return t;
+}
+
+}  // namespace vc

@@ -1,0 +1,169 @@
+// The verifiable index (§III-B): the paper's core data structure.
+//
+// Maps every indexed term to
+//   - its inverted-index posting list of (docID, tf) tuples,
+//   - two flat RSA accumulators (tuples; docIDs),
+//   - two interval trees (tuples; docIDs) for fast online witnesses,
+//   - an owner-signed counting Bloom filter of the docID set,
+//   - owner signatures binding all of the above to the term,
+// plus the dictionary gap-interval structure for unknown keywords.
+//
+// The owner builds this (with the trapdoor making accumulation cheap),
+// signs everything, uploads it, and may then delete all local state.  The
+// cloud holds the structure and generates proofs against it with public
+// parameters only.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "accumulator/accumulator.hpp"
+#include "bloom/counting_bloom.hpp"
+#include "index/inverted_index.hpp"
+#include "interval/dict_intervals.hpp"
+#include "interval/interval_index.hpp"
+#include "primes/prime_cache.hpp"
+#include "vindex/balance.hpp"
+#include "vindex/statements.hpp"
+
+namespace vc {
+
+class ThreadPool;
+
+struct VerifiableIndexConfig {
+  std::size_t modulus_bits = 1024;
+  std::size_t rep_bits = 128;     // prime representative width
+  std::size_t interval_size = 100;  // the paper's §V-A choice
+  int prime_mr_rounds = 28;
+  BloomParams bloom{.counters = 4096, .hashes = 1, .domain = "vc.bloom.docs"};
+
+  [[nodiscard]] PrimeRepConfig tuple_prime_config() const {
+    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.tuples", .mr_rounds = prime_mr_rounds};
+  }
+  [[nodiscard]] PrimeRepConfig doc_prime_config() const {
+    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.docs", .mr_rounds = prime_mr_rounds};
+  }
+  [[nodiscard]] PrimeRepConfig dict_prime_config() const {
+    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.dict", .mr_rounds = prime_mr_rounds};
+  }
+};
+
+struct BuildStats {
+  double prime_precompute_seconds = 0;  // Table II's cost, paid offline
+  double accumulate_seconds = 0;        // flat + interval accumulators
+  double bloom_seconds = 0;
+  double sign_seconds = 0;
+  double dictionary_seconds = 0;
+  std::uint64_t records = 0;
+  std::size_t terms = 0;
+};
+
+struct UpdateTimings {
+  double flat_accumulator_seconds = 0;  // Eq 5 updates (Accumulator scheme)
+  double bloom_seconds = 0;             // decompress + add + recompress (Bloom)
+  double interval_seconds = 0;          // interval-tree maintenance (Hybrid extra)
+  double sign_seconds = 0;
+  double dictionary_seconds = 0;
+  double new_term_seconds = 0;          // entries built from scratch for new terms
+  std::size_t touched_terms = 0;
+  std::size_t new_terms = 0;
+  std::size_t added_postings = 0;
+
+  [[nodiscard]] double accumulator_scheme_seconds() const {
+    return flat_accumulator_seconds + sign_seconds;
+  }
+  [[nodiscard]] double bloom_scheme_seconds() const { return bloom_seconds + sign_seconds; }
+  [[nodiscard]] double hybrid_scheme_seconds() const {
+    return flat_accumulator_seconds + bloom_seconds + interval_seconds + sign_seconds;
+  }
+};
+
+class VerifiableIndex {
+ public:
+  struct Entry {
+    PostingList postings;
+    IntervalIndex tuple_intervals;
+    IntervalIndex doc_intervals;
+    CountingBloom doc_bloom{BloomParams{}};  // uncompressed working copy
+    TermAttestation attestation;
+    BloomAttestation bloom_attestation;
+  };
+
+  // Owner-side build.  `workers` threads pre-compute prime representatives
+  // and per-term structures, partitioned by `strategy` (Fig 9).
+  static VerifiableIndex build(InvertedIndex index, const AccumulatorContext& owner_ctx,
+                               const SigningKey& owner_key, VerifiableIndexConfig config,
+                               ThreadPool& pool,
+                               BalanceStrategy strategy = BalanceStrategy::kRecordBased,
+                               BuildStats* stats = nullptr);
+
+  [[nodiscard]] const Entry* find(std::string_view term) const;
+  [[nodiscard]] const InvertedIndex& index() const { return index_; }
+  [[nodiscard]] const VerifiableIndexConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t term_count() const { return entries_.size(); }
+
+  [[nodiscard]] const DictionaryIntervals& dictionary() const { return dict_; }
+  [[nodiscard]] const DictAttestation& dict_attestation() const { return dict_attestation_; }
+
+  // The cloud-side prime manager caches (pre-computed at build: §III-D3).
+  [[nodiscard]] PrimeCache& tuple_primes() const { return *tuple_primes_; }
+  [[nodiscard]] PrimeCache& doc_primes() const { return *doc_primes_; }
+
+  // Incremental update (§II-D, Fig 8): appends new documents (docIDs must
+  // exceed all indexed ones), updating flat accumulators with Eq 5, Bloom
+  // filters by counter increments, interval trees incrementally, and
+  // re-signing touched statements.  Requires the owner context + key.
+  // `rebuild_dictionary` re-derives the gap structure when new terms
+  // appeared (skippable for measurement runs that follow the paper's Fig 8
+  // scope; a skipped rebuild leaves unknown-keyword proofs stale for the
+  // new terms until the next rebuild).
+  UpdateTimings add_documents(const std::vector<Document>& docs,
+                              const AccumulatorContext& owner_ctx,
+                              const SigningKey& owner_key, bool rebuild_dictionary = true);
+
+  // Incremental delete (§II-D, Eq 6): removes documents entirely.  Flat
+  // accumulators shrink via the modular-inverse update, Bloom counters
+  // decrement, interval trees drop the elements in place.  Terms whose
+  // posting lists empty out disappear from the index (and from the
+  // dictionary when `rebuild_dictionary` is set).
+  UpdateTimings remove_documents(std::span<const std::uint64_t> doc_ids,
+                                 const AccumulatorContext& owner_ctx,
+                                 const SigningKey& owner_key,
+                                 bool rebuild_dictionary = true);
+
+  // Rebuilds the dictionary gap structure + attestation from current terms.
+  double rebuild_dictionary(const AccumulatorContext& owner_ctx, const SigningKey& owner_key);
+
+  // --- outsourcing ---------------------------------------------------------
+  // Serializes the complete structure — index, per-term entries, dictionary
+  // and (optionally) the pre-computed prime caches — into the artifact the
+  // owner uploads (§III-B).
+  void save(const std::string& path, bool include_prime_caches = true) const;
+  static VerifiableIndex load(const std::string& path);
+
+  // The receipt check the cloud performs before acknowledging: every
+  // attestation must verify under the owner's key, and every entry must be
+  // consistent with the inverted index it claims to cover.  Throws
+  // VerifyError naming the first failed check.
+  void validate(const VerifyKey& owner_key) const;
+
+ private:
+  explicit VerifiableIndex(VerifiableIndexConfig config)
+      : config_(config),
+        tuple_primes_(std::make_unique<PrimeCache>(config.tuple_prime_config())),
+        doc_primes_(std::make_unique<PrimeCache>(config.doc_prime_config())) {}
+
+  Entry build_entry(const std::string& term, const PostingList& postings,
+                    const AccumulatorContext& owner_ctx, const SigningKey& owner_key) const;
+
+  VerifiableIndexConfig config_;
+  InvertedIndex index_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  DictionaryIntervals dict_;
+  DictAttestation dict_attestation_;
+  std::unique_ptr<PrimeCache> tuple_primes_;  // stable identity across moves
+  std::unique_ptr<PrimeCache> doc_primes_;
+};
+
+}  // namespace vc

@@ -1,0 +1,38 @@
+#!/bin/sh
+# End-to-end CLI workflow test: build -> inspect/validate -> serve -> query.
+# Usage: cli_test.sh <build-dir>
+set -e
+BUILD="$1"
+WORK=$(mktemp -d)
+trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$WORK" || true' EXIT
+
+"$BUILD/tools/vcsearch-build" --out "$WORK" --synth 60 --seed 9 \
+    --modulus-bits 512 --rep-bits 64 --interval 8 > "$WORK/build.log"
+grep -q "built verifiable index" "$WORK/build.log"
+test -f "$WORK/index.vc"
+test -f "$WORK/owner.key"
+
+"$BUILD/tools/vcsearch-inspect" --dir "$WORK" --validate > "$WORK/inspect.log"
+grep -q "validation" "$WORK/inspect.log"
+
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --port 0 > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+tries=0
+until grep -q "serving" "$WORK/serve.log" 2>/dev/null; do
+  tries=$((tries + 1))
+  test $tries -lt 100 || { echo "server never came up"; exit 1; }
+  sleep 0.2
+done
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve.log" | head -1)
+
+# A word guaranteed known: take the top term from the inspect output.
+WORD=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK" --top 1 | grep ' docs' | awk '{print $1}')
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" "$WORD" > "$WORK/q1.log"
+grep -q "VERIFIED" "$WORK/q1.log"
+
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" zzznotaword > "$WORK/q2.log"
+grep -q "not in the indexed dictionary" "$WORK/q2.log"
+
+kill $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+echo "cli_test OK"

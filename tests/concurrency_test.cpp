@@ -1,0 +1,66 @@
+// Concurrency: the cloud engine and the verifier must be safe under
+// parallel queries (the paper's Fig 4 service runs its managers on separate
+// cores; the shared state is the prime-representative caches).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "crypto/standard_params.hpp"
+#include "search/engine.hpp"
+#include "support/errors.hpp"
+#include "support/threadpool.hpp"
+#include "text/synth.hpp"
+
+namespace vc {
+namespace {
+
+TEST(Concurrency, ParallelQueriesAllVerify) {
+  VerifiableIndexConfig cfg;
+  cfg.modulus_bits = 512;
+  cfg.rep_bits = 64;
+  cfg.interval_size = 8;
+  cfg.prime_mr_rounds = 24;
+  cfg.bloom = BloomParams{.counters = 256, .hashes = 1, .domain = "conc"};
+  auto owner_ctx = AccumulatorContext::owner(standard_accumulator_modulus(512),
+                                             standard_qr_generator(512));
+  auto pub_ctx = AccumulatorContext::public_side(owner_ctx.params());
+  DeterministicRng rng(1201);
+  SigningKey owner_key = generate_signing_key(rng, 512);
+  SigningKey cloud_key = generate_signing_key(rng, 512);
+  ThreadPool build_pool(2);
+
+  SynthSpec spec{.name = "conc", .num_docs = 40, .min_doc_words = 20,
+                 .max_doc_words = 45, .vocab_size = 180, .zipf_s = 0.9, .seed = 91};
+  Corpus corpus = generate_corpus(spec);
+  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
+                                                owner_key, cfg, build_pool);
+  // Engine WITHOUT an internal pool: the outer threads are the parallelism.
+  SearchEngine engine(vidx, pub_ctx, cloud_key, nullptr);
+  ResultVerifier verifier(owner_ctx, owner_key.verify_key(), cloud_key.verify_key(), cfg);
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 6;
+  ThreadPool pool(kThreads);
+  std::atomic<int> verified{0};
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < kThreads; ++t) {
+    futs.push_back(pool.submit([&, t] {
+      DeterministicRng qrng(2000 + t);
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        Query q{.id = static_cast<std::uint64_t>(t * 100 + i),
+                .keywords = {synth_word(spec, static_cast<std::uint32_t>(qrng.below(12))),
+                             synth_word(spec, static_cast<std::uint32_t>(
+                                                  12 + qrng.below(30)))}};
+        SchemeKind scheme = static_cast<SchemeKind>(qrng.below(4));
+        SearchResponse resp = engine.search(q, scheme);
+        verifier.verify(resp);  // throws on any inconsistency
+        verified.fetch_add(1);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(verified.load(), kThreads * kQueriesPerThread);
+}
+
+}  // namespace
+}  // namespace vc

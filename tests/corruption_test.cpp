@@ -1,0 +1,134 @@
+// Failure-injection: every deserialization path must reject corrupted or
+// truncated input with a typed error — never crash, hang, or accept.
+#include <gtest/gtest.h>
+
+#include "crypto/standard_params.hpp"
+#include "search/engine.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "support/threadpool.hpp"
+#include "text/synth.hpp"
+
+namespace vc {
+namespace {
+
+// A real serialized response to corrupt.
+class CorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto owner_ctx = AccumulatorContext::owner(standard_accumulator_modulus(512),
+                                               standard_qr_generator(512));
+    auto pub_ctx = AccumulatorContext::public_side(owner_ctx.params());
+    DeterministicRng rng(401);
+    SigningKey owner_key = generate_signing_key(rng, 512);
+    SigningKey cloud_key = generate_signing_key(rng, 512);
+    ThreadPool pool(2);
+    VerifiableIndexConfig cfg;
+    cfg.modulus_bits = 512;
+    cfg.rep_bits = 64;
+    cfg.interval_size = 8;
+    cfg.prime_mr_rounds = 24;
+    cfg.bloom = BloomParams{.counters = 256, .hashes = 1, .domain = "corrupt"};
+    SynthSpec spec{.name = "c", .num_docs = 40, .min_doc_words = 20,
+                   .max_doc_words = 50, .vocab_size = 200, .zipf_s = 0.9, .seed = 51};
+    Corpus corpus = generate_corpus(spec);
+    VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
+                                                  owner_key, cfg, pool);
+    SearchEngine engine(vidx, pub_ctx, cloud_key, &pool);
+    Query q{.id = 9, .keywords = {synth_word(spec, 0), synth_word(spec, 1)}};
+    SearchResponse resp = engine.search(q, SchemeKind::kHybrid);
+    ByteWriter w;
+    resp.write(w);
+    wire_ = new Bytes(std::move(w).take());
+  }
+  static void TearDownTestSuite() { delete wire_; }
+
+  static Bytes* wire_;
+};
+
+Bytes* CorruptionTest::wire_ = nullptr;
+
+TEST_F(CorruptionTest, CleanResponseParses) {
+  ByteReader r(*wire_);
+  EXPECT_NO_THROW({
+    SearchResponse resp = SearchResponse::read(r);
+    r.expect_done();
+    (void)resp;
+  });
+}
+
+TEST_F(CorruptionTest, EveryTruncationRejected) {
+  // Cutting the buffer anywhere must throw ParseError (prefix lengths and
+  // trailing checks make partial parses impossible).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, wire_->size() / 4,
+                          wire_->size() / 2, wire_->size() - 1}) {
+    Bytes cutbuf(wire_->begin(), wire_->begin() + cut);
+    ByteReader r(cutbuf);
+    EXPECT_THROW(
+        {
+          SearchResponse resp = SearchResponse::read(r);
+          r.expect_done();
+          (void)resp;
+        },
+        Error)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(CorruptionTest, RandomByteFlipsNeverCrash) {
+  DeterministicRng rng(402);
+  int parsed = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = *wire_;
+    std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    ByteReader r(mutated);
+    try {
+      SearchResponse resp = SearchResponse::read(r);
+      r.expect_done();
+      // Parsing may succeed (the flip hit a payload byte); the signature
+      // must then fail downstream — here we only require no crash.
+      ++parsed;
+    } catch (const Error&) {
+      // expected for structural corruption
+    }
+  }
+  // Some flips should parse (they corrupt only signed content)...
+  EXPECT_GT(parsed, 0);
+  // ...and some should be structural parse failures.
+  EXPECT_LT(parsed, 300);
+}
+
+TEST_F(CorruptionTest, TrailingGarbageRejected) {
+  Bytes extended = *wire_;
+  extended.push_back(0xAB);
+  ByteReader r(extended);
+  SearchResponse resp = SearchResponse::read(r);
+  (void)resp;
+  EXPECT_THROW(r.expect_done(), ParseError);
+}
+
+TEST(CorruptionSmall, BigintBadLength) {
+  // Varint length prefix larger than the remaining buffer.
+  Bytes bad = {0 /*sign*/, 0x20 /*len 32*/, 1, 2, 3};
+  ByteReader r(bad);
+  EXPECT_THROW(Bigint::read(r), ParseError);
+}
+
+TEST(CorruptionSmall, QueryBadTag) {
+  ByteWriter w;
+  w.str("vc.query.v2");  // wrong version tag
+  Bytes data = w.data();
+  ByteReader r(data);
+  EXPECT_THROW(Query::read(r), ParseError);
+}
+
+TEST(CorruptionSmall, SchemeTagOutOfRange) {
+  // QueryProof with scheme byte 9.
+  Bytes bad = {9};
+  ByteReader r(bad);
+  EXPECT_THROW(QueryProof::read(r), ParseError);
+}
+
+}  // namespace
+}  // namespace vc

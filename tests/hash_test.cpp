@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hash/hmac.hpp"
+#include "hash/sha256.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+namespace {
+
+std::string digest_hex(const Digest& d) { return to_hex(d); }
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55, 56, 63, 64, 65 bytes cross the padding boundary cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    Digest one = a.finish();
+    Sha256 b;
+    for (char c : msg) b.update(std::string(1, c));
+    EXPECT_EQ(b.finish(), one) << len;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  std::string data = "Hi There";
+  Digest mac = hmac_sha256(key, {reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+  EXPECT_EQ(to_hex(mac), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  Digest mac = hmac_sha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(to_hex(mac), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  Bytes key(131, 0xaa);
+  std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  Digest mac = hmac_sha256(key, {reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+  EXPECT_EQ(to_hex(mac), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySeparation) {
+  EXPECT_NE(hmac_sha256("k1", "msg"), hmac_sha256("k2", "msg"));
+  EXPECT_NE(hmac_sha256("k", "m1"), hmac_sha256("k", "m2"));
+}
+
+TEST(Mgf1, LengthAndPrefixProperty) {
+  Bytes seed = {1, 2, 3, 4};
+  Bytes a = mgf1_sha256(seed, 100);
+  Bytes b = mgf1_sha256(seed, 40);
+  ASSERT_EQ(a.size(), 100u);
+  ASSERT_EQ(b.size(), 40u);
+  // MGF1 is a stream: shorter output is a prefix of longer output.
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), a.begin()));
+}
+
+TEST(Mgf1, SeedSeparation) {
+  Bytes s1 = {1}, s2 = {2};
+  EXPECT_NE(mgf1_sha256(s1, 32), mgf1_sha256(s2, 32));
+}
+
+TEST(ChaCha20, Rfc8439KeystreamBlock) {
+  // RFC 8439 section 2.4.2 test vector: block 1 keystream.
+  Bytes key(32);
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  Bytes nonce = from_hex("000000000000004a00000000");
+  ChaCha20 stream(key, nonce, /*initial_counter=*/1);
+  auto block = stream.next_block();
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(block.data(), 16)),
+            "224f51f3401bd9e12fde276fb8631ded");
+}
+
+TEST(ChaCha20, CounterAdvances) {
+  Bytes key(32, 0);
+  Bytes nonce(12, 0);
+  ChaCha20 stream(key, nonce, 0);
+  auto b0 = stream.next_block();
+  auto b1 = stream.next_block();
+  EXPECT_NE(to_hex(b0), to_hex(b1));
+  ChaCha20 stream1(key, nonce, 1);
+  EXPECT_EQ(to_hex(stream1.next_block()), to_hex(b1));
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,260 @@
+// BN254 pairing tests: field axioms, group laws, pairing bilinearity and
+// the bilinear accumulator.  Bilinearity over random scalars is the
+// decisive correctness anchor for the whole tower.
+#include <gtest/gtest.h>
+
+#include "pairing/bilinear_acc.hpp"
+#include "pairing/pairing.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+
+namespace vc::bn {
+namespace {
+
+Bigint rand_fp(DeterministicRng& rng) { return Bigint::random_below(rng, field_modulus()); }
+
+TEST(Bn254Params, OrdersAreConsistent) {
+  // G1 generator has order r: r·G = ∞, (r−1)·G = −G.
+  G1Point g = G1Point::generator();
+  EXPECT_TRUE(g.on_curve());
+  EXPECT_TRUE(g.mul(group_order()).is_identity());
+  EXPECT_EQ(g.mul(group_order() - Bigint(1)), g.negate());
+  // G2 generator likewise (this also pins the EIP-197 constants).
+  G2Point h = G2Point::generator();
+  EXPECT_TRUE(h.on_curve());
+  EXPECT_TRUE(h.mul(group_order()).is_identity());
+  EXPECT_EQ(h.mul(group_order() - Bigint(1)), h.negate());
+}
+
+TEST(Fp2Field, Axioms) {
+  DeterministicRng rng(1001);
+  for (int i = 0; i < 10; ++i) {
+    Fp2 a{rand_fp(rng), rand_fp(rng)};
+    Fp2 b{rand_fp(rng), rand_fp(rng)};
+    Fp2 c{rand_fp(rng), rand_fp(rng)};
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + a.neg(), Fp2::zero());
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp2::one());
+  }
+  EXPECT_THROW(Fp2::zero().inverse(), CryptoError);
+  // u² = −1.
+  Fp2 u{Bigint(0), Bigint(1)};
+  EXPECT_EQ(u * u, Fp2::from_fp(fp_neg(Bigint(1))));
+}
+
+TEST(Fp6Field, AxiomsAndTower) {
+  DeterministicRng rng(1002);
+  auto rand6 = [&] {
+    return Fp6{Fp2{rand_fp(rng), rand_fp(rng)}, Fp2{rand_fp(rng), rand_fp(rng)},
+               Fp2{rand_fp(rng), rand_fp(rng)}};
+  };
+  for (int i = 0; i < 6; ++i) {
+    Fp6 a = rand6(), b = rand6(), c = rand6();
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp6::one());
+  }
+  // v³ = ξ.
+  Fp6 v{Fp2::zero(), Fp2::one(), Fp2::zero()};
+  EXPECT_EQ(v * v * v, Fp6::from_fp2(Fp2::xi()));
+  // mul_by_v agrees with multiplication by v.
+  Fp6 a = rand6();
+  EXPECT_EQ(a.mul_by_v(), a * v);
+}
+
+TEST(Fp12Field, AxiomsAndTower) {
+  DeterministicRng rng(1003);
+  auto rand12 = [&] {
+    Fp12 x = Fp12::zero();
+    for (Fp2* f : {&x.a.a, &x.a.b, &x.a.c, &x.b.a, &x.b.b, &x.b.c}) {
+      *f = Fp2{rand_fp(rng), rand_fp(rng)};
+    }
+    return x;
+  };
+  for (int i = 0; i < 4; ++i) {
+    Fp12 a = rand12(), b = rand12();
+    EXPECT_EQ(a * b, b * a);
+    if (!a.is_zero()) EXPECT_EQ(a * a.inverse(), Fp12::one());
+  }
+  // w² = v.
+  Fp12 w{Fp6::zero(), Fp6::one()};
+  Fp12 v12{Fp6{Fp2::zero(), Fp2::one(), Fp2::zero()}, Fp6::zero()};
+  EXPECT_EQ(w * w, v12);
+  // pow laws.
+  Fp12 a = rand12();
+  EXPECT_EQ(a.pow(Bigint(5)), a * a * a * a * a);
+  EXPECT_EQ(a.pow(Bigint(0)), Fp12::one());
+}
+
+TEST(G1Group, GroupLaws) {
+  G1Point g = G1Point::generator();
+  G1Point two = g.dbl();
+  EXPECT_TRUE(two.on_curve());
+  EXPECT_EQ(g.add(g), two);
+  EXPECT_EQ(two.add(g), g.mul(Bigint(3)));
+  EXPECT_TRUE(g.add(g.negate()).is_identity());
+  EXPECT_EQ(g.add(G1Point()), g);
+  // Scalar arithmetic: (a+b)G = aG + bG.
+  DeterministicRng rng(1004);
+  Bigint a = Bigint::random_below(rng, group_order());
+  Bigint b = Bigint::random_below(rng, group_order());
+  EXPECT_EQ(g.mul(Bigint::mod(a + b, group_order())), g.mul(a).add(g.mul(b)));
+}
+
+TEST(G2Group, GroupLaws) {
+  G2Point h = G2Point::generator();
+  EXPECT_TRUE(h.dbl().on_curve());
+  EXPECT_EQ(h.add(h), h.dbl());
+  EXPECT_TRUE(h.add(h.negate()).is_identity());
+  DeterministicRng rng(1005);
+  Bigint a = Bigint::random_below(rng, group_order());
+  Bigint b = Bigint::random_below(rng, group_order());
+  EXPECT_EQ(h.mul(Bigint::mod(a + b, group_order())), h.mul(a).add(h.mul(b)));
+}
+
+TEST(PointSerialization, Roundtrip) {
+  G1Point g = G1Point::generator().mul(Bigint(7));
+  ByteWriter w;
+  g.write(w);
+  G1Point().write(w);
+  G2Point h = G2Point::generator().mul(Bigint(9));
+  h.write(w);
+  ByteReader r(w.data());
+  EXPECT_EQ(G1Point::read(r), g);
+  EXPECT_TRUE(G1Point::read(r).is_identity());
+  EXPECT_EQ(G2Point::read(r), h);
+}
+
+TEST(TatePairing, NondegenerateAndBilinear) {
+  G1Point g = G1Point::generator();
+  G2Point h = G2Point::generator();
+  Gt e = pairing(g, h);
+  EXPECT_FALSE(e.is_one());
+  // e lands in μ_r: e^r = 1.
+  EXPECT_TRUE(e.pow(group_order()).is_one());
+  // Bilinearity with random scalars: e(aG, bH) = e(G, H)^{ab}.
+  DeterministicRng rng(1006);
+  Bigint a = Bigint::random_below(rng, group_order());
+  Bigint b = Bigint::random_below(rng, group_order());
+  Gt lhs = pairing(g.mul(a), h.mul(b));
+  Gt rhs = e.pow(Bigint::mod(a * b, group_order()));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(TatePairing, AdditiveInFirstArgument) {
+  G1Point g = G1Point::generator();
+  G2Point h = G2Point::generator();
+  G1Point p1 = g.mul(Bigint(5)), p2 = g.mul(Bigint(11));
+  EXPECT_EQ(pairing(p1.add(p2), h), pairing(p1, h) * pairing(p2, h));
+}
+
+TEST(TatePairing, IdentityMapsToOne) {
+  EXPECT_TRUE(pairing(G1Point(), G2Point::generator()).is_one());
+  EXPECT_TRUE(pairing(G1Point::generator(), G2Point()).is_one());
+}
+
+// --- bilinear accumulator --------------------------------------------------------
+
+class BilinearAccTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DeterministicRng rng(1007);
+    setup_ = new BilinearSetup(bilinear_setup(rng, 24));
+    xs_ = new std::vector<Bigint>();
+    for (std::uint64_t e = 0; e < 12; ++e) xs_->push_back(hash_to_zr(e));
+  }
+  static void TearDownTestSuite() {
+    delete xs_;
+    delete setup_;
+  }
+  static BilinearSetup* setup_;
+  static std::vector<Bigint>* xs_;
+};
+
+BilinearSetup* BilinearAccTest::setup_ = nullptr;
+std::vector<Bigint>* BilinearAccTest::xs_ = nullptr;
+
+TEST_F(BilinearAccTest, PolynomialHelpers) {
+  std::vector<Bigint> roots = {Bigint(2), Bigint(3)};
+  auto coeffs = poly_from_roots(roots);  // (z+2)(z+3) = 6 + 5z + z²
+  ASSERT_EQ(coeffs.size(), 3u);
+  EXPECT_EQ(coeffs[0], Bigint(6));
+  EXPECT_EQ(coeffs[1], Bigint(5));
+  EXPECT_EQ(coeffs[2], Bigint(1));
+  EXPECT_EQ(poly_eval(coeffs, Bigint(1)), Bigint(12));
+  EXPECT_EQ(poly_eval(coeffs, Bigint::mod(Bigint(-2), group_order())), Bigint(0));
+}
+
+TEST_F(BilinearAccTest, TrapdoorAndPublicAccumulationAgree) {
+  G1Point a = accumulate_trapdoor(setup_->params, setup_->trapdoor, *xs_);
+  G1Point b = accumulate_public(setup_->params, *xs_);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(BilinearAccTest, SubsetWitnessVerifies) {
+  G1Point acc = accumulate_trapdoor(setup_->params, setup_->trapdoor, *xs_);
+  std::vector<Bigint> subset(xs_->begin(), xs_->begin() + 3);
+  std::vector<Bigint> rest(xs_->begin() + 3, xs_->end());
+  G1Point w_t = subset_witness_trapdoor(setup_->params, setup_->trapdoor, rest);
+  G1Point w_p = subset_witness_public(setup_->params, rest);
+  EXPECT_EQ(w_t, w_p);
+  EXPECT_TRUE(verify_subset(setup_->params, acc, w_t, subset));
+}
+
+TEST_F(BilinearAccTest, SubsetWitnessRejectsWrongClaims) {
+  G1Point acc = accumulate_trapdoor(setup_->params, setup_->trapdoor, *xs_);
+  std::vector<Bigint> subset(xs_->begin(), xs_->begin() + 3);
+  std::vector<Bigint> rest(xs_->begin() + 3, xs_->end());
+  G1Point w = subset_witness_trapdoor(setup_->params, setup_->trapdoor, rest);
+  // Wrong subset.
+  std::vector<Bigint> wrong = {hash_to_zr(999)};
+  EXPECT_FALSE(verify_subset(setup_->params, acc, w, wrong));
+  // Tampered accumulator.
+  EXPECT_FALSE(verify_subset(setup_->params, acc.add(setup_->params.g1()), w, subset));
+  // Tampered witness.
+  EXPECT_FALSE(verify_subset(setup_->params, acc, w.add(setup_->params.g1()), subset));
+}
+
+TEST_F(BilinearAccTest, NonmembershipVerifies) {
+  G1Point acc = accumulate_trapdoor(setup_->params, setup_->trapdoor, *xs_);
+  Bigint outsider = hash_to_zr(1ULL << 40);
+  auto w_t =
+      nonmembership_witness_trapdoor(setup_->params, setup_->trapdoor, *xs_, outsider);
+  auto w_p = nonmembership_witness_public(setup_->params, *xs_, outsider);
+  EXPECT_EQ(w_t.w, w_p.w);
+  EXPECT_EQ(w_t.rem, w_p.rem);
+  EXPECT_TRUE(verify_nonmembership(setup_->params, acc, w_t, outsider));
+}
+
+TEST_F(BilinearAccTest, NonmembershipRejectsMembersAndForgeries) {
+  G1Point acc = accumulate_trapdoor(setup_->params, setup_->trapdoor, *xs_);
+  EXPECT_THROW(
+      nonmembership_witness_trapdoor(setup_->params, setup_->trapdoor, *xs_, (*xs_)[0]),
+      CryptoError);
+  EXPECT_THROW(nonmembership_witness_public(setup_->params, *xs_, (*xs_)[0]), CryptoError);
+  Bigint outsider = hash_to_zr(1ULL << 41);
+  auto w = nonmembership_witness_trapdoor(setup_->params, setup_->trapdoor, *xs_, outsider);
+  // Replaying the witness against a member must fail.
+  EXPECT_FALSE(verify_nonmembership(setup_->params, acc, w, (*xs_)[0]));
+  auto forged = w;
+  forged.rem = Bigint::mod(forged.rem + Bigint(1), group_order());
+  EXPECT_FALSE(verify_nonmembership(setup_->params, acc, forged, outsider));
+}
+
+TEST_F(BilinearAccTest, DegreeBoundEnforced) {
+  std::vector<Bigint> too_many;
+  for (std::uint64_t e = 0; e < 30; ++e) too_many.push_back(hash_to_zr(e));
+  EXPECT_THROW(accumulate_public(setup_->params, too_many), UsageError);
+}
+
+TEST_F(BilinearAccTest, HashToZrDeterministicDistinct) {
+  EXPECT_EQ(hash_to_zr(5), hash_to_zr(5));
+  EXPECT_NE(hash_to_zr(5), hash_to_zr(6));
+  EXPECT_LT(hash_to_zr(5), group_order());
+}
+
+}  // namespace
+}  // namespace vc::bn

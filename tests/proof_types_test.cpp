@@ -1,0 +1,234 @@
+// Unit tests for the proof data model: canonical serialization, statement
+// signing, evidence forms, and the hybrid policy estimator.
+#include <gtest/gtest.h>
+
+#include "crypto/standard_params.hpp"
+#include "proof/hybrid_policy.hpp"
+#include "proof/proof_types.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+
+namespace vc {
+namespace {
+
+TEST(SchemeName, AllSchemesNamed) {
+  EXPECT_STREQ(scheme_name(SchemeKind::kAccumulator), "Accumulator");
+  EXPECT_STREQ(scheme_name(SchemeKind::kBloom), "Bloom");
+  EXPECT_STREQ(scheme_name(SchemeKind::kIntervalAccumulator), "IntervalAccumulator");
+  EXPECT_STREQ(scheme_name(SchemeKind::kHybrid), "Hybrid");
+}
+
+TEST(SearchResultSerialization, Roundtrip) {
+  SearchResult r;
+  r.keywords = {"alpha", "beta"};
+  r.docs = {2, 5, 9};
+  r.postings = {{{2, 1}, {5, 3}, {9, 2}}, {{2, 7}, {5, 1}, {9, 9}}};
+  ByteWriter w;
+  r.write(w);
+  ByteReader reader(w.data());
+  EXPECT_EQ(SearchResult::read(reader), r);
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(r.encoded_size(), w.size());
+}
+
+TEST(SearchResultSerialization, EmptyResult) {
+  SearchResult r;
+  r.keywords = {"a", "b"};
+  r.postings = {{}, {}};
+  ByteWriter w;
+  r.write(w);
+  ByteReader reader(w.data());
+  EXPECT_EQ(SearchResult::read(reader), r);
+}
+
+TEST(EvidenceSerialization, FlatAndIntervalFormsTagged) {
+  MembershipEvidence flat;
+  flat.interval_form = false;
+  flat.flat_witness = Bigint(12345);
+  ByteWriter w1;
+  flat.write(w1);
+  ByteReader r1(w1.data());
+  MembershipEvidence back1 = MembershipEvidence::read(r1);
+  EXPECT_FALSE(back1.interval_form);
+  EXPECT_EQ(back1.flat_witness, Bigint(12345));
+
+  MembershipEvidence interval;
+  interval.interval_form = true;
+  interval.interval.parts.push_back(IntervalMembershipPart{
+      .desc = IntervalDescriptor{.lo = 1, .hi = 10, .b = Bigint(7)},
+      .chat = Bigint(8),
+      .mid_witness = Bigint(9)});
+  ByteWriter w2;
+  interval.write(w2);
+  ByteReader r2(w2.data());
+  MembershipEvidence back2 = MembershipEvidence::read(r2);
+  EXPECT_TRUE(back2.interval_form);
+  ASSERT_EQ(back2.interval.parts.size(), 1u);
+  EXPECT_EQ(back2.interval.parts[0].desc, interval.interval.parts[0].desc);
+}
+
+TEST(QueryProofSerialization, IntegrityVariantsRoundtrip) {
+  QueryProof acc;
+  acc.scheme = SchemeKind::kIntervalAccumulator;
+  AccumulatorIntegrity ai;
+  ai.base_keyword = 1;
+  ai.check_docs = {3, 4};
+  ai.check_membership.flat_witness = Bigint(5);
+  NonmembershipGroup g;
+  g.keyword = 0;
+  g.docs = {3, 4};
+  g.evidence.flat = NonmembershipWitness{Bigint(-2), Bigint(6)};
+  ai.groups.push_back(std::move(g));
+  acc.integrity = std::move(ai);
+  ByteWriter w;
+  acc.write(w);
+  ByteReader r(w.data());
+  QueryProof back = QueryProof::read(r);
+  EXPECT_EQ(back.scheme, SchemeKind::kIntervalAccumulator);
+  const auto* got = std::get_if<AccumulatorIntegrity>(&back.integrity);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->base_keyword, 1u);
+  EXPECT_EQ(got->check_docs, (U64Set{3, 4}));
+  ASSERT_EQ(got->groups.size(), 1u);
+  EXPECT_EQ(got->groups[0].evidence.flat.a, Bigint(-2));
+
+  QueryProof bloom;
+  bloom.scheme = SchemeKind::kBloom;
+  bloom.integrity = BloomIntegrity{};
+  ByteWriter w2;
+  bloom.write(w2);
+  ByteReader r2(w2.data());
+  QueryProof back2 = QueryProof::read(r2);
+  EXPECT_TRUE(std::holds_alternative<BloomIntegrity>(back2.integrity));
+}
+
+TEST(Statements, TermStatementEncodeStable) {
+  TermStatement s;
+  s.term = "budget";
+  s.tuple_acc = Bigint(11);
+  s.doc_acc = Bigint(22);
+  s.tuple_root = Bigint(33);
+  s.doc_root = Bigint(44);
+  s.posting_count = 5;
+  EXPECT_EQ(s.encode(), s.encode());
+  TermStatement changed = s;
+  changed.posting_count = 6;
+  EXPECT_NE(s.encode(), changed.encode());
+  ByteWriter w;
+  s.write(w);
+  ByteReader r(w.data());
+  EXPECT_EQ(TermStatement::read(r), s);
+}
+
+TEST(Statements, AttestationBindsStatement) {
+  DeterministicRng rng(801);
+  SigningKey key = generate_signing_key(rng, 512);
+  TermStatement s;
+  s.term = "x";
+  s.tuple_acc = Bigint(1);
+  s.doc_acc = Bigint(2);
+  s.tuple_root = Bigint(3);
+  s.doc_root = Bigint(4);
+  s.posting_count = 9;
+  TermAttestation att{s, key.sign(s.encode())};
+  EXPECT_TRUE(att.verify(key.verify_key()));
+  // Any field change invalidates the signature.
+  att.stmt.posting_count = 10;
+  EXPECT_FALSE(att.verify(key.verify_key()));
+}
+
+TEST(Statements, DictStatementCoversDocumentCount) {
+  DeterministicRng rng(802);
+  SigningKey key = generate_signing_key(rng, 512);
+  DictStatement s{Bigint(5), 100, 2000};
+  DictAttestation att{s, key.sign(s.encode())};
+  EXPECT_TRUE(att.verify(key.verify_key()));
+  att.stmt.document_count = 1;  // ranking inputs are tamper-evident
+  EXPECT_FALSE(att.verify(key.verify_key()));
+}
+
+TEST(Statements, PostingsDigestSensitive) {
+  PostingList a = {{1, 2}, {3, 4}};
+  PostingList b = {{1, 2}, {3, 5}};
+  PostingList c = {{3, 4}, {1, 2}};
+  EXPECT_NE(postings_digest(a), postings_digest(b));
+  EXPECT_NE(postings_digest(a), postings_digest(c));
+  EXPECT_EQ(postings_digest(a), postings_digest(PostingList{{1, 2}, {3, 4}}));
+}
+
+// --- hybrid policy ---------------------------------------------------------------
+
+HybridPolicyInputs base_inputs(std::vector<std::size_t>& bloom_bytes,
+                               std::vector<std::size_t>& set_sizes) {
+  HybridPolicyInputs in;
+  in.keyword_count = 2;
+  in.modulus_bytes = 128;
+  in.interval_size = 100;
+  in.bloom_counters = 4096;
+  in.bloom_bytes = bloom_bytes;
+  in.set_sizes = set_sizes;
+  return in;
+}
+
+TEST(HybridPolicy, AccumulatorCostGrowsWithCheckDocs) {
+  std::vector<std::size_t> bb = {600, 600}, ss = {2000, 2000};
+  double prev = -1;
+  for (std::size_t check : {0ul, 10ul, 100ul, 1000ul}) {
+    auto in = base_inputs(bb, ss);
+    in.check_doc_count = check;
+    HybridEstimate est = estimate_integrity_cost(in);
+    EXPECT_GT(est.accumulator_bytes, prev);
+    prev = est.accumulator_bytes;
+  }
+}
+
+TEST(HybridPolicy, SmallDifferencePrefersAccumulator) {
+  std::vector<std::size_t> bb = {600, 600}, ss = {2000, 2000};
+  auto in = base_inputs(bb, ss);
+  in.check_doc_count = 2;
+  HybridEstimate est = estimate_integrity_cost(in);
+  EXPECT_EQ(est.choice, IntegrityChoice::kAccumulator);
+  EXPECT_LT(est.accumulator_bytes, est.bloom_bytes);
+}
+
+TEST(HybridPolicy, LargeDifferencePrefersBloomOnTime) {
+  // The paper's rule (§V-B1): many check elements make accumulator-form
+  // witnesses slow; Bloom integrity is faster there — provided the filter
+  // budget keeps collisions (check elements) rare.
+  std::vector<std::size_t> bb = {4000, 4000}, ss = {20000, 20000};
+  auto in = base_inputs(bb, ss);
+  in.check_doc_count = 19000;
+  in.bloom_counters = 1 << 22;  // generous m: few expected collisions
+  HybridEstimate est = estimate_integrity_cost(in);
+  EXPECT_GT(est.accumulator_seconds, in.fast_threshold_seconds);
+  EXPECT_LT(est.bloom_seconds, est.accumulator_seconds);
+  EXPECT_EQ(est.choice, IntegrityChoice::kBloom);
+}
+
+TEST(HybridPolicy, AccumulatorTimeGrowsWithCheckDocs) {
+  std::vector<std::size_t> bb = {600, 600}, ss = {2000, 2000};
+  double prev = -1;
+  for (std::size_t check : {0ul, 100ul, 500ul, 1500ul}) {
+    auto in = base_inputs(bb, ss);
+    in.check_doc_count = check;
+    HybridEstimate est = estimate_integrity_cost(in);
+    EXPECT_GT(est.accumulator_seconds, prev);
+    prev = est.accumulator_seconds;
+  }
+}
+
+TEST(HybridPolicy, AccumulatorNonmembershipWorkBoundedByTargetSet) {
+  // Per-interval nonmembership witnesses cover every check doc in an
+  // interval at once, so accumulator-form time is bounded by the target
+  // keyword's set size — growing the check count past that barely moves it.
+  std::vector<std::size_t> bb = {600, 600}, ss = {2000, 2000};
+  auto in = base_inputs(bb, ss);
+  in.check_doc_count = 1000;
+  double at_1000 = estimate_integrity_cost(in).accumulator_seconds;
+  in.check_doc_count = 2000;
+  double at_2000 = estimate_integrity_cost(in).accumulator_seconds;
+  EXPECT_LT(at_2000, 3 * at_1000);  // far from the naive check×interval blowup
+}
+
+}  // namespace
+}  // namespace vc

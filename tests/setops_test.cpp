@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "setops/setops.hpp"
+
+namespace vc {
+namespace {
+
+TEST(SetOps, IsSortedUnique) {
+  EXPECT_TRUE(is_sorted_unique({}));
+  EXPECT_TRUE(is_sorted_unique(U64Set{1}));
+  EXPECT_TRUE(is_sorted_unique(U64Set{1, 2, 9}));
+  EXPECT_FALSE(is_sorted_unique(U64Set{1, 1}));
+  EXPECT_FALSE(is_sorted_unique(U64Set{2, 1}));
+}
+
+TEST(SetOps, Intersection) {
+  U64Set a = {1, 3, 5, 7};
+  U64Set b = {3, 4, 5, 6};
+  EXPECT_EQ(set_intersection(a, b), (U64Set{3, 5}));
+  EXPECT_EQ(set_intersection(a, {}), U64Set{});
+  EXPECT_EQ(set_intersection(a, a), a);
+}
+
+TEST(SetOps, IntersectionMany) {
+  std::vector<U64Set> sets = {{1, 2, 3, 4, 5}, {2, 3, 5, 8}, {1, 3, 5, 9}};
+  EXPECT_EQ(set_intersection_many(sets), (U64Set{3, 5}));
+  std::vector<U64Set> one = {{4, 5}};
+  EXPECT_EQ(set_intersection_many(one), (U64Set{4, 5}));
+  EXPECT_EQ(set_intersection_many({}), U64Set{});
+  std::vector<U64Set> with_empty = {{1, 2}, {}};
+  EXPECT_EQ(set_intersection_many(with_empty), U64Set{});
+}
+
+TEST(SetOps, Difference) {
+  U64Set a = {1, 2, 3, 4};
+  U64Set b = {2, 4, 6};
+  EXPECT_EQ(set_difference(a, b), (U64Set{1, 3}));
+  EXPECT_EQ(set_difference(a, {}), a);
+  EXPECT_EQ(set_difference(a, a), U64Set{});
+}
+
+TEST(SetOps, Union) {
+  EXPECT_EQ(set_union(U64Set{1, 3}, U64Set{2, 3}), (U64Set{1, 2, 3}));
+  EXPECT_EQ(set_union({}, {}), U64Set{});
+}
+
+TEST(SetOps, Disjoint) {
+  EXPECT_TRUE(sets_disjoint(U64Set{1, 3}, U64Set{2, 4}));
+  EXPECT_FALSE(sets_disjoint(U64Set{1, 3}, U64Set{3}));
+  EXPECT_TRUE(sets_disjoint({}, U64Set{1}));
+}
+
+TEST(SetOps, Subset) {
+  EXPECT_TRUE(is_subset(U64Set{2, 4}, U64Set{1, 2, 3, 4}));
+  EXPECT_FALSE(is_subset(U64Set{2, 5}, U64Set{1, 2, 3, 4}));
+  EXPECT_TRUE(is_subset({}, U64Set{1}));
+  EXPECT_FALSE(is_subset(U64Set{1}, {}));
+}
+
+TEST(SetOps, IntersectionIdentityProperties) {
+  // Property sweep: A∩B ⊆ A, A∩B ⊆ B, (A\B) disjoint from B, |A∩B|+|A\B|=|A|.
+  U64Set a, b;
+  for (std::uint64_t i = 0; i < 200; i += 3) a.push_back(i);
+  for (std::uint64_t i = 0; i < 200; i += 5) b.push_back(i);
+  auto inter = set_intersection(a, b);
+  auto diff = set_difference(a, b);
+  EXPECT_TRUE(is_subset(inter, a));
+  EXPECT_TRUE(is_subset(inter, b));
+  EXPECT_TRUE(sets_disjoint(diff, b));
+  EXPECT_EQ(inter.size() + diff.size(), a.size());
+  EXPECT_EQ(set_union(inter, diff), a);
+}
+
+}  // namespace
+}  // namespace vc

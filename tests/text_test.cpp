@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "support/errors.hpp"
+#include "text/corpus.hpp"
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+#include "text/synth.hpp"
+#include "text/tokenizer.hpp"
+
+namespace vc {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  auto t = tokenize("Hello, World! Foo-bar_baz");
+  EXPECT_EQ(t, (std::vector<std::string>{"hello", "world", "foo", "bar", "baz"}));
+}
+
+TEST(Tokenizer, LengthFilters) {
+  auto t = tokenize("a ab abc");
+  EXPECT_EQ(t, (std::vector<std::string>{"ab", "abc"}));
+  TokenizerConfig cfg;
+  cfg.max_length = 3;
+  EXPECT_EQ(tokenize("abcd abc", cfg), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Tokenizer, DropsPureNumbersByDefault) {
+  EXPECT_EQ(tokenize("call 555 1234 now x86"),
+            (std::vector<std::string>{"call", "now", "x86"}));
+  TokenizerConfig cfg;
+  cfg.drop_pure_numbers = false;
+  EXPECT_EQ(tokenize("42 cats", cfg), (std::vector<std::string>{"42", "cats"}));
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("!!! ... ---").empty());
+}
+
+TEST(Stopwords, CommonWordsPresent) {
+  for (const char* w : {"the", "and", "of", "is", "你"}) {
+    if (std::string(w) == "你") {
+      EXPECT_FALSE(is_stopword(w));
+    } else {
+      EXPECT_TRUE(is_stopword(w)) << w;
+    }
+  }
+  EXPECT_FALSE(is_stopword("accumulator"));
+  EXPECT_GT(stopword_count(), 250u);
+}
+
+TEST(PorterStemmer, ClassicExamples) {
+  // Vectors from Porter's paper and the reference implementation.
+  EXPECT_EQ(porter_stem("caresses"), "caress");
+  EXPECT_EQ(porter_stem("ponies"), "poni");
+  EXPECT_EQ(porter_stem("ties"), "ti");
+  EXPECT_EQ(porter_stem("caress"), "caress");
+  EXPECT_EQ(porter_stem("cats"), "cat");
+  EXPECT_EQ(porter_stem("feed"), "feed");
+  EXPECT_EQ(porter_stem("agreed"), "agre");
+  EXPECT_EQ(porter_stem("plastered"), "plaster");
+  EXPECT_EQ(porter_stem("bled"), "bled");
+  EXPECT_EQ(porter_stem("motoring"), "motor");
+  EXPECT_EQ(porter_stem("sing"), "sing");
+  EXPECT_EQ(porter_stem("conflated"), "conflat");
+  EXPECT_EQ(porter_stem("troubled"), "troubl");
+  EXPECT_EQ(porter_stem("sized"), "size");
+  EXPECT_EQ(porter_stem("hopping"), "hop");
+  EXPECT_EQ(porter_stem("tanned"), "tan");
+  EXPECT_EQ(porter_stem("falling"), "fall");
+  EXPECT_EQ(porter_stem("hissing"), "hiss");
+  EXPECT_EQ(porter_stem("fizzed"), "fizz");
+  EXPECT_EQ(porter_stem("failing"), "fail");
+  EXPECT_EQ(porter_stem("filing"), "file");
+  EXPECT_EQ(porter_stem("happy"), "happi");
+  EXPECT_EQ(porter_stem("sky"), "sky");
+  EXPECT_EQ(porter_stem("relational"), "relat");
+  EXPECT_EQ(porter_stem("conditional"), "condit");
+  EXPECT_EQ(porter_stem("rational"), "ration");
+  EXPECT_EQ(porter_stem("valenci"), "valenc");
+  EXPECT_EQ(porter_stem("digitizer"), "digit");
+  EXPECT_EQ(porter_stem("operator"), "oper");
+  EXPECT_EQ(porter_stem("feudalism"), "feudal");
+  EXPECT_EQ(porter_stem("decisiveness"), "decis");
+  EXPECT_EQ(porter_stem("hopefulness"), "hope");
+  EXPECT_EQ(porter_stem("callousness"), "callous");
+  EXPECT_EQ(porter_stem("formality"), "formal");
+  EXPECT_EQ(porter_stem("sensitivity"), "sensit");
+  EXPECT_EQ(porter_stem("sensibility"), "sensibl");
+  EXPECT_EQ(porter_stem("triplicate"), "triplic");
+  EXPECT_EQ(porter_stem("formative"), "form");
+  EXPECT_EQ(porter_stem("formalize"), "formal");
+  EXPECT_EQ(porter_stem("electricity"), "electr");
+  EXPECT_EQ(porter_stem("electrical"), "electr");
+  EXPECT_EQ(porter_stem("hopeful"), "hope");
+  EXPECT_EQ(porter_stem("goodness"), "good");
+  EXPECT_EQ(porter_stem("revival"), "reviv");
+  EXPECT_EQ(porter_stem("allowance"), "allow");
+  EXPECT_EQ(porter_stem("inference"), "infer");
+  EXPECT_EQ(porter_stem("airliner"), "airlin");
+  EXPECT_EQ(porter_stem("gyroscopic"), "gyroscop");
+  EXPECT_EQ(porter_stem("adjustable"), "adjust");
+  EXPECT_EQ(porter_stem("defensible"), "defens");
+  EXPECT_EQ(porter_stem("irritant"), "irrit");
+  EXPECT_EQ(porter_stem("replacement"), "replac");
+  EXPECT_EQ(porter_stem("adjustment"), "adjust");
+  EXPECT_EQ(porter_stem("dependent"), "depend");
+  EXPECT_EQ(porter_stem("adoption"), "adopt");
+  EXPECT_EQ(porter_stem("homologou"), "homolog");
+  EXPECT_EQ(porter_stem("communism"), "commun");
+  EXPECT_EQ(porter_stem("activate"), "activ");
+  EXPECT_EQ(porter_stem("angulariti"), "angular");
+  EXPECT_EQ(porter_stem("homologous"), "homolog");
+  EXPECT_EQ(porter_stem("effective"), "effect");
+  EXPECT_EQ(porter_stem("bowdlerize"), "bowdler");
+  EXPECT_EQ(porter_stem("probate"), "probat");
+  EXPECT_EQ(porter_stem("rate"), "rate");
+  EXPECT_EQ(porter_stem("cease"), "ceas");
+  EXPECT_EQ(porter_stem("controll"), "control");
+  EXPECT_EQ(porter_stem("roll"), "roll");
+}
+
+TEST(PorterStemmer, ShortAndNonAlphaUnchanged) {
+  EXPECT_EQ(porter_stem("at"), "at");
+  EXPECT_EQ(porter_stem("x"), "x");
+  EXPECT_EQ(porter_stem(""), "");
+  EXPECT_EQ(porter_stem("x86"), "x86");
+  EXPECT_EQ(porter_stem("Hello"), "Hello");  // uppercase not handled here
+}
+
+TEST(PorterStemmer, Idempotence) {
+  // A stem re-stemmed must not shrink unexpectedly for common cases.
+  for (const char* w : {"running", "connection", "flying", "studies", "argued"}) {
+    std::string s1 = porter_stem(w);
+    std::string s2 = porter_stem(s1);
+    EXPECT_EQ(porter_stem(s2), s2) << w;
+  }
+}
+
+TEST(Analyze, StopwordsRemovedAndStemmed) {
+  auto terms = analyze("The cats are running in the gardens");
+  EXPECT_EQ(terms, (std::vector<std::string>{"cat", "run", "garden"}));
+}
+
+TEST(NormalizeTerm, SingleKeyword) {
+  EXPECT_EQ(normalize_term("Running"), "run");
+  EXPECT_EQ(normalize_term("  Meetings!  "), "meet");
+  EXPECT_EQ(normalize_term("!!!"), "");
+}
+
+TEST(Corpus, AddTracksBytesAndIds) {
+  Corpus c("test");
+  c.add("a", "hello world");
+  c.add("b", "more text here");
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].id, 0u);
+  EXPECT_EQ(c[1].id, 1u);
+  EXPECT_EQ(c.total_bytes(), 11u + 14u);
+}
+
+TEST(Synth, DeterministicGeneration) {
+  SynthSpec spec;
+  spec.num_docs = 20;
+  spec.vocab_size = 500;
+  spec.seed = 7;
+  Corpus a = generate_corpus(spec);
+  Corpus b = generate_corpus(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+  spec.seed = 8;
+  Corpus c = generate_corpus(spec);
+  EXPECT_NE(a[0].text, c[0].text);
+}
+
+TEST(Synth, RespectsDocCountAndWordBounds) {
+  SynthSpec spec;
+  spec.num_docs = 10;
+  spec.min_doc_words = 5;
+  spec.max_doc_words = 8;
+  spec.vocab_size = 100;
+  Corpus c = generate_corpus(spec);
+  EXPECT_EQ(c.size(), 10u);
+  for (const auto& d : c) {
+    auto toks = tokenize(d.text);
+    EXPECT_GE(toks.size(), 5u);
+    EXPECT_LE(toks.size(), 8u);
+  }
+}
+
+TEST(Synth, ZipfSkewMakesLowRanksFrequent) {
+  SynthSpec spec;
+  spec.num_docs = 60;
+  spec.vocab_size = 2000;
+  spec.zipf_s = 1.1;
+  Corpus c = generate_corpus(spec);
+  std::string top = synth_word(spec, 0);
+  std::string rare = synth_word(spec, 1900);
+  std::size_t top_count = 0, rare_count = 0;
+  for (const auto& d : c) {
+    for (const auto& t : tokenize(d.text)) {
+      if (t == top) ++top_count;
+      if (t == rare) ++rare_count;
+    }
+  }
+  EXPECT_GT(top_count, 50u);
+  EXPECT_LT(rare_count, top_count / 10 + 1);
+}
+
+TEST(Synth, ProfilesScale) {
+  SynthSpec e = enron_profile(1000);
+  SynthSpec n = newsgroup_profile(1000);
+  EXPECT_GT(n.vocab_size, e.vocab_size / 4);  // 20NG has richer vocab per doc
+  EXPECT_GT(n.max_doc_words, e.max_doc_words);
+  EXPECT_THROW(generate_corpus(SynthSpec{.num_docs = 0}), UsageError);
+}
+
+TEST(Synth, WordsAreTokenizerStable) {
+  SynthSpec spec;
+  for (std::uint32_t r = 0; r < 50; ++r) {
+    std::string w = synth_word(spec, r);
+    auto toks = tokenize(w);
+    ASSERT_EQ(toks.size(), 1u) << w;
+    EXPECT_EQ(toks[0], w);
+  }
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,22 @@
+// One-off generator for the pinned parameter sets in
+// src/crypto/standard_params.cpp.  Run: gen_params <bits>...
+#include <cstdio>
+#include <cstdlib>
+
+#include "crypto/keygen.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::size_t bits = static_cast<std::size_t>(std::atoi(argv[i]));
+    vc::DeterministicRng rng(0x5eed5afe0000ULL + bits, "vc.standard-params");
+    vc::RsaModulus m = vc::generate_modulus(rng, bits, /*safe=*/true);
+    vc::Bigint g = vc::random_qr_generator(rng, m.n);
+    std::printf("{%zu,\n {\"%s\",\n  \"%s\",\n  \"%s\"}},\n", bits,
+                vc::to_hex(m.p.to_bytes()).c_str(), vc::to_hex(m.q.to_bytes()).c_str(),
+                vc::to_hex(g.to_bytes()).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// vcsearch-inspect — print the contents and statistics of a verifiable
+// index artifact, and optionally re-validate all owner signatures.
+//
+//   vcsearch-inspect --dir DIR [--top N] [--validate]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "vindex/verifiable_index.hpp"
+
+using namespace vc;
+
+namespace {
+const char* arg_value(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* dir = arg_value(argc, argv, "--dir", nullptr);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "usage: vcsearch-inspect --dir DIR [--top N] [--validate]\n");
+    return 2;
+  }
+  std::size_t top = std::strtoul(arg_value(argc, argv, "--top", "10"), nullptr, 10);
+
+  std::filesystem::path base(dir);
+  VerifiableIndex vidx = VerifiableIndex::load((base / "index.vc").string());
+  const auto& cfg = vidx.config();
+  std::printf("verifiable index: %s\n", (base / "index.vc").c_str());
+  std::printf("  modulus          %zu bits\n", cfg.modulus_bits);
+  std::printf("  prime reps       %zu bits\n", cfg.rep_bits);
+  std::printf("  interval size    %zu\n", cfg.interval_size);
+  std::printf("  bloom            m=%u k=%u\n", cfg.bloom.counters, cfg.bloom.hashes);
+  std::printf("  documents        %u\n", vidx.index().doc_count());
+  std::printf("  terms            %zu\n", vidx.term_count());
+  std::printf("  records          %llu\n",
+              static_cast<unsigned long long>(vidx.index().record_count()));
+  std::printf("  avg doc freq     %.1f\n", vidx.index().avg_document_frequency());
+  std::printf("  prime cache      %zu tuple / %zu doc entries\n",
+              vidx.tuple_primes().size(), vidx.doc_primes().size());
+  std::printf("  dictionary gaps  %zu\n", vidx.dictionary().word_count() + 1);
+
+  // Posting-list size distribution (what load balancing fights, Fig 9).
+  std::vector<std::size_t> sizes;
+  for (const auto& [term, list] : vidx.index().terms()) sizes.push_back(list.size());
+  std::sort(sizes.begin(), sizes.end());
+  auto pct = [&](double p) { return sizes[static_cast<std::size_t>(p * (sizes.size() - 1))]; };
+  std::printf("  postings p50/p90/p99/max  %zu / %zu / %zu / %zu\n", pct(0.5), pct(0.9),
+              pct(0.99), sizes.back());
+
+  std::printf("  top %zu terms by document frequency:\n", top);
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const auto& [term, list] : vidx.index().terms()) ranked.emplace_back(list.size(), term);
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+    std::printf("    %-24s %zu docs\n", ranked[i].second.c_str(), ranked[i].first);
+  }
+
+  if (has_flag(argc, argv, "--validate")) {
+    SigningKey owner_key = SigningKey::load((base / "owner.key").string());
+    vidx.validate(owner_key.verify_key());
+    std::printf("  validation       all %zu attestations verify\n", vidx.term_count() * 2 + 1);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// vcsearch-query — owner-side CLI client: sign a query, send it to a
+// running vcsearch-serve instance, verify the response, print the results.
+//
+//   vcsearch-query --dir DIR --port P keyword [keyword...]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "crypto/standard_params.hpp"
+#include "support/errors.hpp"
+#include "protocol/http.hpp"
+#include "protocol/owner.hpp"
+
+using namespace vc;
+
+namespace {
+const char* arg_value(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* dir = arg_value(argc, argv, "--dir", nullptr);
+  const char* port_s = arg_value(argc, argv, "--port", "8080");
+  std::vector<std::string> keywords;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 || std::strcmp(argv[i], "--port") == 0) {
+      ++i;
+      continue;
+    }
+    keywords.emplace_back(argv[i]);
+  }
+  if (dir == nullptr || keywords.empty()) {
+    std::fprintf(stderr, "usage: vcsearch-query --dir DIR [--port P] keyword...\n");
+    return 2;
+  }
+  std::uint16_t port = static_cast<std::uint16_t>(std::strtoul(port_s, nullptr, 10));
+
+  std::filesystem::path base(dir);
+  SigningKey owner_key = SigningKey::load((base / "owner.key").string());
+  SigningKey cloud_key = SigningKey::load((base / "cloud.key").string());
+
+  // Reconstruct the verifier configuration from params.txt.
+  VerifiableIndexConfig config;
+  {
+    std::ifstream params(base / "params.txt");
+    std::string line;
+    while (std::getline(params, line)) {
+      auto eq = line.find('=');
+      if (eq == std::string::npos) continue;
+      std::string key = line.substr(0, eq);
+      unsigned long value = std::strtoul(line.c_str() + eq + 1, nullptr, 10);
+      if (key == "modulus_bits") config.modulus_bits = value;
+      if (key == "rep_bits") config.rep_bits = value;
+      if (key == "interval_size") config.interval_size = value;
+      if (key == "bloom_m") config.bloom.counters = static_cast<std::uint32_t>(value);
+    }
+  }
+  auto owner_ctx = AccumulatorContext::owner(
+      standard_accumulator_modulus(config.modulus_bits),
+      standard_qr_generator(config.modulus_bits));
+
+  DataOwner owner(owner_ctx, owner_key, cloud_key.verify_key(), config);
+  SignedQuery q = owner.issue_query(keywords);
+  SearchResponse resp = http_search(port, q);
+  try {
+    owner.receive_response(resp);
+  } catch (const VerifyError& e) {
+    std::fprintf(stderr, "VERIFICATION FAILED — the cloud misbehaved: %s\n", e.what());
+    return 1;
+  }
+
+  if (const auto* multi = std::get_if<MultiKeywordResponse>(&resp.body)) {
+    std::printf("%zu documents match all %zu keywords (proof %.1f KB, %s scheme) "
+                "[VERIFIED]\n",
+                multi->result.docs.size(), multi->result.keywords.size(),
+                static_cast<double>(resp.proof_size_bytes()) / 1024,
+                scheme_name(multi->proof.scheme));
+    for (std::uint64_t doc : multi->result.docs) {
+      std::printf("  doc %llu", static_cast<unsigned long long>(doc));
+      for (std::size_t k = 0; k < multi->result.keywords.size(); ++k) {
+        for (const Posting& p : multi->result.postings[k]) {
+          if (p.doc_id == doc) std::printf("  %s:%u", multi->result.keywords[k].c_str(), p.tf);
+        }
+      }
+      std::printf("\n");
+    }
+  } else if (const auto* single = std::get_if<SingleKeywordResponse>(&resp.body)) {
+    std::printf("%zu documents contain \"%s\" (signature proof) [VERIFIED]\n",
+                single->postings.size(), single->keyword.c_str());
+  } else {
+    const auto& unknown = std::get<UnknownKeywordResponse>(resp.body);
+    std::printf("keyword \"%s\" is not in the indexed dictionary "
+                "(gap proof, %zu bytes) [VERIFIED]\n",
+                unknown.keyword.c_str(), resp.proof_size_bytes());
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// vcsearch-serve — cloud-side CLI: load a verifiable index, validate the
+// owner's signatures (the "acknowledge receipt" step of Fig 1), and serve
+// signed search responses over HTTP until interrupted.
+//
+//   vcsearch-serve --dir DIR [--port P] [--scheme hybrid|accumulator|bloom|interval]
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "crypto/standard_params.hpp"
+#include "protocol/http.hpp"
+#include "support/threadpool.hpp"
+
+using namespace vc;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+const char* arg_value(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+SchemeKind parse_scheme(const char* s) {
+  if (std::strcmp(s, "accumulator") == 0) return SchemeKind::kAccumulator;
+  if (std::strcmp(s, "bloom") == 0) return SchemeKind::kBloom;
+  if (std::strcmp(s, "interval") == 0) return SchemeKind::kIntervalAccumulator;
+  return SchemeKind::kHybrid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* dir = arg_value(argc, argv, "--dir", nullptr);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "usage: vcsearch-serve --dir DIR [--port P] [--scheme S]\n");
+    return 2;
+  }
+  std::uint16_t port = static_cast<std::uint16_t>(
+      std::strtoul(arg_value(argc, argv, "--port", "8080"), nullptr, 10));
+  SchemeKind scheme = parse_scheme(arg_value(argc, argv, "--scheme", "hybrid"));
+
+  std::filesystem::path base(dir);
+  VerifiableIndex vidx = VerifiableIndex::load((base / "index.vc").string());
+  SigningKey cloud_key = SigningKey::load((base / "cloud.key").string());
+  SigningKey owner_key = SigningKey::load((base / "owner.key").string());
+
+  // Receipt check: refuse to serve an index whose signatures don't verify.
+  vidx.validate(owner_key.verify_key());
+  std::printf("index validated: %zu terms, owner key fingerprint %s...\n",
+              vidx.term_count(),
+              to_hex(owner_key.verify_key().fingerprint()).substr(0, 16).c_str());
+
+  auto cloud_ctx = AccumulatorContext::public_side(AccumulatorParams{
+      standard_accumulator_modulus(vidx.config().modulus_bits).n,
+      standard_qr_generator(vidx.config().modulus_bits)});
+  ThreadPool pool;
+  CloudService cloud(vidx, cloud_ctx, cloud_key, owner_key.verify_key(), &pool, scheme);
+  HttpFrontend frontend(cloud, port);
+  frontend.start();
+  std::printf("serving %s scheme on http://127.0.0.1:%u (POST /search, GET /stats)\n",
+              scheme_name(scheme), frontend.port());
+
+  std::fflush(stdout);
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("shutting down after %llu queries\n",
+              static_cast<unsigned long long>(cloud.queries_served()));
+  frontend.stop();
+  return 0;
+}
