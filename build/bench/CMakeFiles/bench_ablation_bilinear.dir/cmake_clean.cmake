@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bilinear.dir/bench_ablation_bilinear.cpp.o"
+  "CMakeFiles/bench_ablation_bilinear.dir/bench_ablation_bilinear.cpp.o.d"
+  "bench_ablation_bilinear"
+  "bench_ablation_bilinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bilinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

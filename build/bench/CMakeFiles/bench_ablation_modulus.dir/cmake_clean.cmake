@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modulus.dir/bench_ablation_modulus.cpp.o"
+  "CMakeFiles/bench_ablation_modulus.dir/bench_ablation_modulus.cpp.o.d"
+  "bench_ablation_modulus"
+  "bench_ablation_modulus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_unknown.dir/bench_fig7_unknown.cpp.o"
+  "CMakeFiles/bench_fig7_unknown.dir/bench_fig7_unknown.cpp.o.d"
+  "bench_fig7_unknown"
+  "bench_fig7_unknown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_unknown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

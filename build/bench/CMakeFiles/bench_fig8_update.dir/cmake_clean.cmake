@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_update.dir/bench_fig8_update.cpp.o"
+  "CMakeFiles/bench_fig8_update.dir/bench_fig8_update.cpp.o.d"
+  "bench_fig8_update"
+  "bench_fig8_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

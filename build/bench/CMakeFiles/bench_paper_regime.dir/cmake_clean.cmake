@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_regime.dir/bench_paper_regime.cpp.o"
+  "CMakeFiles/bench_paper_regime.dir/bench_paper_regime.cpp.o.d"
+  "bench_paper_regime"
+  "bench_paper_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_verify.dir/bench_table1_verify.cpp.o"
+  "CMakeFiles/bench_table1_verify.dir/bench_table1_verify.cpp.o.d"
+  "bench_table1_verify"
+  "bench_table1_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_primes.dir/bench_table2_primes.cpp.o"
+  "CMakeFiles/bench_table2_primes.dir/bench_table2_primes.cpp.o.d"
+  "bench_table2_primes"
+  "bench_table2_primes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_primes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

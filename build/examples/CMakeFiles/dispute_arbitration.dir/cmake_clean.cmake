@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispute_arbitration.dir/dispute_arbitration.cpp.o"
+  "CMakeFiles/dispute_arbitration.dir/dispute_arbitration.cpp.o.d"
+  "dispute_arbitration"
+  "dispute_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispute_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dispute_arbitration.
+# This may be replaced when dependencies are built.

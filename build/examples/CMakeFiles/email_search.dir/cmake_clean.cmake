@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_search.dir/email_search.cpp.o"
+  "CMakeFiles/email_search.dir/email_search.cpp.o.d"
+  "email_search"
+  "email_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

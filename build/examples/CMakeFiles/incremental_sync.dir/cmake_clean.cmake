@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_sync.dir/incremental_sync.cpp.o"
+  "CMakeFiles/incremental_sync.dir/incremental_sync.cpp.o.d"
+  "incremental_sync"
+  "incremental_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

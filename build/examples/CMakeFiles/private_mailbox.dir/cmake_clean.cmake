@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_mailbox.dir/private_mailbox.cpp.o"
+  "CMakeFiles/private_mailbox.dir/private_mailbox.cpp.o.d"
+  "private_mailbox"
+  "private_mailbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("hash")
+subdirs("bigint")
+subdirs("crypto")
+subdirs("primes")
+subdirs("accumulator")
+subdirs("bloom")
+subdirs("interval")
+subdirs("setops")
+subdirs("text")
+subdirs("privacy")
+subdirs("pairing")
+subdirs("index")
+subdirs("vindex")
+subdirs("proof")
+subdirs("search")
+subdirs("protocol")
+subdirs("data")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_accumulator.dir/accumulator.cpp.o"
+  "CMakeFiles/vc_accumulator.dir/accumulator.cpp.o.d"
+  "CMakeFiles/vc_accumulator.dir/witness.cpp.o"
+  "CMakeFiles/vc_accumulator.dir/witness.cpp.o.d"
+  "libvc_accumulator.a"
+  "libvc_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

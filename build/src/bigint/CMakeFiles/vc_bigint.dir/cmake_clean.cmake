@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/vc_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/vc_bigint.dir/miller_rabin.cpp.o"
+  "CMakeFiles/vc_bigint.dir/miller_rabin.cpp.o.d"
+  "CMakeFiles/vc_bigint.dir/power_context.cpp.o"
+  "CMakeFiles/vc_bigint.dir/power_context.cpp.o.d"
+  "libvc_bigint.a"
+  "libvc_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

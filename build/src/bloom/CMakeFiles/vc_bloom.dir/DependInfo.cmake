@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bloom/arith_coder.cpp" "src/bloom/CMakeFiles/vc_bloom.dir/arith_coder.cpp.o" "gcc" "src/bloom/CMakeFiles/vc_bloom.dir/arith_coder.cpp.o.d"
+  "/root/repo/src/bloom/compressed_bloom.cpp" "src/bloom/CMakeFiles/vc_bloom.dir/compressed_bloom.cpp.o" "gcc" "src/bloom/CMakeFiles/vc_bloom.dir/compressed_bloom.cpp.o.d"
+  "/root/repo/src/bloom/counting_bloom.cpp" "src/bloom/CMakeFiles/vc_bloom.dir/counting_bloom.cpp.o" "gcc" "src/bloom/CMakeFiles/vc_bloom.dir/counting_bloom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/vc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

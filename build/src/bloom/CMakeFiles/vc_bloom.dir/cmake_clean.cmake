@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_bloom.dir/arith_coder.cpp.o"
+  "CMakeFiles/vc_bloom.dir/arith_coder.cpp.o.d"
+  "CMakeFiles/vc_bloom.dir/compressed_bloom.cpp.o"
+  "CMakeFiles/vc_bloom.dir/compressed_bloom.cpp.o.d"
+  "CMakeFiles/vc_bloom.dir/counting_bloom.cpp.o"
+  "CMakeFiles/vc_bloom.dir/counting_bloom.cpp.o.d"
+  "libvc_bloom.a"
+  "libvc_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

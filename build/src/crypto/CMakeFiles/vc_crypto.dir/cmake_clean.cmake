@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_crypto.dir/keygen.cpp.o"
+  "CMakeFiles/vc_crypto.dir/keygen.cpp.o.d"
+  "CMakeFiles/vc_crypto.dir/signature.cpp.o"
+  "CMakeFiles/vc_crypto.dir/signature.cpp.o.d"
+  "CMakeFiles/vc_crypto.dir/standard_params.cpp.o"
+  "CMakeFiles/vc_crypto.dir/standard_params.cpp.o.d"
+  "libvc_crypto.a"
+  "libvc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

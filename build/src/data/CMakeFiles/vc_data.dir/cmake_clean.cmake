@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_data.dir/testbed.cpp.o"
+  "CMakeFiles/vc_data.dir/testbed.cpp.o.d"
+  "CMakeFiles/vc_data.dir/workload.cpp.o"
+  "CMakeFiles/vc_data.dir/workload.cpp.o.d"
+  "libvc_data.a"
+  "libvc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

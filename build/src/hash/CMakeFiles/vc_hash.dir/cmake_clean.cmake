@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_hash.dir/hmac.cpp.o"
+  "CMakeFiles/vc_hash.dir/hmac.cpp.o.d"
+  "CMakeFiles/vc_hash.dir/sha256.cpp.o"
+  "CMakeFiles/vc_hash.dir/sha256.cpp.o.d"
+  "libvc_hash.a"
+  "libvc_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_index.dir/inverted_index.cpp.o"
+  "CMakeFiles/vc_index.dir/inverted_index.cpp.o.d"
+  "libvc_index.a"
+  "libvc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

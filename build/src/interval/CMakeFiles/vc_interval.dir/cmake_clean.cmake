@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_interval.dir/dict_intervals.cpp.o"
+  "CMakeFiles/vc_interval.dir/dict_intervals.cpp.o.d"
+  "CMakeFiles/vc_interval.dir/interval_index.cpp.o"
+  "CMakeFiles/vc_interval.dir/interval_index.cpp.o.d"
+  "libvc_interval.a"
+  "libvc_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pairing/bilinear_acc.cpp" "src/pairing/CMakeFiles/vc_pairing.dir/bilinear_acc.cpp.o" "gcc" "src/pairing/CMakeFiles/vc_pairing.dir/bilinear_acc.cpp.o.d"
+  "/root/repo/src/pairing/bn254.cpp" "src/pairing/CMakeFiles/vc_pairing.dir/bn254.cpp.o" "gcc" "src/pairing/CMakeFiles/vc_pairing.dir/bn254.cpp.o.d"
+  "/root/repo/src/pairing/curve.cpp" "src/pairing/CMakeFiles/vc_pairing.dir/curve.cpp.o" "gcc" "src/pairing/CMakeFiles/vc_pairing.dir/curve.cpp.o.d"
+  "/root/repo/src/pairing/fields.cpp" "src/pairing/CMakeFiles/vc_pairing.dir/fields.cpp.o" "gcc" "src/pairing/CMakeFiles/vc_pairing.dir/fields.cpp.o.d"
+  "/root/repo/src/pairing/pairing.cpp" "src/pairing/CMakeFiles/vc_pairing.dir/pairing.cpp.o" "gcc" "src/pairing/CMakeFiles/vc_pairing.dir/pairing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/vc_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/vc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

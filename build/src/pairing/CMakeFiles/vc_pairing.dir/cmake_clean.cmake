@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_pairing.dir/bilinear_acc.cpp.o"
+  "CMakeFiles/vc_pairing.dir/bilinear_acc.cpp.o.d"
+  "CMakeFiles/vc_pairing.dir/bn254.cpp.o"
+  "CMakeFiles/vc_pairing.dir/bn254.cpp.o.d"
+  "CMakeFiles/vc_pairing.dir/curve.cpp.o"
+  "CMakeFiles/vc_pairing.dir/curve.cpp.o.d"
+  "CMakeFiles/vc_pairing.dir/fields.cpp.o"
+  "CMakeFiles/vc_pairing.dir/fields.cpp.o.d"
+  "CMakeFiles/vc_pairing.dir/pairing.cpp.o"
+  "CMakeFiles/vc_pairing.dir/pairing.cpp.o.d"
+  "libvc_pairing.a"
+  "libvc_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

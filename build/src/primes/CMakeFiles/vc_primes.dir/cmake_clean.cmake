@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_primes.dir/prime_cache.cpp.o"
+  "CMakeFiles/vc_primes.dir/prime_cache.cpp.o.d"
+  "CMakeFiles/vc_primes.dir/prime_rep.cpp.o"
+  "CMakeFiles/vc_primes.dir/prime_rep.cpp.o.d"
+  "libvc_primes.a"
+  "libvc_primes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_primes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_privacy.dir/private_index.cpp.o"
+  "CMakeFiles/vc_privacy.dir/private_index.cpp.o.d"
+  "libvc_privacy.a"
+  "libvc_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_proof.dir/evidence.cpp.o"
+  "CMakeFiles/vc_proof.dir/evidence.cpp.o.d"
+  "CMakeFiles/vc_proof.dir/hybrid_policy.cpp.o"
+  "CMakeFiles/vc_proof.dir/hybrid_policy.cpp.o.d"
+  "CMakeFiles/vc_proof.dir/proof_types.cpp.o"
+  "CMakeFiles/vc_proof.dir/proof_types.cpp.o.d"
+  "CMakeFiles/vc_proof.dir/prover.cpp.o"
+  "CMakeFiles/vc_proof.dir/prover.cpp.o.d"
+  "CMakeFiles/vc_proof.dir/verifier.cpp.o"
+  "CMakeFiles/vc_proof.dir/verifier.cpp.o.d"
+  "libvc_proof.a"
+  "libvc_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

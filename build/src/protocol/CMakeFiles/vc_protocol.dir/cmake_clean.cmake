@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_protocol.dir/arbiter.cpp.o"
+  "CMakeFiles/vc_protocol.dir/arbiter.cpp.o.d"
+  "CMakeFiles/vc_protocol.dir/cloud.cpp.o"
+  "CMakeFiles/vc_protocol.dir/cloud.cpp.o.d"
+  "CMakeFiles/vc_protocol.dir/http.cpp.o"
+  "CMakeFiles/vc_protocol.dir/http.cpp.o.d"
+  "CMakeFiles/vc_protocol.dir/messages.cpp.o"
+  "CMakeFiles/vc_protocol.dir/messages.cpp.o.d"
+  "CMakeFiles/vc_protocol.dir/owner.cpp.o"
+  "CMakeFiles/vc_protocol.dir/owner.cpp.o.d"
+  "libvc_protocol.a"
+  "libvc_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_search.dir/engine.cpp.o"
+  "CMakeFiles/vc_search.dir/engine.cpp.o.d"
+  "CMakeFiles/vc_search.dir/ranking.cpp.o"
+  "CMakeFiles/vc_search.dir/ranking.cpp.o.d"
+  "libvc_search.a"
+  "libvc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

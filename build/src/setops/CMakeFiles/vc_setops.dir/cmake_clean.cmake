@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_setops.dir/setops.cpp.o"
+  "CMakeFiles/vc_setops.dir/setops.cpp.o.d"
+  "libvc_setops.a"
+  "libvc_setops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_setops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

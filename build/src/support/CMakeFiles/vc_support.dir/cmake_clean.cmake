@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_support.dir/bytes.cpp.o"
+  "CMakeFiles/vc_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/vc_support.dir/rng.cpp.o"
+  "CMakeFiles/vc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/vc_support.dir/threadpool.cpp.o"
+  "CMakeFiles/vc_support.dir/threadpool.cpp.o.d"
+  "libvc_support.a"
+  "libvc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

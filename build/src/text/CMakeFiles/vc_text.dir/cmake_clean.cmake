@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_text.dir/corpus.cpp.o"
+  "CMakeFiles/vc_text.dir/corpus.cpp.o.d"
+  "CMakeFiles/vc_text.dir/stemmer.cpp.o"
+  "CMakeFiles/vc_text.dir/stemmer.cpp.o.d"
+  "CMakeFiles/vc_text.dir/stopwords.cpp.o"
+  "CMakeFiles/vc_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/vc_text.dir/synth.cpp.o"
+  "CMakeFiles/vc_text.dir/synth.cpp.o.d"
+  "CMakeFiles/vc_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/vc_text.dir/tokenizer.cpp.o.d"
+  "libvc_text.a"
+  "libvc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_vindex.dir/balance.cpp.o"
+  "CMakeFiles/vc_vindex.dir/balance.cpp.o.d"
+  "CMakeFiles/vc_vindex.dir/statements.cpp.o"
+  "CMakeFiles/vc_vindex.dir/statements.cpp.o.d"
+  "CMakeFiles/vc_vindex.dir/verifiable_index.cpp.o"
+  "CMakeFiles/vc_vindex.dir/verifiable_index.cpp.o.d"
+  "libvc_vindex.a"
+  "libvc_vindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_vindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_integrity_q3_test.dir/bloom_integrity_q3_test.cpp.o"
+  "CMakeFiles/bloom_integrity_q3_test.dir/bloom_integrity_q3_test.cpp.o.d"
+  "bloom_integrity_q3_test"
+  "bloom_integrity_q3_test.pdb"
+  "bloom_integrity_q3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_integrity_q3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corruption_test.cpp" "tests/CMakeFiles/corruption_test.dir/corruption_test.cpp.o" "gcc" "tests/CMakeFiles/corruption_test.dir/corruption_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/vc_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/proof/CMakeFiles/vc_proof.dir/DependInfo.cmake"
+  "/root/repo/build/src/vindex/CMakeFiles/vc_vindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/vc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/vc_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/accumulator/CMakeFiles/vc_accumulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/primes/CMakeFiles/vc_primes.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/vc_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/vc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/vc_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/vc_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/setops/CMakeFiles/vc_setops.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

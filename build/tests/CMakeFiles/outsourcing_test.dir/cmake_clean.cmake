@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outsourcing_test.dir/outsourcing_test.cpp.o"
+  "CMakeFiles/outsourcing_test.dir/outsourcing_test.cpp.o.d"
+  "outsourcing_test"
+  "outsourcing_test.pdb"
+  "outsourcing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outsourcing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

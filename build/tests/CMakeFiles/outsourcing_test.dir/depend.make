@@ -1,0 +1,2 @@
+# Empty dependencies file for outsourcing_test.
+# This may be replaced when dependencies are built.

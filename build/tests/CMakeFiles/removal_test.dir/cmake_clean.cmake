@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/removal_test.dir/removal_test.cpp.o"
+  "CMakeFiles/removal_test.dir/removal_test.cpp.o.d"
+  "removal_test"
+  "removal_test.pdb"
+  "removal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/removal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

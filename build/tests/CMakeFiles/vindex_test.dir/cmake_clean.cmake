@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vindex_test.dir/vindex_test.cpp.o"
+  "CMakeFiles/vindex_test.dir/vindex_test.cpp.o.d"
+  "vindex_test"
+  "vindex_test.pdb"
+  "vindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Concurrency.ParallelQueriesAllVerify]=]  /root/repo/build/tests/concurrency_test [==[--gtest_filter=Concurrency.ParallelQueriesAllVerify]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Concurrency.ParallelQueriesAllVerify]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  concurrency_test_TESTS Concurrency.ParallelQueriesAllVerify)

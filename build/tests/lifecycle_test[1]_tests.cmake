@@ -1,0 +1,3 @@
+add_test([=[Lifecycle.EndToEnd]=]  /root/repo/build/tests/lifecycle_test [==[--gtest_filter=Lifecycle.EndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Lifecycle.EndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  lifecycle_test_TESTS Lifecycle.EndToEnd)

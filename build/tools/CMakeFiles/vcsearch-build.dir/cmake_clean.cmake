@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcsearch-build.dir/vcsearch_build.cpp.o"
+  "CMakeFiles/vcsearch-build.dir/vcsearch_build.cpp.o.d"
+  "vcsearch-build"
+  "vcsearch-build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcsearch-build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcsearch-inspect.dir/vcsearch_inspect.cpp.o"
+  "CMakeFiles/vcsearch-inspect.dir/vcsearch_inspect.cpp.o.d"
+  "vcsearch-inspect"
+  "vcsearch-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcsearch-inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

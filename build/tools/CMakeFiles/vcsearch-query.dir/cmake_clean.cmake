@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcsearch-query.dir/vcsearch_query.cpp.o"
+  "CMakeFiles/vcsearch-query.dir/vcsearch_query.cpp.o.d"
+  "vcsearch-query"
+  "vcsearch-query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcsearch-query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcsearch-serve.dir/vcsearch_serve.cpp.o"
+  "CMakeFiles/vcsearch-serve.dir/vcsearch_serve.cpp.o.d"
+  "vcsearch-serve"
+  "vcsearch-serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcsearch-serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
