@@ -1,7 +1,10 @@
 #include "accumulator/accumulator.hpp"
 
+#include <algorithm>
+
 #include "crypto/keygen.hpp"
 #include "support/errors.hpp"
+#include "support/threadpool.hpp"
 
 namespace vc {
 
@@ -38,8 +41,24 @@ Bigint AccumulatorContext::pow_product(const Bigint& base,
     }
     return power_.pow(base, e);
   }
-  // Public side: the exponent is the genuine integer product.
-  Bigint u = Bigint::product(primes);
+  // Public side: the exponent is the genuine integer product.  With a pool
+  // attached, the product tree's independent chunks build concurrently (the
+  // final pow dominates, but the product of thousands of reps is not free).
+  constexpr std::size_t kPooledProductThreshold = 256;
+  Bigint u;
+  if (pool_ != nullptr && primes.size() >= kPooledProductThreshold) {
+    std::size_t chunks = std::min(primes.size() / (kPooledProductThreshold / 2),
+                                  pool_->worker_count() + 1);
+    std::size_t per = (primes.size() + chunks - 1) / chunks;
+    std::vector<Bigint> partial(chunks, Bigint(1));
+    pool_->parallel_for(0, chunks, [&](std::size_t c) {
+      std::size_t lo = c * per, hi = std::min(primes.size(), lo + per);
+      if (lo < hi) partial[c] = Bigint::product(primes.subspan(lo, hi - lo));
+    });
+    u = Bigint::product(partial);
+  } else {
+    u = Bigint::product(primes);
+  }
   return power_.pow(base, u);
 }
 

@@ -17,6 +17,7 @@
 namespace vc {
 
 struct RsaModulus;
+class ThreadPool;
 
 // The public accumulator parameters the owner publishes (§II-B3).
 struct AccumulatorParams {
@@ -40,6 +41,25 @@ class AccumulatorContext {
   [[nodiscard]] const Bigint& g() const { return params_.g; }
   [[nodiscard]] const PowerContext& power() const { return power_; }
   [[nodiscard]] bool has_trapdoor() const { return power_.has_trapdoor(); }
+
+  // Optional worker pool for the fan-out paths (batched witness trees,
+  // per-interval proof parts, parallel index builds).  Null means every
+  // caller runs sequentially; proof bytes are identical either way.  The
+  // pool must outlive the context and every copy of it.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] ThreadPool* pool() const { return pool_; }
+
+  // Precomputes a windowed fixed-base table for the generator g, making
+  // every later g-based exponentiation (accumulate, membership witnesses)
+  // a squaring-free multi-multiplication.  `max_exp_bits` bounds the
+  // exponent width served on the public side (wider exponents fall back to
+  // plain powm); the owner side always reduces mod φ(n), so its tables are
+  // modulus-sized regardless.  Call before sharing the context across
+  // threads; lookups afterwards are read-only.  Results are bit-identical
+  // to the generic path.
+  void enable_fixed_base(std::size_t max_exp_bits) {
+    power_.prepare_fixed_base(params_.g, max_exp_bits);
+  }
 
   // base^(Π primes) mod n.  With the trapdoor the product is accumulated
   // mod φ(n) (one short exponentiation); without it the full product is
@@ -67,6 +87,7 @@ class AccumulatorContext {
 
   AccumulatorParams params_;
   PowerContext power_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace vc

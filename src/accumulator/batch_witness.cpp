@@ -1,0 +1,136 @@
+#include "accumulator/batch_witness.hpp"
+
+#include <utility>
+
+#include "support/errors.hpp"
+#include "support/threadpool.hpp"
+
+namespace vc {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Range-product tree over the witness exponents.  With the trapdoor every
+// product lives mod φ(n) (short numbers, owner-side build); without it the
+// genuine integer products are kept — those are RootFactor's exponents.
+struct Node {
+  std::size_t begin, end;  // exponent index range [begin, end)
+  std::size_t left = kNone, right = kNone;
+  Bigint prod;  // Π exps[begin..end), reduced mod φ(n) when held
+  Bigint base;  // filled during the top-down witness sweep
+};
+
+struct Tree {
+  std::vector<Node> nodes;
+
+  std::size_t build(std::span<const Bigint> exps, std::size_t begin, std::size_t end,
+                    const Bigint* phi) {
+    std::size_t id = nodes.size();
+    nodes.push_back(Node{.begin = begin, .end = end});
+    if (end - begin == 1) {
+      nodes[id].prod = phi != nullptr ? Bigint::mod(exps[begin], *phi) : exps[begin];
+      return id;
+    }
+    std::size_t mid = begin + (end - begin) / 2;
+    std::size_t l = build(exps, begin, mid, phi);
+    std::size_t r = build(exps, mid, end, phi);
+    nodes[id].left = l;
+    nodes[id].right = r;
+    Bigint p = nodes[l].prod * nodes[r].prod;
+    nodes[id].prod = phi != nullptr ? Bigint::mod(p, *phi) : std::move(p);
+    return id;
+  }
+};
+
+// Runs RootFactor over `exps`: out[i] = g^(Π_{j≠i} exps[j]) mod n.  The
+// top-down sweep processes one tree level at a time; sibling bases within a
+// level are independent, so each level fans out over the pool.
+std::vector<Bigint> root_factor(const AccumulatorContext& ctx, std::span<const Bigint> exps) {
+  std::vector<Bigint> out(exps.size());
+  if (exps.empty()) return out;
+  const PowerContext& power = ctx.power();
+  const Bigint* phi = power.has_trapdoor() ? &power.phi() : nullptr;
+  ThreadPool* pool = ctx.pool();
+
+  Tree t;
+  t.nodes.reserve(2 * exps.size());
+  std::size_t root = t.build(exps, 0, exps.size(), phi);
+  // Matches membership_witness(ctx, {}) for a singleton set: g reduced, no
+  // exponentiation.
+  t.nodes[root].base = Bigint::mod(ctx.g(), ctx.n());
+
+  std::vector<std::size_t> level = {root};
+  while (!level.empty()) {
+    std::vector<std::size_t> next(2 * level.size(), kNone);
+    auto step = [&](std::size_t i) {
+      Node& nd = t.nodes[level[i]];
+      if (nd.left == kNone) {
+        out[nd.begin] = std::move(nd.base);
+        return;
+      }
+      Node& l = t.nodes[nd.left];
+      Node& r = t.nodes[nd.right];
+      l.base = power.pow(nd.base, r.prod);
+      r.base = power.pow(nd.base, l.prod);
+      nd.base = Bigint();  // release, no longer needed
+      next[2 * i] = nd.left;
+      next[2 * i + 1] = nd.right;
+    };
+    if (pool != nullptr && level.size() > 1) {
+      pool->parallel_for(0, level.size(), step);
+    } else {
+      for (std::size_t i = 0; i < level.size(); ++i) step(i);
+    }
+    level.clear();
+    for (std::size_t id : next) {
+      if (id != kNone) level.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Bigint> batch_membership_witnesses(const AccumulatorContext& ctx,
+                                               std::span<const Bigint> primes) {
+  return root_factor(ctx, primes);
+}
+
+std::vector<Bigint> batch_group_witnesses(const AccumulatorContext& ctx,
+                                          std::span<const Bigint> primes,
+                                          std::span<const std::size_t> group_sizes) {
+  std::size_t total = 0;
+  for (std::size_t s : group_sizes) total += s;
+  if (total != primes.size()) {
+    throw UsageError("batch_group_witnesses: group sizes do not partition the primes");
+  }
+  // Fold each group into one super-exponent; an empty group contributes 1,
+  // so its witness is the accumulator of everything outside it.
+  const PowerContext& power = ctx.power();
+  const Bigint* phi = power.has_trapdoor() ? &power.phi() : nullptr;
+  std::vector<std::size_t> offsets(group_sizes.size());
+  std::size_t at = 0;
+  for (std::size_t k = 0; k < group_sizes.size(); ++k) {
+    offsets[k] = at;
+    at += group_sizes[k];
+  }
+  std::vector<Bigint> group_exps(group_sizes.size());
+  auto fold = [&](std::size_t k) {
+    auto part = primes.subspan(offsets[k], group_sizes[k]);
+    if (phi != nullptr) {
+      Bigint e(1);
+      for (const Bigint& x : part) e = Bigint::mod(e * x, *phi);
+      group_exps[k] = std::move(e);
+    } else {
+      group_exps[k] = Bigint::product(part);
+    }
+  };
+  if (ThreadPool* pool = ctx.pool(); pool != nullptr && group_sizes.size() > 1) {
+    pool->parallel_for(0, group_sizes.size(), fold);
+  } else {
+    for (std::size_t k = 0; k < group_sizes.size(); ++k) fold(k);
+  }
+  return root_factor(ctx, group_exps);
+}
+
+}  // namespace vc

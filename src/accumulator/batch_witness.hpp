@@ -1,0 +1,45 @@
+// Batched membership-witness generation (the RootFactor algorithm of
+// Sander–Ta-Shma–Yung, as used by accumulator-based authenticated sets).
+//
+// Computing the witness of each element of an n-element set independently
+// costs n exponentiations whose exponents are (n-1)-prime products — Θ(n²)
+// prime-multiplications of modexp work on the public side.  RootFactor
+// splits the set in halves, raises the running base to the *opposite*
+// half's product, and recurses:
+//
+//   RootFactor(b, X):
+//     if |X| = 1: emit b                       // b = g^(Π set \ {x})
+//     bL = b^(Π X_right);  bR = b^(Π X_left)
+//     RootFactor(bL, X_left); RootFactor(bR, X_right)
+//
+// Each of the O(log n) levels exponentiates by ~n·rep_bits total exponent
+// bits, so the whole batch costs O(n log n) instead of O(n²) — the engine
+// behind fast interval-witness refresh and the bench_batch_witness numbers.
+// All witnesses are byte-identical to what per-element membership_witness
+// returns (the witness value g^(Π rest) mod n is unique), and the tree
+// levels fan out over ctx.pool() when one is attached.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accumulator/accumulator.hpp"
+
+namespace vc {
+
+// Per-element form: out[i] = g^(Π_{j≠i} primes[j]) mod n — the aggregated
+// membership witness of {primes[i]} within the set accumulated from
+// `primes`.  Empty input gives an empty output.
+[[nodiscard]] std::vector<Bigint> batch_membership_witnesses(
+    const AccumulatorContext& ctx, std::span<const Bigint> primes);
+
+// Grouped form: `group_sizes` partitions `primes` into consecutive groups
+// (sizes must sum to primes.size(); zero-sized groups are allowed and get
+// the full-set accumulator as their witness).  out[k] = g^(Π of primes
+// outside group k) — one witness per interval piece, the shape the interval
+// middle layer and per-interval refresh paths consume.
+[[nodiscard]] std::vector<Bigint> batch_group_witnesses(
+    const AccumulatorContext& ctx, std::span<const Bigint> primes,
+    std::span<const std::size_t> group_sizes);
+
+}  // namespace vc

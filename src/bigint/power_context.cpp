@@ -1,8 +1,121 @@
 #include "bigint/power_context.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "support/errors.hpp"
 
 namespace vc {
+
+// --- fixed-base tables -------------------------------------------------------
+//
+// One sub-table per residue ring the exponentiation runs in: a single table
+// mod n on the public side, tables mod p and mod q on the trapdoor side
+// (whose exponents arrive already reduced mod p-1 / q-1).  Sub-table i
+// stores powers[j] = base^(2^(window·j)) mod `mod`; the BGMW bucket scan in
+// eval_fixed combines them without a single squaring.
+namespace {
+
+struct FixedSub {
+  Bigint mod;
+  std::size_t window = 0;         // digit width w in bits
+  std::size_t capacity_bits = 0;  // widest exponent the table serves
+  std::vector<Bigint> powers;     // ceil(capacity/window) entries
+};
+
+}  // namespace
+
+struct PowerContext::FixedBase {
+  Bigint base;
+  std::vector<FixedSub> subs;  // public: {n}; trapdoor: {p, q}
+};
+
+namespace {
+
+// Memory/build-time backstop: a table for a 2M-bit exponent capacity is
+// ~180k modulus-sized entries (tens of MB) and 2M squarings to build; past
+// that the generic powm path is the better deal anyway.
+constexpr std::size_t kMaxFixedCapacityBits = 2'000'000;
+
+std::size_t pick_window(std::size_t capacity_bits) {
+  // Per-exponentiation cost ≈ capacity/w bucket mults + 2^w scan mults.
+  std::size_t best_w = 2;
+  double best_cost = 1e300;
+  for (std::size_t w = 2; w <= 12; ++w) {
+    double cost = static_cast<double>(capacity_bits) / static_cast<double>(w) +
+                  static_cast<double>(std::size_t{1} << w);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+FixedSub build_sub(const Bigint& base, const Bigint& mod, std::size_t capacity_bits) {
+  FixedSub sub;
+  sub.mod = mod;
+  sub.capacity_bits = std::max<std::size_t>(1, std::min(capacity_bits, kMaxFixedCapacityBits));
+  sub.window = pick_window(sub.capacity_bits);
+  std::size_t entries = (sub.capacity_bits + sub.window - 1) / sub.window;
+  sub.powers.reserve(entries);
+  sub.powers.push_back(Bigint::mod(base, mod));
+  for (std::size_t i = 1; i < entries; ++i) {
+    // powers[i] = powers[i-1]^(2^window): `window` squarings via one powm.
+    sub.powers.push_back(
+        Bigint::pow_mod(sub.powers.back(), Bigint(long{1} << sub.window), mod));
+  }
+  return sub;
+}
+
+// BGMW bucket evaluation: group digit positions by digit value d, then
+//   result = Π_d (Π_{i: e_i = d} powers[i])^d
+// computed with the running-product trick (B accumulates the buckets from
+// the largest d downward, A accumulates B once per d).  Total cost:
+// (#nonzero digits + max digit) multiplications, zero squarings.
+Bigint eval_fixed(const FixedSub& sub, const Bigint& exp) {
+  const std::size_t bits = exp.bit_length();
+  if (bits == 0) return Bigint(1);
+  const std::size_t w = sub.window;
+  const std::size_t digits = (bits + w - 1) / w;
+  constexpr std::uint32_t kEmpty = ~std::uint32_t{0};
+  std::vector<std::uint32_t> head(std::size_t{1} << w, kEmpty);
+  std::vector<std::uint32_t> next(digits, kEmpty);
+  mpz_srcptr z = exp.raw();
+  std::size_t max_digit = 0;
+  for (std::size_t i = 0; i < digits; ++i) {
+    std::size_t d = 0;
+    for (std::size_t k = 0; k < w && i * w + k < bits; ++k) {
+      d |= static_cast<std::size_t>(mpz_tstbit(z, i * w + k)) << k;
+    }
+    if (d == 0) continue;
+    next[i] = head[d];
+    head[d] = static_cast<std::uint32_t>(i);
+    max_digit = std::max(max_digit, d);
+  }
+  Bigint a(1), b(1);
+  for (std::size_t d = max_digit; d >= 1; --d) {
+    for (std::uint32_t j = head[d]; j != kEmpty; j = next[j]) {
+      b = Bigint::mod(b * sub.powers[j], sub.mod);
+    }
+    a = Bigint::mod(a * b, sub.mod);
+  }
+  return a;
+}
+
+// The fixed path only wins when the bucket scan is cheaper than the ~1.2
+// multiplications-per-exponent-bit of a generic powm; short exponents on a
+// wide-capacity table would lose to the 2^w scan.
+bool fixed_profitable(const FixedSub& sub, std::size_t exp_bits) {
+  if (exp_bits == 0 || exp_bits > sub.capacity_bits) return false;
+  double fixed_cost = static_cast<double>((exp_bits + sub.window - 1) / sub.window) +
+                      static_cast<double>(std::size_t{1} << sub.window);
+  double plain_cost = 1.2 * static_cast<double>(exp_bits);
+  return fixed_cost < plain_cost;
+}
+
+}  // namespace
 
 PowerContext::PowerContext(Bigint n) : n_(std::move(n)) {
   if (n_ < Bigint(2)) throw UsageError("PowerContext: modulus must be >= 2");
@@ -28,11 +141,31 @@ const Bigint& PowerContext::phi() const {
   return trapdoor_->phi;
 }
 
+void PowerContext::prepare_fixed_base(const Bigint& base, std::size_t max_exp_bits) {
+  auto fixed = std::make_shared<FixedBase>();
+  fixed->base = base;
+  if (trapdoor_) {
+    // Exponents are reduced mod p-1 / q-1 before the table is consulted.
+    fixed->subs.push_back(build_sub(base, trapdoor_->p, trapdoor_->p.bit_length()));
+    fixed->subs.push_back(build_sub(base, trapdoor_->q, trapdoor_->q.bit_length()));
+  } else {
+    fixed->subs.push_back(build_sub(base, n_, max_exp_bits));
+  }
+  fixed_ = std::move(fixed);
+}
+
+bool PowerContext::fixed_base_matches(const Bigint& base) const {
+  return fixed_ != nullptr && fixed_->base == base;
+}
+
 Bigint PowerContext::pow(const Bigint& base, const Bigint& exp) const {
   if (exp.is_negative()) {
     return pow(inv(base), -exp);
   }
   if (!trapdoor_) {
+    if (fixed_base_matches(base) && fixed_profitable(fixed_->subs[0], exp.bit_length())) {
+      return eval_fixed(fixed_->subs[0], exp);
+    }
     return Bigint::pow_mod(base, exp, n_);
   }
   const Trapdoor& t = *trapdoor_;
@@ -41,8 +174,18 @@ Bigint PowerContext::pow(const Bigint& base, const Bigint& exp) const {
   //   m = m_q + q * ((m_p - m_q) * q^{-1} mod p)
   Bigint ep = Bigint::mod(exp, t.p_minus_1);
   Bigint eq = Bigint::mod(exp, t.q_minus_1);
-  Bigint mp = Bigint::pow_mod(Bigint::mod(base, t.p), ep, t.p);
-  Bigint mq = Bigint::pow_mod(Bigint::mod(base, t.q), eq, t.q);
+  Bigint mp, mq;
+  if (fixed_base_matches(base)) {
+    mp = fixed_profitable(fixed_->subs[0], ep.bit_length())
+             ? eval_fixed(fixed_->subs[0], ep)
+             : Bigint::pow_mod(Bigint::mod(base, t.p), ep, t.p);
+    mq = fixed_profitable(fixed_->subs[1], eq.bit_length())
+             ? eval_fixed(fixed_->subs[1], eq)
+             : Bigint::pow_mod(Bigint::mod(base, t.q), eq, t.q);
+  } else {
+    mp = Bigint::pow_mod(Bigint::mod(base, t.p), ep, t.p);
+    mq = Bigint::pow_mod(Bigint::mod(base, t.q), eq, t.q);
+  }
   Bigint h = Bigint::mod((mp - mq) * t.q_inv_mod_p, t.p);
   return mq + t.q * h;
 }

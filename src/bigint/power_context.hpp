@@ -8,6 +8,7 @@
 // sides share this one interface so benchmarks can time either.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "bigint/bigint.hpp"
@@ -29,8 +30,27 @@ class PowerContext {
   // base^exp mod n.  Negative exponents invert the base first (requires
   // gcd(base, n) = 1, which holds for all accumulator values in QR_n).
   // With a trapdoor the exponent is reduced mod phi(n) and the two prime
-  // powers are combined with CRT; without one this is a plain powm.
+  // powers are combined with CRT; without one this is a plain powm — unless
+  // a fixed-base table has been prepared for `base`, in which case the
+  // squaring-free windowed evaluation below takes over.
   [[nodiscard]] Bigint pow(const Bigint& base, const Bigint& exp) const;
+
+  // Precomputes a windowed fixed-base table (BGMW bucket method): powers
+  // base^(2^(w·i)) are stored so a later exponentiation by an e of up to
+  // `max_exp_bits` bits costs ~(bits/w + 2^w) multiplications and *no*
+  // squarings, against ~1.2·bits multiplication-equivalents for a generic
+  // powm.  The accumulator generator g is the base of nearly every
+  // cloud-side witness exponentiation, which is what makes one table pay
+  // for thousands of calls.  With the trapdoor, exponents are served after
+  // reduction mod p-1 / q-1, so the two CRT tables are modulus-sized and
+  // `max_exp_bits` is irrelevant to their memory.  The table is immutable
+  // once built and shared by copies of this context; prepare it before
+  // publishing the context to other threads.  Results are identical to the
+  // generic path bit for bit.
+  void prepare_fixed_base(const Bigint& base, std::size_t max_exp_bits);
+  [[nodiscard]] bool has_fixed_base(const Bigint& base) const {
+    return fixed_ != nullptr && fixed_base_matches(base);
+  }
 
   [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const {
     return Bigint::mod(a * b, n_);
@@ -44,9 +64,15 @@ class PowerContext {
     Bigint p_minus_1, q_minus_1;
     Bigint q_inv_mod_p;  // CRT recombination constant
   };
+  struct FixedBase;  // defined in power_context.cpp
+
+  [[nodiscard]] bool fixed_base_matches(const Bigint& base) const;
 
   Bigint n_;
   std::optional<Trapdoor> trapdoor_;
+  // Immutable after prepare_fixed_base; shared across copies (the tables
+  // can reach tens of MB for megabit exponent capacities).
+  std::shared_ptr<const FixedBase> fixed_;
 };
 
 }  // namespace vc

@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "accumulator/batch_witness.hpp"
 #include "support/errors.hpp"
+#include "support/threadpool.hpp"
 
 namespace vc {
+
+namespace {
+
+// Fan-out helper for the per-interval work in this file: uses the pool the
+// context carries when one is attached, otherwise runs the loop inline.
+// Bodies write to disjoint slots, so proof part order (and bytes) never
+// depends on scheduling.
+void for_each_index(const AccumulatorContext& ctx, std::size_t n,
+                    const std::function<void(std::size_t)>& body) {
+  if (ThreadPool* pool = ctx.pool(); pool != nullptr && n > 1) {
+    pool->parallel_for(0, n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace
 
 namespace {
 constexpr std::uint64_t kU64Max = ~std::uint64_t{0};
@@ -152,9 +171,11 @@ IntervalIndex IntervalIndex::build(const AccumulatorContext& ctx,
     bool last = i + 1 == k;
     iv.desc.hi = last ? kU64Max : idx.elements_[end] - 1;
   }
-  for (auto& iv : idx.intervals_) {
+  // Interval accumulators are independent of one another: fan out.
+  for_each_index(ctx, idx.intervals_.size(), [&](std::size_t i) {
+    Interval& iv = idx.intervals_[i];
     iv.desc.b = ctx.accumulate(idx.member_reps(iv, element_primes));
-  }
+  });
   idx.rebuild_middle_layer(ctx);
   return idx;
 }
@@ -169,28 +190,34 @@ std::vector<Bigint> IntervalIndex::member_reps(const Interval& iv,
 
 void IntervalIndex::rebuild_middle_layer(const AccumulatorContext& ctx) {
   PrimeRepGenerator mid_gen = middle_generator(element_prime_config_);
-  std::vector<Bigint> mid_reps;
-  mid_reps.reserve(intervals_.size());
-  for (auto& iv : intervals_) {
-    iv.mid_rep = mid_gen.representative(iv.desc.encode());
-    mid_reps.push_back(iv.mid_rep);
-  }
+  std::vector<Bigint> mid_reps(intervals_.size());
+  // Each representative costs dozens of Miller–Rabin rounds: fan out.
+  for_each_index(ctx, intervals_.size(), [&](std::size_t i) {
+    intervals_[i].mid_rep = mid_gen.representative(intervals_[i].desc.encode());
+    mid_reps[i] = intervals_[i].mid_rep;
+  });
   root_ = ctx.accumulate(mid_reps);
 
-  // All K witnesses c_{b_k} = g^(Π_{j≠k} m_j) in one prefix/suffix sweep.
-  // With the trapdoor the partial products live mod φ(n); without it they
-  // are genuine integers (slower, but building is an owner-side operation).
   const std::size_t k = mid_reps.size();
-  const bool trapdoor = ctx.power().has_trapdoor();
-  auto reduce = [&](const Bigint& x) {
-    return trapdoor ? Bigint::mod(x, ctx.power().phi()) : x;
-  };
-  std::vector<Bigint> prefix(k + 1, Bigint(1)), suffix(k + 1, Bigint(1));
-  for (std::size_t i = 0; i < k; ++i) prefix[i + 1] = reduce(prefix[i] * mid_reps[i]);
-  for (std::size_t i = k; i-- > 0;) suffix[i] = reduce(suffix[i + 1] * mid_reps[i]);
-  for (std::size_t i = 0; i < k; ++i) {
-    intervals_[i].mid_witness = ctx.power().pow(ctx.g(), reduce(prefix[i] * suffix[i + 1]));
+  if (ctx.power().has_trapdoor()) {
+    // All K witnesses c_{b_k} = g^(Π_{j≠k} m_j) in one prefix/suffix sweep
+    // with the partial products living mod φ(n) (short), then K short
+    // exponentiations fanned over the pool.
+    const Bigint& phi = ctx.power().phi();
+    auto reduce = [&](const Bigint& x) { return Bigint::mod(x, phi); };
+    std::vector<Bigint> prefix(k + 1, Bigint(1)), suffix(k + 1, Bigint(1));
+    for (std::size_t i = 0; i < k; ++i) prefix[i + 1] = reduce(prefix[i] * mid_reps[i]);
+    for (std::size_t i = k; i-- > 0;) suffix[i] = reduce(suffix[i + 1] * mid_reps[i]);
+    for_each_index(ctx, k, [&](std::size_t i) {
+      intervals_[i].mid_witness = ctx.power().pow(ctx.g(), reduce(prefix[i] * suffix[i + 1]));
+    });
+    return;
   }
+  // Public side: the prefix/suffix products are genuine (K·rep_bits)-bit
+  // integers, so the sweep degenerates to K full-width exponentiations —
+  // the O(K²) cost the RootFactor tree avoids (O(K log K), pool-parallel).
+  std::vector<Bigint> witnesses = batch_membership_witnesses(ctx, mid_reps);
+  for (std::size_t i = 0; i < k; ++i) intervals_[i].mid_witness = std::move(witnesses[i]);
 }
 
 std::size_t IntervalIndex::find_interval(std::uint64_t v) const {
@@ -220,9 +247,16 @@ IntervalMembershipProof IntervalIndex::prove_membership(
     }
     grouped[k].push_back(v);
   }
-  IntervalMembershipProof proof;
+  // One part per touched interval; parts are independent, so the witness
+  // exponentiations fan out over the pool (part order stays by interval).
+  std::vector<std::size_t> touched;
   for (std::size_t k = 0; k < intervals_.size(); ++k) {
-    if (grouped[k].empty()) continue;
+    if (!grouped[k].empty()) touched.push_back(k);
+  }
+  IntervalMembershipProof proof;
+  proof.parts.resize(touched.size());
+  for_each_index(ctx, touched.size(), [&](std::size_t t) {
+    std::size_t k = touched[t];
     std::sort(grouped[k].begin(), grouped[k].end());
     const Interval& iv = intervals_[k];
     // chat = g^(Π reps of members not in the value group)  — Eq 4 within X_k.
@@ -233,12 +267,12 @@ IntervalMembershipProof IntervalIndex::prove_membership(
         rest.push_back(element_primes.get(m));
       }
     }
-    proof.parts.push_back(IntervalMembershipPart{
+    proof.parts[t] = IntervalMembershipPart{
         .desc = iv.desc,
         .chat = membership_witness(ctx, rest),
         .mid_witness = iv.mid_witness,
-    });
-  }
+    };
+  });
   return proof;
 }
 
@@ -248,19 +282,24 @@ IntervalNonmembershipProof IntervalIndex::prove_nonmembership(
   std::vector<std::vector<std::uint64_t>> grouped(intervals_.size());
   for (std::uint64_t v : values) grouped[find_interval(v)].push_back(v);
 
-  IntervalNonmembershipProof proof;
+  std::vector<std::size_t> touched;
   for (std::size_t k = 0; k < intervals_.size(); ++k) {
-    if (grouped[k].empty()) continue;
+    if (!grouped[k].empty()) touched.push_back(k);
+  }
+  IntervalNonmembershipProof proof;
+  proof.parts.resize(touched.size());
+  for_each_index(ctx, touched.size(), [&](std::size_t t) {
+    std::size_t k = touched[t];
     const Interval& iv = intervals_[k];
     std::vector<Bigint> outsider_reps;
     outsider_reps.reserve(grouped[k].size());
     for (std::uint64_t v : grouped[k]) outsider_reps.push_back(element_primes.get(v));
-    proof.parts.push_back(IntervalNonmembershipPart{
+    proof.parts[t] = IntervalNonmembershipPart{
         .desc = iv.desc,
         .nmw = nonmembership_witness(ctx, member_reps(iv, element_primes), outsider_reps),
         .mid_witness = iv.mid_witness,
-    });
-  }
+    };
+  });
   return proof;
 }
 
@@ -282,10 +321,12 @@ void IntervalIndex::insert(const AccumulatorContext& ctx,
     auto eit = std::lower_bound(elements_.begin(), elements_.end(), v);
     elements_.insert(eit, v);
   }
-  // Recompute touched interval accumulators; split any interval that grew
-  // past twice the nominal size to keep online proving cheap.
+  // Re-chunk touched intervals (splitting any that grew past twice the
+  // nominal size, to keep online proving cheap), then refresh the stale
+  // accumulators in one pool fan-out.
   std::vector<Interval> next;
   next.reserve(intervals_.size());
+  std::vector<std::size_t> stale;  // indices into `next` needing re-accumulation
   for (std::size_t k = 0; k < intervals_.size(); ++k) {
     Interval& iv = intervals_[k];
     if (!touched[k]) {
@@ -293,7 +334,7 @@ void IntervalIndex::insert(const AccumulatorContext& ctx,
       continue;
     }
     if (iv.members.size() <= 2 * config_.interval_size) {
-      iv.desc.b = ctx.accumulate(member_reps(iv, element_primes));
+      stale.push_back(next.size());
       next.push_back(std::move(iv));
       continue;
     }
@@ -307,10 +348,14 @@ void IntervalIndex::insert(const AccumulatorContext& ctx,
       sub.members.assign(ms.begin() + begin, ms.begin() + end);
       sub.desc.lo = p == 0 ? iv.desc.lo : ms[begin];
       sub.desc.hi = p + 1 == pieces ? iv.desc.hi : ms[end] - 1;
-      sub.desc.b = ctx.accumulate(member_reps(sub, element_primes));
+      stale.push_back(next.size());
       next.push_back(std::move(sub));
     }
   }
+  for_each_index(ctx, stale.size(), [&](std::size_t i) {
+    Interval& iv = next[stale[i]];
+    iv.desc.b = ctx.accumulate(member_reps(iv, element_primes));
+  });
   intervals_ = std::move(next);
   rebuild_middle_layer(ctx);
 }
@@ -333,16 +378,19 @@ void IntervalIndex::remove(const AccumulatorContext& ctx,
     auto eit = std::lower_bound(elements_.begin(), elements_.end(), v);
     if (eit != elements_.end() && *eit == v) elements_.erase(eit);
   }
-  bool any = false;
+  std::vector<std::size_t> stale;
   for (std::size_t k = 0; k < intervals_.size(); ++k) {
-    if (!touched[k]) continue;
-    // Eq 6 per interval: recompute b_k from the surviving members (the
-    // interval is small, so a fresh accumulation is as cheap as the
-    // modular-inverse update and avoids carrying extra state).
-    intervals_[k].desc.b = ctx.accumulate(member_reps(intervals_[k], element_primes));
-    any = true;
+    if (touched[k]) stale.push_back(k);
   }
-  if (any) rebuild_middle_layer(ctx);
+  // Eq 6 per interval: recompute b_k from the surviving members (the
+  // interval is small, so a fresh accumulation is as cheap as the
+  // modular-inverse update and avoids carrying extra state).  Touched
+  // intervals refresh concurrently.
+  for_each_index(ctx, stale.size(), [&](std::size_t i) {
+    std::size_t k = stale[i];
+    intervals_[k].desc.b = ctx.accumulate(member_reps(intervals_[k], element_primes));
+  });
+  if (!stale.empty()) rebuild_middle_layer(ctx);
 }
 
 namespace {

@@ -1,15 +1,53 @@
 #include "proof/prover.hpp"
 
 #include <algorithm>
-#include <future>
+#include <functional>
 
+#include "accumulator/batch_witness.hpp"
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
 
 namespace vc {
 
+namespace {
+
+// Fan-out helper: pool when present, inline otherwise.  Bodies fill
+// disjoint slots, so proof bytes are independent of scheduling.
+void for_each_index(ThreadPool* pool, std::size_t n,
+                    const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for(0, n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace
+
 Prover::Prover(const VerifiableIndex& vidx, AccumulatorContext ctx, ThreadPool* pool)
-    : vidx_(vidx), ctx_(std::move(ctx)), pool_(pool) {}
+    : vidx_(vidx), ctx_(std::move(ctx)), pool_(pool) {
+  // Every fan-out below the proof managers (per-interval parts, batched
+  // witness trees) rides the same pool.
+  ctx_.set_pool(pool);
+  // Nearly every cloud-side witness exponentiation has base g; one windowed
+  // table serves them all.  The widest flat exponent is the full product of
+  // the largest posting list's representatives.
+  std::size_t max_postings = 1;
+  for (const auto& [term, list] : vidx_.index().terms()) {
+    max_postings = std::max(max_postings, list.size());
+  }
+  ctx_.enable_fixed_base((max_postings + 1) * vidx_.config().rep_bits);
+}
+
+std::vector<Bigint> Prover::prove_all_tuple_memberships(
+    const VerifiableIndex::Entry& entry) const {
+  std::vector<Bigint> reps;
+  reps.reserve(entry.postings.size());
+  for (const Posting& p : entry.postings) {
+    reps.push_back(vidx_.tuple_primes().get(InvertedIndex::encode_tuple(p)));
+  }
+  return batch_membership_witnesses(ctx_, reps);
+}
 
 std::vector<const VerifiableIndex::Entry*> Prover::lookup(const SearchResult& result) const {
   if (result.keywords.size() < 2) {
@@ -145,14 +183,21 @@ AccumulatorIntegrity Prover::make_accumulator_integrity(
       throw CryptoError("integrity: check doc present in every keyword set");
     }
   }
+  std::vector<std::size_t> nonempty;
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (grouped[i].empty()) continue;
+    if (!grouped[i].empty()) nonempty.push_back(i);
+  }
+  // One aggregated witness per keyword; the groups are independent, so they
+  // fan out across the pool.  Slot order fixes the proof byte order.
+  integrity.groups.resize(nonempty.size());
+  for_each_index(pool_, nonempty.size(), [&](std::size_t t) {
+    std::size_t i = nonempty[t];
     NonmembershipGroup g;
     g.keyword = static_cast<std::uint32_t>(i);
     g.docs = std::move(grouped[i]);
     g.evidence = prove_doc_nonmembership(*entries[i], g.docs, interval_form);
-    integrity.groups.push_back(std::move(g));
-  }
+    integrity.groups[t] = std::move(g);
+  });
   return integrity;
 }
 
@@ -173,8 +218,11 @@ BloomIntegrity Prover::make_bloom_integrity(
   }
 
   BloomIntegrity integrity;
-  CountingBloom probe(params);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
+  integrity.parts.resize(entries.size());
+  // Per-keyword parts are independent; each task keeps its own probe filter
+  // so position hashing has no shared state.
+  for_each_index(pool_, entries.size(), [&](std::size_t i) {
+    CountingBloom probe(params);
     BloomKeywordPart part;
     part.bloom = entries[i]->bloom_attestation;
     for (const Posting& p : entries[i]->postings) {
@@ -189,8 +237,8 @@ BloomIntegrity Prover::make_bloom_integrity(
     }
     part.check_membership =
         prove_doc_membership(*entries[i], part.check_elements, interval_form);
-    integrity.parts.push_back(std::move(part));
-  }
+    integrity.parts[i] = std::move(part);
+  });
   return integrity;
 }
 
@@ -227,20 +275,11 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
   auto build_correctness = [&]() {
     CorrectnessProof correctness;
     correctness.keywords.resize(entries.size());
-    auto one = [&](std::size_t i) {
+    for_each_index(pool_, entries.size(), [&](std::size_t i) {
       U64Set tuples = InvertedIndex::tuple_set(result.postings[i]);
       std::sort(tuples.begin(), tuples.end());
       correctness.keywords[i] = prove_tuple_membership(*entries[i], tuples, interval_form);
-    };
-    if (pool_ != nullptr) {
-      std::vector<std::future<void>> futs;
-      for (std::size_t i = 0; i < entries.size(); ++i) {
-        futs.push_back(pool_->submit([&, i] { one(i); }));
-      }
-      for (auto& f : futs) f.get();
-    } else {
-      for (std::size_t i = 0; i < entries.size(); ++i) one(i);
-    }
+    });
     return correctness;
   };
 
@@ -262,14 +301,15 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
     throw UsageError("unknown scheme");
   };
 
-  if (pool_ != nullptr) {
-    auto integrity_fut = pool_->submit(build_integrity);
-    proof.correctness = build_correctness();
-    proof.integrity = integrity_fut.get();
-  } else {
-    proof.correctness = build_correctness();
-    proof.integrity = build_integrity();
-  }
+  // Cooperative two-way fork: the calling thread runs one manager itself,
+  // so proving makes progress even when every worker is busy.
+  for_each_index(pool_, 2, [&](std::size_t which) {
+    if (which == 0) {
+      proof.correctness = build_correctness();
+    } else {
+      proof.integrity = build_integrity();
+    }
+  });
   return proof;
 }
 

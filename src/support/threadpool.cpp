@@ -41,23 +41,58 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, worker_count());
-  if (chunks <= 1) {
+  if (n == 1 || worker_count() == 0) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  const std::size_t per = n / chunks, extra = n % chunks;
-  std::size_t lo = begin;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    std::size_t hi = lo + per + (c < extra ? 1 : 0);
-    futs.push_back(submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
-    lo = hi;
+  // Shared claim/completion state.  Helper tasks submitted to the pool may
+  // start after the caller already finished the loop; they then claim
+  // nothing and exit, so the state must outlive this frame (shared_ptr).
+  struct Shared {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> done{0};
+    std::size_t end;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto st = std::make_shared<Shared>();
+  st->next.store(begin, std::memory_order_relaxed);
+  st->end = end;
+  auto drain = [st, &body, n] {
+    for (;;) {
+      std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= st->end) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(st->mu);
+        if (!st->error) st->error = std::current_exception();
+      }
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard lock(st->mu);
+        st->cv.notify_all();
+      }
+    }
+  };
+  // The helpers reference `body`, which lives until the caller returns —
+  // and the caller only returns once all n iterations are done, after which
+  // late-starting helpers claim nothing and never touch `body`.
+  const std::size_t helpers = std::min(worker_count(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    std::function<void()> task = drain;
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back(std::move(task));
+    }
+    cv_.notify_one();
   }
-  for (auto& f : futs) f.get();
+  drain();
+  {
+    std::unique_lock lock(st->mu);
+    st->cv.wait(lock, [&] { return st->done.load(std::memory_order_acquire) == n; });
+    if (st->error) std::rethrow_exception(st->error);
+  }
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -43,7 +43,11 @@ class ThreadPool {
     return fut;
   }
 
-  // Runs body(i) for i in [begin, end), partitioned into contiguous chunks.
+  // Runs body(i) for i in [begin, end) cooperatively: the calling thread
+  // claims iterations alongside any pool workers that free up, so the call
+  // makes progress even when every worker is busy.  That makes it safe to
+  // invoke from *inside* a pool task (nested parallelism never deadlocks on
+  // pool capacity — worst case the caller runs every iteration itself).
   // Blocks until every iteration completed; rethrows the first exception.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);

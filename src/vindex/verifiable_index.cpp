@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <fstream>
-#include <mutex>
 
 #include "bloom/compressed_bloom.hpp"
 #include "support/errors.hpp"
@@ -71,45 +70,36 @@ VerifiableIndex VerifiableIndex::build(InvertedIndex index,
   }
   auto groups = partition_terms(record_counts, std::max<std::size_t>(1, pool.worker_count()),
                                 strategy);
-  {
-    std::vector<std::future<void>> futs;
-    for (const auto& group : groups) {
-      if (group.empty()) continue;
-      futs.push_back(pool.submit([&, group] {
-        for (std::size_t t : group) {
-          for (const Posting& p : *lists[t]) {
-            (void)vidx.tuple_primes_->get(InvertedIndex::encode_tuple(p));
-            (void)vidx.doc_primes_->get(InvertedIndex::encode_doc(p.doc_id));
-          }
-        }
-      }));
+  pool.parallel_for(0, groups.size(), [&](std::size_t gi) {
+    for (std::size_t t : groups[gi]) {
+      for (const Posting& p : *lists[t]) {
+        (void)vidx.tuple_primes_->get(InvertedIndex::encode_tuple(p));
+        (void)vidx.doc_primes_->get(InvertedIndex::encode_doc(p.doc_id));
+      }
     }
-    for (auto& f : futs) f.get();
-  }
+  });
   double prime_seconds = sw.seconds();
 
   // Phase 2: per-term accumulators, interval trees, Blooms, signatures.
+  // The context carries the pool so per-interval accumulation and the
+  // batched middle-layer witnesses inside each entry also fan out; the
+  // cooperative parallel_for makes the nesting deadlock-free.
+  AccumulatorContext pooled_ctx = owner_ctx;
+  pooled_ctx.set_pool(&pool);
   sw.reset();
   std::vector<Entry> built(lists.size());
-  {
-    std::vector<std::future<void>> futs;
-    for (const auto& group : groups) {
-      if (group.empty()) continue;
-      futs.push_back(pool.submit([&, group] {
-        for (std::size_t t : group) {
-          built[t] = vidx.build_entry(*term_names[t], *lists[t], owner_ctx, owner_key);
-        }
-      }));
+  pool.parallel_for(0, groups.size(), [&](std::size_t gi) {
+    for (std::size_t t : groups[gi]) {
+      built[t] = vidx.build_entry(*term_names[t], *lists[t], pooled_ctx, owner_key);
     }
-    for (auto& f : futs) f.get();
-  }
+  });
   for (std::size_t t = 0; t < built.size(); ++t) {
     vidx.entries_.emplace(*term_names[t], std::move(built[t]));
   }
   double accumulate_seconds = sw.seconds();
 
   // Phase 3: dictionary gap intervals (unknown keywords, §III-D4).
-  double dict_seconds = vidx.rebuild_dictionary(owner_ctx, owner_key);
+  double dict_seconds = vidx.rebuild_dictionary(pooled_ctx, owner_key);
 
   if (stats != nullptr) {
     stats->prime_precompute_seconds = prime_seconds;

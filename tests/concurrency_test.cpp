@@ -62,5 +62,52 @@ TEST(Concurrency, ParallelQueriesAllVerify) {
   EXPECT_EQ(verified.load(), kThreads * kQueriesPerThread);
 }
 
+// The pooled prover must emit the exact bytes the single-threaded prover
+// emits — the pool only reorders *when* independent witnesses are computed,
+// never what they are.  payload_bytes() covers the result and every proof
+// byte the cloud signs.
+TEST(Concurrency, PooledProverByteIdenticalToSingleThreaded) {
+  VerifiableIndexConfig cfg;
+  cfg.modulus_bits = 512;
+  cfg.rep_bits = 64;
+  cfg.interval_size = 8;
+  cfg.prime_mr_rounds = 24;
+  cfg.bloom = BloomParams{.counters = 256, .hashes = 1, .domain = "conc"};
+  auto owner_ctx = AccumulatorContext::owner(standard_accumulator_modulus(512),
+                                             standard_qr_generator(512));
+  auto pub_ctx = AccumulatorContext::public_side(owner_ctx.params());
+  DeterministicRng rng(1301);
+  SigningKey owner_key = generate_signing_key(rng, 512);
+  SigningKey cloud_key = generate_signing_key(rng, 512);
+  ThreadPool pool(4);
+
+  SynthSpec spec{.name = "conc2", .num_docs = 50, .min_doc_words = 20,
+                 .max_doc_words = 45, .vocab_size = 160, .zipf_s = 0.9, .seed = 77};
+  Corpus corpus = generate_corpus(spec);
+  // A pooled build must also produce the same index a serial build does.
+  ThreadPool serial_pool(1);
+  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
+                                                owner_key, cfg, serial_pool);
+  VerifiableIndex vidx_pooled = VerifiableIndex::build(InvertedIndex::build(corpus),
+                                                       owner_ctx, owner_key, cfg, pool);
+  ASSERT_EQ(vidx.find("the") != nullptr, vidx_pooled.find("the") != nullptr);
+
+  SearchEngine serial(vidx, pub_ctx, cloud_key, nullptr);
+  SearchEngine pooled(vidx_pooled, pub_ctx, cloud_key, &pool);
+  ResultVerifier verifier(owner_ctx, owner_key.verify_key(), cloud_key.verify_key(), cfg);
+
+  DeterministicRng qrng(42);
+  for (int scheme = 0; scheme < 4; ++scheme) {
+    Query q{.id = static_cast<std::uint64_t>(scheme),
+            .keywords = {synth_word(spec, static_cast<std::uint32_t>(qrng.below(10))),
+                         synth_word(spec, static_cast<std::uint32_t>(10 + qrng.below(40)))}};
+    SearchResponse a = serial.search(q, static_cast<SchemeKind>(scheme));
+    SearchResponse b = pooled.search(q, static_cast<SchemeKind>(scheme));
+    EXPECT_EQ(a.payload_bytes(), b.payload_bytes()) << "scheme " << scheme;
+    verifier.verify(a);
+    verifier.verify(b);
+  }
+}
+
 }  // namespace
 }  // namespace vc

@@ -2,10 +2,13 @@
 
 #include <vector>
 
+#include "accumulator/batch_witness.hpp"
+#include "accumulator/witness.hpp"
 #include "crypto/standard_params.hpp"
 #include "interval/dict_intervals.hpp"
 #include "interval/interval_index.hpp"
 #include "support/errors.hpp"
+#include "support/threadpool.hpp"
 
 namespace vc {
 namespace {
@@ -348,6 +351,114 @@ TEST_F(DictIntervalsTest, GapProofSerializationRoundtrip) {
   GapProof round = GapProof::read(r);
   EXPECT_TRUE(DictionaryIntervals::verify_unknown(pub_, dict_.root(), "kiwi", round,
                                                   test_prime_config()));
+}
+
+// --- witness-engine equivalence ---------------------------------------------------
+//
+// The batch engine, the pool fan-out and the fixed-base tables are pure
+// optimisations: every path must emit the exact bytes the straight-line seed
+// code emits.
+
+class BatchWitnessTest : public IntervalIndexTest {
+ protected:
+  std::vector<Bigint> reps(std::uint64_t n) {
+    std::vector<Bigint> out;
+    for (std::uint64_t v : evens(n)) out.push_back(primes_.get(v));
+    return out;
+  }
+};
+
+TEST_F(BatchWitnessTest, BatchedWitnessesByteIdenticalToPerElement) {
+  auto xs = reps(33);
+  for (const AccumulatorContext* ctx : {&owner_, &pub_}) {
+    auto batch = batch_membership_witnesses(*ctx, xs);
+    ASSERT_EQ(batch.size(), xs.size());
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      std::vector<Bigint> rest;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i != j) rest.push_back(xs[i]);
+      }
+      Bigint expect = membership_witness(*ctx, rest);
+      ByteWriter wa, wb;
+      batch[j].write(wa);
+      expect.write(wb);
+      EXPECT_EQ(wa.data(), wb.data()) << "witness " << j;
+    }
+  }
+}
+
+TEST_F(BatchWitnessTest, BatchedEdgeCases) {
+  EXPECT_TRUE(batch_membership_witnesses(pub_, {}).empty());
+  auto one = reps(1);
+  auto batch = batch_membership_witnesses(pub_, one);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], membership_witness(pub_, {}));
+}
+
+TEST_F(BatchWitnessTest, GroupWitnessesMatchPerGroup) {
+  auto xs = reps(12);
+  std::vector<std::size_t> sizes = {5, 0, 3, 1, 3};  // includes an empty group
+  for (const AccumulatorContext* ctx : {&owner_, &pub_}) {
+    auto batch = batch_group_witnesses(*ctx, xs, sizes);
+    ASSERT_EQ(batch.size(), sizes.size());
+    std::size_t lo = 0;
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      std::vector<Bigint> rest(xs.begin(), xs.begin() + lo);
+      rest.insert(rest.end(), xs.begin() + lo + sizes[k], xs.end());
+      EXPECT_EQ(batch[k], membership_witness(*ctx, rest)) << "group " << k;
+      lo += sizes[k];
+    }
+  }
+  std::vector<std::size_t> bad = {5, 5};
+  EXPECT_THROW(batch_group_witnesses(pub_, xs, bad), UsageError);
+}
+
+TEST_F(BatchWitnessTest, PooledBatchMatchesSerial) {
+  auto xs = reps(40);
+  auto serial = batch_membership_witnesses(pub_, xs);
+  ThreadPool pool(4);
+  AccumulatorContext pooled = pub_;
+  pooled.set_pool(&pool);
+  EXPECT_EQ(batch_membership_witnesses(pooled, xs), serial);
+}
+
+TEST_F(BatchWitnessTest, FixedBaseBatchMatchesGeneric) {
+  auto xs = reps(24);
+  auto generic = batch_membership_witnesses(pub_, xs);
+  AccumulatorContext fixed = pub_;
+  fixed.enable_fixed_base(xs.size() * 64 + 64);
+  EXPECT_EQ(batch_membership_witnesses(fixed, xs), generic);
+  EXPECT_EQ(fixed.accumulate(xs), pub_.accumulate(xs));
+
+  AccumulatorContext fixed_owner = owner_;
+  fixed_owner.enable_fixed_base(0);  // owner tables are φ(n)-sized anyway
+  EXPECT_EQ(fixed_owner.accumulate(xs), owner_.accumulate(xs));
+}
+
+TEST_F(BatchWitnessTest, PooledIntervalIndexByteIdenticalToSerial) {
+  auto elems = evens(120);
+  IntervalIndex serial = IntervalIndex::build(owner_, elems, primes_, cfg_);
+
+  ThreadPool pool(4);
+  AccumulatorContext pooled_owner = owner_;
+  pooled_owner.set_pool(&pool);
+  IntervalIndex pooled = IntervalIndex::build(pooled_owner, elems, primes_, cfg_);
+
+  ByteWriter ws, wp;
+  serial.write(ws);
+  pooled.write(wp);
+  EXPECT_EQ(ws.data(), wp.data());
+
+  // Proof generation fan-out must not change proof bytes either.
+  std::vector<std::uint64_t> members = {10, 12, 48, 100, 200, 236};
+  std::vector<std::uint64_t> absent = {11, 49, 1001};
+  ByteWriter ms, mp, ns, np;
+  serial.prove_membership(owner_, members, primes_).write(ms);
+  pooled.prove_membership(pooled_owner, members, primes_).write(mp);
+  serial.prove_nonmembership(owner_, absent, primes_).write(ns);
+  pooled.prove_nonmembership(pooled_owner, absent, primes_).write(np);
+  EXPECT_EQ(ms.data(), mp.data());
+  EXPECT_EQ(ns.data(), np.data());
 }
 
 }  // namespace
