@@ -44,7 +44,7 @@ int main() {
   std::printf("# RSA witness ~%zu B;  bilinear witness ~64 B (one G1 point)\n\n",
               (bits / 8) + 4);
 
-  TablePrinter table({"set", "scheme", "elem_map_s", "acc_owner_s", "member_owner_s",
+  TablePrinter table("ablation_bilinear", {"set", "scheme", "elem_map_s", "acc_owner_s", "member_owner_s",
                       "member_public_s", "nonmem_owner_s", "verify_member_s"});
 
   for (std::uint32_t n : sizes) {

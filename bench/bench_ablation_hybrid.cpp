@@ -21,7 +21,7 @@ int main() {
   const std::size_t bits = env_size("VC_MODULUS_BITS", 1024);
 
   std::printf("# Ablation: hybrid integrity cut-over (|X1|=|X2|=%zu, m=%u)\n", set_size, m);
-  TablePrinter table({"check_docs", "est_acc_kb", "est_bloom_kb", "est_acc_s", "est_bloom_s", "policy"});
+  TablePrinter table("ablation_hybrid_policy", {"check_docs", "est_acc_kb", "est_bloom_kb", "est_acc_s", "est_bloom_s", "policy"});
 
   BloomParams params{.counters = m, .hashes = 1, .domain = "abl-hybrid"};
   // Model two equal-size keyword sets with varying overlap; the compressed
@@ -51,7 +51,7 @@ int main() {
 
   std::printf("\n# Bloom budget sweep: compressed size vs m (Eq 10) at %zu elements\n",
               set_size);
-  TablePrinter table2({"m", "load", "compressed_kb", "entropy_bound_kb"});
+  TablePrinter table2("ablation_hybrid_bloom", {"m", "load", "compressed_kb", "entropy_bound_kb"});
   for (std::uint32_t mm : {1024u, 2048u, 4096u, 8192u, 16384u}) {
     BloomParams p{.counters = mm, .hashes = 1, .domain = "abl-hybrid"};
     CountingBloom b = CountingBloom::from_set(p, x1);

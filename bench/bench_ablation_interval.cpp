@@ -32,7 +32,7 @@ int main() {
 
   std::printf("# Ablation: interval size sweep (set=%u, modulus=%zu bits)\n", set_size,
               bits);
-  TablePrinter table({"interval", "build_s", "member_prove_s", "nonmember_prove_s",
+  TablePrinter table("ablation_interval", {"interval", "build_s", "member_prove_s", "nonmember_prove_s",
                       "member_kb", "nonmember_kb"});
 
   for (std::uint32_t isz : interval_sizes) {

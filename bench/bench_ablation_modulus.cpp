@@ -22,7 +22,7 @@ int main() {
   std::vector<Bigint> outsiders = {gen.representative(std::uint64_t{1} << 40)};
 
   std::printf("# Ablation: modulus size sweep (|X|=%zu, 128-bit reps)\n", set_size);
-  TablePrinter table({"modulus_bits", "owner_member_s", "cloud_member_s",
+  TablePrinter table("ablation_modulus", {"modulus_bits", "owner_member_s", "cloud_member_s",
                       "cloud_nonmember_s", "verify_member_s"});
 
   for (std::size_t bits : {512ul, 1024ul, 2048ul}) {

@@ -45,9 +45,12 @@ template <typename Fn>
 double timed(std::size_t runs, std::vector<Bigint>& out, Fn&& series) {
   std::vector<double> secs;
   for (std::size_t r = 0; r < runs; ++r) {
-    Stopwatch sw;
-    std::vector<Bigint> got = series();
-    secs.push_back(sw.seconds());
+    double elapsed = 0;
+    std::vector<Bigint> got = [&] {
+      ScopedTimer timer(elapsed);
+      return series();
+    }();
+    secs.push_back(elapsed);
     if (r == 0) out = std::move(got);
   }
   return mean(secs);
@@ -115,7 +118,7 @@ int run() {
 
   ThreadPool pool(workers);
 
-  TablePrinter table({"series", "seconds", "speedup", "witnesses"});
+  TablePrinter table("batch_witness", {"series", "seconds", "speedup", "witnesses"});
   std::vector<Bigint> seed_out, pooled_out, batched_out, full_out;
 
   double seed_s = timed(runs, seed_out, [&] { return per_subset(pub, w, nullptr); });

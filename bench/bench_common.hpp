@@ -9,15 +9,24 @@
 //   VC_REP_BITS=128             prime representative width
 //   VC_BLOOM_M=4096             counting Bloom filter counters
 //   VC_RUNS=3                   measurement repetitions (averaged)
+// Machine-readable results: a TablePrinter constructed with a bench name
+// writes BENCH_<name>.json on destruction — the printed table plus the
+// VC_* knobs in effect and a snapshot of the telemetry registry (the same
+// vc_stage_seconds vocabulary vcsearch-serve exports at /metrics), so a
+// bench run and a production scrape are directly comparable.  Set
+// VC_BENCH_JSON_DIR to redirect the files (default: working directory),
+// VC_BENCH_JSON=0 to suppress them.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "data/testbed.hpp"
+#include "obs/export.hpp"
 #include "support/stopwatch.hpp"
 
 namespace vc::bench {
@@ -78,8 +87,21 @@ inline double mean(const std::vector<double>& xs) {
   return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
 }
 
+// Environment knobs recorded into every BENCH_*.json so a result file is
+// self-describing (which scale the numbers were measured at).
+inline const char* const kBenchParamEnv[] = {
+    "VC_DOCS",   "VC_MODULUS_BITS", "VC_REP_BITS", "VC_BLOOM_M",
+    "VC_RUNS",   "VC_INTERVAL_SIZE", "VC_BATCH_N", "VC_OBS",
+};
+
 struct TablePrinter {
-  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  explicit TablePrinter(std::vector<std::string> headers)
+      : TablePrinter(std::string(), std::move(headers)) {}
+
+  // Named variant: on destruction writes BENCH_<name>.json (table rows +
+  // VC_* params + telemetry registry snapshot) unless VC_BENCH_JSON=0.
+  TablePrinter(std::string name, std::vector<std::string> headers)
+      : name_(std::move(name)), headers_(std::move(headers)) {
     for (std::size_t i = 0; i < headers_.size(); ++i) {
       std::printf("%s%-*s", i ? "  " : "", width(i), headers_[i].c_str());
     }
@@ -89,17 +111,67 @@ struct TablePrinter {
     }
     std::printf("\n");
   }
+
+  ~TablePrinter() {
+    if (!name_.empty()) write_json();
+  }
+
+  TablePrinter(const TablePrinter&) = delete;
+  TablePrinter& operator=(const TablePrinter&) = delete;
+
   void row(const std::vector<std::string>& cells) const {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       std::printf("%s%-*s", i ? "  " : "", width(i), cells[i].c_str());
     }
     std::printf("\n");
     std::fflush(stdout);
+    rows_.push_back(cells);
   }
   [[nodiscard]] int width(std::size_t i) const {
     return std::max<int>(12, static_cast<int>(headers_[i].size()));
   }
+
+  std::string name_;
   std::vector<std::string> headers_;
+  mutable std::vector<std::vector<std::string>> rows_;
+
+ private:
+  void write_json() const {
+    const char* gate = std::getenv("VC_BENCH_JSON");
+    if (gate != nullptr && std::string(gate) == "0") return;
+    const char* dir = std::getenv("VC_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+    path += "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << obs::json_escape(name_) << "\",\n  \"params\": {";
+    bool first = true;
+    for (const char* key : kBenchParamEnv) {
+      const char* v = std::getenv(key);
+      if (v == nullptr) continue;
+      out << (first ? "" : ", ") << "\"" << key << "\": \"" << obs::json_escape(v)
+          << "\"";
+      first = false;
+    }
+    out << "},\n  \"headers\": [";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << obs::json_escape(headers_[i]) << "\"";
+    }
+    out << "],\n  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r ? ",\n    " : "\n    ") << "[";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        out << (c ? ", " : "") << "\"" << obs::json_escape(rows_[r][c]) << "\"";
+      }
+      out << "]";
+    }
+    out << "\n  ],\n  \"metrics\": " << obs::render_json(obs::MetricsRegistry::global())
+        << "\n}\n";
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
 };
 
 inline std::string fmt(double v, const char* f = "%.4f") {

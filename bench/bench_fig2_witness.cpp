@@ -28,7 +28,7 @@ int main() {
   std::printf("# Fig 2: witness generation time vs set size "
               "(modulus=%zu bits, reps=%zu bits, cloud side)\n",
               bits, rep_bits);
-  TablePrinter table({"set_size", "membership_s", "nonmembership_s"});
+  TablePrinter table("fig2_witness", {"set_size", "membership_s", "nonmembership_s"});
 
   // Pre-generate all representatives once (the prime manager's job).
   std::vector<Bigint> reps;

@@ -16,7 +16,7 @@ int main() {
   const auto doc_scales = env_sizes("VC_DOCS", {200, 400, 800, 1600, 3200});
   std::printf("# Fig 5: average proof generation time (s) per scheme vs data size\n");
   std::printf("# (synthetic Enron profile; 24-query workload incl. single/unknown)\n");
-  TablePrinter table({"docs", "data_mb", "search_s", "Bloom", "Accumulator",
+  TablePrinter table("fig5_proof_time", {"docs", "data_mb", "search_s", "Bloom", "Accumulator",
                       "IntervalAcc", "Hybrid"});
 
   for (std::uint32_t docs : doc_scales) {

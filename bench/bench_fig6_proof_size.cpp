@@ -14,7 +14,7 @@ using namespace vc::bench;
 int main() {
   const auto doc_scales = env_sizes("VC_DOCS", {200, 400, 800, 1600});
   std::printf("# Fig 6: average proof size (KB) per scheme vs data size\n");
-  TablePrinter table({"docs", "data_mb", "Bloom", "Accumulator", "IntervalAcc", "Hybrid"});
+  TablePrinter table("fig6_proof_size", {"docs", "data_mb", "Bloom", "Accumulator", "IntervalAcc", "Hybrid"});
 
   for (std::uint32_t docs : doc_scales) {
     Testbed bed(bench_testbed_options(docs));

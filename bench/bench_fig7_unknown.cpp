@@ -44,7 +44,7 @@ int main() {
   PrimeRepGenerator word_gen(cfg);
 
   std::printf("# Fig 7: unknown-keyword proof time (s) vs dictionary size\n");
-  TablePrinter table({"dict_words", "nonmembership_s", "interval_gap_s", "build_gap_s"});
+  TablePrinter table("fig7_unknown", {"dict_words", "nonmembership_s", "interval_gap_s", "build_gap_s"});
 
   for (std::uint32_t words : dict_sizes) {
     auto dict_words = make_dictionary(words);

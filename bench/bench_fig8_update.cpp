@@ -24,7 +24,7 @@ int main() {
   // accumulators and Bloom filters" (§V-D) — interval-tree witness
   // maintenance is owner-side offline work outside that measurement, so it
   // is reported in its own column here.
-  TablePrinter table({"initial_docs", "Accumulator_s", "Bloom_s", "Hybrid_s",
+  TablePrinter table("fig8_update", {"initial_docs", "Accumulator_s", "Bloom_s", "Hybrid_s",
                       "interval_extra_s", "touched_terms"});
 
   for (std::uint32_t initial : initial_sizes) {

@@ -48,7 +48,7 @@ int main() {
               ng_idx.term_count(), static_cast<unsigned long long>(ng_idx.record_count()));
   std::printf("# host has %u hardware threads; curves use the load-balance model\n",
               std::thread::hardware_concurrency());
-  TablePrinter table({"workers", "enron_record", "enron_term", "20ng_record", "20ng_term"});
+  TablePrinter table("fig9_speedup", {"workers", "enron_record", "enron_term", "20ng_record", "20ng_term"});
 
   for (std::uint32_t w : workers) {
     table.row({std::to_string(w),

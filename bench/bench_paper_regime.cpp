@@ -83,7 +83,7 @@ int main() {
   ResultVerifier verifier(owner_ctx, owner_key.verify_key(), cloud_key.verify_key(), cfg);
 
   Query q{.id = 1, .keywords = {"bigterm", "smalltermone", "smalltermtwo"}};
-  TablePrinter table({"scheme", "proof_s", "proof_kb", "verify_warm_s", "integrity"});
+  TablePrinter table("paper_regime", {"scheme", "proof_s", "proof_kb", "verify_warm_s", "integrity"});
   for (SchemeKind scheme : {SchemeKind::kBloom, SchemeKind::kAccumulator,
                             SchemeKind::kIntervalAccumulator, SchemeKind::kHybrid}) {
     SearchResponse resp = engine.search(q, scheme);

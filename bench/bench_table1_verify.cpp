@@ -16,7 +16,7 @@ using namespace vc::bench;
 int main() {
   const auto doc_scales = env_sizes("VC_DOCS", {200, 800});
   std::printf("# Table I: average hybrid verification time (s), owner side\n");
-  TablePrinter table({"docs", "data_mb", "default_s", "with_prime_s"});
+  TablePrinter table("table1_verify", {"docs", "data_mb", "default_s", "with_prime_s"});
 
   for (std::uint32_t docs : doc_scales) {
     Testbed bed(bench_testbed_options(docs));

@@ -15,7 +15,7 @@ using namespace vc::bench;
 int main() {
   const auto doc_scales = env_sizes("VC_DOCS", {200, 800, 1600});
   std::printf("# Table II: average per-query prime computation time (s), cold cache\n");
-  TablePrinter table({"docs", "data_mb", "avg_prime_s", "records_touched"});
+  TablePrinter table("table2_primes", {"docs", "data_mb", "avg_prime_s", "records_touched"});
 
   for (std::uint32_t docs : doc_scales) {
     Testbed bed(bench_testbed_options(docs));
@@ -28,18 +28,21 @@ int main() {
     for (const auto& wq : workload) {
       tuple_primes.clear();
       doc_primes.clear();
-      Stopwatch sw;
-      for (const auto& raw : wq.query.keywords) {
-        std::string term = normalize_term(raw);
-        const auto* entry = bed.vindex().find(term);
-        if (entry == nullptr) continue;  // unknown keyword: no primes needed
-        for (const Posting& p : entry->postings) {
-          (void)tuple_primes.get(InvertedIndex::encode_tuple(p));
-          (void)doc_primes.get(InvertedIndex::encode_doc(p.doc_id));
-          ++records;
+      double elapsed = 0;
+      {
+        ScopedTimer timer(elapsed);
+        for (const auto& raw : wq.query.keywords) {
+          std::string term = normalize_term(raw);
+          const auto* entry = bed.vindex().find(term);
+          if (entry == nullptr) continue;  // unknown keyword: no primes needed
+          for (const Posting& p : entry->postings) {
+            (void)tuple_primes.get(InvertedIndex::encode_tuple(p));
+            (void)doc_primes.get(InvertedIndex::encode_doc(p.doc_id));
+            ++records;
+          }
         }
       }
-      times.push_back(sw.seconds());
+      times.push_back(elapsed);
     }
     table.row({std::to_string(docs), fmt(corpus_mb(bed.corpus()), "%.2f"),
                fmt(mean(times)), std::to_string(records)});

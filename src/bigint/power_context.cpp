@@ -4,9 +4,34 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/errors.hpp"
 
 namespace vc {
+
+namespace {
+
+// Table-effectiveness counters: a "hit" is an exponentiation served by the
+// BGMW table, a "miss" found a table for the base but fell back to plain
+// powm (exponent too wide or too short to profit).  Base-less
+// exponentiations are counted separately so utilization is hits / total.
+obs::Counter& fixed_hits() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_fixedbase_total", "result=\"hit\"", "Fixed-base table outcomes per exponentiation");
+  return c;
+}
+obs::Counter& fixed_misses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("vc_fixedbase_total", "result=\"miss\"");
+  return c;
+}
+obs::Counter& pow_calls() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_pow_total", "", "Modular exponentiations through PowerContext");
+  return c;
+}
+
+}  // namespace
 
 // --- fixed-base tables -------------------------------------------------------
 //
@@ -162,9 +187,14 @@ Bigint PowerContext::pow(const Bigint& base, const Bigint& exp) const {
   if (exp.is_negative()) {
     return pow(inv(base), -exp);
   }
+  pow_calls().inc();
   if (!trapdoor_) {
-    if (fixed_base_matches(base) && fixed_profitable(fixed_->subs[0], exp.bit_length())) {
-      return eval_fixed(fixed_->subs[0], exp);
+    if (fixed_base_matches(base)) {
+      if (fixed_profitable(fixed_->subs[0], exp.bit_length())) {
+        fixed_hits().inc();
+        return eval_fixed(fixed_->subs[0], exp);
+      }
+      fixed_misses().inc();
     }
     return Bigint::pow_mod(base, exp, n_);
   }
@@ -176,12 +206,13 @@ Bigint PowerContext::pow(const Bigint& base, const Bigint& exp) const {
   Bigint eq = Bigint::mod(exp, t.q_minus_1);
   Bigint mp, mq;
   if (fixed_base_matches(base)) {
-    mp = fixed_profitable(fixed_->subs[0], ep.bit_length())
-             ? eval_fixed(fixed_->subs[0], ep)
-             : Bigint::pow_mod(Bigint::mod(base, t.p), ep, t.p);
-    mq = fixed_profitable(fixed_->subs[1], eq.bit_length())
-             ? eval_fixed(fixed_->subs[1], eq)
-             : Bigint::pow_mod(Bigint::mod(base, t.q), eq, t.q);
+    bool p_fixed = fixed_profitable(fixed_->subs[0], ep.bit_length());
+    bool q_fixed = fixed_profitable(fixed_->subs[1], eq.bit_length());
+    (p_fixed && q_fixed ? fixed_hits() : fixed_misses()).inc();
+    mp = p_fixed ? eval_fixed(fixed_->subs[0], ep)
+                 : Bigint::pow_mod(Bigint::mod(base, t.p), ep, t.p);
+    mq = q_fixed ? eval_fixed(fixed_->subs[1], eq)
+                 : Bigint::pow_mod(Bigint::mod(base, t.q), eq, t.q);
   } else {
     mp = Bigint::pow_mod(Bigint::mod(base, t.p), ep, t.p);
     mq = Bigint::pow_mod(Bigint::mod(base, t.q), eq, t.q);

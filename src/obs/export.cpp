@@ -1,0 +1,214 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace vc::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string sample_name(const MetricView& m, const char* suffix = "",
+                        const std::string& extra_label = "") {
+  std::string out = m.name;
+  out += suffix;
+  std::string labels = m.labels;
+  if (!extra_label.empty()) {
+    if (!labels.empty()) labels += ",";
+    labels += extra_label;
+  }
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
+std::string full_key(const MetricView& m) { return sample_name(m); }
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  std::string last_family;
+  for (const MetricView& m : registry.metrics()) {
+    if (m.name != last_family) {
+      last_family = m.name;
+      if (!m.help.empty()) out += "# HELP " + m.name + " " + m.help + "\n";
+      const char* type = "untyped";
+      switch (m.kind) {
+        case MetricView::Kind::kCounter: type = "counter"; break;
+        case MetricView::Kind::kTime: type = "counter"; break;
+        case MetricView::Kind::kGauge: type = "gauge"; break;
+        case MetricView::Kind::kHistogram: type = "histogram"; break;
+      }
+      out += "# TYPE " + m.name + " " + type + "\n";
+    }
+    switch (m.kind) {
+      case MetricView::Kind::kCounter:
+        out += sample_name(m) + " " + std::to_string(m.counter->value()) + "\n";
+        break;
+      case MetricView::Kind::kGauge:
+        out += sample_name(m) + " " + std::to_string(m.gauge->value()) + "\n";
+        break;
+      case MetricView::Kind::kTime:
+        out += sample_name(m) + " " + fmt_double(m.time->seconds()) + "\n";
+        break;
+      case MetricView::Kind::kHistogram: {
+        Histogram::Snapshot s = m.histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          cumulative += s.counts[i];
+          out += sample_name(m, "_bucket", "le=\"" + fmt_double(s.bounds[i]) + "\"") + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += sample_name(m, "_bucket", "le=\"+Inf\"") + " " + std::to_string(s.count) + "\n";
+        out += sample_name(m, "_sum") + " " + fmt_double(s.sum) + "\n";
+        out += sample_name(m, "_count") + " " + std::to_string(s.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const MetricsRegistry& registry) {
+  std::string counters, gauges, times, histograms;
+  auto append = [](std::string& dst, const std::string& piece) {
+    if (!dst.empty()) dst += ",";
+    dst += piece;
+  };
+  for (const MetricView& m : registry.metrics()) {
+    std::string key = "\"" + json_escape(full_key(m)) + "\":";
+    switch (m.kind) {
+      case MetricView::Kind::kCounter:
+        append(counters, key + std::to_string(m.counter->value()));
+        break;
+      case MetricView::Kind::kGauge:
+        append(gauges, key + std::to_string(m.gauge->value()));
+        break;
+      case MetricView::Kind::kTime:
+        append(times, key + fmt_double(m.time->seconds()));
+        break;
+      case MetricView::Kind::kHistogram: {
+        Histogram::Snapshot s = m.histogram->snapshot();
+        append(histograms, key + "{\"count\":" + std::to_string(s.count) +
+                               ",\"sum\":" + fmt_double(s.sum) +
+                               ",\"mean\":" + fmt_double(s.mean()) +
+                               ",\"p50\":" + fmt_double(s.quantile(0.50)) +
+                               ",\"p95\":" + fmt_double(s.quantile(0.95)) +
+                               ",\"p99\":" + fmt_double(s.quantile(0.99)) + "}");
+        break;
+      }
+    }
+  }
+  return "{\"uptime_seconds\":" + fmt_double(registry.uptime_seconds()) +
+         ",\"counters\":{" + counters + "},\"gauges\":{" + gauges + "},\"durations\":{" +
+         times + "},\"histograms\":{" + histograms + "}}";
+}
+
+std::string render_profile(const MetricsRegistry& registry) {
+  struct StageRow {
+    std::string stage;
+    Histogram::Snapshot snap;
+  };
+  std::vector<StageRow> stages;
+  std::vector<const MetricView*> others;
+  std::vector<MetricView> all = registry.metrics();
+  for (const MetricView& m : all) {
+    if (m.kind == MetricView::Kind::kHistogram && m.name == "vc_stage_seconds") {
+      std::string stage = m.labels;
+      // labels look like stage="name"; strip down to the bare name.
+      auto open = stage.find('"');
+      auto close = stage.rfind('"');
+      if (open != std::string::npos && close > open) {
+        stage = stage.substr(open + 1, close - open - 1);
+      }
+      StageRow row{std::move(stage), m.histogram->snapshot()};
+      if (row.snap.count > 0) stages.push_back(std::move(row));
+    } else {
+      others.push_back(&m);
+    }
+  }
+  std::sort(stages.begin(), stages.end(),
+            [](const StageRow& a, const StageRow& b) { return a.snap.sum > b.snap.sum; });
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s  %10s  %12s  %10s  %10s  %10s  %10s\n", "stage",
+                "count", "total(s)", "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)");
+  out += line;
+  out += std::string(100, '-') + "\n";
+  for (const StageRow& r : stages) {
+    std::snprintf(line, sizeof(line),
+                  "%-28s  %10" PRIu64 "  %12.4f  %10.3f  %10.3f  %10.3f  %10.3f\n",
+                  r.stage.c_str(), r.snap.count, r.snap.sum, r.snap.mean() * 1e3,
+                  r.snap.quantile(0.50) * 1e3, r.snap.quantile(0.95) * 1e3,
+                  r.snap.quantile(0.99) * 1e3);
+    out += line;
+  }
+  if (stages.empty()) out += "(no stage spans recorded)\n";
+
+  std::string counters;
+  for (const MetricView* m : others) {
+    char buf[256];
+    switch (m->kind) {
+      case MetricView::Kind::kCounter:
+        if (m->counter->value() == 0) continue;
+        std::snprintf(buf, sizeof(buf), "%-44s  %" PRIu64 "\n", full_key(*m).c_str(),
+                      m->counter->value());
+        break;
+      case MetricView::Kind::kGauge:
+        if (m->gauge->value() == 0) continue;
+        std::snprintf(buf, sizeof(buf), "%-44s  %" PRId64 "\n", full_key(*m).c_str(),
+                      m->gauge->value());
+        break;
+      case MetricView::Kind::kTime:
+        if (m->time->seconds() == 0) continue;
+        std::snprintf(buf, sizeof(buf), "%-44s  %.4fs\n", full_key(*m).c_str(),
+                      m->time->seconds());
+        break;
+      case MetricView::Kind::kHistogram: {
+        Histogram::Snapshot s = m->histogram->snapshot();
+        if (s.count == 0) continue;
+        std::snprintf(buf, sizeof(buf), "%-44s  count=%" PRIu64 " sum=%.4f p95=%.4f\n",
+                      full_key(*m).c_str(), s.count, s.sum, s.quantile(0.95));
+        break;
+      }
+    }
+    counters += buf;
+  }
+  if (!counters.empty()) {
+    out += "\ncounters / gauges / durations\n" + std::string(45, '-') + "\n" + counters;
+  }
+  return out;
+}
+
+}  // namespace vc::obs

@@ -1,0 +1,30 @@
+// Rendering the registry for its three consumers: a Prometheus scraper
+// (GET /metrics), a JSON stats endpoint / bench result file (GET /stats,
+// BENCH_<name>.json), and a human reading `--profile` output.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace vc::obs {
+
+// Prometheus text exposition format (0.0.4): HELP/TYPE per family, then
+// one sample line per metric; histograms expand to cumulative _bucket
+// samples plus _sum and _count.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+// One JSON object: {"uptime_seconds": ..., "counters": {...}, "gauges":
+// {...}, "histograms": {key: {count, sum, mean, p50, p95, p99}}}.  Keys are
+// the full name{labels} form.
+std::string render_json(const MetricsRegistry& registry);
+
+// The --profile stage table: vc_stage_seconds histograms sorted by total
+// time descending (count / total / mean / p50 / p95 / p99), followed by
+// every non-stage counter, gauge and duration that recorded anything.
+std::string render_profile(const MetricsRegistry& registry);
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace vc::obs

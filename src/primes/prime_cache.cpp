@@ -2,10 +2,34 @@
 
 #include <fstream>
 
+#include "obs/metrics.hpp"
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
 
 namespace vc {
+
+namespace {
+
+// The prime manager's registry mirror: hit/miss counts plus the wall time
+// of cache misses (a miss runs dozens of Miller–Rabin tests — it IS the
+// "prime-representative lookup" stage of the pipeline; hits are map reads
+// and only counted).
+obs::Counter& lookup_hits() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_prime_lookup_total", "result=\"hit\"", "Prime-representative cache lookups");
+  return c;
+}
+obs::Counter& lookup_misses() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("vc_prime_lookup_total", "result=\"miss\"");
+  return c;
+}
+obs::Histogram& miss_stage() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().stage("prime_lookup");
+  return h;
+}
+
+}  // namespace
 
 PrimeCache::PrimeCache(PrimeRepConfig config) : gen_(std::move(config)) {}
 
@@ -15,10 +39,13 @@ Bigint PrimeCache::get(std::uint64_t element) {
     auto it = cache_.find(element);
     if (it != cache_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      lookup_hits().inc();
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  lookup_misses().inc();
+  obs::Span span(miss_stage());
   Bigint rep = gen_.representative(element);
   {
     std::unique_lock lock(mu_);
@@ -36,6 +63,8 @@ bool PrimeCache::try_get(std::uint64_t element, Bigint& out) const {
 }
 
 void PrimeCache::precompute(std::span<const std::uint64_t> elements, ThreadPool& pool) {
+  static obs::Histogram& stage = obs::MetricsRegistry::global().stage("prime_precompute");
+  obs::Span span(stage);
   // Compute into a private vector per chunk, then merge once; avoids lock
   // contention on the hot path.
   std::vector<std::pair<std::uint64_t, Bigint>> computed(elements.size());

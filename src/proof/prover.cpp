@@ -4,7 +4,9 @@
 #include <functional>
 
 #include "accumulator/batch_witness.hpp"
+#include "obs/metrics.hpp"
 #include "support/errors.hpp"
+#include "support/stopwatch.hpp"
 #include "support/threadpool.hpp"
 
 namespace vc {
@@ -20,6 +22,34 @@ void for_each_index(ThreadPool* pool, std::size_t n,
   } else {
     for (std::size_t i = 0; i < n; ++i) body(i);
   }
+}
+
+// Hybrid-policy accounting (§III-D2): how often each integrity encoding is
+// chosen, and how far the cost model's estimate was from the measured
+// generation time.  The delta is signed (estimate minus actual), so a
+// near-zero total over many queries means the model is calibrated, not
+// merely that its errors are small.
+struct HybridMetrics {
+  obs::Counter& choices;
+  obs::TimeCounter& estimated;
+  obs::TimeCounter& actual;
+  obs::TimeCounter& delta;
+};
+
+HybridMetrics hybrid_metrics(IntegrityChoice choice) {
+  auto& reg = obs::MetricsRegistry::global();
+  std::string label = choice == IntegrityChoice::kAccumulator ? "choice=\"accumulator\""
+                                                              : "choice=\"bloom\"";
+  return HybridMetrics{
+      reg.counter("vc_hybrid_choice_total", label,
+                  "Integrity encodings picked by the hybrid policy"),
+      reg.time_counter("vc_hybrid_estimated_seconds_total", label,
+                       "Hybrid policy's predicted integrity generation time"),
+      reg.time_counter("vc_hybrid_actual_seconds_total", label,
+                       "Measured integrity generation time for hybrid queries"),
+      reg.time_counter("vc_hybrid_estimate_delta_seconds_total", label,
+                       "Estimated minus actual integrity generation time (signed)"),
+  };
 }
 
 }  // namespace
@@ -69,6 +99,8 @@ std::vector<const VerifiableIndex::Entry*> Prover::lookup(const SearchResult& re
 MembershipEvidence Prover::prove_tuple_membership(const VerifiableIndex::Entry& entry,
                                                   std::span<const std::uint64_t> tuples,
                                                   bool interval_form) const {
+  static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
+  obs::Span span(stage);
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
@@ -91,6 +123,8 @@ MembershipEvidence Prover::prove_tuple_membership(const VerifiableIndex::Entry& 
 MembershipEvidence Prover::prove_doc_membership(const VerifiableIndex::Entry& entry,
                                                 std::span<const std::uint64_t> docs,
                                                 bool interval_form) const {
+  static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
+  obs::Span span(stage);
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
@@ -112,6 +146,9 @@ MembershipEvidence Prover::prove_doc_membership(const VerifiableIndex::Entry& en
 NonmembershipEvidence Prover::prove_doc_nonmembership(const VerifiableIndex::Entry& entry,
                                                       std::span<const std::uint64_t> docs,
                                                       bool interval_form) const {
+  static obs::Histogram& stage =
+      obs::MetricsRegistry::global().stage("nonmembership_witness");
+  obs::Span span(stage);
   NonmembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
@@ -146,6 +183,9 @@ std::size_t pick_base(std::span<const VerifiableIndex::Entry* const> entries) {
 AccumulatorIntegrity Prover::make_accumulator_integrity(
     const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
     bool interval_form) const {
+  static obs::Histogram& stage =
+      obs::MetricsRegistry::global().stage("integrity_accumulator");
+  obs::Span span(stage);
   AccumulatorIntegrity integrity;
   std::size_t base = pick_base(entries);
   integrity.base_keyword = static_cast<std::uint32_t>(base);
@@ -189,6 +229,9 @@ AccumulatorIntegrity Prover::make_accumulator_integrity(
   }
   // One aggregated witness per keyword; the groups are independent, so they
   // fan out across the pool.  Slot order fixes the proof byte order.
+  static obs::Histogram& agg_stage =
+      obs::MetricsRegistry::global().stage("witness_aggregation");
+  obs::Span agg_span(agg_stage);
   integrity.groups.resize(nonempty.size());
   for_each_index(pool_, nonempty.size(), [&](std::size_t t) {
     std::size_t i = nonempty[t];
@@ -204,6 +247,8 @@ AccumulatorIntegrity Prover::make_accumulator_integrity(
 BloomIntegrity Prover::make_bloom_integrity(
     const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
     bool interval_form) const {
+  static obs::Histogram& stage = obs::MetricsRegistry::global().stage("integrity_bloom");
+  obs::Span span(stage);
   const BloomParams& params = vidx_.config().bloom;
   // B̂ = element-wise min over every keyword's signed filter; slots where
   // B(S) falls short need check elements from every keyword.
@@ -263,6 +308,8 @@ HybridEstimate Prover::hybrid_estimate(const SearchResult& result) const {
 }
 
 QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
+  static obs::Histogram& prove_stage = obs::MetricsRegistry::global().stage("prove");
+  obs::Span prove_span(prove_stage);
   auto entries = lookup(result);
   const bool interval_form =
       scheme == SchemeKind::kIntervalAccumulator || scheme == SchemeKind::kHybrid;
@@ -273,6 +320,8 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
 
   // Correctness and integrity build concurrently (Fig 4's managers).
   auto build_correctness = [&]() {
+    static obs::Histogram& stage = obs::MetricsRegistry::global().stage("correctness");
+    obs::Span span(stage);
     CorrectnessProof correctness;
     correctness.keywords.resize(entries.size());
     for_each_index(pool_, entries.size(), [&](std::size_t i) {
@@ -292,10 +341,25 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
         return make_bloom_integrity(result, entries, /*interval_form=*/false);
       case SchemeKind::kHybrid: {
         HybridEstimate est = hybrid_estimate(result);
-        if (est.choice == IntegrityChoice::kAccumulator) {
-          return make_accumulator_integrity(result, entries, /*interval_form=*/true);
+        HybridMetrics hm = hybrid_metrics(est.choice);
+        hm.choices.inc();
+        double estimated = est.choice == IntegrityChoice::kAccumulator
+                               ? est.accumulator_seconds
+                               : est.bloom_seconds;
+        double actual = 0;
+        IntegrityProof out;
+        {
+          ScopedTimer t(actual);
+          if (est.choice == IntegrityChoice::kAccumulator) {
+            out = make_accumulator_integrity(result, entries, /*interval_form=*/true);
+          } else {
+            out = make_bloom_integrity(result, entries, /*interval_form=*/true);
+          }
         }
-        return make_bloom_integrity(result, entries, /*interval_form=*/true);
+        hm.estimated.add(estimated);
+        hm.actual.add(actual);
+        hm.delta.add(estimated - actual);
+        return out;
       }
     }
     throw UsageError("unknown scheme");

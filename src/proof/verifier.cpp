@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bloom/compressed_bloom.hpp"
+#include "obs/metrics.hpp"
 #include "support/errors.hpp"
 
 namespace vc {
@@ -30,6 +31,8 @@ void ResultVerifier::reset_prime_caches() const {
 }
 
 void ResultVerifier::verify(const SearchResponse& response) const {
+  static obs::Histogram& stage = obs::MetricsRegistry::global().stage("verify");
+  obs::Span span(stage);
   // Check 1 (§III-E): results and proofs signed by the cloud.
   require(cloud_key_.verify(response.payload_bytes(), response.cloud_sig),
           "cloud signature invalid");

@@ -1,8 +1,34 @@
 #include "protocol/cloud.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/errors.hpp"
 
 namespace vc {
+
+namespace {
+
+// Per-scheme serving counters, cached in an array so the per-query cost is
+// one index + one relaxed add (scheme values are the wire enum 0..3).
+obs::Counter& scheme_counter(SchemeKind scheme) {
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter* counters[] = {
+      &reg.counter("vc_cloud_queries_total", "scheme=\"accumulator\"",
+                   "Signed queries served, by proof scheme"),
+      &reg.counter("vc_cloud_queries_total", "scheme=\"bloom\""),
+      &reg.counter("vc_cloud_queries_total", "scheme=\"interval\""),
+      &reg.counter("vc_cloud_queries_total", "scheme=\"hybrid\""),
+  };
+  auto i = static_cast<std::size_t>(scheme);
+  return *counters[i < 4 ? i : 3];
+}
+
+obs::Counter& error_counter(const char* kind) {
+  auto& reg = obs::MetricsRegistry::global();
+  return reg.counter("vc_cloud_errors_total", std::string("kind=\"") + kind + "\"",
+                     "Queries the cloud rejected or failed on");
+}
+
+}  // namespace
 
 CloudService::CloudService(const VerifiableIndex& vidx, AccumulatorContext public_ctx,
                            SigningKey cloud_key, VerifyKey owner_key, ThreadPool* pool,
@@ -14,9 +40,17 @@ CloudService::CloudService(const VerifiableIndex& vidx, AccumulatorContext publi
 
 SearchResponse CloudService::handle(const SignedQuery& query) {
   if (!query.verify(owner_key_)) {
+    error_counter("bad_signature").inc();
     throw VerifyError("query is not signed by the data owner");
   }
-  SearchResponse resp = engine_.search(query.query, scheme_);
+  SearchResponse resp;
+  try {
+    resp = engine_.search(query.query, scheme_);
+  } catch (const Error&) {
+    error_counter("search_failed").inc();
+    throw;
+  }
+  scheme_counter(scheme_).inc();
   ++served_;
   if (behavior_ == CloudBehavior::kHonest) return resp;
 

@@ -7,11 +7,18 @@
 
 #include <cstring>
 
+#include "obs/export.hpp"
 #include "support/errors.hpp"
 
 namespace vc {
 
 namespace {
+
+obs::Counter& http_requests(const char* route) {
+  return obs::MetricsRegistry::global().counter(
+      "vc_http_requests_total", std::string("route=\"") + route + "\"",
+      "HTTP requests by route");
+}
 
 std::string read_until_headers_end(int fd, std::string& buffer) {
   char chunk[2048];
@@ -55,9 +62,10 @@ void send_all(int fd, const std::string& data) {
   }
 }
 
-std::string make_response(int status, const std::string& reason, const std::string& body) {
+std::string make_response(int status, const std::string& reason, const std::string& body,
+                          const char* content_type = "text/plain") {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
-  out += "Content-Type: text/plain\r\n";
+  out += std::string("Content-Type: ") + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += body;
@@ -143,16 +151,29 @@ void HttpFrontend::handle_connection(int fd) {
                                          request_line.find(' ', path_start) - path_start);
 
   if (method == "GET" && path == "/healthz") {
+    http_requests("healthz").inc();
     send_all(fd, make_response(200, "OK", "ok\n"));
     return;
   }
   if (method == "GET" && path == "/stats") {
+    http_requests("stats").inc();
+    // JSON summary: top-level serving counters plus the full registry
+    // (counters / gauges / durations / histogram quantiles).
+    std::string body = "{\"queries_served\":" + std::to_string(cloud_.queries_served()) +
+                       ",\"metrics\":" +
+                       obs::render_json(obs::MetricsRegistry::global()) + "}";
+    send_all(fd, make_response(200, "OK", body, "application/json"));
+    return;
+  }
+  if (method == "GET" && path == "/metrics") {
+    http_requests("metrics").inc();
     send_all(fd, make_response(200, "OK",
-                               "queries_served=" + std::to_string(cloud_.queries_served()) +
-                                   "\n"));
+                               obs::render_prometheus(obs::MetricsRegistry::global()),
+                               "text/plain; version=0.0.4"));
     return;
   }
   if (method == "POST" && path == "/search") {
+    http_requests("search").inc();
     try {
       Bytes raw = from_hex(buffer);
       ByteReader r(raw);

@@ -4,7 +4,8 @@
 // signed-search protocol:
 //   POST /search   body = hex(SignedQuery)      -> hex(SearchResponse)
 //   GET  /healthz                               -> "ok"
-//   GET  /stats                                 -> queries served
+//   GET  /stats                                 -> JSON serving stats + metrics
+//   GET  /metrics                               -> Prometheus text exposition
 // Binary payloads travel hex-encoded so the wire format stays the canonical
 // one the signatures cover.  One acceptor thread, requests served
 // sequentially — a demo frontend, not a production server.

@@ -1,7 +1,9 @@
 #include "search/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/metrics.hpp"
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
 #include "text/tokenizer.hpp"
@@ -89,17 +91,28 @@ SearchResult SearchEngine::execute_only(const Query& query) const {
 }
 
 SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const {
+  // Top of the per-query span tree: "query" encloses "search_exec",
+  // "prove" (with its witness stages beneath) and "serialize".
+  static obs::Histogram& query_stage = obs::MetricsRegistry::global().stage("query");
+  static obs::Histogram& exec_stage = obs::MetricsRegistry::global().stage("search_exec");
+  static obs::Histogram& ser_stage = obs::MetricsRegistry::global().stage("serialize");
+  obs::Span query_span(query_stage);
+
   SearchResponse resp;
   resp.query_id = query.id;
   resp.raw_keywords = query.keywords;
 
   Stopwatch sw;
+  // The exec span covers classify + intersect and closes where the legacy
+  // search_seconds stopwatch stops, so both report the same phase.
+  std::optional<obs::Span> exec_span(std::in_place, exec_stage);
   Classified c = classify(query);
 
   if (!c.unknown.empty()) {
     // §III-D4: any unknown keyword empties the intersection; the proof is
     // the pre-computed gap witness — O(log |W|) lookup.
     resp.search_seconds = sw.seconds();
+    exec_span.reset();
     sw.reset();
     UnknownKeywordResponse body;
     body.keyword = c.unknown.front();
@@ -111,6 +124,7 @@ SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const
     // §III-D5: single keyword — the owner's signature is the proof.
     const auto* entry = vidx_.find(c.known[0]);
     resp.search_seconds = sw.seconds();
+    exec_span.reset();
     sw.reset();
     SingleKeywordResponse body;
     body.keyword = c.known[0];
@@ -122,12 +136,16 @@ SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const
     MultiKeywordResponse body;
     body.result = intersect(c.known);
     resp.search_seconds = sw.seconds();
+    exec_span.reset();
     sw.reset();
     body.proof = prover_.prove(body.result, scheme);
     resp.proof_seconds = sw.seconds();
     resp.body = std::move(body);
   }
-  resp.cloud_sig = cloud_key_.sign(resp.payload_bytes());
+  {
+    obs::Span ser_span(ser_stage);
+    resp.cloud_sig = cloud_key_.sign(resp.payload_bytes());
+  }
   return resp;
 }
 

@@ -21,4 +21,21 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+// RAII form: adds the scope's wall time to `out` on destruction, so timing
+// a block (including early exits and exceptions) is one declaration.
+//   double build_s = 0;
+//   { ScopedTimer t(build_s); build(); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& out) : out_(&out) {}
+  ~ScopedTimer() { *out_ += sw_.seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* out_;
+  Stopwatch sw_;
+};
+
 }  // namespace vc

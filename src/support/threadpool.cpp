@@ -2,7 +2,51 @@
 
 #include <algorithm>
 
+#include "support/stopwatch.hpp"
+
 namespace vc {
+
+namespace pool_metrics {
+
+// Function-local statics so the registry entry exists from first use and
+// call sites pay one guard load afterwards.
+obs::Counter& tasks_submitted() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_pool_tasks_submitted_total", "", "Tasks enqueued on any ThreadPool");
+  return c;
+}
+obs::Counter& tasks_run() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_pool_tasks_run_total", "", "Tasks executed by pool workers");
+  return c;
+}
+obs::Gauge& queue_depth() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "vc_pool_queue_depth", "", "Tasks currently waiting in pool queues");
+  return g;
+}
+obs::Gauge& workers_busy() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "vc_pool_workers_busy", "", "Pool workers currently running a task");
+  return g;
+}
+obs::TimeCounter& busy_seconds() {
+  static obs::TimeCounter& t = obs::MetricsRegistry::global().time_counter(
+      "vc_pool_busy_seconds_total", "", "Cumulative wall time pool workers spent in tasks");
+  return t;
+}
+obs::Counter& parallel_for_calls() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_pool_parallel_for_total", "", "parallel_for invocations");
+  return c;
+}
+obs::Counter& parallel_for_iterations() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_pool_parallel_for_iterations_total", "", "Iterations dispatched by parallel_for");
+  return c;
+}
+
+}  // namespace pool_metrics
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -33,7 +77,20 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    pool_metrics::queue_depth().add(-1);
+    if (obs::enabled()) {
+      pool_metrics::workers_busy().add(1);
+      double task_s = 0;
+      {
+        ScopedTimer t(task_s);
+        task();
+      }
+      pool_metrics::busy_seconds().add(task_s);
+      pool_metrics::tasks_run().inc();
+      pool_metrics::workers_busy().add(-1);
+    } else {
+      task();
+    }
   }
 }
 
@@ -41,6 +98,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
+  pool_metrics::parallel_for_calls().inc();
+  pool_metrics::parallel_for_iterations().inc(n);
   if (n == 1 || worker_count() == 0) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
@@ -85,6 +144,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       std::lock_guard lock(mu_);
       queue_.emplace_back(std::move(task));
     }
+    pool_metrics::tasks_submitted().inc();
+    pool_metrics::queue_depth().add(1);
     cv_.notify_one();
   }
   drain();

@@ -16,7 +16,21 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace vc {
+
+// Pool utilization metrics (one set per process; pools are few and the
+// interesting signal is aggregate worker behaviour, not per-pool identity).
+namespace pool_metrics {
+obs::Counter& tasks_submitted();
+obs::Counter& tasks_run();
+obs::Gauge& queue_depth();
+obs::Gauge& workers_busy();
+obs::TimeCounter& busy_seconds();
+obs::Counter& parallel_for_calls();
+obs::Counter& parallel_for_iterations();
+}  // namespace pool_metrics
 
 class ThreadPool {
  public:
@@ -39,6 +53,8 @@ class ThreadPool {
       std::lock_guard lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
+    pool_metrics::tasks_submitted().inc();
+    pool_metrics::queue_depth().add(1);
     cv_.notify_one();
     return fut;
   }

@@ -25,13 +25,47 @@ until grep -q "serving" "$WORK/serve.log" 2>/dev/null; do
 done
 PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve.log" | head -1)
 
-# A word guaranteed known: take the top term from the inspect output.
-WORD=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK" --top 1 | grep ' docs' | awk '{print $1}')
-"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" "$WORD" > "$WORK/q1.log"
+# Two words guaranteed known: the top terms from the inspect output.  Two
+# keywords force the multi-keyword path (hybrid prover + integrity choice).
+WORDS=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK" --top 2 | grep ' docs' | awk '{print $1}')
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" --profile $WORDS > "$WORK/q1.log"
 grep -q "VERIFIED" "$WORK/q1.log"
+# --profile appends the client-side stage table (verify span must be there).
+grep -q "client-side stage profile" "$WORK/q1.log"
+grep -q "verify" "$WORK/q1.log"
 
 "$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" zzznotaword > "$WORK/q2.log"
 grep -q "not in the indexed dictionary" "$WORK/q2.log"
+
+# Scrape endpoints, after the two queries above so the series are non-zero.
+# Use curl when present, the bundled --fetch client otherwise.
+fetch() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$PORT$1"
+  else
+    "$BUILD/tools/vcsearch-query" --port "$PORT" --fetch "$1"
+  fi
+}
+
+fetch /stats > "$WORK/stats.json"
+# JSON shape: serving count plus the embedded registry snapshot.
+grep -q '"queries_served"' "$WORK/stats.json"
+grep -q '"uptime_seconds"' "$WORK/stats.json"
+grep -q '"histograms"' "$WORK/stats.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["queries_served"] >= 2, d' "$WORK/stats.json"
+fi
+
+fetch /metrics > "$WORK/metrics.txt"
+# Prometheus shape: typed families, per-stage latency histogram with
+# cumulative buckets, per-scheme query counters.
+grep -q '# TYPE vc_stage_seconds histogram' "$WORK/metrics.txt"
+grep -q 'vc_stage_seconds_bucket{stage="prove",le="+Inf"}' "$WORK/metrics.txt"
+grep -q 'vc_stage_seconds_count{stage="serialize"}' "$WORK/metrics.txt"
+grep -q '# TYPE vc_cloud_queries_total counter' "$WORK/metrics.txt"
+grep -q 'vc_cloud_queries_total{scheme="hybrid"} 2' "$WORK/metrics.txt"
+grep -q 'vc_hybrid_choice_total' "$WORK/metrics.txt"
+grep -q 'vc_http_requests_total{route="metrics"} 1' "$WORK/metrics.txt"
 
 kill $SERVE_PID
 wait $SERVE_PID 2>/dev/null || true

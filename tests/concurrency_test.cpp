@@ -6,6 +6,8 @@
 #include <atomic>
 
 #include "crypto/standard_params.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "search/engine.hpp"
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
@@ -107,6 +109,47 @@ TEST(Concurrency, PooledProverByteIdenticalToSingleThreaded) {
     verifier.verify(a);
     verifier.verify(b);
   }
+}
+
+// The telemetry registry is hammered from every pool worker while scrape
+// endpoints snapshot and render it; registration, updates, spans and both
+// renderers must race cleanly (this is the TSan target for the obs layer).
+TEST(Concurrency, MetricsRegistrySharedAcrossThreads) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  ThreadPool pool(kThreads);
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < kThreads; ++t) {
+    futs.push_back(pool.submit([&, t] {
+      // Every thread registers the same shared series plus one of its own —
+      // find-or-create races against both lookups and first registrations.
+      obs::Counter& shared = reg.counter("conc_shared_total");
+      obs::Counter& mine = reg.counter("conc_thread_total",
+                                       "t=\"" + std::to_string(t) + "\"");
+      obs::Histogram& hist = reg.stage("conc_stage");
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        shared.inc();
+        mine.inc();
+        obs::Span span(hist);
+        if (i % 256 == 0) {
+          // Concurrent scrapes while updates are in flight.
+          (void)obs::render_prometheus(reg);
+          (void)obs::render_json(reg);
+        }
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(reg.counter("conc_shared_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("conc_thread_total", "t=\"" + std::to_string(t) + "\"").value(),
+              static_cast<std::uint64_t>(kOpsPerThread));
+  }
+  EXPECT_EQ(reg.stage("conc_stage").snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
 }
 
 }  // namespace

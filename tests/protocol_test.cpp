@@ -145,7 +145,11 @@ TEST_F(ProtocolTest, HttpRoundtrip) {
   EXPECT_NO_THROW(owner.receive_response(resp));
   EXPECT_EQ(http_request(frontend.port(), "GET", "/healthz", ""), "ok\n");
   std::string stats = http_request(frontend.port(), "GET", "/stats", "");
-  EXPECT_NE(stats.find("queries_served="), std::string::npos);
+  EXPECT_NE(stats.find("\"queries_served\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"uptime_seconds\""), std::string::npos);
+  std::string metrics = http_request(frontend.port(), "GET", "/metrics", "");
+  EXPECT_NE(metrics.find("# TYPE vc_cloud_queries_total counter"), std::string::npos);
+  EXPECT_NE(metrics.find("vc_stage_seconds_bucket"), std::string::npos);
   frontend.stop();
 }
 

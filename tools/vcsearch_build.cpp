@@ -4,6 +4,7 @@
 //
 //   vcsearch-build --out DIR [--docs DIR | --synth N] [--seed S]
 //                  [--modulus-bits 1024] [--rep-bits 128] [--interval 100]
+//                  [--profile]   print the telemetry stage table after the build
 //
 // Writes into --out:
 //   owner.key    owner signing key (plaintext; prototype)
@@ -16,6 +17,7 @@
 #include <fstream>
 
 #include "crypto/standard_params.hpp"
+#include "obs/export.hpp"
 #include "support/stopwatch.hpp"
 #include "support/threadpool.hpp"
 #include "text/synth.hpp"
@@ -30,6 +32,13 @@ const char* arg_value(int argc, char** argv, const char* name, const char* fallb
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -74,13 +83,15 @@ int main(int argc, char** argv) {
 
   ThreadPool pool;
   BuildStats stats;
-  Stopwatch sw;
-  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
-                                                owner_key, config, pool,
-                                                BalanceStrategy::kRecordBased, &stats);
+  double build_s = 0;
+  VerifiableIndex vidx = [&] {
+    ScopedTimer timer(build_s);
+    return VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx, owner_key,
+                                  config, pool, BalanceStrategy::kRecordBased, &stats);
+  }();
   std::printf("built verifiable index in %.2fs: %zu terms, %llu records\n"
               "  primes %.2fs, accumulators %.2fs, dictionary %.2fs\n",
-              sw.seconds(), stats.terms, static_cast<unsigned long long>(stats.records),
+              build_s, stats.terms, static_cast<unsigned long long>(stats.records),
               stats.prime_precompute_seconds, stats.accumulate_seconds,
               stats.dictionary_seconds);
 
@@ -100,5 +111,9 @@ int main(int argc, char** argv) {
               out_dir,
               static_cast<double>(std::filesystem::file_size(out / "index.vc")) /
                   (1024 * 1024));
+  if (has_flag(argc, argv, "--profile")) {
+    std::printf("\nbuild stage profile\n%s",
+                obs::render_profile(obs::MetricsRegistry::global()).c_str());
+  }
   return 0;
 }

@@ -2,12 +2,18 @@
 // running vcsearch-serve instance, verify the response, print the results.
 //
 //   vcsearch-query --dir DIR --port P keyword [keyword...]
+//     --profile     append the client-side stage table (verification,
+//                   prime lookups, serialization) after the results
+//     --fetch PATH  raw GET against the server (e.g. /metrics, /stats);
+//                   prints the body and exits — a curl stand-in for
+//                   scripts on minimal systems
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "crypto/standard_params.hpp"
+#include "obs/export.hpp"
 #include "support/errors.hpp"
 #include "protocol/http.hpp"
 #include "protocol/owner.hpp"
@@ -21,24 +27,48 @@ const char* arg_value(int argc, char** argv, const char* name, const char* fallb
   }
   return fallback;
 }
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* dir = arg_value(argc, argv, "--dir", nullptr);
   const char* port_s = arg_value(argc, argv, "--port", "8080");
+  const char* fetch_path = arg_value(argc, argv, "--fetch", nullptr);
+  const bool profile = has_flag(argc, argv, "--profile");
+  std::uint16_t port = static_cast<std::uint16_t>(std::strtoul(port_s, nullptr, 10));
+
+  if (fetch_path != nullptr) {
+    try {
+      std::fputs(http_request(port, "GET", fetch_path, "").c_str(), stdout);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "fetch failed: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   std::vector<std::string> keywords;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--dir") == 0 || std::strcmp(argv[i], "--port") == 0) {
+    if (std::strcmp(argv[i], "--dir") == 0 || std::strcmp(argv[i], "--port") == 0 ||
+        std::strcmp(argv[i], "--fetch") == 0) {
       ++i;
       continue;
     }
+    if (std::strcmp(argv[i], "--profile") == 0) continue;
     keywords.emplace_back(argv[i]);
   }
   if (dir == nullptr || keywords.empty()) {
-    std::fprintf(stderr, "usage: vcsearch-query --dir DIR [--port P] keyword...\n");
+    std::fprintf(stderr,
+                 "usage: vcsearch-query --dir DIR [--port P] [--profile] keyword...\n"
+                 "       vcsearch-query --port P --fetch /metrics\n");
     return 2;
   }
-  std::uint16_t port = static_cast<std::uint16_t>(std::strtoul(port_s, nullptr, 10));
 
   std::filesystem::path base(dir);
   SigningKey owner_key = SigningKey::load((base / "owner.key").string());
@@ -97,6 +127,10 @@ int main(int argc, char** argv) {
     std::printf("keyword \"%s\" is not in the indexed dictionary "
                 "(gap proof, %zu bytes) [VERIFIED]\n",
                 unknown.keyword.c_str(), resp.proof_size_bytes());
+  }
+  if (profile) {
+    std::printf("\nclient-side stage profile\n%s",
+                obs::render_profile(obs::MetricsRegistry::global()).c_str());
   }
   return 0;
 }

@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
   CloudService cloud(vidx, cloud_ctx, cloud_key, owner_key.verify_key(), &pool, scheme);
   HttpFrontend frontend(cloud, port);
   frontend.start();
-  std::printf("serving %s scheme on http://127.0.0.1:%u (POST /search, GET /stats)\n",
+  std::printf("serving %s scheme on http://127.0.0.1:%u "
+              "(POST /search, GET /stats, GET /metrics)\n",
               scheme_name(scheme), frontend.port());
 
   std::fflush(stdout);
