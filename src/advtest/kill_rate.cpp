@@ -1,0 +1,114 @@
+#include "advtest/kill_rate.hpp"
+
+#include "support/errors.hpp"
+
+namespace vc::advtest {
+
+namespace {
+
+// Per-class scheme assignment.  Classes that tamper with a specific
+// integrity encoding pin the scheme that produces it; result-set lies
+// (drop/add) rotate through all four schemes across queries and seeds so
+// every proving path faces them.
+SchemeKind scheme_for(ForgeryClass cls, std::size_t query_index, std::size_t seed_index) {
+  static constexpr SchemeKind kRotation[] = {
+      SchemeKind::kAccumulator, SchemeKind::kBloom, SchemeKind::kIntervalAccumulator,
+      SchemeKind::kHybrid};
+  switch (cls) {
+    case ForgeryClass::kDropResultDoc:
+    case ForgeryClass::kAddExtraDoc:
+      return kRotation[(query_index + seed_index) % 4];
+    case ForgeryClass::kBloomCounterTamper:
+      return SchemeKind::kBloom;
+    case ForgeryClass::kForgedCheckElement:
+      return SchemeKind::kIntervalAccumulator;
+    default:
+      return SchemeKind::kHybrid;
+  }
+}
+
+}  // namespace
+
+std::string reproducer_line(const AttemptRecord& rec) {
+  std::string line = "query_id=" + std::to_string(rec.query_id);
+  line += " class=" + std::string(forgery_class_name(rec.cls));
+  line += " scheme=" + std::string(scheme_name(rec.scheme));
+  line += " seed=" + std::to_string(rec.seed);
+  line += " trace=" + format_trace(rec.trace);
+  return line;
+}
+
+KillRateReport run_kill_rate(MaliciousCloud& cloud, const ResultVerifier& verifier,
+                             const std::vector<SignedQuery>& queries,
+                             const KillRateConfig& config) {
+  KillRateReport report;
+
+  for (std::size_t si = 0; si < config.seeds.size(); ++si) {
+    const std::uint64_t seed = config.seeds[si];
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      for (std::size_t ci = 0; ci < kForgeryClassCount; ++ci) {
+        const auto cls = static_cast<ForgeryClass>(ci);
+        AttemptRecord rec;
+        rec.query_id = queries[qi].query.id;
+        rec.cls = cls;
+        rec.scheme = scheme_for(cls, qi, si);
+        rec.seed = seed;
+
+        ForgedResponse forged;
+        try {
+          forged = cloud.forge(queries[qi], cls, rec.scheme, seed);
+          rec.outcome = forged.outcome;
+          rec.trace = std::move(forged.trace);
+        } catch (const Error& e) {
+          // The forging prover threw: the lie cannot be constructed even
+          // with the cloud's own machinery.  Detection at generation time.
+          rec.outcome = ForgeOutcome::kRefused;
+          rec.verifier_error = e.what();
+        }
+
+        switch (rec.outcome) {
+          case ForgeOutcome::kNotApplicable:
+            ++report.not_applicable;
+            break;
+          case ForgeOutcome::kRefused:
+            ++report.refused;
+            break;
+          case ForgeOutcome::kForged: {
+            ++report.forged;
+            try {
+              verifier.verify(forged.response);
+              rec.rejected = false;
+              ++report.accepted;
+              report.reproducers.push_back(reproducer_line(rec));
+            } catch (const VerifyError& e) {
+              rec.rejected = true;
+              rec.verifier_error = e.what();
+              ++report.killed;
+            }
+            break;
+          }
+        }
+        report.attempts.push_back(std::move(rec));
+      }
+    }
+  }
+
+  // Honest controls: the same queries, the same verifier, the schemes the
+  // forgery classes built their bases on.  All must be accepted.
+  static constexpr SchemeKind kControls[] = {
+      SchemeKind::kHybrid, SchemeKind::kBloom, SchemeKind::kIntervalAccumulator};
+  for (const auto& q : queries) {
+    for (SchemeKind scheme : kControls) {
+      ++report.honest_total;
+      try {
+        verifier.verify(cloud.honest(q, scheme));
+        ++report.honest_accepted;
+      } catch (const VerifyError&) {
+        // Leave honest_accepted short of honest_total: sound() fails.
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vc::advtest

@@ -1,0 +1,59 @@
+// The soundness gate: every forged proof must die.
+//
+// Drives a MaliciousCloud over a query workload, attempting every forgery
+// class against every query under multiple PRNG seeds, and verifying each
+// produced forgery.  An attempt "kills" when the verifier rejects the
+// forged response or the forger itself cannot construct the lie (kRefused).
+// Any *accepted* forgery is a soundness hole; the report carries a
+// replayable reproducer line (query, class, scheme, seed, mutation trace)
+// for each one.  Honest control responses run through the same verifier in
+// the same pass, so a trigger-happy verifier cannot fake a perfect score.
+#pragma once
+
+#include "advtest/malicious_cloud.hpp"
+#include "proof/verifier.hpp"
+
+namespace vc::advtest {
+
+struct KillRateConfig {
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+};
+
+struct AttemptRecord {
+  std::uint64_t query_id = 0;
+  ForgeryClass cls = ForgeryClass::kDropResultDoc;
+  SchemeKind scheme = SchemeKind::kHybrid;
+  std::uint64_t seed = 0;
+  ForgeOutcome outcome = ForgeOutcome::kNotApplicable;
+  bool rejected = false;          // meaningful when outcome == kForged
+  std::string verifier_error;     // the rejection (or refusal) message
+  std::vector<MutationStep> trace;
+};
+
+struct KillRateReport {
+  std::vector<AttemptRecord> attempts;
+  std::size_t forged = 0;          // well-formed signed lies produced
+  std::size_t refused = 0;         // lies the forger could not construct
+  std::size_t not_applicable = 0;  // class/query shape mismatches
+  std::size_t killed = 0;          // forged and rejected by the verifier
+  std::size_t accepted = 0;        // forged and ACCEPTED — soundness holes
+  std::size_t honest_total = 0;
+  std::size_t honest_accepted = 0;
+  std::vector<std::string> reproducers;  // one line per accepted forgery
+
+  // 100% kill rate: at least one forgery attempted, none accepted, and
+  // every honest control accepted.
+  [[nodiscard]] bool sound() const {
+    return forged > 0 && accepted == 0 && honest_total > 0 &&
+           honest_accepted == honest_total;
+  }
+};
+
+// A replayable one-line description of an attempt.
+std::string reproducer_line(const AttemptRecord& rec);
+
+KillRateReport run_kill_rate(MaliciousCloud& cloud, const ResultVerifier& verifier,
+                             const std::vector<SignedQuery>& queries,
+                             const KillRateConfig& config = {});
+
+}  // namespace vc::advtest

@@ -1,0 +1,88 @@
+// A malicious cloud operator for the soundness harness.
+//
+// Wraps a live CloudService and emits *semantic* forgeries: every forged
+// response is well-formed, deserializes cleanly, and carries a valid cloud
+// signature — because it is produced with the cloud's own signing key, just
+// as a real cheating operator would.  The lies live one level down, in the
+// claimed results and the evidence attached to them.  Each ForgeryClass
+// implements one of the threat-model cheats (docs/SOUNDNESS.md) and is
+// deterministic given its seed, so any accepted forgery replays exactly.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "advtest/forgery.hpp"
+#include "advtest/proof_mutator.hpp"
+#include "protocol/cloud.hpp"
+
+namespace vc::advtest {
+
+class MaliciousCloud {
+ public:
+  // `cloud` supplies the response-signing key and stays alive for the
+  // harness's lifetime.  `stale_vidx`, when given, is a pre-update snapshot
+  // of the index `cloud` serves; it enables kStaleAttestation.
+  MaliciousCloud(CloudService& cloud, const VerifiableIndex& vidx,
+                 AccumulatorContext public_ctx,
+                 const VerifiableIndex* stale_vidx = nullptr);
+  ~MaliciousCloud();
+
+  // The honest control response for a query under `scheme` (cached per
+  // query/scheme pair, since proving dominates the harness runtime).
+  [[nodiscard]] const SearchResponse& honest(const SignedQuery& query, SchemeKind scheme);
+
+  // Attempts the forgery class against the query.  Deterministic given
+  // (query, cls, scheme, seed).  kNotApplicable when the class cannot
+  // target the query's response shape; kRefused when even a malicious
+  // prover cannot construct the lie (detection at generation time).
+  [[nodiscard]] ForgedResponse forge(const SignedQuery& query, ForgeryClass cls,
+                                     SchemeKind scheme, std::uint64_t seed);
+
+ private:
+  struct Keyed {
+    std::uint64_t query_id;
+    SchemeKind scheme;
+    auto operator<=>(const Keyed&) const = default;
+  };
+
+  [[nodiscard]] SearchResponse sign(SearchResponse resp) const;
+  [[nodiscard]] const VerifiableIndex::Entry* entry(const std::string& keyword) const;
+  [[nodiscard]] std::vector<const VerifiableIndex::Entry*> entries_for(
+      const SearchResult& result) const;
+
+  // Correctness evidence that proves only the *provable* subset of each
+  // keyword's claimed tuples — the malicious prover's stock move when the
+  // claim contains tuples the index cannot argue for.
+  [[nodiscard]] CorrectnessProof provable_correctness(const Prover& prover,
+                                                      const VerifiableIndex& vidx,
+                                                      const SearchResult& result,
+                                                      bool interval_form) const;
+
+  [[nodiscard]] ForgedResponse forge_drop(const SearchResponse& base, SchemeKind scheme,
+                                          DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_add(const SearchResponse& base, SchemeKind scheme,
+                                         DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_witness_substitution(const SearchResponse& base,
+                                                          DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_stale(const SignedQuery& query, SchemeKind scheme);
+  [[nodiscard]] ForgedResponse forge_encoding_swap(const SearchResponse& base,
+                                                   DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_bloom_tamper(const SearchResponse& base,
+                                                  DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_check_element(const SearchResponse& base,
+                                                   DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_known_gap(const SignedQuery& query);
+  [[nodiscard]] ForgedResponse forge_mutation(const SearchResponse& base,
+                                              std::uint64_t seed);
+
+  CloudService& cloud_;
+  const VerifiableIndex& vidx_;
+  AccumulatorContext ctx_;
+  const VerifiableIndex* stale_vidx_;
+  std::unique_ptr<Prover> prover_;        // proves against the live index
+  std::unique_ptr<Prover> stale_prover_;  // proves against the stale snapshot
+  std::map<Keyed, SearchResponse> honest_cache_;
+};
+
+}  // namespace vc::advtest

@@ -1,0 +1,212 @@
+#include "advtest/proof_mutator.hpp"
+
+#include <algorithm>
+
+namespace vc::advtest {
+
+const char* forgery_class_name(ForgeryClass c) {
+  switch (c) {
+    case ForgeryClass::kDropResultDoc: return "drop_result_doc";
+    case ForgeryClass::kAddExtraDoc: return "add_extra_doc";
+    case ForgeryClass::kWitnessSubstitution: return "witness_substitution";
+    case ForgeryClass::kStaleAttestation: return "stale_attestation";
+    case ForgeryClass::kEncodingSwap: return "encoding_swap";
+    case ForgeryClass::kBloomCounterTamper: return "bloom_counter_tamper";
+    case ForgeryClass::kForgedCheckElement: return "forged_check_element";
+    case ForgeryClass::kKnownKeywordGap: return "known_keyword_gap";
+    case ForgeryClass::kStructuredMutation: return "structured_mutation";
+  }
+  return "?";
+}
+
+std::string format_trace(const std::vector<MutationStep>& trace) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) out += ";";
+    out += trace[i].name + "(" + std::to_string(trace[i].a) + "," +
+           std::to_string(trace[i].b) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+ProofMutator::ProofMutator(std::uint64_t seed, Bigint modulus)
+    : rng_(seed, "vc.advtest.mutator"), modulus_(std::move(modulus)) {}
+
+Bigint ProofMutator::perturb(const Bigint& w) const {
+  return Bigint::mod(w * Bigint(2), modulus_);
+}
+
+bool ProofMutator::mutate(SearchResponse& response) {
+  std::vector<Mutation> candidates;
+  if (auto* multi = std::get_if<MultiKeywordResponse>(&response.body)) {
+    collect_multi(*multi, candidates);
+  } else if (auto* single = std::get_if<SingleKeywordResponse>(&response.body)) {
+    collect_single(*single, candidates);
+  } else {
+    collect_unknown(std::get<UnknownKeywordResponse>(response.body), candidates);
+  }
+  return apply_one(candidates);
+}
+
+bool ProofMutator::apply_one(std::vector<Mutation>& candidates) {
+  if (candidates.empty()) return false;
+  std::size_t pick = rng_.below(candidates.size());
+  candidates[pick].second();
+  // The chosen mutation's own trace entry was appended by its body; tag it
+  // with the catalogue name if the body did not record one.
+  if (trace_.empty() || trace_.back().name != candidates[pick].first) {
+    trace_.push_back(MutationStep{candidates[pick].first, pick, 0});
+  }
+  return true;
+}
+
+void ProofMutator::collect_multi(MultiKeywordResponse& multi, std::vector<Mutation>& out) {
+  SearchResult& result = multi.result;
+  QueryProof& proof = multi.proof;
+
+  // --- witness exponent perturbation -------------------------------------
+  for (std::size_t i = 0; i < proof.correctness.keywords.size(); ++i) {
+    MembershipEvidence& ev = proof.correctness.keywords[i];
+    if (!ev.interval_form) {
+      out.emplace_back("perturb_flat_witness", [this, &ev, i] {
+        ev.flat_witness = perturb(ev.flat_witness);
+        trace_.push_back({"perturb_flat_witness", i, 0});
+      });
+    } else if (!ev.interval.parts.empty()) {
+      std::size_t p = rng_.below(ev.interval.parts.size());
+      out.emplace_back("perturb_interval_chat", [this, &ev, i, p] {
+        ev.interval.parts[p].chat = perturb(ev.interval.parts[p].chat);
+        trace_.push_back({"perturb_interval_chat", i, p});
+      });
+      out.emplace_back("perturb_mid_witness", [this, &ev, i, p] {
+        ev.interval.parts[p].mid_witness = perturb(ev.interval.parts[p].mid_witness);
+        trace_.push_back({"perturb_mid_witness", i, p});
+      });
+      // --- interval-boundary shift: the descriptor's representative no
+      // longer belongs to the signed middle layer ------------------------
+      out.emplace_back("shift_interval_bounds", [this, &ev, i, p] {
+        IntervalDescriptor& d = ev.interval.parts[p].desc;
+        if (d.lo < d.hi) {
+          d.lo += 1;
+        } else {
+          d.hi += 1;
+        }
+        trace_.push_back({"shift_interval_bounds", i, p});
+      });
+    }
+  }
+
+  // --- field swap: attestations of two different terms --------------------
+  if (proof.terms.size() >= 2 && proof.terms[0].stmt.term != proof.terms[1].stmt.term) {
+    out.emplace_back("swap_attestations", [this, &proof] {
+      std::swap(proof.terms[0], proof.terms[1]);
+      trace_.push_back({"swap_attestations", 0, 1});
+    });
+  }
+
+  // --- tuple weight tamper -------------------------------------------------
+  for (std::size_t i = 0; i < result.postings.size(); ++i) {
+    if (result.postings[i].empty()) continue;
+    std::size_t k = rng_.below(result.postings[i].size());
+    out.emplace_back("inflate_tf", [this, &result, i, k] {
+      result.postings[i][k].tf += 7;
+      trace_.push_back({"inflate_tf", i, k});
+    });
+    break;  // one posting-tamper candidate is enough
+  }
+
+  // --- aggregation-order tamper: result docs must stay sorted --------------
+  if (result.docs.size() >= 2) {
+    out.emplace_back("unsort_result_docs", [this, &result] {
+      std::swap(result.docs[0], result.docs[1]);
+      trace_.push_back({"unsort_result_docs", 0, 1});
+    });
+  }
+
+  if (auto* acc = std::get_if<AccumulatorIntegrity>(&proof.integrity)) {
+    // --- drop a check doc: the completeness pin no longer closes ----------
+    if (!acc->check_docs.empty()) {
+      out.emplace_back("drop_check_doc", [this, acc] {
+        std::uint64_t doc = acc->check_docs.back();
+        acc->check_docs.pop_back();
+        for (auto& g : acc->groups) {
+          g.docs.erase(std::remove(g.docs.begin(), g.docs.end(), doc), g.docs.end());
+        }
+        trace_.push_back({"drop_check_doc", doc, 0});
+      });
+    }
+    // --- uncover a group doc: a check doc with no absence proof -----------
+    for (std::size_t gi = 0; gi < acc->groups.size(); ++gi) {
+      if (acc->groups[gi].docs.empty()) continue;
+      out.emplace_back("uncover_group_doc", [this, acc, gi] {
+        std::uint64_t doc = acc->groups[gi].docs.back();
+        acc->groups[gi].docs.pop_back();
+        trace_.push_back({"uncover_group_doc", gi, doc});
+      });
+      // --- cover a check doc twice (or duplicate within a group) ----------
+      out.emplace_back("cover_doc_twice", [this, acc, gi] {
+        std::uint64_t doc = acc->groups[gi].docs.front();
+        std::size_t target = (gi + 1) % acc->groups.size();
+        U64Set& dst = acc->groups[target].docs;
+        dst.insert(std::lower_bound(dst.begin(), dst.end(), doc), doc);
+        trace_.push_back({"cover_doc_twice", gi, target});
+      });
+      break;
+    }
+  } else if (auto* bloom = std::get_if<BloomIntegrity>(&proof.integrity)) {
+    for (std::size_t pi = 0; pi < bloom->parts.size(); ++pi) {
+      BloomKeywordPart& part = bloom->parts[pi];
+      // --- omit a check element: the slot accounting gap stays open -------
+      if (!part.check_elements.empty()) {
+        out.emplace_back("drop_check_element", [this, &part, pi] {
+          std::uint64_t e = part.check_elements.back();
+          part.check_elements.pop_back();
+          trace_.push_back({"drop_check_element", pi, e});
+        });
+      }
+      // --- lie about the filter's element count (owner-signed field) ------
+      out.emplace_back("forge_element_count", [this, &part, pi] {
+        part.bloom.stmt.doc_bloom.element_count += 1;
+        trace_.push_back({"forge_element_count", pi, 0});
+      });
+      break;
+    }
+  }
+}
+
+void ProofMutator::collect_single(SingleKeywordResponse& single,
+                                  std::vector<Mutation>& out) {
+  if (!single.postings.empty()) {
+    out.emplace_back("truncate_postings", [this, &single] {
+      single.postings.pop_back();
+      trace_.push_back({"truncate_postings", single.postings.size(), 0});
+    });
+    out.emplace_back("inflate_tf_single", [this, &single] {
+      single.postings[0].tf += 7;
+      trace_.push_back({"inflate_tf_single", 0, 0});
+    });
+  }
+  out.emplace_back("forge_posting_count", [this, &single] {
+    single.attestation.stmt.posting_count += 1;
+    trace_.push_back({"forge_posting_count", 0, 0});
+  });
+}
+
+void ProofMutator::collect_unknown(UnknownKeywordResponse& unknown,
+                                   std::vector<Mutation>& out) {
+  out.emplace_back("shift_gap_lo", [this, &unknown] {
+    unknown.gap.lo += "a";  // the shifted gap was never accumulated
+    trace_.push_back({"shift_gap_lo", unknown.gap.lo.size(), 0});
+  });
+  out.emplace_back("perturb_gap_witness", [this, &unknown] {
+    unknown.gap.witness = perturb(unknown.gap.witness);
+    trace_.push_back({"perturb_gap_witness", 0, 0});
+  });
+  out.emplace_back("forge_word_count", [this, &unknown] {
+    unknown.dict.stmt.word_count += 1;
+    trace_.push_back({"forge_word_count", 0, 0});
+  });
+}
+
+}  // namespace vc::advtest

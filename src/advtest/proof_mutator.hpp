@@ -1,0 +1,55 @@
+// Typed, seeded mutations of deserialized proof objects.
+//
+// Unlike tests/corruption_test (which flips wire bytes and exercises the
+// parser), every mutation here operates on a *parsed* SearchResponse and
+// commits a specific semantic lie — a perturbed witness exponent, a shifted
+// interval boundary, a swapped field, a tampered aggregation — chosen and
+// parameterized by a deterministic PRNG.  Each applied step is recorded in
+// a trace, so any accepted forgery is replayable from `seed + trace`.
+//
+// Invariant: every mutation in the catalogue is falsifying on honest input
+// — it must change the semantic claim, never merely re-encode it.  (E.g.
+// reordering nonmembership groups is NOT here: group order carries no
+// meaning and an honest permutation must stay accepted.)
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "advtest/forgery.hpp"
+#include "support/rng.hpp"
+
+namespace vc::advtest {
+
+class ProofMutator {
+ public:
+  // `modulus` is the accumulator modulus n, used to perturb ring elements
+  // without leaving the group's representation range.
+  ProofMutator(std::uint64_t seed, Bigint modulus);
+
+  // Picks one applicable falsifying mutation for the response body and
+  // applies it in place.  Returns false when nothing applies (degenerate
+  // shapes only).  The response signature is NOT refreshed — the caller
+  // (the malicious cloud) re-signs, as a real cheating cloud would.
+  bool mutate(SearchResponse& response);
+
+  [[nodiscard]] const std::vector<MutationStep>& trace() const { return trace_; }
+
+ private:
+  using Mutation = std::pair<const char*, std::function<void()>>;
+
+  bool apply_one(std::vector<Mutation>& candidates);
+  void collect_multi(MultiKeywordResponse& multi, std::vector<Mutation>& out);
+  void collect_single(SingleKeywordResponse& single, std::vector<Mutation>& out);
+  void collect_unknown(UnknownKeywordResponse& unknown, std::vector<Mutation>& out);
+
+  // w -> 2w mod n: leaves the claimed statement unchanged but breaks the
+  // verification equation with overwhelming probability.
+  [[nodiscard]] Bigint perturb(const Bigint& w) const;
+
+  DeterministicRng rng_;
+  Bigint modulus_;
+  std::vector<MutationStep> trace_;
+};
+
+}  // namespace vc::advtest

@@ -16,6 +16,10 @@
 
 namespace vc {
 
+namespace advtest {
+struct BloomTamper;
+}  // namespace advtest
+
 struct BloomParams {
   std::uint32_t counters = 1024;  // m
   std::uint32_t hashes = 1;       // k (paper: one hash is optimal)
@@ -57,6 +61,11 @@ class CountingBloom {
   friend bool operator==(const CountingBloom&, const CountingBloom&) = default;
 
  private:
+  // Narrow test-only hook: the adversarial soundness harness (src/advtest)
+  // forges dishonest filter states (decremented / inflated counters) that
+  // the public API refuses to construct.
+  friend struct advtest::BloomTamper;
+
   BloomParams params_;
   std::vector<std::uint32_t> counters_;
   std::uint64_t elements_added_ = 0;

@@ -28,6 +28,10 @@
 
 namespace vc {
 
+namespace advtest {
+struct IntervalAccess;
+}  // namespace advtest
+
 struct IntervalConfig {
   // Elements per interval; the paper picks 100 (§V-A).
   std::size_t interval_size = 100;
@@ -160,6 +164,12 @@ class IntervalIndex {
   friend bool operator==(const IntervalIndex&, const IntervalIndex&);
 
  private:
+  // Narrow test-only hook: the adversarial soundness harness (src/advtest)
+  // reads interval internals (member lists, precomputed middle witnesses)
+  // to graft genuinely-authenticated parts of *other* intervals into
+  // proofs — the witness-substitution forgery class.
+  friend struct advtest::IntervalAccess;
+
   struct Interval {
     IntervalDescriptor desc;
     std::vector<std::uint64_t> members;  // sorted

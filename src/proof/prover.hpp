@@ -17,6 +17,10 @@ namespace vc {
 
 class ThreadPool;
 
+namespace advtest {
+struct ProverAccess;
+}  // namespace advtest
+
 class Prover {
  public:
   // `ctx` is normally the public side; passing an owner context makes the
@@ -39,6 +43,11 @@ class Prover {
       const VerifiableIndex::Entry& entry) const;
 
  private:
+  // Narrow test-only hook: the adversarial soundness harness (src/advtest)
+  // uses the private witness builders to construct evidence for sets an
+  // honest cloud would never argue about.  Not part of the proving API.
+  friend struct advtest::ProverAccess;
+
   struct EntryRef {
     const VerifiableIndex::Entry* entry;
   };

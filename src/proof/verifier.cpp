@@ -55,6 +55,25 @@ void ResultVerifier::verify_multi(const MultiKeywordResponse& multi) const {
   require(proof.correctness.keywords.size() == q, "correctness/keyword count mismatch");
   require(is_sorted_unique(result.docs), "result docs not a sorted set");
 
+  // Scheme/encoding consistency: the declared scheme pins the integrity
+  // encoding and the evidence form.  Without these pins a forger could
+  // relabel a proof into an encoding whose checks it can satisfy (e.g.
+  // attach Bloom integrity while claiming the accumulator scheme).
+  const bool interval_scheme = proof.scheme == SchemeKind::kIntervalAccumulator ||
+                               proof.scheme == SchemeKind::kHybrid;
+  if (proof.scheme == SchemeKind::kAccumulator ||
+      proof.scheme == SchemeKind::kIntervalAccumulator) {
+    require(std::holds_alternative<AccumulatorIntegrity>(proof.integrity),
+            "integrity encoding does not match declared scheme");
+  } else if (proof.scheme == SchemeKind::kBloom) {
+    require(std::holds_alternative<BloomIntegrity>(proof.integrity),
+            "integrity encoding does not match declared scheme");
+  }
+  for (const MembershipEvidence& ev : proof.correctness.keywords) {
+    require(ev.interval_form == interval_scheme,
+            "correctness evidence form does not match declared scheme");
+  }
+
   // Owner attestations bind each keyword to its accumulators.
   for (std::size_t i = 0; i < q; ++i) {
     require(proof.terms[i].verify(owner_key_), "term attestation signature invalid");
@@ -93,6 +112,10 @@ void ResultVerifier::verify_accumulator_integrity(const MultiKeywordResponse& mu
   const QueryProof& proof = multi.proof;
   const std::size_t q = result.keywords.size();
   require(integrity.base_keyword < q, "integrity base keyword out of range");
+  const bool interval_scheme = proof.scheme == SchemeKind::kIntervalAccumulator ||
+                               proof.scheme == SchemeKind::kHybrid;
+  require(integrity.check_membership.interval_form == interval_scheme,
+          "integrity evidence form does not match declared scheme");
   const TermStatement& base = proof.terms[integrity.base_keyword].stmt;
 
   require(is_sorted_unique(integrity.check_docs), "check docs not a sorted set");
@@ -113,6 +136,8 @@ void ResultVerifier::verify_accumulator_integrity(const MultiKeywordResponse& mu
     require(g.keyword < q, "nonmembership group keyword out of range");
     require(g.keyword != integrity.base_keyword,
             "nonmembership group may not target the base keyword");
+    require(g.evidence.interval_form == interval_scheme,
+            "integrity evidence form does not match declared scheme");
     require(is_sorted_unique(g.docs), "nonmembership group docs not sorted");
     require(is_subset(g.docs, integrity.check_docs),
             "nonmembership group covers unknown docs");
@@ -134,8 +159,11 @@ void ResultVerifier::verify_bloom_integrity(const MultiKeywordResponse& multi,
 
   std::vector<CountingBloom> filters;
   filters.reserve(q);
+  const bool interval_scheme = proof.scheme == SchemeKind::kHybrid;
   for (std::size_t i = 0; i < q; ++i) {
     const BloomKeywordPart& part = integrity.parts[i];
+    require(part.check_membership.interval_form == interval_scheme,
+            "integrity evidence form does not match declared scheme");
     require(part.bloom.verify(owner_key_), "bloom attestation signature invalid");
     require(part.bloom.stmt.term == result.keywords[i],
             "bloom attestation term mismatch");

@@ -12,6 +12,10 @@
 
 namespace vc {
 
+namespace advtest {
+struct CloudAccess;
+}  // namespace advtest
+
 enum class CloudBehavior {
   kHonest,
   kDropLastResult,   // return partial results (the economic-incentive cheat)
@@ -32,6 +36,12 @@ class CloudService {
   [[nodiscard]] std::uint64_t queries_served() const { return served_; }
 
  private:
+  // Narrow test-only hook: the adversarial soundness harness (src/advtest)
+  // wraps a live CloudService — reusing its engine and response-signing key
+  // — to emit semantically forged responses that are still validly signed
+  // by the cloud, exactly what a malicious operator would produce.
+  friend struct advtest::CloudAccess;
+
   SearchEngine engine_;
   SigningKey key_;
   VerifyKey owner_key_;

@@ -2,11 +2,9 @@
 // truncated input with a typed error — never crash, hang, or accept.
 #include <gtest/gtest.h>
 
-#include "crypto/standard_params.hpp"
-#include "search/engine.hpp"
 #include "support/errors.hpp"
 #include "support/rng.hpp"
-#include "support/threadpool.hpp"
+#include "test_fixtures.hpp"
 #include "text/synth.hpp"
 
 namespace vc {
@@ -16,25 +14,11 @@ namespace {
 class CorruptionTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    auto owner_ctx = AccumulatorContext::owner(standard_accumulator_modulus(512),
-                                               standard_qr_generator(512));
-    auto pub_ctx = AccumulatorContext::public_side(owner_ctx.params());
-    DeterministicRng rng(401);
-    SigningKey owner_key = generate_signing_key(rng, 512);
-    SigningKey cloud_key = generate_signing_key(rng, 512);
-    ThreadPool pool(2);
-    VerifiableIndexConfig cfg;
-    cfg.modulus_bits = 512;
-    cfg.rep_bits = 64;
-    cfg.interval_size = 8;
-    cfg.prime_mr_rounds = 24;
-    cfg.bloom = BloomParams{.counters = 256, .hashes = 1, .domain = "corrupt"};
     SynthSpec spec{.name = "c", .num_docs = 40, .min_doc_words = 20,
                    .max_doc_words = 50, .vocab_size = 200, .zipf_s = 0.9, .seed = 51};
-    Corpus corpus = generate_corpus(spec);
-    VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
-                                                  owner_key, cfg, pool);
-    SearchEngine engine(vidx, pub_ctx, cloud_key, &pool);
+    testbed::TestBed bed(spec, testbed::small_config(256, "corrupt"), /*key_seed=*/401,
+                         /*threads=*/2);
+    SearchEngine engine(bed.vidx, bed.pub_ctx, bed.cloud_key, &bed.pool);
     Query q{.id = 9, .keywords = {synth_word(spec, 0), synth_word(spec, 1)}};
     SearchResponse resp = engine.search(q, SchemeKind::kHybrid);
     ByteWriter w;

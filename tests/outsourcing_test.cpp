@@ -6,81 +6,42 @@
 #include <filesystem>
 #include <fstream>
 
-#include "crypto/standard_params.hpp"
-#include "search/engine.hpp"
 #include "support/errors.hpp"
-#include "support/threadpool.hpp"
-#include "text/stemmer.hpp"
+#include "test_fixtures.hpp"
 #include "text/synth.hpp"
 
 namespace vc {
 namespace {
 
-VerifiableIndexConfig small_config() {
-  VerifiableIndexConfig cfg;
-  cfg.modulus_bits = 512;
-  cfg.rep_bits = 64;
-  cfg.interval_size = 8;
-  cfg.prime_mr_rounds = 24;
-  cfg.bloom = BloomParams{.counters = 256, .hashes = 1, .domain = "outsource"};
-  return cfg;
-}
-
 class OutsourcingTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    owner_ctx_ = new AccumulatorContext(AccumulatorContext::owner(
-        standard_accumulator_modulus(512), standard_qr_generator(512)));
-    pub_ctx_ = new AccumulatorContext(AccumulatorContext::public_side(owner_ctx_->params()));
-    DeterministicRng rng(501);
-    owner_key_ = new SigningKey(generate_signing_key(rng, 512));
-    cloud_key_ = new SigningKey(generate_signing_key(rng, 512));
-    pool_ = new ThreadPool(2);
-    spec_ = SynthSpec{.name = "out", .num_docs = 50, .min_doc_words = 25,
-                      .max_doc_words = 60, .vocab_size = 250, .zipf_s = 0.9, .seed = 61};
-    Corpus corpus = generate_corpus(spec_);
-    vidx_ = new VerifiableIndex(VerifiableIndex::build(InvertedIndex::build(corpus),
-                                                       *owner_ctx_, *owner_key_,
-                                                       small_config(), *pool_));
+    SynthSpec spec{.name = "out", .num_docs = 50, .min_doc_words = 25,
+                   .max_doc_words = 60, .vocab_size = 250, .zipf_s = 0.9, .seed = 61};
+    bed_ = new testbed::TestBed(spec, testbed::small_config(256, "outsource"),
+                                /*key_seed=*/501, /*threads=*/2);
     path_ = (std::filesystem::temp_directory_path() / "vc_outsource_test.vc").string();
-    vidx_->save(path_);
+    bed_->vidx.save(path_);
   }
   static void TearDownTestSuite() {
     std::filesystem::remove(path_);
-    delete vidx_;
-    delete pool_;
-    delete cloud_key_;
-    delete owner_key_;
-    delete pub_ctx_;
-    delete owner_ctx_;
+    delete bed_;
   }
 
-  static AccumulatorContext* owner_ctx_;
-  static AccumulatorContext* pub_ctx_;
-  static SigningKey* owner_key_;
-  static SigningKey* cloud_key_;
-  static ThreadPool* pool_;
-  static VerifiableIndex* vidx_;
-  static SynthSpec spec_;
+  static testbed::TestBed* bed_;
   static std::string path_;
 };
 
-AccumulatorContext* OutsourcingTest::owner_ctx_ = nullptr;
-AccumulatorContext* OutsourcingTest::pub_ctx_ = nullptr;
-SigningKey* OutsourcingTest::owner_key_ = nullptr;
-SigningKey* OutsourcingTest::cloud_key_ = nullptr;
-ThreadPool* OutsourcingTest::pool_ = nullptr;
-VerifiableIndex* OutsourcingTest::vidx_ = nullptr;
-SynthSpec OutsourcingTest::spec_;
+testbed::TestBed* OutsourcingTest::bed_ = nullptr;
 std::string OutsourcingTest::path_;
 
 TEST_F(OutsourcingTest, LoadedIndexMatchesOriginal) {
   VerifiableIndex loaded = VerifiableIndex::load(path_);
-  EXPECT_EQ(loaded.term_count(), vidx_->term_count());
-  EXPECT_EQ(loaded.index(), vidx_->index());
-  EXPECT_EQ(loaded.dict_attestation(), vidx_->dict_attestation());
-  for (const auto& term : vidx_->index().dictionary()) {
-    const auto* a = vidx_->find(term);
+  EXPECT_EQ(loaded.term_count(), bed_->vidx.term_count());
+  EXPECT_EQ(loaded.index(), bed_->vidx.index());
+  EXPECT_EQ(loaded.dict_attestation(), bed_->vidx.dict_attestation());
+  for (const auto& term : bed_->vidx.index().dictionary()) {
+    const auto* a = bed_->vidx.find(term);
     const auto* b = loaded.find(term);
     ASSERT_NE(b, nullptr) << term;
     EXPECT_EQ(a->attestation, b->attestation) << term;
@@ -91,13 +52,13 @@ TEST_F(OutsourcingTest, LoadedIndexMatchesOriginal) {
     EXPECT_EQ(a->postings, b->postings) << term;
   }
   // Prime caches travelled with the artifact.
-  EXPECT_EQ(loaded.tuple_primes().size(), vidx_->tuple_primes().size());
-  EXPECT_EQ(loaded.doc_primes().size(), vidx_->doc_primes().size());
+  EXPECT_EQ(loaded.tuple_primes().size(), bed_->vidx.tuple_primes().size());
+  EXPECT_EQ(loaded.doc_primes().size(), bed_->vidx.doc_primes().size());
 }
 
 TEST_F(OutsourcingTest, ValidationAcceptsHonestArtifact) {
   VerifiableIndex loaded = VerifiableIndex::load(path_);
-  EXPECT_NO_THROW(loaded.validate(owner_key_->verify_key()));
+  EXPECT_NO_THROW(loaded.validate(bed_->owner_key.verify_key()));
 }
 
 TEST_F(OutsourcingTest, ValidationRejectsWrongOwnerKey) {
@@ -109,10 +70,9 @@ TEST_F(OutsourcingTest, ValidationRejectsWrongOwnerKey) {
 
 TEST_F(OutsourcingTest, LoadedIndexServesVerifiableProofs) {
   VerifiableIndex loaded = VerifiableIndex::load(path_);
-  SearchEngine engine(loaded, *pub_ctx_, *cloud_key_, pool_);
-  ResultVerifier verifier(*owner_ctx_, owner_key_->verify_key(),
-                          cloud_key_->verify_key(), small_config());
-  Query q{.id = 1, .keywords = {synth_word(spec_, 5), synth_word(spec_, 9)}};
+  SearchEngine engine(loaded, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+  ResultVerifier verifier = bed_->owner_verifier();
+  Query q{.id = 1, .keywords = {synth_word(bed_->spec, 5), synth_word(bed_->spec, 9)}};
   for (SchemeKind scheme : {SchemeKind::kAccumulator, SchemeKind::kBloom,
                             SchemeKind::kIntervalAccumulator, SchemeKind::kHybrid}) {
     SearchResponse resp = engine.search(q, scheme);
@@ -122,14 +82,13 @@ TEST_F(OutsourcingTest, LoadedIndexServesVerifiableProofs) {
 
 TEST_F(OutsourcingTest, SaveWithoutPrimeCaches) {
   auto p = (std::filesystem::temp_directory_path() / "vc_outsource_nocache.vc").string();
-  vidx_->save(p, /*include_prime_caches=*/false);
+  bed_->vidx.save(p, /*include_prime_caches=*/false);
   VerifiableIndex loaded = VerifiableIndex::load(p);
   EXPECT_EQ(loaded.tuple_primes().size(), 0u);
   // The cloud can still serve: representatives get recomputed on demand.
-  SearchEngine engine(loaded, *pub_ctx_, *cloud_key_, pool_);
-  ResultVerifier verifier(*owner_ctx_, owner_key_->verify_key(),
-                          cloud_key_->verify_key(), small_config());
-  Query q{.id = 2, .keywords = {synth_word(spec_, 5), synth_word(spec_, 9)}};
+  SearchEngine engine(loaded, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+  ResultVerifier verifier = bed_->owner_verifier();
+  Query q{.id = 2, .keywords = {synth_word(bed_->spec, 5), synth_word(bed_->spec, 9)}};
   EXPECT_NO_THROW(verifier.verify(engine.search(q, SchemeKind::kHybrid)));
   EXPECT_LT(std::filesystem::file_size(p), std::filesystem::file_size(path_));
   std::filesystem::remove(p);
@@ -138,13 +97,14 @@ TEST_F(OutsourcingTest, SaveWithoutPrimeCaches) {
 TEST_F(OutsourcingTest, UpdatedIndexRoundtripsAndValidates) {
   VerifiableIndex loaded = VerifiableIndex::load(path_);
   std::vector<Document> docs = {
-      Document{50, "new", synth_word(spec_, 5) + " " + synth_word(spec_, 9) + " brandnewterm"}};
-  loaded.add_documents(docs, *owner_ctx_, *owner_key_);
-  EXPECT_NO_THROW(loaded.validate(owner_key_->verify_key()));
+      Document{50, "new",
+               synth_word(bed_->spec, 5) + " " + synth_word(bed_->spec, 9) + " brandnewterm"}};
+  loaded.add_documents(docs, bed_->owner_ctx, bed_->owner_key);
+  EXPECT_NO_THROW(loaded.validate(bed_->owner_key.verify_key()));
   auto p = (std::filesystem::temp_directory_path() / "vc_outsource_upd.vc").string();
   loaded.save(p);
   VerifiableIndex again = VerifiableIndex::load(p);
-  EXPECT_NO_THROW(again.validate(owner_key_->verify_key()));
+  EXPECT_NO_THROW(again.validate(bed_->owner_key.verify_key()));
   EXPECT_NE(again.find("brandnewterm"), nullptr);
   std::filesystem::remove(p);
 }
@@ -173,7 +133,7 @@ TEST_F(OutsourcingTest, TamperedArtifactDetectedByValidation) {
     }
     try {
       VerifiableIndex t = VerifiableIndex::load(p);
-      t.validate(owner_key_->verify_key());
+      t.validate(bed_->owner_key.verify_key());
       ++silent;  // flip hit a prime-cache byte or other non-authenticated data
     } catch (const Error&) {
       // rejected — good

@@ -156,6 +156,216 @@ TEST(Statements, PostingsDigestSensitive) {
   EXPECT_EQ(postings_digest(a), postings_digest(PostingList{{1, 2}, {3, 4}}));
 }
 
+// --- byte-identical round-trips ---------------------------------------------------
+//
+// The proof wire format is canonical: serialize → parse → re-serialize must
+// reproduce the exact bytes (the cloud signs payload_bytes(), so any
+// re-encoding drift would break signatures downstream).  One test per
+// struct in proof_types.hpp, each with every optional branch populated.
+
+template <typename T>
+void ExpectByteIdenticalRoundtrip(const T& value) {
+  ByteWriter w1;
+  value.write(w1);
+  ByteReader r(w1.data());
+  T back = T::read(r);
+  r.expect_done();
+  ByteWriter w2;
+  back.write(w2);
+  EXPECT_EQ(w2.data(), w1.data());
+}
+
+MembershipEvidence flat_membership(int seed) {
+  MembershipEvidence e;
+  e.interval_form = false;
+  e.flat_witness = Bigint(seed);
+  return e;
+}
+
+MembershipEvidence interval_membership(int seed) {
+  MembershipEvidence e;
+  e.interval_form = true;
+  e.interval.parts.push_back(IntervalMembershipPart{
+      .desc = IntervalDescriptor{.lo = 1, .hi = 8, .b = Bigint(seed)},
+      .chat = Bigint(seed + 1),
+      .mid_witness = Bigint(seed + 2)});
+  e.interval.parts.push_back(IntervalMembershipPart{
+      .desc = IntervalDescriptor{.lo = 9, .hi = 16, .b = Bigint(seed + 3)},
+      .chat = Bigint(seed + 4),
+      .mid_witness = Bigint(seed + 5)});
+  return e;
+}
+
+NonmembershipEvidence flat_nonmembership(int seed) {
+  NonmembershipEvidence e;
+  e.interval_form = false;
+  e.flat = NonmembershipWitness{Bigint(-seed), Bigint(seed + 1)};
+  return e;
+}
+
+NonmembershipEvidence interval_nonmembership(int seed) {
+  NonmembershipEvidence e;
+  e.interval_form = true;
+  e.interval.parts.push_back(IntervalNonmembershipPart{
+      .desc = IntervalDescriptor{.lo = 4, .hi = 20, .b = Bigint(seed)},
+      .nmw = NonmembershipWitness{Bigint(-seed - 1), Bigint(seed + 2)},
+      .mid_witness = Bigint(seed + 3)});
+  return e;
+}
+
+TermAttestation sample_term_attestation(const std::string& term) {
+  TermStatement s;
+  s.term = term;
+  s.tuple_acc = Bigint(101);
+  s.doc_acc = Bigint(102);
+  s.tuple_root = Bigint(103);
+  s.doc_root = Bigint(104);
+  s.posting_count = 3;
+  s.postings_digest = postings_digest(PostingList{{2, 1}, {5, 3}, {9, 2}});
+  return TermAttestation{s, Signature{Bigint(105)}};
+}
+
+SearchResult sample_result() {
+  SearchResult r;
+  r.keywords = {"alpha", "beta"};
+  r.docs = {2, 5, 9};
+  r.postings = {{{2, 1}, {5, 3}, {9, 2}}, {{2, 7}, {5, 1}, {9, 9}}};
+  return r;
+}
+
+AccumulatorIntegrity sample_accumulator_integrity() {
+  AccumulatorIntegrity ai;
+  ai.base_keyword = 0;
+  ai.check_docs = {3, 7};
+  ai.check_membership = interval_membership(40);
+  NonmembershipGroup flat_group;
+  flat_group.keyword = 1;
+  flat_group.docs = {3};
+  flat_group.evidence = flat_nonmembership(50);
+  ai.groups.push_back(std::move(flat_group));
+  NonmembershipGroup interval_group;
+  interval_group.keyword = 1;
+  interval_group.docs = {7};
+  interval_group.evidence = interval_nonmembership(60);
+  ai.groups.push_back(std::move(interval_group));
+  return ai;
+}
+
+BloomIntegrity sample_bloom_integrity() {
+  BloomIntegrity bi;
+  BloomKeywordPart part;
+  part.bloom.stmt.term = "alpha";
+  part.bloom.stmt.doc_bloom = CompressedBloom{
+      BloomParams{.counters = 64, .hashes = 1, .domain = "rt"}, 3, Bytes{1, 2, 3, 4}};
+  part.bloom.sig = Signature{Bigint(201)};
+  part.check_elements = {11, 13};
+  part.check_membership = flat_membership(70);
+  bi.parts.push_back(std::move(part));
+  return bi;
+}
+
+TEST(ByteIdenticalRoundtrip, SearchResult) { ExpectByteIdenticalRoundtrip(sample_result()); }
+
+TEST(ByteIdenticalRoundtrip, MembershipEvidenceBothForms) {
+  ExpectByteIdenticalRoundtrip(flat_membership(10));
+  ExpectByteIdenticalRoundtrip(interval_membership(20));
+}
+
+TEST(ByteIdenticalRoundtrip, NonmembershipEvidenceBothForms) {
+  ExpectByteIdenticalRoundtrip(flat_nonmembership(30));
+  ExpectByteIdenticalRoundtrip(interval_nonmembership(35));
+}
+
+TEST(ByteIdenticalRoundtrip, CorrectnessProof) {
+  CorrectnessProof cp;
+  cp.keywords = {flat_membership(10), interval_membership(20)};
+  ExpectByteIdenticalRoundtrip(cp);
+}
+
+TEST(ByteIdenticalRoundtrip, NonmembershipGroup) {
+  NonmembershipGroup g;
+  g.keyword = 2;
+  g.docs = {4, 8};
+  g.evidence = interval_nonmembership(45);
+  ExpectByteIdenticalRoundtrip(g);
+}
+
+TEST(ByteIdenticalRoundtrip, AccumulatorIntegrity) {
+  ExpectByteIdenticalRoundtrip(sample_accumulator_integrity());
+}
+
+TEST(ByteIdenticalRoundtrip, BloomKeywordPartAndIntegrity) {
+  BloomIntegrity bi = sample_bloom_integrity();
+  ExpectByteIdenticalRoundtrip(bi.parts[0]);
+  ExpectByteIdenticalRoundtrip(bi);
+}
+
+TEST(ByteIdenticalRoundtrip, QueryProofBothIntegrityVariants) {
+  QueryProof acc;
+  acc.scheme = SchemeKind::kIntervalAccumulator;
+  acc.terms = {sample_term_attestation("alpha"), sample_term_attestation("beta")};
+  acc.correctness.keywords = {interval_membership(10), interval_membership(20)};
+  acc.integrity = sample_accumulator_integrity();
+  ExpectByteIdenticalRoundtrip(acc);
+
+  QueryProof bloom;
+  bloom.scheme = SchemeKind::kBloom;
+  bloom.terms = {sample_term_attestation("alpha")};
+  bloom.correctness.keywords = {flat_membership(10)};
+  bloom.integrity = sample_bloom_integrity();
+  ExpectByteIdenticalRoundtrip(bloom);
+}
+
+TEST(ByteIdenticalRoundtrip, SearchResponseAllBodyVariants) {
+  SearchResponse multi;
+  multi.query_id = 77;
+  multi.raw_keywords = {"Alpha", "betas"};
+  MultiKeywordResponse mbody;
+  mbody.result = sample_result();
+  mbody.proof.scheme = SchemeKind::kHybrid;
+  mbody.proof.terms = {sample_term_attestation("alpha"), sample_term_attestation("beta")};
+  mbody.proof.correctness.keywords = {interval_membership(10), interval_membership(20)};
+  mbody.proof.integrity = sample_bloom_integrity();
+  multi.body = std::move(mbody);
+  multi.cloud_sig = Signature{Bigint(999)};
+  ExpectByteIdenticalRoundtrip(multi);
+
+  SearchResponse single;
+  single.query_id = 78;
+  single.raw_keywords = {"alpha"};
+  single.body = SingleKeywordResponse{"alpha", PostingList{{2, 1}, {5, 3}},
+                                      sample_term_attestation("alpha")};
+  single.cloud_sig = Signature{Bigint(998)};
+  ExpectByteIdenticalRoundtrip(single);
+
+  SearchResponse unknown;
+  unknown.query_id = 79;
+  unknown.raw_keywords = {"zzmissing"};
+  UnknownKeywordResponse ubody;
+  ubody.keyword = "zzmissing";
+  ubody.gap = GapProof{"yy", "zzz", Bigint(500)};
+  ubody.dict = DictAttestation{DictStatement{Bigint(5), 100, 2000}, Signature{Bigint(501)}};
+  unknown.body = std::move(ubody);
+  unknown.cloud_sig = Signature{Bigint(997)};
+  ExpectByteIdenticalRoundtrip(unknown);
+}
+
+TEST(ByteIdenticalRoundtrip, PayloadBytesStableAcrossReparse) {
+  // payload_bytes() (the signed bytes) must also survive a parse cycle.
+  SearchResponse resp;
+  resp.query_id = 80;
+  resp.raw_keywords = {"alpha"};
+  resp.body = SingleKeywordResponse{"alpha", PostingList{{1, 1}},
+                                    sample_term_attestation("alpha")};
+  resp.cloud_sig = Signature{Bigint(42)};
+  ByteWriter w;
+  resp.write(w);
+  ByteReader r(w.data());
+  SearchResponse back = SearchResponse::read(r);
+  r.expect_done();
+  EXPECT_EQ(back.payload_bytes(), resp.payload_bytes());
+}
+
 // --- hybrid policy ---------------------------------------------------------------
 
 HybridPolicyInputs base_inputs(std::vector<std::size_t>& bloom_bytes,

@@ -3,26 +3,14 @@
 // tamper/cheating scenarios the scheme must catch.
 #include <gtest/gtest.h>
 
-#include "crypto/standard_params.hpp"
-#include "search/engine.hpp"
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
-#include "support/threadpool.hpp"
+#include "test_fixtures.hpp"
 #include "text/stemmer.hpp"
 #include "text/synth.hpp"
 
 namespace vc {
 namespace {
-
-VerifiableIndexConfig small_config() {
-  VerifiableIndexConfig cfg;
-  cfg.modulus_bits = 512;
-  cfg.rep_bits = 64;
-  cfg.interval_size = 8;
-  cfg.prime_mr_rounds = 24;
-  cfg.bloom = BloomParams{.counters = 512, .hashes = 1, .domain = "vc.bloom.docs"};
-  return cfg;
-}
 
 constexpr SchemeKind kAllSchemes[] = {SchemeKind::kAccumulator, SchemeKind::kBloom,
                                       SchemeKind::kIntervalAccumulator, SchemeKind::kHybrid};
@@ -30,74 +18,40 @@ constexpr SchemeKind kAllSchemes[] = {SchemeKind::kAccumulator, SchemeKind::kBlo
 class SearchProofTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    owner_ctx_ = new AccumulatorContext(AccumulatorContext::owner(
-        standard_accumulator_modulus(512), standard_qr_generator(512)));
-    pub_ctx_ = new AccumulatorContext(AccumulatorContext::public_side(owner_ctx_->params()));
-    DeterministicRng rng(201);
-    owner_key_ = new SigningKey(generate_signing_key(rng, 512));
-    cloud_key_ = new SigningKey(generate_signing_key(rng, 512));
-    pool_ = new ThreadPool(4);
-    spec_ = SynthSpec{.name = "sp", .num_docs = 80, .min_doc_words = 30,
-                      .max_doc_words = 90, .vocab_size = 300, .zipf_s = 0.9, .seed = 21};
-    Corpus corpus = generate_corpus(spec_);
-    vidx_ = new VerifiableIndex(VerifiableIndex::build(InvertedIndex::build(corpus),
-                                                       *owner_ctx_, *owner_key_,
-                                                       small_config(), *pool_));
+    SynthSpec spec{.name = "sp", .num_docs = 80, .min_doc_words = 30,
+                   .max_doc_words = 90, .vocab_size = 300, .zipf_s = 0.9, .seed = 21};
+    bed_ = new testbed::TestBed(spec, testbed::small_config(), /*key_seed=*/201);
     // The cloud engine runs with PUBLIC parameters only.
-    engine_ = new SearchEngine(*vidx_, *pub_ctx_, *cloud_key_, pool_);
-    owner_verifier_ = new ResultVerifier(*owner_ctx_, owner_key_->verify_key(),
-                                         cloud_key_->verify_key(), small_config());
-    third_party_verifier_ = new ResultVerifier(*pub_ctx_, owner_key_->verify_key(),
-                                               cloud_key_->verify_key(), small_config());
+    engine_ = new SearchEngine(bed_->vidx, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+    owner_verifier_ = new ResultVerifier(bed_->owner_verifier());
+    third_party_verifier_ = new ResultVerifier(bed_->third_party_verifier());
   }
   static void TearDownTestSuite() {
     delete third_party_verifier_;
     delete owner_verifier_;
     delete engine_;
-    delete vidx_;
-    delete pool_;
-    delete cloud_key_;
-    delete owner_key_;
-    delete pub_ctx_;
-    delete owner_ctx_;
+    delete bed_;
   }
 
   // Two frequent terms guaranteed to co-occur in this Zipf corpus.
   static std::vector<std::string> frequent_terms(std::size_t n) {
-    std::vector<std::string> out;
-    for (std::uint32_t rank = 0; out.size() < n; ++rank) {
-      std::string w = synth_word(spec_, rank);
-      if (vidx_->find(porter_stem(w)) != nullptr) out.push_back(w);
-    }
-    return out;
+    return bed_->frequent_terms(n);
   }
 
   static Query make_query(std::vector<std::string> kws, std::uint64_t id = 1) {
-    return Query{.id = id, .keywords = std::move(kws)};
+    return testbed::TestBed::make_query(std::move(kws), id);
   }
 
-  static AccumulatorContext* owner_ctx_;
-  static AccumulatorContext* pub_ctx_;
-  static SigningKey* owner_key_;
-  static SigningKey* cloud_key_;
-  static ThreadPool* pool_;
-  static VerifiableIndex* vidx_;
+  static testbed::TestBed* bed_;
   static SearchEngine* engine_;
   static ResultVerifier* owner_verifier_;
   static ResultVerifier* third_party_verifier_;
-  static SynthSpec spec_;
 };
 
-AccumulatorContext* SearchProofTest::owner_ctx_ = nullptr;
-AccumulatorContext* SearchProofTest::pub_ctx_ = nullptr;
-SigningKey* SearchProofTest::owner_key_ = nullptr;
-SigningKey* SearchProofTest::cloud_key_ = nullptr;
-ThreadPool* SearchProofTest::pool_ = nullptr;
-VerifiableIndex* SearchProofTest::vidx_ = nullptr;
+testbed::TestBed* SearchProofTest::bed_ = nullptr;
 SearchEngine* SearchProofTest::engine_ = nullptr;
 ResultVerifier* SearchProofTest::owner_verifier_ = nullptr;
 ResultVerifier* SearchProofTest::third_party_verifier_ = nullptr;
-SynthSpec SearchProofTest::spec_;
 
 TEST_F(SearchProofTest, AllSchemesProveAndVerifyTwoKeywords) {
   auto terms = frequent_terms(2);
@@ -122,8 +76,8 @@ TEST_F(SearchProofTest, EmptyIntersectionVerifies) {
   // Two rare terms that never co-occur (rare ranks in a small corpus).
   std::vector<std::string> rare;
   for (std::uint32_t rank = 250; rank > 0 && rare.size() < 2; --rank) {
-    std::string w = synth_word(spec_, rank);
-    const auto* e = vidx_->find(porter_stem(w));
+    std::string w = synth_word(bed_->spec, rank);
+    const auto* e = bed_->vidx.find(porter_stem(w));
     if (e != nullptr && e->postings.size() <= 2) rare.push_back(w);
   }
   ASSERT_EQ(rare.size(), 2u);
@@ -142,7 +96,7 @@ TEST_F(SearchProofTest, SingleKeywordSignatureFallback) {
   SearchResponse resp = engine_->search(make_query({terms[0]}), SchemeKind::kHybrid);
   const auto* single = std::get_if<SingleKeywordResponse>(&resp.body);
   ASSERT_NE(single, nullptr);
-  EXPECT_EQ(single->postings.size(), vidx_->find(single->keyword)->postings.size());
+  EXPECT_EQ(single->postings.size(), bed_->vidx.find(single->keyword)->postings.size());
   EXPECT_NO_THROW(owner_verifier_->verify(resp));
   EXPECT_NO_THROW(third_party_verifier_->verify(resp));
 }
@@ -199,7 +153,7 @@ TEST_F(SearchProofTest, DroppedResultDetected) {
                                   [&](const Posting& p) { return p.doc_id == hidden; }),
                    postings.end());
   }
-  Prover prover(*vidx_, *pub_ctx_, pool_);
+  Prover prover(bed_->vidx, bed_->pub_ctx, &bed_->pool);
   for (SchemeKind scheme : kAllSchemes) {
     SearchResponse resp;
     resp.query_id = 99;
@@ -216,7 +170,7 @@ TEST_F(SearchProofTest, DroppedResultDetected) {
       continue;  // refused at generation time — detection succeeded
     }
     resp.body = std::move(body);
-    resp.cloud_sig = cloud_key_->sign(resp.payload_bytes());
+    resp.cloud_sig = bed_->cloud_key.sign(resp.payload_bytes());
     EXPECT_THROW(owner_verifier_->verify(resp), VerifyError) << scheme_name(scheme);
   }
 }
@@ -238,7 +192,7 @@ TEST_F(SearchProofTest, DroppedCheckDocDetected) {
                    postings.end());
   }
   (void)integrity;
-  resp.cloud_sig = cloud_key_->sign(resp.payload_bytes());
+  resp.cloud_sig = bed_->cloud_key.sign(resp.payload_bytes());
   EXPECT_THROW(owner_verifier_->verify(resp), VerifyError);
 }
 
@@ -247,7 +201,7 @@ TEST_F(SearchProofTest, ForgedExtraResultDetected) {
   auto terms = frequent_terms(2);
   SearchResult honest = engine_->execute_only(make_query(terms));
   // Find a doc in keyword 0's list but not in the intersection.
-  U64Set docs0 = InvertedIndex::doc_set(vidx_->find(honest.keywords[0])->postings);
+  U64Set docs0 = InvertedIndex::doc_set(bed_->vidx.find(honest.keywords[0])->postings);
   U64Set extras = set_difference(docs0, honest.docs);
   ASSERT_FALSE(extras.empty());
   std::uint64_t forged = extras.front();
@@ -255,7 +209,7 @@ TEST_F(SearchProofTest, ForgedExtraResultDetected) {
   cheat.docs = set_union(cheat.docs, U64Set{forged});
   for (std::size_t i = 0; i < cheat.postings.size(); ++i) {
     cheat.postings[i] = InvertedIndex::filter_by_docs(
-        vidx_->find(cheat.keywords[i])->postings, cheat.docs);
+        bed_->vidx.find(cheat.keywords[i])->postings, cheat.docs);
     if (cheat.postings[i].size() != cheat.docs.size()) {
       // Keyword i genuinely lacks the forged doc; fabricate a posting.
       PostingList fixed;
@@ -270,7 +224,7 @@ TEST_F(SearchProofTest, ForgedExtraResultDetected) {
       cheat.postings[i] = fixed;
     }
   }
-  Prover prover(*vidx_, *pub_ctx_, pool_);
+  Prover prover(bed_->vidx, bed_->pub_ctx, &bed_->pool);
   for (SchemeKind scheme : kAllSchemes) {
     SearchResponse resp;
     resp.query_id = 100;
@@ -283,7 +237,7 @@ TEST_F(SearchProofTest, ForgedExtraResultDetected) {
       continue;  // cannot even forge a proof — acceptable
     }
     resp.body = std::move(body);
-    resp.cloud_sig = cloud_key_->sign(resp.payload_bytes());
+    resp.cloud_sig = bed_->cloud_key.sign(resp.payload_bytes());
     EXPECT_THROW(owner_verifier_->verify(resp), VerifyError) << scheme_name(scheme);
   }
 }
@@ -300,13 +254,13 @@ TEST_F(SearchProofTest, SwappedAttestationDetected) {
   SearchResponse resp = engine_->search(make_query(terms), SchemeKind::kHybrid);
   auto& multi = std::get<MultiKeywordResponse>(resp.body);
   // Replace keyword 0's attestation with some other term's (validly signed!).
-  for (const auto& term : vidx_->index().dictionary()) {
+  for (const auto& term : bed_->vidx.index().dictionary()) {
     if (term != multi.result.keywords[0]) {
-      multi.proof.terms[0] = vidx_->find(term)->attestation;
+      multi.proof.terms[0] = bed_->vidx.find(term)->attestation;
       break;
     }
   }
-  resp.cloud_sig = cloud_key_->sign(resp.payload_bytes());
+  resp.cloud_sig = bed_->cloud_key.sign(resp.payload_bytes());
   EXPECT_THROW(owner_verifier_->verify(resp), VerifyError);
 }
 
@@ -318,7 +272,7 @@ TEST_F(SearchProofTest, TamperedTfWeightDetected) {
   auto& multi = std::get<MultiKeywordResponse>(resp.body);
   ASSERT_FALSE(multi.result.postings[0].empty());
   multi.result.postings[0][0].tf += 7;
-  resp.cloud_sig = cloud_key_->sign(resp.payload_bytes());
+  resp.cloud_sig = bed_->cloud_key.sign(resp.payload_bytes());
   EXPECT_THROW(owner_verifier_->verify(resp), VerifyError);
 }
 
@@ -328,7 +282,7 @@ TEST_F(SearchProofTest, UnknownKeywordForgedGapDetected) {
   auto& unknown = std::get<UnknownKeywordResponse>(resp.body);
   // Claim a *known* term is unknown using the same (validly signed) root.
   unknown.keyword = porter_stem(terms[0]);
-  resp.cloud_sig = cloud_key_->sign(resp.payload_bytes());
+  resp.cloud_sig = bed_->cloud_key.sign(resp.payload_bytes());
   EXPECT_THROW(owner_verifier_->verify(resp), VerifyError);
 }
 
@@ -338,7 +292,7 @@ TEST_F(SearchProofTest, SingleKeywordTruncationDetected) {
   auto& single = std::get<SingleKeywordResponse>(resp.body);
   ASSERT_GT(single.postings.size(), 1u);
   single.postings.pop_back();
-  resp.cloud_sig = cloud_key_->sign(resp.payload_bytes());
+  resp.cloud_sig = bed_->cloud_key.sign(resp.payload_bytes());
   EXPECT_THROW(owner_verifier_->verify(resp), VerifyError);
 }
 
@@ -350,8 +304,8 @@ TEST_F(SearchProofTest, HybridPolicyPicksAccumulatorForSmallDifference) {
   EXPECT_GT(est.bloom_bytes, 0.0);
   // With this small corpus the difference set is small, so the accumulator
   // encoding should win (the paper's claim for few check elements).
-  std::size_t base_size = std::min(vidx_->find(result.keywords[0])->postings.size(),
-                                   vidx_->find(result.keywords[1])->postings.size());
+  std::size_t base_size = std::min(bed_->vidx.find(result.keywords[0])->postings.size(),
+                                   bed_->vidx.find(result.keywords[1])->postings.size());
   if (base_size - result.docs.size() < 20) {
     EXPECT_EQ(est.choice, IntegrityChoice::kAccumulator);
   }
