@@ -17,6 +17,7 @@
 #include "bench_common.hpp"
 #include "crypto/standard_params.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/index_builder.hpp"
 
 using namespace vc;
 using namespace vc::bench;
@@ -74,12 +75,12 @@ int main() {
 
   Stopwatch sw;
   Corpus corpus = regime_corpus(big, small, result);
-  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
+  IndexBuilder vidx = IndexBuilder::build(InvertedIndex::build(corpus), owner_ctx,
                                                 owner_key, cfg, pool);
   std::printf("# owner build (offline): %.1fs, %llu records\n", sw.seconds(),
               static_cast<unsigned long long>(vidx.index().record_count()));
 
-  SearchEngine engine(vidx, pub_ctx, cloud_key, &pool);
+  SearchEngine engine(vidx.snapshot(), pub_ctx, cloud_key, &pool);
   ResultVerifier verifier(owner_ctx, owner_key.verify_key(), cloud_key.verify_key(), cfg);
 
   Query q{.id = 1, .keywords = {"bigterm", "smalltermone", "smalltermtwo"}};

@@ -26,7 +26,7 @@ int main() {
   std::printf("corpus: %zu docs, %zu terms\n", bed.corpus().size(),
               bed.vindex().term_count());
 
-  CloudService cloud(bed.vindex(), bed.public_ctx(), bed.cloud_key(),
+  CloudService cloud(bed.vindex().snapshot(), bed.public_ctx(), bed.cloud_key(),
                      bed.owner_key().verify_key(), &bed.pool());
   DataOwner owner(bed.owner_ctx(), bed.owner_key(), bed.cloud_key().verify_key(),
                   bed.options().index);

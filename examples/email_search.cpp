@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
               static_cast<double>(bed.corpus().total_bytes()) / (1024 * 1024));
 
   // The cloud service behind an HTTP frontend; the owner is a thin client.
-  CloudService cloud(bed.vindex(), bed.public_ctx(), bed.cloud_key(),
+  CloudService cloud(bed.vindex().snapshot(), bed.public_ctx(), bed.cloud_key(),
                      bed.owner_key().verify_key(), &bed.pool());
   HttpFrontend frontend(cloud);
   frontend.start();

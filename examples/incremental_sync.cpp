@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
 
     UpdateTimings t =
         bed.vindex().add_documents(docs, bed.owner_ctx(), bed.owner_key());
+    bed.refresh_engine();  // serve the new epoch's snapshot
 
     // Search immediately; the proofs must cover the new documents.
     SearchResponse resp =

@@ -14,6 +14,7 @@
 #include "search/engine.hpp"
 #include "search/ranking.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/index_builder.hpp"
 
 using namespace vc;
 
@@ -38,7 +39,7 @@ int main() {
   Corpus tokenized = tokenize_corpus(mailbox, secret);
   EncryptedStore vault = EncryptedStore::seal(mailbox, secret);
   VerifiableIndexConfig config;
-  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(tokenized), owner_ctx,
+  IndexBuilder vidx = IndexBuilder::build(InvertedIndex::build(tokenized), owner_ctx,
                                                 owner_sig, config, pool);
   std::printf("outsourced: %zu encrypted messages, %zu opaque index tokens\n",
               vault.documents.size(), vidx.term_count());
@@ -46,7 +47,7 @@ int main() {
               secret.token_for_keyword("budget").c_str());
 
   // Cloud-side: serves search over tokens it cannot interpret.
-  SearchEngine cloud(vidx, cloud_ctx, cloud_sig, &pool);
+  SearchEngine cloud(vidx.snapshot(), cloud_ctx, cloud_sig, &pool);
   ResultVerifier verifier(owner_ctx, owner_sig.verify_key(), cloud_sig.verify_key(),
                           config);
 

@@ -11,6 +11,7 @@
 #include "search/engine.hpp"
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/index_builder.hpp"
 
 using namespace vc;
 
@@ -35,14 +36,14 @@ int main() {
   // trees + signed Bloom filters + dictionary gap intervals.
   VerifiableIndexConfig config;  // paper defaults: 1024-bit, interval 100
   ThreadPool pool;
-  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
+  IndexBuilder vidx = IndexBuilder::build(InvertedIndex::build(corpus), owner_ctx,
                                                 owner_key, config, pool);
   std::printf("indexed %zu terms, %llu records\n", vidx.term_count(),
               static_cast<unsigned long long>(vidx.index().record_count()));
 
   // --- 2. Outsource: the cloud gets the index and PUBLIC parameters only ---
   auto cloud_ctx = AccumulatorContext::public_side(owner_ctx.params());
-  SearchEngine cloud(vidx, cloud_ctx, cloud_key, &pool);
+  SearchEngine cloud(vidx.snapshot(), cloud_ctx, cloud_key, &pool);
 
   // --- 3. Search with proofs ------------------------------------------------
   Query query{.id = 1, .keywords = {"budget", "meeting"}};

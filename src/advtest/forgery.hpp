@@ -7,8 +7,8 @@
 // Every class below names one such lie; src/advtest constructs them for
 // real queries and the soundness gate asserts the verifier kills all of
 // them.  docs/SOUNDNESS.md documents the threat model and what is out of
-// scope (notably pure-replay freshness attacks, which no stateless
-// verifier can catch).
+// scope (notably pure-replay freshness attacks against a verifier that does
+// not pin an epoch).
 #pragma once
 
 #include <cstdint>
@@ -48,9 +48,13 @@ enum class ForgeryClass : std::uint8_t {
   // (ProofMutator): field swaps, witness perturbation, boundary shifts,
   // aggregation tampering.
   kStructuredMutation,
+  // Rewind the signed response epoch below an attached attestation's epoch:
+  // a response claiming to be served from snapshot E while carrying owner
+  // evidence stamped after E (the cross-epoch proof mix).
+  kEpochMixing,
 };
 
-inline constexpr std::size_t kForgeryClassCount = 9;
+inline constexpr std::size_t kForgeryClassCount = 10;
 
 const char* forgery_class_name(ForgeryClass c);
 

@@ -17,31 +17,35 @@ namespace vc::advtest {
 
 struct ProverAccess {
   static MembershipEvidence tuple_membership(const Prover& p,
-                                             const VerifiableIndex::Entry& e,
+                                             const IndexEntry& e,
                                              std::span<const std::uint64_t> tuples,
                                              bool interval_form) {
     return p.prove_tuple_membership(e, tuples, interval_form);
   }
-  static MembershipEvidence doc_membership(const Prover& p, const VerifiableIndex::Entry& e,
+  static MembershipEvidence doc_membership(const Prover& p, const IndexEntry& e,
                                            std::span<const std::uint64_t> docs,
                                            bool interval_form) {
     return p.prove_doc_membership(e, docs, interval_form);
   }
   static NonmembershipEvidence doc_nonmembership(const Prover& p,
-                                                 const VerifiableIndex::Entry& e,
+                                                 const IndexEntry& e,
                                                  std::span<const std::uint64_t> docs,
                                                  bool interval_form) {
     return p.prove_doc_nonmembership(e, docs, interval_form);
   }
   static BloomIntegrity bloom_integrity(const Prover& p, const SearchResult& result,
-                                        std::span<const VerifiableIndex::Entry* const> entries,
+                                        std::span<const IndexEntry* const> entries,
                                         bool interval_form) {
     return p.make_bloom_integrity(result, entries, interval_form);
   }
 };
 
 struct CloudAccess {
-  static SearchEngine& engine(CloudService& c) { return c.engine_; }
+  // Returning the shared_ptr keeps the pinned epoch's engine alive even if
+  // the cloud publishes a new snapshot underneath the harness.
+  static std::shared_ptr<const SearchEngine> engine(CloudService& c) {
+    return c.current_state()->engine;
+  }
   static const SigningKey& key(const CloudService& c) { return c.key_; }
 };
 
@@ -58,7 +62,7 @@ struct IntervalAccess {
 namespace {
 
 // Same choice the honest prover makes (§III-C): the smallest posting list.
-std::size_t pick_base(std::span<const VerifiableIndex::Entry* const> entries) {
+std::size_t pick_base(std::span<const IndexEntry* const> entries) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < entries.size(); ++i) {
     if (entries[i]->postings.size() < entries[best]->postings.size()) best = i;
@@ -76,16 +80,16 @@ void insert_sorted(U64Set& set, std::uint64_t v) {
 
 }  // namespace
 
-MaliciousCloud::MaliciousCloud(CloudService& cloud, const VerifiableIndex& vidx,
+MaliciousCloud::MaliciousCloud(CloudService& cloud, SnapshotPtr snapshot,
                                AccumulatorContext public_ctx,
-                               const VerifiableIndex* stale_vidx)
+                               SnapshotPtr stale_snapshot)
     : cloud_(cloud),
-      vidx_(vidx),
+      snap_(std::move(snapshot)),
       ctx_(std::move(public_ctx)),
-      stale_vidx_(stale_vidx),
-      prover_(std::make_unique<Prover>(vidx, ctx_)) {
-  if (stale_vidx_ != nullptr) {
-    stale_prover_ = std::make_unique<Prover>(*stale_vidx_, ctx_);
+      stale_snap_(std::move(stale_snapshot)),
+      prover_(std::make_unique<Prover>(snap_, ctx_)) {
+  if (stale_snap_ != nullptr) {
+    stale_prover_ = std::make_unique<Prover>(stale_snap_, ctx_);
   }
 }
 
@@ -96,15 +100,15 @@ SearchResponse MaliciousCloud::sign(SearchResponse resp) const {
   return resp;
 }
 
-const VerifiableIndex::Entry* MaliciousCloud::entry(const std::string& keyword) const {
-  const auto* e = vidx_.find(keyword);
+const IndexEntry* MaliciousCloud::entry(const std::string& keyword) const {
+  const auto* e = snap_->find(keyword);
   if (e == nullptr) throw UsageError("malicious cloud: keyword not indexed: " + keyword);
   return e;
 }
 
-std::vector<const VerifiableIndex::Entry*> MaliciousCloud::entries_for(
+std::vector<const IndexEntry*> MaliciousCloud::entries_for(
     const SearchResult& result) const {
-  std::vector<const VerifiableIndex::Entry*> out;
+  std::vector<const IndexEntry*> out;
   out.reserve(result.keywords.size());
   for (const auto& kw : result.keywords) out.push_back(entry(kw));
   return out;
@@ -114,14 +118,14 @@ const SearchResponse& MaliciousCloud::honest(const SignedQuery& query, SchemeKin
   Keyed key{query.query.id, scheme};
   auto it = honest_cache_.find(key);
   if (it == honest_cache_.end()) {
-    it = honest_cache_.emplace(key, CloudAccess::engine(cloud_).search(query.query, scheme))
+    it = honest_cache_.emplace(key, CloudAccess::engine(cloud_)->search(query.query, scheme))
              .first;
   }
   return it->second;
 }
 
 CorrectnessProof MaliciousCloud::provable_correctness(const Prover& prover,
-                                                      const VerifiableIndex& vidx,
+                                                      const IndexSnapshot& snap,
                                                       const SearchResult& result,
                                                       bool interval_form) const {
   // The malicious prover's stock move: when the claimed postings contain
@@ -131,7 +135,7 @@ CorrectnessProof MaliciousCloud::provable_correctness(const Prover& prover,
   CorrectnessProof cp;
   cp.keywords.reserve(result.keywords.size());
   for (std::size_t i = 0; i < result.keywords.size(); ++i) {
-    const auto* e = vidx.find(result.keywords[i]);
+    const auto* e = snap.find(result.keywords[i]);
     if (e == nullptr) throw UsageError("malicious cloud: keyword not indexed");
     U64Set claimed = InvertedIndex::tuple_set(result.postings[i]);
     std::sort(claimed.begin(), claimed.end());
@@ -168,6 +172,8 @@ ForgedResponse MaliciousCloud::forge(const SignedQuery& query, ForgeryClass cls,
       return forge_known_gap(query);
     case ForgeryClass::kStructuredMutation:
       return forge_mutation(honest(query, SchemeKind::kHybrid), seed);
+    case ForgeryClass::kEpochMixing:
+      return forge_epoch_mixing(honest(query, SchemeKind::kHybrid));
   }
   throw UsageError("unknown forgery class");
 }
@@ -207,7 +213,7 @@ ForgedResponse MaliciousCloud::forge_drop(const SearchResponse& base, SchemeKind
   for (const auto* e : entries) proof.terms.push_back(e->attestation);
   // The truncated result is a genuine subset, so correctness evidence is
   // fully honest — the lie must survive or die on integrity.
-  proof.correctness = provable_correctness(*prover_, vidx_, result, interval_form);
+  proof.correctness = provable_correctness(*prover_, *snap_, result, interval_form);
 
   if (scheme == SchemeKind::kBloom) {
     // The dropped doc belongs to every keyword's set but not to the claimed
@@ -306,7 +312,7 @@ ForgedResponse MaliciousCloud::forge_add(const SearchResponse& base, SchemeKind 
   for (const auto* e : entries) proof.terms.push_back(e->attestation);
   // At least one keyword's claimed postings now contain a tuple its index
   // does not hold; the evidence can only argue for the provable subset.
-  proof.correctness = provable_correctness(*prover_, vidx_, result, interval_form);
+  proof.correctness = provable_correctness(*prover_, *snap_, result, interval_form);
 
   if (scheme == SchemeKind::kBloom) {
     proof.integrity =
@@ -383,14 +389,14 @@ ForgedResponse MaliciousCloud::forge_witness_substitution(const SearchResponse& 
 
 ForgedResponse MaliciousCloud::forge_stale(const SignedQuery& query, SchemeKind scheme) {
   ForgedResponse out;
-  if (stale_vidx_ == nullptr || stale_prover_ == nullptr) return out;
-  SearchResult result = CloudAccess::engine(cloud_).execute_only(query.query);
+  if (stale_snap_ == nullptr || stale_prover_ == nullptr) return out;
+  SearchResult result = CloudAccess::engine(cloud_)->execute_only(query.query);
   if (result.keywords.size() < 2 || result.postings.size() != result.keywords.size()) {
     return out;
   }
-  std::vector<const VerifiableIndex::Entry*> stale_entries;
+  std::vector<const IndexEntry*> stale_entries;
   for (const auto& kw : result.keywords) {
-    const auto* e = stale_vidx_->find(kw);
+    const auto* e = stale_snap_->find(kw);
     if (e == nullptr) return out;  // term born after the snapshot
     stale_entries.push_back(e);
   }
@@ -407,7 +413,7 @@ ForgedResponse MaliciousCloud::forge_stale(const SignedQuery& query, SchemeKind 
   for (const auto* e : stale_entries) proof.terms.push_back(e->attestation);
   out.trace.push_back({"stale_attestations", result.keywords.size(), 0});
   proof.correctness =
-      provable_correctness(*stale_prover_, *stale_vidx_, result, interval_form);
+      provable_correctness(*stale_prover_, *stale_snap_, result, interval_form);
 
   AccumulatorIntegrity integrity;
   integrity.base_keyword = static_cast<std::uint32_t>(base_kw);
@@ -439,6 +445,9 @@ ForgedResponse MaliciousCloud::forge_stale(const SignedQuery& query, SchemeKind 
   SearchResponse resp;
   resp.query_id = query.query.id;
   resp.raw_keywords = query.query.keywords;
+  // Stamp the *live* epoch: an epoch-honest header keeps this class about
+  // stale evidence, not about the epoch field (that is kEpochMixing).
+  resp.epoch = snap_->epoch();
   resp.body = MultiKeywordResponse{std::move(result), std::move(proof)};
   out.outcome = ForgeOutcome::kForged;
   out.response = sign(std::move(resp));
@@ -545,7 +554,7 @@ ForgedResponse MaliciousCloud::forge_known_gap(const SignedQuery& query) {
   std::string known;
   for (const auto& raw : query.query.keywords) {
     std::string norm = normalize_term(raw);
-    if (!norm.empty() && vidx_.find(norm) != nullptr) {
+    if (!norm.empty() && snap_->find(norm) != nullptr) {
       known = norm;
       break;
     }
@@ -556,16 +565,17 @@ ForgedResponse MaliciousCloud::forge_known_gap(const SignedQuery& query) {
   // successor, so its (genuine!) gap proof discloses lo == keyword — and
   // claims the keyword itself is unknown only if the verifier forgets the
   // *strict* inequality.
-  GapProof gap = vidx_.dictionary().prove_unknown(known + "\x01");
+  GapProof gap = snap_->dictionary().prove_unknown(known + "\x01");
   out.trace.push_back({"claim_known_unknown", known.size(), 0});
 
   SearchResponse resp;
   resp.query_id = query.query.id;
   resp.raw_keywords = query.query.keywords;
+  resp.epoch = snap_->epoch();
   UnknownKeywordResponse body;
   body.keyword = known;
   body.gap = std::move(gap);
-  body.dict = vidx_.dict_attestation();
+  body.dict = snap_->dict_attestation();
   resp.body = std::move(body);
   out.outcome = ForgeOutcome::kForged;
   out.response = sign(std::move(resp));
@@ -579,6 +589,34 @@ ForgedResponse MaliciousCloud::forge_mutation(const SearchResponse& base,
   ProofMutator mutator(seed, ctx_.n());
   if (!mutator.mutate(resp)) return out;
   out.trace = mutator.trace();
+  out.outcome = ForgeOutcome::kForged;
+  out.response = sign(std::move(resp));
+  return out;
+}
+
+ForgedResponse MaliciousCloud::forge_epoch_mixing(const SearchResponse& base) {
+  ForgedResponse out;
+  // Rewind the signed response epoch to just below the newest attached
+  // owner attestation: the response then claims to come from a snapshot
+  // that predates evidence it carries.  The proofs themselves stay fully
+  // honest — only the epoch discipline can catch this one.
+  std::uint64_t max_att = 0;
+  if (const auto* multi = std::get_if<MultiKeywordResponse>(&base.body)) {
+    for (const auto& att : multi->proof.terms) max_att = std::max(max_att, att.stmt.epoch);
+    if (const auto* bloom = std::get_if<BloomIntegrity>(&multi->proof.integrity)) {
+      for (const auto& part : bloom->parts) {
+        max_att = std::max(max_att, part.bloom.stmt.epoch);
+      }
+    }
+  } else if (const auto* single = std::get_if<SingleKeywordResponse>(&base.body)) {
+    max_att = single->attestation.stmt.epoch;
+  } else if (const auto* unknown = std::get_if<UnknownKeywordResponse>(&base.body)) {
+    max_att = unknown->dict.stmt.epoch;
+  }
+  if (max_att == 0) return out;  // epochs start at 1; nothing to rewind below
+  SearchResponse resp = base;
+  resp.epoch = max_att - 1;
+  out.trace.push_back({"rewind_epoch", base.epoch, resp.epoch});
   out.outcome = ForgeOutcome::kForged;
   out.response = sign(std::move(resp));
   return out;

@@ -21,11 +21,12 @@ namespace vc::advtest {
 class MaliciousCloud {
  public:
   // `cloud` supplies the response-signing key and stays alive for the
-  // harness's lifetime.  `stale_vidx`, when given, is a pre-update snapshot
-  // of the index `cloud` serves; it enables kStaleAttestation.
-  MaliciousCloud(CloudService& cloud, const VerifiableIndex& vidx,
+  // harness's lifetime.  `snapshot` is the epoch the cloud currently
+  // serves; `stale_snapshot`, when given, is a pre-update epoch of the
+  // same index and enables kStaleAttestation.
+  MaliciousCloud(CloudService& cloud, SnapshotPtr snapshot,
                  AccumulatorContext public_ctx,
-                 const VerifiableIndex* stale_vidx = nullptr);
+                 SnapshotPtr stale_snapshot = nullptr);
   ~MaliciousCloud();
 
   // The honest control response for a query under `scheme` (cached per
@@ -47,15 +48,15 @@ class MaliciousCloud {
   };
 
   [[nodiscard]] SearchResponse sign(SearchResponse resp) const;
-  [[nodiscard]] const VerifiableIndex::Entry* entry(const std::string& keyword) const;
-  [[nodiscard]] std::vector<const VerifiableIndex::Entry*> entries_for(
+  [[nodiscard]] const IndexEntry* entry(const std::string& keyword) const;
+  [[nodiscard]] std::vector<const IndexEntry*> entries_for(
       const SearchResult& result) const;
 
   // Correctness evidence that proves only the *provable* subset of each
   // keyword's claimed tuples — the malicious prover's stock move when the
   // claim contains tuples the index cannot argue for.
   [[nodiscard]] CorrectnessProof provable_correctness(const Prover& prover,
-                                                      const VerifiableIndex& vidx,
+                                                      const IndexSnapshot& snap,
                                                       const SearchResult& result,
                                                       bool interval_form) const;
 
@@ -75,12 +76,13 @@ class MaliciousCloud {
   [[nodiscard]] ForgedResponse forge_known_gap(const SignedQuery& query);
   [[nodiscard]] ForgedResponse forge_mutation(const SearchResponse& base,
                                               std::uint64_t seed);
+  [[nodiscard]] ForgedResponse forge_epoch_mixing(const SearchResponse& base);
 
   CloudService& cloud_;
-  const VerifiableIndex& vidx_;
+  SnapshotPtr snap_;
   AccumulatorContext ctx_;
-  const VerifiableIndex* stale_vidx_;
-  std::unique_ptr<Prover> prover_;        // proves against the live index
+  SnapshotPtr stale_snap_;
+  std::unique_ptr<Prover> prover_;        // proves against the live snapshot
   std::unique_ptr<Prover> stale_prover_;  // proves against the stale snapshot
   std::map<Keyed, SearchResponse> honest_cache_;
 };

@@ -15,6 +15,7 @@ const char* forgery_class_name(ForgeryClass c) {
     case ForgeryClass::kForgedCheckElement: return "forged_check_element";
     case ForgeryClass::kKnownKeywordGap: return "known_keyword_gap";
     case ForgeryClass::kStructuredMutation: return "structured_mutation";
+    case ForgeryClass::kEpochMixing: return "epoch_mixing";
   }
   return "?";
 }

@@ -16,14 +16,20 @@ Testbed::Testbed(TestbedOptions options) : options_(std::move(options)) {
 
   pool_ = std::make_unique<ThreadPool>(options_.pool_workers);
   corpus_ = generate_corpus(options_.corpus);
-  vidx_ = std::make_unique<VerifiableIndex>(
-      VerifiableIndex::build(InvertedIndex::build(corpus_), *owner_ctx_, owner_key_,
+  vidx_ = std::make_unique<IndexBuilder>(
+      IndexBuilder::build(InvertedIndex::build(corpus_), *owner_ctx_, owner_key_,
                              options_.index, *pool_, options_.strategy, &build_stats_));
-  engine_ = std::make_unique<SearchEngine>(*vidx_, *pub_ctx_, cloud_key_, pool_.get());
+  engine_ = std::make_unique<SearchEngine>(vidx_->snapshot(), *pub_ctx_, cloud_key_,
+                                           pool_.get());
   owner_verifier_ = std::make_unique<ResultVerifier>(
       *owner_ctx_, owner_key_.verify_key(), cloud_key_.verify_key(), options_.index);
   third_party_verifier_ = std::make_unique<ResultVerifier>(
       *pub_ctx_, owner_key_.verify_key(), cloud_key_.verify_key(), options_.index);
+}
+
+void Testbed::refresh_engine() {
+  engine_ = std::make_unique<SearchEngine>(vidx_->snapshot(), *pub_ctx_, cloud_key_,
+                                           pool_.get());
 }
 
 }  // namespace vc

@@ -10,6 +10,7 @@
 #include "data/workload.hpp"
 #include "search/engine.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 
@@ -27,9 +28,14 @@ class Testbed {
   [[nodiscard]] const TestbedOptions& options() const { return options_; }
   [[nodiscard]] const BuildStats& build_stats() const { return build_stats_; }
   [[nodiscard]] const Corpus& corpus() const { return corpus_; }
-  [[nodiscard]] VerifiableIndex& vindex() { return *vidx_; }
-  [[nodiscard]] const VerifiableIndex& vindex() const { return *vidx_; }
+  [[nodiscard]] IndexBuilder& vindex() { return *vidx_; }
+  [[nodiscard]] const IndexBuilder& vindex() const { return *vidx_; }
   [[nodiscard]] SearchEngine& engine() { return *engine_; }
+
+  // Rebuilds the engine over the builder's current snapshot.  Call after a
+  // committed mutation (add/remove) so queries see the new epoch — the old
+  // engine kept serving the epoch it was constructed on.
+  void refresh_engine();
   [[nodiscard]] ThreadPool& pool() { return *pool_; }
   [[nodiscard]] const AccumulatorContext& owner_ctx() const { return *owner_ctx_; }
   [[nodiscard]] const AccumulatorContext& public_ctx() const { return *pub_ctx_; }
@@ -54,7 +60,7 @@ class Testbed {
   std::unique_ptr<AccumulatorContext> pub_ctx_;
   SigningKey owner_key_;
   SigningKey cloud_key_;
-  std::unique_ptr<VerifiableIndex> vidx_;
+  std::unique_ptr<IndexBuilder> vidx_;
   std::unique_ptr<SearchEngine> engine_;
   std::unique_ptr<ResultVerifier> owner_verifier_;
   std::unique_ptr<ResultVerifier> third_party_verifier_;

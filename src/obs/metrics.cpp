@@ -154,8 +154,12 @@ struct MetricsRegistry::Impl {
   std::unordered_map<std::string, Entry*> by_key;
   std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
 
+  // The payload object is constructed here, under the mutex, so that a
+  // returned Entry is always complete — concurrent first registrations of
+  // the same key must not race on a lazily-filled unique_ptr.
   Entry& find_or_create(MetricView::Kind kind, const std::string& name,
-                        const std::string& labels, const std::string& help) {
+                        const std::string& labels, const std::string& help,
+                        std::span<const double> bounds = {}) {
     std::lock_guard lock(mu);
     std::string key = key_of(name, labels);
     auto it = by_key.find(key);
@@ -170,6 +174,12 @@ struct MetricsRegistry::Impl {
     e->name = name;
     e->labels = labels;
     e->help = help;
+    switch (kind) {
+      case MetricView::Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
+      case MetricView::Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+      case MetricView::Kind::kTime: e->time = std::make_unique<TimeCounter>(); break;
+      case MetricView::Kind::kHistogram: e->histogram = std::make_unique<Histogram>(bounds); break;
+    }
     Entry* raw = e.get();
     entries.push_back(std::move(e));
     by_key.emplace(std::move(key), raw);
@@ -188,30 +198,22 @@ MetricsRegistry& MetricsRegistry::global() {
 
 Counter& MetricsRegistry::counter(const std::string& name, const std::string& labels,
                                   const std::string& help) {
-  Entry& e = impl_->find_or_create(MetricView::Kind::kCounter, name, labels, help);
-  if (!e.counter) e.counter = std::make_unique<Counter>();
-  return *e.counter;
+  return *impl_->find_or_create(MetricView::Kind::kCounter, name, labels, help).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& labels,
                               const std::string& help) {
-  Entry& e = impl_->find_or_create(MetricView::Kind::kGauge, name, labels, help);
-  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
-  return *e.gauge;
+  return *impl_->find_or_create(MetricView::Kind::kGauge, name, labels, help).gauge;
 }
 
 TimeCounter& MetricsRegistry::time_counter(const std::string& name, const std::string& labels,
                                            const std::string& help) {
-  Entry& e = impl_->find_or_create(MetricView::Kind::kTime, name, labels, help);
-  if (!e.time) e.time = std::make_unique<TimeCounter>();
-  return *e.time;
+  return *impl_->find_or_create(MetricView::Kind::kTime, name, labels, help).time;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& labels,
                                       const std::string& help, std::span<const double> bounds) {
-  Entry& e = impl_->find_or_create(MetricView::Kind::kHistogram, name, labels, help);
-  if (!e.histogram) e.histogram = std::make_unique<Histogram>(bounds);
-  return *e.histogram;
+  return *impl_->find_or_create(MetricView::Kind::kHistogram, name, labels, help, bounds).histogram;
 }
 
 std::vector<MetricView> MetricsRegistry::metrics() const {

@@ -62,7 +62,7 @@ class PrivacyKey {
 
 // The owner-side transformation: analyze every document (tokenize, stop-
 // word filter, stem) and emit a corpus whose "text" is the space-joined
-// token stream.  Building a VerifiableIndex over the result yields the
+// token stream.  Building a IndexBuilder over the result yields the
 // private index; tf statistics are preserved per token.
 Corpus tokenize_corpus(const Corpus& corpus, const PrivacyKey& key,
                        const TokenizerConfig& config = {});

@@ -131,6 +131,10 @@ struct UnknownKeywordResponse {
 
 struct SearchResponse {
   std::uint64_t query_id = 0;
+  // Epoch of the index snapshot this response was served from.  Signed with
+  // the payload; the verifier rejects any attestation newer than this epoch
+  // (cross-epoch proof mixing) and can optionally pin an expected epoch.
+  std::uint64_t epoch = 0;
   std::vector<std::string> raw_keywords;
   std::variant<MultiKeywordResponse, SingleKeywordResponse, UnknownKeywordResponse> body;
   Signature cloud_sig;  // over payload_bytes()

@@ -54,49 +54,52 @@ HybridMetrics hybrid_metrics(IntegrityChoice choice) {
 
 }  // namespace
 
-Prover::Prover(const VerifiableIndex& vidx, AccumulatorContext ctx, ThreadPool* pool)
-    : vidx_(vidx), ctx_(std::move(ctx)), pool_(pool) {
+Prover::Prover(SnapshotPtr snapshot, AccumulatorContext ctx, ThreadPool* pool,
+               std::size_t shards)
+    : snap_(std::move(snapshot)), ctx_(std::move(ctx)), pool_(pool), shards_(shards) {
+  if (snap_ == nullptr) throw UsageError("Prover requires a snapshot");
   // Every fan-out below the proof managers (per-interval parts, batched
   // witness trees) rides the same pool.
   ctx_.set_pool(pool);
   // Nearly every cloud-side witness exponentiation has base g; one windowed
   // table serves them all.  The widest flat exponent is the full product of
-  // the largest posting list's representatives.
-  std::size_t max_postings = 1;
-  for (const auto& [term, list] : vidx_.index().terms()) {
-    max_postings = std::max(max_postings, list.size());
+  // the largest posting list's representatives.  A context that already
+  // carries a table for g (shared across epochs by the serving core) is
+  // reused as-is, so per-epoch prover construction stays cheap.
+  if (!ctx_.power().has_fixed_base(ctx_.g())) {
+    std::size_t max_postings = std::max<std::size_t>(1, snap_->max_posting_count());
+    ctx_.enable_fixed_base((max_postings + 1) * snap_->config().rep_bits);
   }
-  ctx_.enable_fixed_base((max_postings + 1) * vidx_.config().rep_bits);
 }
 
 std::vector<Bigint> Prover::prove_all_tuple_memberships(
-    const VerifiableIndex::Entry& entry) const {
+    const IndexEntry& entry) const {
   std::vector<Bigint> reps;
   reps.reserve(entry.postings.size());
   for (const Posting& p : entry.postings) {
-    reps.push_back(vidx_.tuple_primes().get(InvertedIndex::encode_tuple(p)));
+    reps.push_back(snap_->tuple_primes().get(InvertedIndex::encode_tuple(p)));
   }
   return batch_membership_witnesses(ctx_, reps);
 }
 
-std::vector<const VerifiableIndex::Entry*> Prover::lookup(const SearchResult& result) const {
+std::vector<const IndexEntry*> Prover::lookup(const SearchResult& result) const {
   if (result.keywords.size() < 2) {
     throw UsageError("Prover::prove expects a multi-keyword result");
   }
   if (result.keywords.size() != result.postings.size()) {
     throw UsageError("result keywords/postings mismatch");
   }
-  std::vector<const VerifiableIndex::Entry*> entries;
+  std::vector<const IndexEntry*> entries;
   entries.reserve(result.keywords.size());
   for (const auto& kw : result.keywords) {
-    const auto* e = vidx_.find(kw);
+    const auto* e = snap_->find(kw);
     if (e == nullptr) throw UsageError("keyword not in verifiable index: " + kw);
     entries.push_back(e);
   }
   return entries;
 }
 
-MembershipEvidence Prover::prove_tuple_membership(const VerifiableIndex::Entry& entry,
+MembershipEvidence Prover::prove_tuple_membership(const IndexEntry& entry,
                                                   std::span<const std::uint64_t> tuples,
                                                   bool interval_form) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
@@ -104,7 +107,7 @@ MembershipEvidence Prover::prove_tuple_membership(const VerifiableIndex::Entry& 
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
-    ev.interval = entry.tuple_intervals.prove_membership(ctx_, tuples, vidx_.tuple_primes());
+    ev.interval = entry.tuple_intervals.prove_membership(ctx_, tuples, snap_->tuple_primes());
     return ev;
   }
   // Flat Eq-4 witness: g^(Π reps of all postings not in the subset).
@@ -113,14 +116,14 @@ MembershipEvidence Prover::prove_tuple_membership(const VerifiableIndex::Entry& 
   for (const Posting& p : entry.postings) {
     std::uint64_t t = InvertedIndex::encode_tuple(p);
     if (!std::binary_search(tuples.begin(), tuples.end(), t)) {
-      rest.push_back(vidx_.tuple_primes().get(t));
+      rest.push_back(snap_->tuple_primes().get(t));
     }
   }
   ev.flat_witness = membership_witness(ctx_, rest);
   return ev;
 }
 
-MembershipEvidence Prover::prove_doc_membership(const VerifiableIndex::Entry& entry,
+MembershipEvidence Prover::prove_doc_membership(const IndexEntry& entry,
                                                 std::span<const std::uint64_t> docs,
                                                 bool interval_form) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
@@ -128,7 +131,7 @@ MembershipEvidence Prover::prove_doc_membership(const VerifiableIndex::Entry& en
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
-    ev.interval = entry.doc_intervals.prove_membership(ctx_, docs, vidx_.doc_primes());
+    ev.interval = entry.doc_intervals.prove_membership(ctx_, docs, snap_->doc_primes());
     return ev;
   }
   std::vector<Bigint> rest;
@@ -136,14 +139,14 @@ MembershipEvidence Prover::prove_doc_membership(const VerifiableIndex::Entry& en
   for (const Posting& p : entry.postings) {
     std::uint64_t d = InvertedIndex::encode_doc(p.doc_id);
     if (!std::binary_search(docs.begin(), docs.end(), d)) {
-      rest.push_back(vidx_.doc_primes().get(d));
+      rest.push_back(snap_->doc_primes().get(d));
     }
   }
   ev.flat_witness = membership_witness(ctx_, rest);
   return ev;
 }
 
-NonmembershipEvidence Prover::prove_doc_nonmembership(const VerifiableIndex::Entry& entry,
+NonmembershipEvidence Prover::prove_doc_nonmembership(const IndexEntry& entry,
                                                       std::span<const std::uint64_t> docs,
                                                       bool interval_form) const {
   static obs::Histogram& stage =
@@ -152,16 +155,16 @@ NonmembershipEvidence Prover::prove_doc_nonmembership(const VerifiableIndex::Ent
   NonmembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
-    ev.interval = entry.doc_intervals.prove_nonmembership(ctx_, docs, vidx_.doc_primes());
+    ev.interval = entry.doc_intervals.prove_nonmembership(ctx_, docs, snap_->doc_primes());
     return ev;
   }
   std::vector<Bigint> set_reps, outsider_reps;
   set_reps.reserve(entry.postings.size());
   for (const Posting& p : entry.postings) {
-    set_reps.push_back(vidx_.doc_primes().get(InvertedIndex::encode_doc(p.doc_id)));
+    set_reps.push_back(snap_->doc_primes().get(InvertedIndex::encode_doc(p.doc_id)));
   }
   outsider_reps.reserve(docs.size());
-  for (std::uint64_t d : docs) outsider_reps.push_back(vidx_.doc_primes().get(d));
+  for (std::uint64_t d : docs) outsider_reps.push_back(snap_->doc_primes().get(d));
   ev.flat = nonmembership_witness(ctx_, set_reps, outsider_reps);
   return ev;
 }
@@ -170,7 +173,7 @@ namespace {
 
 // The base keyword of the integrity proof is the smallest posting list —
 // its complement bounds the proof size (§III-C).
-std::size_t pick_base(std::span<const VerifiableIndex::Entry* const> entries) {
+std::size_t pick_base(std::span<const IndexEntry* const> entries) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < entries.size(); ++i) {
     if (entries[i]->postings.size() < entries[best]->postings.size()) best = i;
@@ -181,7 +184,7 @@ std::size_t pick_base(std::span<const VerifiableIndex::Entry* const> entries) {
 }  // namespace
 
 AccumulatorIntegrity Prover::make_accumulator_integrity(
-    const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+    const SearchResult& result, std::span<const IndexEntry* const> entries,
     bool interval_form) const {
   static obs::Histogram& stage =
       obs::MetricsRegistry::global().stage("integrity_accumulator");
@@ -245,11 +248,11 @@ AccumulatorIntegrity Prover::make_accumulator_integrity(
 }
 
 BloomIntegrity Prover::make_bloom_integrity(
-    const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+    const SearchResult& result, std::span<const IndexEntry* const> entries,
     bool interval_form) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("integrity_bloom");
   obs::Span span(stage);
-  const BloomParams& params = vidx_.config().bloom;
+  const BloomParams& params = snap_->config().bloom;
   // B̂ = element-wise min over every keyword's signed filter; slots where
   // B(S) falls short need check elements from every keyword.
   CountingBloom bs = CountingBloom::from_set(params, result.docs);
@@ -300,10 +303,10 @@ HybridEstimate Prover::hybrid_estimate(const SearchResult& result) const {
   in.check_doc_count = base_docs.size() - result.docs.size();
   in.keyword_count = entries.size();
   in.modulus_bytes = (ctx_.n().bit_length() + 7) / 8;
-  in.interval_size = vidx_.config().interval_size;
+  in.interval_size = snap_->config().interval_size;
   in.bloom_bytes = bloom_bytes;
   in.set_sizes = set_sizes;
-  in.bloom_counters = vidx_.config().bloom.counters;
+  in.bloom_counters = snap_->config().bloom.counters;
   return estimate_integrity_cost(in);
 }
 
@@ -319,16 +322,44 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
   for (const auto* e : entries) proof.terms.push_back(e->attestation);
 
   // Correctness and integrity build concurrently (Fig 4's managers).
+  auto prove_keyword = [&](CorrectnessProof& correctness, std::size_t i) {
+    U64Set tuples = InvertedIndex::tuple_set(result.postings[i]);
+    std::sort(tuples.begin(), tuples.end());
+    correctness.keywords[i] = prove_tuple_membership(*entries[i], tuples, interval_form);
+  };
   auto build_correctness = [&]() {
     static obs::Histogram& stage = obs::MetricsRegistry::global().stage("correctness");
     obs::Span span(stage);
     CorrectnessProof correctness;
     correctness.keywords.resize(entries.size());
-    for_each_index(pool_, entries.size(), [&](std::size_t i) {
-      U64Set tuples = InvertedIndex::tuple_set(result.postings[i]);
-      std::sort(tuples.begin(), tuples.end());
-      correctness.keywords[i] = prove_tuple_membership(*entries[i], tuples, interval_form);
-    });
+    if (shards_ > 1) {
+      // Sharded serving: keywords are hash-partitioned across shards, so the
+      // per-keyword proofs are generated per shard (one task per shard) and
+      // merged into the keyword-indexed slots.  Slot order fixes the bytes:
+      // the merged proof is identical to the unsharded one.
+      std::vector<std::pair<std::size_t, std::vector<std::size_t>>> groups;
+      {
+        std::vector<std::vector<std::size_t>> by_shard(shards_);
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          by_shard[term_shard(result.keywords[i], shards_)].push_back(i);
+        }
+        for (std::size_t s = 0; s < by_shard.size(); ++s) {
+          if (!by_shard[s].empty()) groups.emplace_back(s, std::move(by_shard[s]));
+        }
+      }
+      for_each_index(pool_, groups.size(), [&](std::size_t gi) {
+        auto& counter = obs::MetricsRegistry::global().counter(
+            "vc_shard_proofs_total", "shard=\"" + std::to_string(groups[gi].first) + "\"",
+            "Per-keyword correctness proofs generated, by serving shard");
+        for (std::size_t i : groups[gi].second) {
+          prove_keyword(correctness, i);
+          counter.inc();
+        }
+      });
+    } else {
+      for_each_index(pool_, entries.size(),
+                     [&](std::size_t i) { prove_keyword(correctness, i); });
+    }
     return correctness;
   };
 

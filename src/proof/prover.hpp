@@ -11,7 +11,7 @@
 
 #include "proof/hybrid_policy.hpp"
 #include "proof/proof_types.hpp"
-#include "vindex/verifiable_index.hpp"
+#include "vindex/index_snapshot.hpp"
 
 namespace vc {
 
@@ -24,8 +24,14 @@ struct ProverAccess;
 class Prover {
  public:
   // `ctx` is normally the public side; passing an owner context makes the
-  // prover impersonate an owner-run cloud (used by some benchmarks).
-  Prover(const VerifiableIndex& vidx, AccumulatorContext ctx, ThreadPool* pool = nullptr);
+  // prover impersonate an owner-run cloud (used by some benchmarks).  The
+  // prover serves exactly one immutable snapshot; a new epoch gets a new
+  // prover (cheap: the fixed-base table is shared through the context).
+  // `shards` > 1 groups per-keyword correctness proofs by serving shard and
+  // generates each shard's group as one task ("per-shard proofs, merged");
+  // proof bytes are identical either way.
+  Prover(SnapshotPtr snapshot, AccumulatorContext ctx, ThreadPool* pool = nullptr,
+         std::size_t shards = 1);
 
   // Builds the full proof for a computed multi-keyword result.
   [[nodiscard]] QueryProof prove(const SearchResult& result, SchemeKind scheme) const;
@@ -40,7 +46,7 @@ class Prover {
   // single-subset calls.  Byte-identical to calling the singleton flat path
   // per tuple.  Used by the precompute/refresh workloads and benchmarks.
   [[nodiscard]] std::vector<Bigint> prove_all_tuple_memberships(
-      const VerifiableIndex::Entry& entry) const;
+      const IndexEntry& entry) const;
 
  private:
   // Narrow test-only hook: the adversarial soundness harness (src/advtest)
@@ -49,32 +55,33 @@ class Prover {
   friend struct advtest::ProverAccess;
 
   struct EntryRef {
-    const VerifiableIndex::Entry* entry;
+    const IndexEntry* entry;
   };
 
-  [[nodiscard]] std::vector<const VerifiableIndex::Entry*> lookup(
+  [[nodiscard]] std::vector<const IndexEntry*> lookup(
       const SearchResult& result) const;
 
   [[nodiscard]] MembershipEvidence prove_tuple_membership(
-      const VerifiableIndex::Entry& entry, std::span<const std::uint64_t> tuples,
+      const IndexEntry& entry, std::span<const std::uint64_t> tuples,
       bool interval_form) const;
-  [[nodiscard]] MembershipEvidence prove_doc_membership(const VerifiableIndex::Entry& entry,
+  [[nodiscard]] MembershipEvidence prove_doc_membership(const IndexEntry& entry,
                                                         std::span<const std::uint64_t> docs,
                                                         bool interval_form) const;
   [[nodiscard]] NonmembershipEvidence prove_doc_nonmembership(
-      const VerifiableIndex::Entry& entry, std::span<const std::uint64_t> docs,
+      const IndexEntry& entry, std::span<const std::uint64_t> docs,
       bool interval_form) const;
 
   [[nodiscard]] AccumulatorIntegrity make_accumulator_integrity(
-      const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+      const SearchResult& result, std::span<const IndexEntry* const> entries,
       bool interval_form) const;
   [[nodiscard]] BloomIntegrity make_bloom_integrity(
-      const SearchResult& result, std::span<const VerifiableIndex::Entry* const> entries,
+      const SearchResult& result, std::span<const IndexEntry* const> entries,
       bool interval_form) const;
 
-  const VerifiableIndex& vidx_;
+  SnapshotPtr snap_;
   AccumulatorContext ctx_;
   ThreadPool* pool_;
+  std::size_t shards_;
 };
 
 }  // namespace vc

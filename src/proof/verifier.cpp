@@ -36,16 +36,22 @@ void ResultVerifier::verify(const SearchResponse& response) const {
   // Check 1 (§III-E): results and proofs signed by the cloud.
   require(cloud_key_.verify(response.payload_bytes(), response.cloud_sig),
           "cloud signature invalid");
+  // Epoch pin: an owner who knows the current epoch rejects responses
+  // served from any other snapshot (rollback/stale serving).
+  if (pinned_epoch_.has_value()) {
+    require(response.epoch == *pinned_epoch_, "response epoch does not match pinned epoch");
+  }
   if (const auto* multi = std::get_if<MultiKeywordResponse>(&response.body)) {
-    verify_multi(*multi);
+    verify_multi(*multi, response.epoch);
   } else if (const auto* single = std::get_if<SingleKeywordResponse>(&response.body)) {
-    verify_single(*single);
+    verify_single(*single, response.epoch);
   } else {
-    verify_unknown(std::get<UnknownKeywordResponse>(response.body));
+    verify_unknown(std::get<UnknownKeywordResponse>(response.body), response.epoch);
   }
 }
 
-void ResultVerifier::verify_multi(const MultiKeywordResponse& multi) const {
+void ResultVerifier::verify_multi(const MultiKeywordResponse& multi,
+                                  std::uint64_t response_epoch) const {
   const SearchResult& result = multi.result;
   const QueryProof& proof = multi.proof;
   const std::size_t q = result.keywords.size();
@@ -74,11 +80,16 @@ void ResultVerifier::verify_multi(const MultiKeywordResponse& multi) const {
             "correctness evidence form does not match declared scheme");
   }
 
-  // Owner attestations bind each keyword to its accumulators.
+  // Owner attestations bind each keyword to its accumulators.  No
+  // attestation may be newer than the snapshot epoch the cloud signed —
+  // that would be evidence from a later index version mixed into this
+  // response (cross-epoch proof mixing).
   for (std::size_t i = 0; i < q; ++i) {
     require(proof.terms[i].verify(owner_key_), "term attestation signature invalid");
     require(proof.terms[i].stmt.term == result.keywords[i],
             "attestation term does not match keyword");
+    require(proof.terms[i].stmt.epoch <= response_epoch,
+            "attestation epoch newer than response epoch");
   }
 
   // Check 2: every keyword's tuples cover exactly the result docs.
@@ -102,7 +113,8 @@ void ResultVerifier::verify_multi(const MultiKeywordResponse& multi) const {
   if (const auto* acc = std::get_if<AccumulatorIntegrity>(&proof.integrity)) {
     verify_accumulator_integrity(multi, *acc);
   } else {
-    verify_bloom_integrity(multi, std::get<BloomIntegrity>(proof.integrity));
+    verify_bloom_integrity(multi, std::get<BloomIntegrity>(proof.integrity),
+                           response_epoch);
   }
 }
 
@@ -151,7 +163,8 @@ void ResultVerifier::verify_accumulator_integrity(const MultiKeywordResponse& mu
 }
 
 void ResultVerifier::verify_bloom_integrity(const MultiKeywordResponse& multi,
-                                            const BloomIntegrity& integrity) const {
+                                            const BloomIntegrity& integrity,
+                                            std::uint64_t response_epoch) const {
   const SearchResult& result = multi.result;
   const QueryProof& proof = multi.proof;
   const std::size_t q = result.keywords.size();
@@ -167,6 +180,8 @@ void ResultVerifier::verify_bloom_integrity(const MultiKeywordResponse& multi,
     require(part.bloom.verify(owner_key_), "bloom attestation signature invalid");
     require(part.bloom.stmt.term == result.keywords[i],
             "bloom attestation term mismatch");
+    require(part.bloom.stmt.epoch <= response_epoch,
+            "bloom attestation epoch newer than response epoch");
     require(part.bloom.stmt.doc_bloom.params == config_.bloom,
             "bloom attestation parameter mismatch");
     // The signed filter must describe the signed posting list.
@@ -219,8 +234,11 @@ void ResultVerifier::verify_bloom_integrity(const MultiKeywordResponse& multi,
   }
 }
 
-void ResultVerifier::verify_single(const SingleKeywordResponse& single) const {
+void ResultVerifier::verify_single(const SingleKeywordResponse& single,
+                                   std::uint64_t response_epoch) const {
   require(single.attestation.verify(owner_key_), "term attestation signature invalid");
+  require(single.attestation.stmt.epoch <= response_epoch,
+          "attestation epoch newer than response epoch");
   require(single.attestation.stmt.term == single.keyword, "attestation term mismatch");
   require(single.attestation.stmt.posting_count == single.postings.size(),
           "posting count mismatch");
@@ -228,8 +246,11 @@ void ResultVerifier::verify_single(const SingleKeywordResponse& single) const {
           "postings digest mismatch");
 }
 
-void ResultVerifier::verify_unknown(const UnknownKeywordResponse& unknown) const {
+void ResultVerifier::verify_unknown(const UnknownKeywordResponse& unknown,
+                                    std::uint64_t response_epoch) const {
   require(unknown.dict.verify(owner_key_), "dictionary attestation signature invalid");
+  require(unknown.dict.stmt.epoch <= response_epoch,
+          "dictionary attestation epoch newer than response epoch");
   require(DictionaryIntervals::verify_unknown(ctx_, unknown.dict.stmt.gap_root,
                                               unknown.keyword, unknown.gap,
                                               config_.dict_prime_config()),

@@ -12,7 +12,9 @@
 #pragma once
 
 #include "proof/proof_types.hpp"
-#include "vindex/verifiable_index.hpp"
+#include <optional>
+
+#include "vindex/index_snapshot.hpp"
 
 namespace vc {
 
@@ -24,7 +26,19 @@ class ResultVerifier {
   // Performs every check of §III-E; throws VerifyError naming the first
   // failed check.  The response's raw keywords are not interpreted — the
   // response body names the normalized keywords the proofs are about.
+  //
+  // Epoch discipline: every owner attestation in the response must carry an
+  // epoch no newer than the (cloud-signed) response epoch — a response can
+  // never mix in evidence from a later index version.  When an expected
+  // epoch is pinned, the response epoch must equal it exactly, which also
+  // rejects rollback to older snapshots.
   void verify(const SearchResponse& response) const;
+
+  // Pin the snapshot epoch responses must be served from (std::nullopt
+  // clears the pin).  An owner who just pushed epoch E pins E to reject a
+  // cloud still answering from an older snapshot.
+  void pin_epoch(std::optional<std::uint64_t> expected) { pinned_epoch_ = expected; }
+  [[nodiscard]] std::optional<std::uint64_t> pinned_epoch() const { return pinned_epoch_; }
 
   // The verifier-side prime manager; pre-warm to model Table I "with prime".
   [[nodiscard]] PrimeCache& tuple_primes() const { return *tuple_primes_; }
@@ -32,13 +46,14 @@ class ResultVerifier {
   void reset_prime_caches() const;
 
  private:
-  void verify_multi(const MultiKeywordResponse& multi) const;
-  void verify_single(const SingleKeywordResponse& single) const;
-  void verify_unknown(const UnknownKeywordResponse& unknown) const;
+  void verify_multi(const MultiKeywordResponse& multi, std::uint64_t response_epoch) const;
+  void verify_single(const SingleKeywordResponse& single, std::uint64_t response_epoch) const;
+  void verify_unknown(const UnknownKeywordResponse& unknown, std::uint64_t response_epoch) const;
   void verify_accumulator_integrity(const MultiKeywordResponse& multi,
                                     const AccumulatorIntegrity& integrity) const;
   void verify_bloom_integrity(const MultiKeywordResponse& multi,
-                              const BloomIntegrity& integrity) const;
+                              const BloomIntegrity& integrity,
+                              std::uint64_t response_epoch) const;
 
   AccumulatorContext ctx_;
   VerifyKey owner_key_;
@@ -46,6 +61,7 @@ class ResultVerifier {
   VerifiableIndexConfig config_;
   mutable std::unique_ptr<PrimeCache> tuple_primes_;
   mutable std::unique_ptr<PrimeCache> doc_primes_;
+  std::optional<std::uint64_t> pinned_epoch_;
 };
 
 }  // namespace vc

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "support/errors.hpp"
+#include "text/tokenizer.hpp"
 
 namespace vc {
 
@@ -28,30 +29,113 @@ obs::Counter& error_counter(const char* kind) {
                      "Queries the cloud rejected or failed on");
 }
 
+std::string shard_label(std::size_t shard) {
+  return "shard=\"" + std::to_string(shard) + "\"";
+}
+
 }  // namespace
 
-CloudService::CloudService(const VerifiableIndex& vidx, AccumulatorContext public_ctx,
+CloudService::CloudService(SnapshotPtr snapshot, AccumulatorContext public_ctx,
                            SigningKey cloud_key, VerifyKey owner_key, ThreadPool* pool,
-                           SchemeKind scheme)
-    : engine_(vidx, std::move(public_ctx), cloud_key, pool),
+                           SchemeKind scheme, std::size_t shards)
+    : ctx_(std::move(public_ctx)),
       key_(std::move(cloud_key)),
       owner_key_(std::move(owner_key)),
-      scheme_(scheme) {}
+      scheme_(scheme),
+      pool_(pool),
+      shards_(std::max<std::size_t>(1, shards)) {
+  ctx_.set_pool(pool);
+  publish(std::move(snapshot));
+}
+
+void CloudService::publish(SnapshotPtr snapshot) {
+  if (snapshot == nullptr) throw UsageError("publish requires a snapshot");
+  // Keep the shared fixed-base table for g wide enough for this snapshot's
+  // longest posting list: every epoch's engine then reuses the same table
+  // (it is shared through context copies) instead of rebuilding it.
+  std::size_t need = (std::max<std::size_t>(1, snapshot->max_posting_count()) + 1) *
+                     snapshot->config().rep_bits;
+  if (need > fixed_base_bits_) {
+    ctx_.enable_fixed_base(need);
+    fixed_base_bits_ = need;
+  }
+  auto engine = std::make_shared<const SearchEngine>(snapshot, ctx_, key_, pool_,
+                                                     shards_.size());
+  auto state = std::make_shared<const EpochState>(
+      EpochState{snapshot, std::move(engine)});
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (shards_.size() > 1) {
+    std::vector<std::int64_t> per_shard(shards_.size(), 0);
+    for (const auto& [term, entry] : snapshot->entries()) {
+      ++per_shard[term_shard(term, shards_.size())];
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      reg.gauge("vc_shard_terms", shard_label(s),
+               "Indexed terms hash-partitioned onto each serving shard")
+          .set(per_shard[s]);
+    }
+  }
+  for (auto& slot : shards_) {
+    slot.store(state);
+  }
+  reg.counter("vc_snapshot_swaps_total", "",
+              "Snapshot epochs published to the serving core")
+      .inc();
+  reg.gauge("vc_epoch", "", "Epoch of the newest published index snapshot")
+      .set(static_cast<std::int64_t>(snapshot->epoch()));
+}
+
+CloudService::StatePtr CloudService::current_state() const {
+  StatePtr best = shards_[0].load();
+  bool mixed = false;
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    StatePtr s = shards_[i].load();
+    if (s->snap->epoch() != best->snap->epoch()) {
+      mixed = true;
+      if (s->snap->epoch() > best->snap->epoch()) best = std::move(s);
+    }
+  }
+  if (mixed) {
+    // A read raced a publish mid-swap; serving pins the newest epoch so the
+    // response never mixes evidence across epochs.
+    obs::MetricsRegistry::global()
+        .counter("vc_epoch_fallback_total", "",
+                 "Queries that observed shard slots from mixed epochs")
+        .inc();
+  }
+  return best;
+}
+
+std::uint64_t CloudService::epoch() const { return current_state()->snap->epoch(); }
 
 SearchResponse CloudService::handle(const SignedQuery& query) {
   if (!query.verify(owner_key_)) {
     error_counter("bad_signature").inc();
     throw VerifyError("query is not signed by the data owner");
   }
+  // Pin one epoch's state for the whole query: every keyword's proof comes
+  // from the same snapshot even if a publish lands mid-query.
+  StatePtr state = current_state();
   SearchResponse resp;
   try {
-    resp = engine_.search(query.query, scheme_);
+    resp = state->engine->search(query.query, scheme_);
   } catch (const Error&) {
     error_counter("search_failed").inc();
     throw;
   }
   scheme_counter(scheme_).inc();
-  ++served_;
+  if (shards_.size() > 1) {
+    auto& reg = obs::MetricsRegistry::global();
+    for (const auto& raw : query.query.keywords) {
+      std::string norm = normalize_term(raw);
+      if (norm.empty()) continue;
+      reg.counter("vc_shard_queries_total", shard_label(term_shard(norm, shards_.size())),
+                  "Query keywords routed to each serving shard")
+          .inc();
+    }
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
   if (behavior_ == CloudBehavior::kHonest) return resp;
 
   // Misbehaviour modes tamper with the already-proven response, exactly the

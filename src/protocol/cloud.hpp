@@ -1,12 +1,27 @@
-// The cloud role (Fig 1 right).
+// The cloud role (Fig 1 right): the sharded serving core.
 //
 // Wraps the search engine with the signed-message protocol: it rejects
 // queries that are not validly signed by the owner (so it can later
-// disprove forged-query accusations) and signs every response.  For tests
-// and the arbitration example it can also be configured to misbehave in
-// the ways the paper's threat model names: dropping results or tampering
-// with weights.
+// disprove forged-query accusations) and signs every response.
+//
+// Serving is organized around immutable, epoch-numbered IndexSnapshots.
+// The service holds one std::atomic<std::shared_ptr<...>> slot per shard
+// (terms are hash-partitioned across shards with term_shard); publish()
+// swaps every slot to the new epoch's snapshot atomically, so queries in
+// flight keep proving against the snapshot they started on while new
+// queries see the new epoch — concurrent owner updates never race with
+// proof generation.  Per-keyword proofs are generated per shard and merged
+// (see Prover); responses carry the serving snapshot's epoch in the signed
+// payload.
+//
+// For tests and the arbitration example it can also be configured to
+// misbehave in the ways the paper's threat model names: dropping results or
+// tampering with weights.
 #pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
 
 #include "protocol/messages.hpp"
 
@@ -24,16 +39,26 @@ enum class CloudBehavior {
 
 class CloudService {
  public:
-  CloudService(const VerifiableIndex& vidx, AccumulatorContext public_ctx,
+  CloudService(SnapshotPtr snapshot, AccumulatorContext public_ctx,
                SigningKey cloud_key, VerifyKey owner_key, ThreadPool* pool = nullptr,
-               SchemeKind scheme = SchemeKind::kHybrid);
+               SchemeKind scheme = SchemeKind::kHybrid, std::size_t shards = 1);
+
+  // Swaps every shard slot to the given snapshot (a new epoch).  Safe to
+  // call while queries are being served concurrently; concurrent publishers
+  // must be externally serialized (there is one owner).
+  void publish(SnapshotPtr snapshot);
 
   // Throws VerifyError if the query signature is invalid.
   [[nodiscard]] SearchResponse handle(const SignedQuery& query);
 
   void set_behavior(CloudBehavior behavior) { behavior_ = behavior; }
   [[nodiscard]] const VerifyKey& verify_key() const { return key_.verify_key(); }
-  [[nodiscard]] std::uint64_t queries_served() const { return served_; }
+  [[nodiscard]] std::uint64_t queries_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  // Epoch of the newest published snapshot.
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
  private:
   // Narrow test-only hook: the adversarial soundness harness (src/advtest)
@@ -42,12 +67,27 @@ class CloudService {
   // by the cloud, exactly what a malicious operator would produce.
   friend struct advtest::CloudAccess;
 
-  SearchEngine engine_;
+  // One epoch's serving state: the snapshot and the engine (prover) built
+  // over it.  Immutable once published; shared by every shard slot.
+  struct EpochState {
+    SnapshotPtr snap;
+    std::shared_ptr<const SearchEngine> engine;
+  };
+  using StatePtr = std::shared_ptr<const EpochState>;
+
+  // Reads every shard slot and serves from the newest epoch seen, so one
+  // query never mixes shards from different epochs even mid-publish.
+  [[nodiscard]] StatePtr current_state() const;
+
+  AccumulatorContext ctx_;
   SigningKey key_;
   VerifyKey owner_key_;
   SchemeKind scheme_;
+  ThreadPool* pool_;
   CloudBehavior behavior_ = CloudBehavior::kHonest;
-  std::uint64_t served_ = 0;
+  std::atomic<std::uint64_t> served_{0};
+  std::size_t fixed_base_bits_ = 0;  // capacity of the shared g-base table
+  std::vector<std::atomic<StatePtr>> shards_;
 };
 
 }  // namespace vc

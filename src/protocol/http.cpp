@@ -9,6 +9,7 @@
 
 #include "obs/export.hpp"
 #include "support/errors.hpp"
+#include "support/threadpool.hpp"
 
 namespace vc {
 
@@ -74,7 +75,9 @@ std::string make_response(int status, const std::string& reason, const std::stri
 
 }  // namespace
 
-HttpFrontend::HttpFrontend(CloudService& cloud, std::uint16_t port) : cloud_(cloud) {
+HttpFrontend::HttpFrontend(CloudService& cloud, std::uint16_t port, ThreadPool* pool,
+                           std::size_t max_inflight)
+    : cloud_(cloud), pool_(pool), max_inflight_(std::max<std::size_t>(1, max_inflight)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw UsageError("http: cannot create socket");
   int yes = 1;
@@ -119,6 +122,12 @@ void HttpFrontend::stop() {
     ::close(fd);
   }
   if (thread_.joinable()) thread_.join();
+  drain();
+}
+
+void HttpFrontend::drain() {
+  std::unique_lock<std::mutex> lk(inflight_mu_);
+  inflight_cv_.wait(lk, [this] { return inflight_ == 0; });
 }
 
 void HttpFrontend::serve_loop() {
@@ -129,16 +138,34 @@ void HttpFrontend::serve_loop() {
       ::close(fd);
       break;
     }
+    bool transferred = false;
     try {
-      handle_connection(fd);
+      transferred = handle_connection(fd);
     } catch (const Error&) {
       // Connection-level problems end that request only.
     }
-    ::close(fd);
+    if (!transferred) ::close(fd);
   }
 }
 
-void HttpFrontend::handle_connection(int fd) {
+void HttpFrontend::serve_search(int fd, const std::string& body) {
+  try {
+    Bytes raw = from_hex(body);
+    ByteReader r(raw);
+    SignedQuery query = SignedQuery::read(r);
+    r.expect_done();
+    SearchResponse resp = cloud_.handle(query);
+    ByteWriter w;
+    resp.write(w);
+    send_all(fd, make_response(200, "OK", to_hex(w.data())));
+  } catch (const VerifyError& e) {
+    send_all(fd, make_response(403, "Forbidden", std::string(e.what()) + "\n"));
+  } catch (const Error& e) {
+    send_all(fd, make_response(400, "Bad Request", std::string(e.what()) + "\n"));
+  }
+}
+
+bool HttpFrontend::handle_connection(int fd) {
   std::string buffer;
   std::string headers = read_until_headers_end(fd, buffer);
   std::size_t line_end = headers.find("\r\n");
@@ -153,7 +180,7 @@ void HttpFrontend::handle_connection(int fd) {
   if (method == "GET" && path == "/healthz") {
     http_requests("healthz").inc();
     send_all(fd, make_response(200, "OK", "ok\n"));
-    return;
+    return false;
   }
   if (method == "GET" && path == "/stats") {
     http_requests("stats").inc();
@@ -163,34 +190,56 @@ void HttpFrontend::handle_connection(int fd) {
                        ",\"metrics\":" +
                        obs::render_json(obs::MetricsRegistry::global()) + "}";
     send_all(fd, make_response(200, "OK", body, "application/json"));
-    return;
+    return false;
   }
   if (method == "GET" && path == "/metrics") {
     http_requests("metrics").inc();
     send_all(fd, make_response(200, "OK",
                                obs::render_prometheus(obs::MetricsRegistry::global()),
                                "text/plain; version=0.0.4"));
-    return;
+    return false;
   }
   if (method == "POST" && path == "/search") {
     http_requests("search").inc();
-    try {
-      Bytes raw = from_hex(buffer);
-      ByteReader r(raw);
-      SignedQuery query = SignedQuery::read(r);
-      r.expect_done();
-      SearchResponse resp = cloud_.handle(query);
-      ByteWriter w;
-      resp.write(w);
-      send_all(fd, make_response(200, "OK", to_hex(w.data())));
-    } catch (const VerifyError& e) {
-      send_all(fd, make_response(403, "Forbidden", std::string(e.what()) + "\n"));
-    } catch (const Error& e) {
-      send_all(fd, make_response(400, "Bad Request", std::string(e.what()) + "\n"));
+    if (pool_ == nullptr) {
+      serve_search(fd, buffer);
+      return false;
     }
-    return;
+    // Concurrency cap: admit up to max_inflight dispatched searches; shed
+    // load with 503 beyond that rather than queueing unboundedly.
+    {
+      std::lock_guard<std::mutex> lk(inflight_mu_);
+      if (inflight_ >= max_inflight_) {
+        obs::MetricsRegistry::global()
+            .counter("vc_http_rejected_total", "reason=\"saturated\"",
+                     "Requests shed because the in-flight cap was reached")
+            .inc();
+        send_all(fd, make_response(503, "Service Unavailable", "server saturated\n"));
+        return false;
+      }
+      ++inflight_;
+    }
+    static obs::Gauge& inflight_gauge = obs::MetricsRegistry::global().gauge(
+        "vc_http_inflight", "", "Dispatched /search requests currently running");
+    inflight_gauge.add(1);
+    pool_->submit([this, fd, body = std::move(buffer)] {
+      try {
+        serve_search(fd, body);
+      } catch (const Error&) {
+        // Transport errors end that request only.
+      }
+      ::close(fd);
+      inflight_gauge.add(-1);
+      {
+        std::lock_guard<std::mutex> lk(inflight_mu_);
+        --inflight_;
+      }
+      inflight_cv_.notify_all();
+    });
+    return true;
   }
   send_all(fd, make_response(404, "Not Found", "not found\n"));
+  return false;
 }
 
 std::string http_request(std::uint16_t port, const std::string& method,

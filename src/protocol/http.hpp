@@ -7,12 +7,17 @@
 //   GET  /stats                                 -> JSON serving stats + metrics
 //   GET  /metrics                               -> Prometheus text exposition
 // Binary payloads travel hex-encoded so the wire format stays the canonical
-// one the signatures cover.  One acceptor thread, requests served
-// sequentially — a demo frontend, not a production server.
+// one the signatures cover.  One acceptor thread; with a ThreadPool, /search
+// requests are dispatched onto it (bounded by max_inflight, 503 over the
+// cap) so the sharded serving core answers queries concurrently, and stop()
+// drains the in-flight ones before returning.  Without a pool every request
+// is served inline on the acceptor thread.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -20,29 +25,43 @@
 
 namespace vc {
 
+class ThreadPool;
+
 class HttpFrontend {
  public:
   // Binds 127.0.0.1:port (port 0 picks a free port).  Throws UsageError on
-  // bind failure.
-  HttpFrontend(CloudService& cloud, std::uint16_t port = 0);
+  // bind failure.  With a pool, at most `max_inflight` /search requests run
+  // concurrently; excess requests get 503 instead of queueing unboundedly.
+  HttpFrontend(CloudService& cloud, std::uint16_t port = 0, ThreadPool* pool = nullptr,
+               std::size_t max_inflight = 32);
   ~HttpFrontend();
 
   HttpFrontend(const HttpFrontend&) = delete;
   HttpFrontend& operator=(const HttpFrontend&) = delete;
 
   void start();
+  // Stops accepting, then blocks until every dispatched /search request has
+  // finished (graceful drain).
   void stop();
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
  private:
   void serve_loop();
-  void handle_connection(int fd);
+  // Returns true when ownership of fd was transferred to a pool task.
+  bool handle_connection(int fd);
+  void serve_search(int fd, const std::string& body);
+  void drain();
 
   CloudService& cloud_;
+  ThreadPool* pool_;
+  std::size_t max_inflight_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread thread_;
   std::atomic<bool> running_{false};
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  std::size_t inflight_ = 0;
 };
 
 // Tiny blocking HTTP client for tests/examples: sends one request and

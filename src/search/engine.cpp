@@ -32,12 +32,12 @@ Query Query::read(ByteReader& r) {
   return q;
 }
 
-SearchEngine::SearchEngine(const VerifiableIndex& vidx, AccumulatorContext cloud_ctx,
-                           SigningKey cloud_key, ThreadPool* pool)
-    : vidx_(vidx),
+SearchEngine::SearchEngine(SnapshotPtr snapshot, AccumulatorContext cloud_ctx,
+                           SigningKey cloud_key, ThreadPool* pool, std::size_t shards)
+    : snap_(std::move(snapshot)),
       ctx_(std::move(cloud_ctx)),
       cloud_key_(std::move(cloud_key)),
-      prover_(vidx, ctx_, pool) {}
+      prover_(snap_, ctx_, pool, shards) {}
 
 SearchEngine::Classified SearchEngine::classify(const Query& query) const {
   if (query.keywords.empty()) throw UsageError("empty query");
@@ -47,7 +47,7 @@ SearchEngine::Classified SearchEngine::classify(const Query& query) const {
     if (norm.empty()) continue;  // punctuation-only keyword
     if (std::find(c.known.begin(), c.known.end(), norm) != c.known.end()) continue;
     if (std::find(c.unknown.begin(), c.unknown.end(), norm) != c.unknown.end()) continue;
-    if (vidx_.find(norm) != nullptr) {
+    if (snap_->find(norm) != nullptr) {
       c.known.push_back(norm);
     } else {
       c.unknown.push_back(norm);
@@ -65,13 +65,13 @@ SearchResult SearchEngine::intersect(const std::vector<std::string>& keywords) c
   std::vector<U64Set> doc_sets;
   doc_sets.reserve(keywords.size());
   for (const auto& kw : keywords) {
-    doc_sets.push_back(InvertedIndex::doc_set(vidx_.find(kw)->postings));
+    doc_sets.push_back(InvertedIndex::doc_set(snap_->find(kw)->postings));
   }
   result.docs = set_intersection_many(doc_sets);
   result.postings.reserve(keywords.size());
   for (const auto& kw : keywords) {
     result.postings.push_back(
-        InvertedIndex::filter_by_docs(vidx_.find(kw)->postings, result.docs));
+        InvertedIndex::filter_by_docs(snap_->find(kw)->postings, result.docs));
   }
   return result;
 }
@@ -82,7 +82,7 @@ SearchResult SearchEngine::execute_only(const Query& query) const {
     SearchResult r;
     r.keywords = c.known;
     if (c.unknown.empty() && c.known.size() == 1) {
-      r.postings.push_back(vidx_.find(c.known[0])->postings);
+      r.postings.push_back(snap_->find(c.known[0])->postings);
       r.docs = InvertedIndex::doc_set(r.postings[0]);
     }
     return r;
@@ -100,6 +100,7 @@ SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const
 
   SearchResponse resp;
   resp.query_id = query.id;
+  resp.epoch = snap_->epoch();
   resp.raw_keywords = query.keywords;
 
   Stopwatch sw;
@@ -116,13 +117,13 @@ SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const
     sw.reset();
     UnknownKeywordResponse body;
     body.keyword = c.unknown.front();
-    body.gap = vidx_.dictionary().prove_unknown(body.keyword);
-    body.dict = vidx_.dict_attestation();
+    body.gap = snap_->dictionary().prove_unknown(body.keyword);
+    body.dict = snap_->dict_attestation();
     resp.body = std::move(body);
     resp.proof_seconds = sw.seconds();
   } else if (c.known.size() == 1) {
     // §III-D5: single keyword — the owner's signature is the proof.
-    const auto* entry = vidx_.find(c.known[0]);
+    const auto* entry = snap_->find(c.known[0]);
     resp.search_seconds = sw.seconds();
     exec_span.reset();
     sw.reset();

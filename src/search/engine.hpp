@@ -25,8 +25,12 @@ struct Query {
 
 class SearchEngine {
  public:
-  SearchEngine(const VerifiableIndex& vidx, AccumulatorContext cloud_ctx,
-               SigningKey cloud_key, ThreadPool* pool = nullptr);
+  // The engine serves exactly one immutable snapshot; every response is
+  // stamped with the snapshot's epoch.  `shards` is forwarded to the prover
+  // for per-shard proof generation.
+  SearchEngine(SnapshotPtr snapshot, AccumulatorContext cloud_ctx,
+               SigningKey cloud_key, ThreadPool* pool = nullptr,
+               std::size_t shards = 1);
 
   // Executes the query and returns the signed response with proofs.
   // The response records search vs proof-generation wall time separately
@@ -39,6 +43,8 @@ class SearchEngine {
 
   [[nodiscard]] const VerifyKey& verify_key() const { return cloud_key_.verify_key(); }
   [[nodiscard]] const Prover& prover() const { return prover_; }
+  [[nodiscard]] const SnapshotPtr& snapshot() const { return snap_; }
+  [[nodiscard]] std::uint64_t epoch() const { return snap_->epoch(); }
 
  private:
   struct Classified {
@@ -48,7 +54,7 @@ class SearchEngine {
   [[nodiscard]] Classified classify(const Query& query) const;
   [[nodiscard]] SearchResult intersect(const std::vector<std::string>& keywords) const;
 
-  const VerifiableIndex& vidx_;
+  SnapshotPtr snap_;
   AccumulatorContext ctx_;
   SigningKey cloud_key_;
   Prover prover_;

@@ -1,4 +1,4 @@
-#include "vindex/verifiable_index.hpp"
+#include "vindex/index_builder.hpp"
 
 #include <algorithm>
 #include <fstream>
@@ -10,11 +10,10 @@
 
 namespace vc {
 
-VerifiableIndex::Entry VerifiableIndex::build_entry(const std::string& term,
-                                                    const PostingList& postings,
-                                                    const AccumulatorContext& owner_ctx,
-                                                    const SigningKey& owner_key) const {
-  Entry e;
+IndexEntry IndexBuilder::build_entry(const std::string& term, const PostingList& postings,
+                                     const AccumulatorContext& owner_ctx,
+                                     const SigningKey& owner_key) const {
+  IndexEntry e;
   e.postings = postings;
   U64Set tuples = InvertedIndex::tuple_set(postings);
   U64Set docs = InvertedIndex::doc_set(postings);
@@ -40,22 +39,37 @@ VerifiableIndex::Entry VerifiableIndex::build_entry(const std::string& term,
   stmt.doc_root = e.doc_intervals.root();
   stmt.posting_count = postings.size();
   stmt.postings_digest = postings_digest(postings);
+  stmt.epoch = epoch_;
   e.attestation = TermAttestation{stmt, owner_key.sign(stmt.encode())};
 
   BloomStatement bstmt;
   bstmt.term = term;
   bstmt.doc_bloom = compress_bloom(e.doc_bloom);
+  bstmt.epoch = epoch_;
   e.bloom_attestation = BloomAttestation{bstmt, owner_key.sign(bstmt.encode())};
   return e;
 }
 
-VerifiableIndex VerifiableIndex::build(InvertedIndex index,
-                                       const AccumulatorContext& owner_ctx,
-                                       const SigningKey& owner_key,
-                                       VerifiableIndexConfig config, ThreadPool& pool,
-                                       BalanceStrategy strategy, BuildStats* stats) {
-  VerifiableIndex vidx(config);
+void IndexBuilder::begin_mutation() {
+  ++epoch_;
+  cached_snapshot_.reset();
+}
+
+SnapshotPtr IndexBuilder::snapshot() const {
+  if (!cached_snapshot_) {
+    cached_snapshot_ = std::make_shared<IndexSnapshot>(
+        config_, epoch_, entries_, dict_, dict_attestation_, tuple_primes_, doc_primes_);
+  }
+  return cached_snapshot_;
+}
+
+IndexBuilder IndexBuilder::build(InvertedIndex index, const AccumulatorContext& owner_ctx,
+                                 const SigningKey& owner_key, VerifiableIndexConfig config,
+                                 ThreadPool& pool, BalanceStrategy strategy,
+                                 BuildStats* stats) {
+  IndexBuilder vidx(config);
   vidx.index_ = std::move(index);
+  vidx.epoch_ = 1;  // the initial build commits epoch 1
 
   // Phase 1 (offline, §III-D3): pre-compute all prime representatives.
   // Work is partitioned across the pool by the chosen strategy.
@@ -87,14 +101,15 @@ VerifiableIndex VerifiableIndex::build(InvertedIndex index,
   AccumulatorContext pooled_ctx = owner_ctx;
   pooled_ctx.set_pool(&pool);
   sw.reset();
-  std::vector<Entry> built(lists.size());
+  std::vector<IndexEntry> built(lists.size());
   pool.parallel_for(0, groups.size(), [&](std::size_t gi) {
     for (std::size_t t : groups[gi]) {
       built[t] = vidx.build_entry(*term_names[t], *lists[t], pooled_ctx, owner_key);
     }
   });
   for (std::size_t t = 0; t < built.size(); ++t) {
-    vidx.entries_.emplace(*term_names[t], std::move(built[t]));
+    vidx.entries_.emplace(*term_names[t],
+                          std::make_shared<const IndexEntry>(std::move(built[t])));
   }
   double accumulate_seconds = sw.seconds();
 
@@ -111,18 +126,21 @@ VerifiableIndex VerifiableIndex::build(InvertedIndex index,
   return vidx;
 }
 
-const VerifiableIndex::Entry* VerifiableIndex::find(std::string_view term) const {
+const IndexEntry* IndexBuilder::find(std::string_view term) const {
   auto it = entries_.find(term);
-  return it == entries_.end() ? nullptr : &it->second;
+  return it == entries_.end() ? nullptr : it->second.get();
 }
 
-double VerifiableIndex::rebuild_dictionary(const AccumulatorContext& owner_ctx,
-                                           const SigningKey& owner_key) {
+double IndexBuilder::rebuild_dictionary(const AccumulatorContext& owner_ctx,
+                                        const SigningKey& owner_key) {
   Stopwatch sw;
-  dict_ = DictionaryIntervals::build(owner_ctx, index_.dictionary(),
-                                     config_.dict_prime_config());
-  DictStatement stmt{dict_.root(), dict_.word_count(), index_.doc_count()};
-  dict_attestation_ = DictAttestation{stmt, owner_key.sign(stmt.encode())};
+  cached_snapshot_.reset();
+  auto dict = std::make_shared<DictionaryIntervals>(DictionaryIntervals::build(
+      owner_ctx, index_.dictionary(), config_.dict_prime_config()));
+  DictStatement stmt{dict->root(), dict->word_count(), index_.doc_count(), epoch_};
+  dict_attestation_ = std::make_shared<DictAttestation>(
+      DictAttestation{stmt, owner_key.sign(stmt.encode())});
+  dict_ = std::move(dict);
   return sw.seconds();
 }
 
@@ -148,22 +166,23 @@ VerifiableIndexConfig read_config(ByteReader& r) {
 
 }  // namespace
 
-void VerifiableIndex::save(const std::string& path, bool include_prime_caches) const {
+void IndexBuilder::save(const std::string& path, bool include_prime_caches) const {
   ByteWriter w;
-  w.str("vc.verifiable-index.v1");
+  w.str("vc.verifiable-index.v2");
   write_config(w, config_);
+  w.u64(epoch_);
   index_.write(w);
   w.varint(entries_.size());
   for (const auto& [term, e] : entries_) {
     w.str(term);
-    e.tuple_intervals.write(w);
-    e.doc_intervals.write(w);
-    e.doc_bloom.write(w);
-    e.attestation.write(w);
-    e.bloom_attestation.write(w);
+    e->tuple_intervals.write(w);
+    e->doc_intervals.write(w);
+    e->doc_bloom.write(w);
+    e->attestation.write(w);
+    e->bloom_attestation.write(w);
   }
-  dict_.write(w);
-  dict_attestation_.write(w);
+  dict_->write(w);
+  dict_attestation_->write(w);
   w.u8(include_prime_caches ? 1 : 0);
   if (include_prime_caches) {
     tuple_primes_->write(w);
@@ -175,18 +194,19 @@ void VerifiableIndex::save(const std::string& path, bool include_prime_caches) c
             static_cast<std::streamsize>(w.size()));
 }
 
-VerifiableIndex VerifiableIndex::load(const std::string& path) {
+IndexBuilder IndexBuilder::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw UsageError("cannot open for read: " + path);
   Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   ByteReader r(data);
-  if (r.str() != "vc.verifiable-index.v1") throw ParseError("bad verifiable-index tag");
-  VerifiableIndex vidx(read_config(r));
+  if (r.str() != "vc.verifiable-index.v2") throw ParseError("bad verifiable-index tag");
+  IndexBuilder vidx(read_config(r));
+  vidx.epoch_ = r.u64();
   vidx.index_ = InvertedIndex::read(r);
   std::uint64_t n = r.varint();
   for (std::uint64_t i = 0; i < n; ++i) {
     std::string term = r.str();
-    Entry e;
+    IndexEntry e;
     e.tuple_intervals = IntervalIndex::read(r);
     e.doc_intervals = IntervalIndex::read(r);
     e.doc_bloom = CountingBloom::read(r);
@@ -195,10 +215,10 @@ VerifiableIndex VerifiableIndex::load(const std::string& path) {
     const PostingList* postings = vidx.index_.find(term);
     if (postings == nullptr) throw ParseError("entry for unknown term: " + term);
     e.postings = *postings;
-    vidx.entries_.emplace(std::move(term), std::move(e));
+    vidx.entries_.emplace(std::move(term), std::make_shared<const IndexEntry>(std::move(e)));
   }
-  vidx.dict_ = DictionaryIntervals::read(r);
-  vidx.dict_attestation_ = DictAttestation::read(r);
+  vidx.dict_ = std::make_shared<DictionaryIntervals>(DictionaryIntervals::read(r));
+  vidx.dict_attestation_ = std::make_shared<DictAttestation>(DictAttestation::read(r));
   if (r.u8() != 0) {
     vidx.tuple_primes_->read_into(r);
     vidx.doc_primes_->read_into(r);
@@ -207,13 +227,14 @@ VerifiableIndex VerifiableIndex::load(const std::string& path) {
   return vidx;
 }
 
-void VerifiableIndex::validate(const VerifyKey& owner_key) const {
+void IndexBuilder::validate(const VerifyKey& owner_key) const {
   auto require = [](bool ok, const std::string& what) {
     if (!ok) throw VerifyError(what);
   };
   require(entries_.size() == index_.term_count(),
           "entry count does not match the inverted index");
-  for (const auto& [term, e] : entries_) {
+  for (const auto& [term, ep] : entries_) {
+    const IndexEntry& e = *ep;
     require(index_.find(term) != nullptr, "entry term missing from index: " + term);
     require(e.attestation.verify(owner_key), "term attestation invalid: " + term);
     require(e.bloom_attestation.verify(owner_key), "bloom attestation invalid: " + term);
@@ -233,29 +254,32 @@ void VerifiableIndex::validate(const VerifyKey& owner_key) const {
             "tuple interval cardinality mismatch: " + term);
     require(e.doc_intervals.element_count() == e.postings.size(),
             "doc interval cardinality mismatch: " + term);
+    require(e.attestation.stmt.epoch >= 1 && e.attestation.stmt.epoch <= epoch_,
+            "attestation epoch out of range: " + term);
+    require(e.bloom_attestation.stmt.epoch >= 1 && e.bloom_attestation.stmt.epoch <= epoch_,
+            "bloom attestation epoch out of range: " + term);
   }
-  require(dict_attestation_.verify(owner_key), "dictionary attestation invalid");
-  require(dict_attestation_.stmt.gap_root == dict_.root(), "dictionary root mismatch");
-  require(dict_attestation_.stmt.word_count == dict_.word_count(),
+  require(dict_attestation_->verify(owner_key), "dictionary attestation invalid");
+  require(dict_attestation_->stmt.gap_root == dict_->root(), "dictionary root mismatch");
+  require(dict_attestation_->stmt.word_count == dict_->word_count(),
           "dictionary word count mismatch");
-  require(dict_.word_count() == index_.term_count(),
+  require(dict_->word_count() == index_.term_count(),
           "dictionary does not cover the index terms");
+  require(dict_attestation_->stmt.epoch <= epoch_, "dictionary epoch out of range");
 }
 
-UpdateTimings VerifiableIndex::add_documents(const std::vector<Document>& docs,
-                                             const AccumulatorContext& owner_ctx,
-                                             const SigningKey& owner_key,
-                                             bool rebuild_dict) {
+UpdateTimings IndexBuilder::add_documents(const std::vector<Document>& docs,
+                                          const AccumulatorContext& owner_ctx,
+                                          const SigningKey& owner_key, bool rebuild_dict) {
   if (!owner_ctx.has_trapdoor()) {
     throw UsageError("add_documents requires the owner context");
   }
+  begin_mutation();
   UpdateTimings t;
 
   // Index the new documents, collecting per-term added postings.
   std::map<std::string, PostingList, std::less<>> added;
   for (const Document& doc : docs) {
-    std::size_t before_records = index_.record_count();
-    (void)before_records;
     for (const std::string& term : index_.add_document(doc.id, doc.text)) {
       const PostingList& list = *index_.find(term);
       added[term].push_back(list.back());
@@ -270,14 +294,17 @@ UpdateTimings VerifiableIndex::add_documents(const std::vector<Document>& docs,
     if (it == entries_.end()) {
       // Brand-new term: build its entry from scratch (small list).
       Stopwatch sw;
-      Entry e = build_entry(term, *index_.find(term), owner_ctx, owner_key);
+      IndexEntry e = build_entry(term, *index_.find(term), owner_ctx, owner_key);
       t.new_term_seconds += sw.seconds();
       ++t.new_terms;
-      entries_.emplace(term, std::move(e));
+      entries_.emplace(term, std::make_shared<const IndexEntry>(std::move(e)));
       new_terms = true;
       continue;
     }
-    Entry& e = it->second;
+    // Copy-on-write: clone the touched entry so snapshots from earlier
+    // epochs keep serving the pre-update version untouched.
+    auto clone = std::make_shared<IndexEntry>(*it->second);
+    IndexEntry& e = *clone;
     U64Set new_tuples, new_docs;
     for (const Posting& p : new_postings) {
       new_tuples.push_back(InvertedIndex::encode_tuple(p));
@@ -316,14 +343,16 @@ UpdateTimings VerifiableIndex::add_documents(const std::vector<Document>& docs,
     stmt.doc_root = e.doc_intervals.root();
     t.interval_seconds += sw.seconds();
 
-    // Re-sign the updated statements.
+    // Re-sign the updated statements at the new epoch.
     sw.reset();
     stmt.posting_count = e.postings.size();
     stmt.postings_digest = postings_digest(e.postings);
+    stmt.epoch = epoch_;
     e.attestation = TermAttestation{stmt, owner_key.sign(stmt.encode())};
-    BloomStatement bstmt{term, std::move(recompressed)};
+    BloomStatement bstmt{term, std::move(recompressed), epoch_};
     e.bloom_attestation = BloomAttestation{bstmt, owner_key.sign(bstmt.encode())};
     t.sign_seconds += sw.seconds();
+    it->second = std::move(clone);
   }
 
   if (rebuild_dict && new_terms) {
@@ -332,13 +361,14 @@ UpdateTimings VerifiableIndex::add_documents(const std::vector<Document>& docs,
   return t;
 }
 
-UpdateTimings VerifiableIndex::remove_documents(std::span<const std::uint64_t> doc_ids,
-                                                const AccumulatorContext& owner_ctx,
-                                                const SigningKey& owner_key,
-                                                bool rebuild_dict) {
+UpdateTimings IndexBuilder::remove_documents(std::span<const std::uint64_t> doc_ids,
+                                             const AccumulatorContext& owner_ctx,
+                                             const SigningKey& owner_key,
+                                             bool rebuild_dict) {
   if (!owner_ctx.has_trapdoor()) {
     throw UsageError("remove_documents requires the owner context");
   }
+  begin_mutation();
   UpdateTimings t;
   U64Set sorted_ids(doc_ids.begin(), doc_ids.end());
   std::sort(sorted_ids.begin(), sorted_ids.end());
@@ -350,7 +380,6 @@ UpdateTimings VerifiableIndex::remove_documents(std::span<const std::uint64_t> d
   for (auto& [term, gone] : removed) {
     auto it = entries_.find(term);
     if (it == entries_.end()) continue;  // defensive; should not happen
-    Entry& e = it->second;
     t.added_postings += gone.size();  // postings *changed* by this update
 
     if (index_.find(term) == nullptr) {
@@ -360,6 +389,9 @@ UpdateTimings VerifiableIndex::remove_documents(std::span<const std::uint64_t> d
       continue;
     }
 
+    // Copy-on-write, as in add_documents.
+    auto clone = std::make_shared<IndexEntry>(*it->second);
+    IndexEntry& e = *clone;
     U64Set gone_tuples, gone_docs;
     for (const Posting& p : gone) {
       gone_tuples.push_back(InvertedIndex::encode_tuple(p));
@@ -389,7 +421,7 @@ UpdateTimings VerifiableIndex::remove_documents(std::span<const std::uint64_t> d
     CompressedBloom recompressed = compress_bloom(stored);
     t.bloom_seconds += sw.seconds();
 
-    // Interval trees: in-place element removal.
+    // Interval trees: in-place element removal (on the clone).
     sw.reset();
     e.tuple_intervals.remove(owner_ctx, gone_tuples, *tuple_primes_);
     e.doc_intervals.remove(owner_ctx, gone_docs, *doc_primes_);
@@ -400,10 +432,12 @@ UpdateTimings VerifiableIndex::remove_documents(std::span<const std::uint64_t> d
     sw.reset();
     stmt.posting_count = e.postings.size();
     stmt.postings_digest = postings_digest(e.postings);
+    stmt.epoch = epoch_;
     e.attestation = TermAttestation{stmt, owner_key.sign(stmt.encode())};
-    BloomStatement bstmt{term, std::move(recompressed)};
+    BloomStatement bstmt{term, std::move(recompressed), epoch_};
     e.bloom_attestation = BloomAttestation{bstmt, owner_key.sign(bstmt.encode())};
     t.sign_seconds += sw.seconds();
+    it->second = std::move(clone);
   }
 
   if (rebuild_dict && terms_vanished) {

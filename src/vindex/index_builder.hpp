@@ -1,6 +1,7 @@
-// The verifiable index (§III-B): the paper's core data structure.
+// The owner-side verifiable index builder (§III-B): the mutable half of the
+// builder/snapshot split.
 //
-// Maps every indexed term to
+// IndexBuilder owns the inverted index and maps every indexed term to
 //   - its inverted-index posting list of (docID, tf) tuples,
 //   - two flat RSA accumulators (tuples; docIDs),
 //   - two interval trees (tuples; docIDs) for fast online witnesses,
@@ -8,10 +9,12 @@
 //   - owner signatures binding all of the above to the term,
 // plus the dictionary gap-interval structure for unknown keywords.
 //
-// The owner builds this (with the trapdoor making accumulation cheap),
-// signs everything, uploads it, and may then delete all local state.  The
-// cloud holds the structure and generates proofs against it with public
-// parameters only.
+// Every committed mutation (build, add_documents, remove_documents) advances
+// an epoch counter that is stamped into every re-signed statement.  The
+// serving side never touches the builder: snapshot() freezes the current
+// state into an immutable, epoch-numbered IndexSnapshot that shares every
+// untouched entry with its predecessor (copy-on-write — an incremental
+// update clones only the entries it mutates).
 #pragma once
 
 #include <map>
@@ -19,35 +22,13 @@
 #include <optional>
 
 #include "accumulator/accumulator.hpp"
-#include "bloom/counting_bloom.hpp"
 #include "index/inverted_index.hpp"
-#include "interval/dict_intervals.hpp"
-#include "interval/interval_index.hpp"
-#include "primes/prime_cache.hpp"
 #include "vindex/balance.hpp"
-#include "vindex/statements.hpp"
+#include "vindex/index_snapshot.hpp"
 
 namespace vc {
 
 class ThreadPool;
-
-struct VerifiableIndexConfig {
-  std::size_t modulus_bits = 1024;
-  std::size_t rep_bits = 128;     // prime representative width
-  std::size_t interval_size = 100;  // the paper's §V-A choice
-  int prime_mr_rounds = 28;
-  BloomParams bloom{.counters = 4096, .hashes = 1, .domain = "vc.bloom.docs"};
-
-  [[nodiscard]] PrimeRepConfig tuple_prime_config() const {
-    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.tuples", .mr_rounds = prime_mr_rounds};
-  }
-  [[nodiscard]] PrimeRepConfig doc_prime_config() const {
-    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.docs", .mr_rounds = prime_mr_rounds};
-  }
-  [[nodiscard]] PrimeRepConfig dict_prime_config() const {
-    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.dict", .mr_rounds = prime_mr_rounds};
-  }
-};
 
 struct BuildStats {
   double prime_precompute_seconds = 0;  // Table II's cost, paid offline
@@ -79,41 +60,41 @@ struct UpdateTimings {
   }
 };
 
-class VerifiableIndex {
+class IndexBuilder {
  public:
-  struct Entry {
-    PostingList postings;
-    IntervalIndex tuple_intervals;
-    IntervalIndex doc_intervals;
-    CountingBloom doc_bloom{BloomParams{}};  // uncompressed working copy
-    TermAttestation attestation;
-    BloomAttestation bloom_attestation;
-  };
-
   // Owner-side build.  `workers` threads pre-compute prime representatives
-  // and per-term structures, partitioned by `strategy` (Fig 9).
-  static VerifiableIndex build(InvertedIndex index, const AccumulatorContext& owner_ctx,
-                               const SigningKey& owner_key, VerifiableIndexConfig config,
-                               ThreadPool& pool,
-                               BalanceStrategy strategy = BalanceStrategy::kRecordBased,
-                               BuildStats* stats = nullptr);
+  // and per-term structures, partitioned by `strategy` (Fig 9).  The built
+  // index starts at epoch 1.
+  static IndexBuilder build(InvertedIndex index, const AccumulatorContext& owner_ctx,
+                            const SigningKey& owner_key, VerifiableIndexConfig config,
+                            ThreadPool& pool,
+                            BalanceStrategy strategy = BalanceStrategy::kRecordBased,
+                            BuildStats* stats = nullptr);
 
-  [[nodiscard]] const Entry* find(std::string_view term) const;
+  [[nodiscard]] const IndexEntry* find(std::string_view term) const;
   [[nodiscard]] const InvertedIndex& index() const { return index_; }
   [[nodiscard]] const VerifiableIndexConfig& config() const { return config_; }
   [[nodiscard]] std::size_t term_count() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
-  [[nodiscard]] const DictionaryIntervals& dictionary() const { return dict_; }
-  [[nodiscard]] const DictAttestation& dict_attestation() const { return dict_attestation_; }
+  [[nodiscard]] const DictionaryIntervals& dictionary() const { return *dict_; }
+  [[nodiscard]] const DictAttestation& dict_attestation() const { return *dict_attestation_; }
 
   // The cloud-side prime manager caches (pre-computed at build: §III-D3).
   [[nodiscard]] PrimeCache& tuple_primes() const { return *tuple_primes_; }
   [[nodiscard]] PrimeCache& doc_primes() const { return *doc_primes_; }
 
+  // Freezes the current state into an immutable snapshot stamped with the
+  // current epoch.  Cheap: the snapshot shares every entry, the dictionary
+  // and the prime caches through shared_ptr; repeated calls between
+  // mutations return the same object.
+  [[nodiscard]] SnapshotPtr snapshot() const;
+
   // Incremental update (§II-D, Fig 8): appends new documents (docIDs must
   // exceed all indexed ones), updating flat accumulators with Eq 5, Bloom
   // filters by counter increments, interval trees incrementally, and
-  // re-signing touched statements.  Requires the owner context + key.
+  // re-signing touched statements — the untouched entries are shared with
+  // the previous epoch's snapshot.  Requires the owner context + key.
   // `rebuild_dictionary` re-derives the gap structure when new terms
   // appeared (skippable for measurement runs that follow the paper's Fig 8
   // scope; a skipped rebuild leaves unknown-keyword proofs stale for the
@@ -124,8 +105,8 @@ class VerifiableIndex {
 
   // Incremental delete (§II-D, Eq 6): removes documents entirely.  Flat
   // accumulators shrink via the modular-inverse update, Bloom counters
-  // decrement, interval trees drop the elements in place.  Terms whose
-  // posting lists empty out disappear from the index (and from the
+  // decrement, interval trees drop the elements from cloned entries.  Terms
+  // whose posting lists empty out disappear from the index (and from the
   // dictionary when `rebuild_dictionary` is set).
   UpdateTimings remove_documents(std::span<const std::uint64_t> doc_ids,
                                  const AccumulatorContext& owner_ctx,
@@ -140,7 +121,7 @@ class VerifiableIndex {
   // and (optionally) the pre-computed prime caches — into the artifact the
   // owner uploads (§III-B).
   void save(const std::string& path, bool include_prime_caches = true) const;
-  static VerifiableIndex load(const std::string& path);
+  static IndexBuilder load(const std::string& path);
 
   // The receipt check the cloud performs before acknowledging: every
   // attestation must verify under the owner's key, and every entry must be
@@ -149,21 +130,29 @@ class VerifiableIndex {
   void validate(const VerifyKey& owner_key) const;
 
  private:
-  explicit VerifiableIndex(VerifiableIndexConfig config)
+  explicit IndexBuilder(VerifiableIndexConfig config)
       : config_(config),
-        tuple_primes_(std::make_unique<PrimeCache>(config.tuple_prime_config())),
-        doc_primes_(std::make_unique<PrimeCache>(config.doc_prime_config())) {}
+        dict_(std::make_shared<DictionaryIntervals>()),
+        dict_attestation_(std::make_shared<DictAttestation>()),
+        tuple_primes_(std::make_shared<PrimeCache>(config.tuple_prime_config())),
+        doc_primes_(std::make_shared<PrimeCache>(config.doc_prime_config())) {}
 
-  Entry build_entry(const std::string& term, const PostingList& postings,
-                    const AccumulatorContext& owner_ctx, const SigningKey& owner_key) const;
+  IndexEntry build_entry(const std::string& term, const PostingList& postings,
+                         const AccumulatorContext& owner_ctx, const SigningKey& owner_key) const;
+
+  // Marks the start of a committed mutation: bumps the epoch that re-signed
+  // statements will carry and invalidates the cached snapshot.
+  void begin_mutation();
 
   VerifiableIndexConfig config_;
   InvertedIndex index_;
-  std::map<std::string, Entry, std::less<>> entries_;
-  DictionaryIntervals dict_;
-  DictAttestation dict_attestation_;
-  std::unique_ptr<PrimeCache> tuple_primes_;  // stable identity across moves
-  std::unique_ptr<PrimeCache> doc_primes_;
+  IndexSnapshot::EntryMap entries_;
+  std::shared_ptr<const DictionaryIntervals> dict_;
+  std::shared_ptr<const DictAttestation> dict_attestation_;
+  std::shared_ptr<PrimeCache> tuple_primes_;  // stable identity across moves
+  std::shared_ptr<PrimeCache> doc_primes_;
+  std::uint64_t epoch_ = 0;
+  mutable SnapshotPtr cached_snapshot_;
 };
 
 }  // namespace vc

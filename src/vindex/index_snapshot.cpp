@@ -1,0 +1,38 @@
+#include "vindex/index_snapshot.hpp"
+
+namespace vc {
+
+IndexSnapshot::IndexSnapshot(VerifiableIndexConfig config, std::uint64_t epoch,
+                             EntryMap entries,
+                             std::shared_ptr<const DictionaryIntervals> dict,
+                             std::shared_ptr<const DictAttestation> dict_attestation,
+                             std::shared_ptr<PrimeCache> tuple_primes,
+                             std::shared_ptr<PrimeCache> doc_primes)
+    : config_(config),
+      epoch_(epoch),
+      entries_(std::move(entries)),
+      dict_(std::move(dict)),
+      dict_attestation_(std::move(dict_attestation)),
+      tuple_primes_(std::move(tuple_primes)),
+      doc_primes_(std::move(doc_primes)) {
+  for (const auto& [term, e] : entries_) {
+    max_posting_count_ = std::max(max_posting_count_, e->postings.size());
+  }
+}
+
+const IndexEntry* IndexSnapshot::find(std::string_view term) const {
+  auto it = entries_.find(term);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::size_t term_shard(std::string_view term, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : term) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return static_cast<std::size_t>(h % shard_count);
+}
+
+}  // namespace vc

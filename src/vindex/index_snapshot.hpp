@@ -1,0 +1,105 @@
+// Immutable, epoch-numbered index snapshots (serving side).
+//
+// A snapshot is a frozen version of the verifiable index: per-term entries
+// (postings, flat accumulators, interval trees, signed Bloom filters), the
+// dictionary gap structure, and the prime-representative caches — all held
+// through shared_ptr so that snapshots from consecutive epochs share every
+// structure the update did not touch (copy-on-write structural sharing).
+//
+// The owner-side IndexBuilder (vindex/index_builder.hpp) produces snapshots;
+// the Prover, SearchEngine and CloudService consume them.  A snapshot never
+// changes after construction, so any number of threads may serve queries
+// from it while the owner applies the next update — swapping in the new
+// epoch is a single atomic shared_ptr store per shard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "bloom/counting_bloom.hpp"
+#include "index/inverted_index.hpp"
+#include "interval/dict_intervals.hpp"
+#include "interval/interval_index.hpp"
+#include "primes/prime_cache.hpp"
+#include "vindex/statements.hpp"
+
+namespace vc {
+
+struct VerifiableIndexConfig {
+  std::size_t modulus_bits = 1024;
+  std::size_t rep_bits = 128;     // prime representative width
+  std::size_t interval_size = 100;  // the paper's §V-A choice
+  int prime_mr_rounds = 28;
+  BloomParams bloom{.counters = 4096, .hashes = 1, .domain = "vc.bloom.docs"};
+
+  [[nodiscard]] PrimeRepConfig tuple_prime_config() const {
+    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.tuples", .mr_rounds = prime_mr_rounds};
+  }
+  [[nodiscard]] PrimeRepConfig doc_prime_config() const {
+    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.docs", .mr_rounds = prime_mr_rounds};
+  }
+  [[nodiscard]] PrimeRepConfig dict_prime_config() const {
+    return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.dict", .mr_rounds = prime_mr_rounds};
+  }
+};
+
+// Everything the cloud holds for one indexed term.  Entries are immutable
+// once published in a snapshot; an incremental update clones only the
+// entries it touches and re-points the map at the clones.
+struct IndexEntry {
+  PostingList postings;
+  IntervalIndex tuple_intervals;
+  IntervalIndex doc_intervals;
+  CountingBloom doc_bloom{BloomParams{}};  // uncompressed working copy
+  TermAttestation attestation;
+  BloomAttestation bloom_attestation;
+};
+
+class IndexSnapshot {
+ public:
+  using EntryMap = std::map<std::string, std::shared_ptr<const IndexEntry>, std::less<>>;
+
+  IndexSnapshot(VerifiableIndexConfig config, std::uint64_t epoch, EntryMap entries,
+                std::shared_ptr<const DictionaryIntervals> dict,
+                std::shared_ptr<const DictAttestation> dict_attestation,
+                std::shared_ptr<PrimeCache> tuple_primes,
+                std::shared_ptr<PrimeCache> doc_primes);
+
+  [[nodiscard]] const IndexEntry* find(std::string_view term) const;
+  [[nodiscard]] const VerifiableIndexConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t term_count() const { return entries_.size(); }
+  [[nodiscard]] const EntryMap& entries() const { return entries_; }
+  [[nodiscard]] const DictionaryIntervals& dictionary() const { return *dict_; }
+  [[nodiscard]] const DictAttestation& dict_attestation() const { return *dict_attestation_; }
+
+  // The prime caches are append-only and internally synchronized, so the
+  // serving side may extend them while snapshots share them (§III-D3).
+  [[nodiscard]] PrimeCache& tuple_primes() const { return *tuple_primes_; }
+  [[nodiscard]] PrimeCache& doc_primes() const { return *doc_primes_; }
+
+  // Longest posting list in this snapshot; sizes the prover's fixed-base
+  // exponentiation table.
+  [[nodiscard]] std::size_t max_posting_count() const { return max_posting_count_; }
+
+ private:
+  VerifiableIndexConfig config_;
+  std::uint64_t epoch_ = 0;
+  EntryMap entries_;
+  std::shared_ptr<const DictionaryIntervals> dict_;
+  std::shared_ptr<const DictAttestation> dict_attestation_;
+  std::shared_ptr<PrimeCache> tuple_primes_;
+  std::shared_ptr<PrimeCache> doc_primes_;
+  std::size_t max_posting_count_ = 0;
+};
+
+using SnapshotPtr = std::shared_ptr<const IndexSnapshot>;
+
+// Hash-partitions a term onto one of `shard_count` serving shards (FNV-1a;
+// stable across platforms so shard metrics and tests agree).
+std::size_t term_shard(std::string_view term, std::size_t shard_count);
+
+}  // namespace vc

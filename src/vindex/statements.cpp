@@ -14,7 +14,7 @@ Bytes encode_of(const T& t) {
 }  // namespace
 
 void TermStatement::write(ByteWriter& w) const {
-  w.str("vc.term-stmt.v1");
+  w.str("vc.term-stmt.v2");
   w.str(term);
   tuple_acc.write(w);
   doc_acc.write(w);
@@ -22,10 +22,11 @@ void TermStatement::write(ByteWriter& w) const {
   doc_root.write(w);
   w.u64(posting_count);
   w.raw(postings_digest);
+  w.u64(epoch);
 }
 
 TermStatement TermStatement::read(ByteReader& r) {
-  if (r.str() != "vc.term-stmt.v1") throw ParseError("bad term statement tag");
+  if (r.str() != "vc.term-stmt.v2") throw ParseError("bad term statement tag");
   TermStatement s;
   s.term = r.str();
   s.tuple_acc = Bigint::read(r);
@@ -35,6 +36,7 @@ TermStatement TermStatement::read(ByteReader& r) {
   s.posting_count = r.u64();
   auto d = r.raw(s.postings_digest.size());
   std::copy(d.begin(), d.end(), s.postings_digest.begin());
+  s.epoch = r.u64();
   return s;
 }
 
@@ -42,16 +44,18 @@ Bytes TermStatement::encode() const { return encode_of(*this); }
 std::size_t TermStatement::encoded_size() const { return encode().size(); }
 
 void BloomStatement::write(ByteWriter& w) const {
-  w.str("vc.bloom-stmt.v1");
+  w.str("vc.bloom-stmt.v2");
   w.str(term);
   doc_bloom.write(w);
+  w.u64(epoch);
 }
 
 BloomStatement BloomStatement::read(ByteReader& r) {
-  if (r.str() != "vc.bloom-stmt.v1") throw ParseError("bad bloom statement tag");
+  if (r.str() != "vc.bloom-stmt.v2") throw ParseError("bad bloom statement tag");
   BloomStatement s;
   s.term = r.str();
   s.doc_bloom = CompressedBloom::read(r);
+  s.epoch = r.u64();
   return s;
 }
 
@@ -59,18 +63,20 @@ Bytes BloomStatement::encode() const { return encode_of(*this); }
 std::size_t BloomStatement::encoded_size() const { return encode().size(); }
 
 void DictStatement::write(ByteWriter& w) const {
-  w.str("vc.dict-stmt.v1");
+  w.str("vc.dict-stmt.v2");
   gap_root.write(w);
   w.u64(word_count);
   w.u64(document_count);
+  w.u64(epoch);
 }
 
 DictStatement DictStatement::read(ByteReader& r) {
-  if (r.str() != "vc.dict-stmt.v1") throw ParseError("bad dict statement tag");
+  if (r.str() != "vc.dict-stmt.v2") throw ParseError("bad dict statement tag");
   DictStatement s;
   s.gap_root = Bigint::read(r);
   s.word_count = r.u64();
   s.document_count = r.u64();
+  s.epoch = r.u64();
   return s;
 }
 

@@ -26,6 +26,10 @@ struct TermStatement {
   Bigint doc_root;        // interval-tree root over docIDs
   std::uint64_t posting_count = 0;
   Digest postings_digest{};  // SHA-256 of the canonical posting list
+  // Index epoch at which this statement was last (re-)signed.  A response
+  // served from snapshot epoch E may only carry attestations with
+  // epoch <= E — the verifier rejects cross-epoch proof mixing structurally.
+  std::uint64_t epoch = 0;
 
   void write(ByteWriter& w) const;
   static TermStatement read(ByteReader& r);
@@ -39,6 +43,7 @@ struct TermStatement {
 struct BloomStatement {
   std::string term;
   CompressedBloom doc_bloom;
+  std::uint64_t epoch = 0;  // last re-signing epoch (see TermStatement)
 
   void write(ByteWriter& w) const;
   static BloomStatement read(ByteReader& r);
@@ -55,6 +60,7 @@ struct DictStatement {
   // Total indexed documents; lets the client compute IDF-style ranking
   // weights from owner-signed quantities only (§III-E).
   std::uint64_t document_count = 0;
+  std::uint64_t epoch = 0;  // last re-signing epoch (see TermStatement)
 
   void write(ByteWriter& w) const;
   static DictStatement read(ByteReader& r);

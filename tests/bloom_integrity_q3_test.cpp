@@ -11,6 +11,7 @@
 #include "search/engine.hpp"
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -45,9 +46,9 @@ class BloomQ3Test : public ::testing::Test {
     corpus.add("d4", "alpha beta gamma");   // in all three
     corpus.add("d5", "alpha delta");
     corpus.add("d6", "beta delta");
-    vidx_ = std::make_unique<VerifiableIndex>(VerifiableIndex::build(
+    vidx_ = std::make_unique<IndexBuilder>(IndexBuilder::build(
         InvertedIndex::build(corpus), owner_ctx_, owner_key_, tiny_bloom_config(), pool_));
-    engine_ = std::make_unique<SearchEngine>(*vidx_, pub_ctx_, cloud_key_, &pool_);
+    engine_ = std::make_unique<SearchEngine>(vidx_->snapshot(), pub_ctx_, cloud_key_, &pool_);
     verifier_ = std::make_unique<ResultVerifier>(owner_ctx_, owner_key_.verify_key(),
                                                  cloud_key_.verify_key(),
                                                  tiny_bloom_config());
@@ -58,7 +59,7 @@ class BloomQ3Test : public ::testing::Test {
   ThreadPool pool_;
   SigningKey owner_key_;
   SigningKey cloud_key_;
-  std::unique_ptr<VerifiableIndex> vidx_;
+  std::unique_ptr<IndexBuilder> vidx_;
   std::unique_ptr<SearchEngine> engine_;
   std::unique_ptr<ResultVerifier> verifier_;
 };
@@ -92,7 +93,7 @@ TEST_F(BloomQ3Test, HiddenResultAppearsInAllCheckSetsAndIsRejected) {
     cheat.postings[i] = InvertedIndex::filter_by_docs(
         vidx_->find(cheat.keywords[i])->postings, cheat.docs);
   }
-  Prover prover(*vidx_, pub_ctx_, &pool_);
+  Prover prover(vidx_->snapshot(), pub_ctx_, &pool_);
   SearchResponse resp;
   resp.query_id = 2;
   resp.raw_keywords = q.keywords;

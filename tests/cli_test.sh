@@ -69,4 +69,42 @@ grep -q 'vc_http_requests_total{route="metrics"} 1' "$WORK/metrics.txt"
 
 kill $SERVE_PID
 wait $SERVE_PID 2>/dev/null || true
+
+# Sharded serving: restart with 4 shards and pooled dispatch, fire 4
+# concurrent verified queries, and require per-shard + epoch metrics.
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --port 0 --shards 4 \
+    > "$WORK/serve2.log" 2>&1 &
+SERVE_PID=$!
+tries=0
+until grep -q "serving" "$WORK/serve2.log" 2>/dev/null; do
+  tries=$((tries + 1))
+  test $tries -lt 100 || { echo "sharded server never came up"; exit 1; }
+  sleep 0.2
+done
+grep -q "shards=4" "$WORK/serve2.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve2.log" | head -1)
+
+QPIDS=""
+for i in 1 2 3 4; do
+  "$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" $WORDS \
+      > "$WORK/cq$i.log" 2>&1 &
+  QPIDS="$QPIDS $!"
+done
+for pid in $QPIDS; do
+  wait "$pid" || { echo "concurrent sharded query failed"; cat "$WORK"/cq*.log; exit 1; }
+done
+for i in 1 2 3 4; do
+  grep -q "VERIFIED" "$WORK/cq$i.log" || { echo "query $i not verified"; cat "$WORK/cq$i.log"; exit 1; }
+done
+
+fetch /metrics > "$WORK/metrics2.txt"
+grep -q '^vc_epoch 1' "$WORK/metrics2.txt"
+grep -q 'vc_snapshot_swaps_total' "$WORK/metrics2.txt"
+grep -q 'vc_shard_terms{shard="0"}' "$WORK/metrics2.txt"
+grep -q 'vc_shard_terms{shard="3"}' "$WORK/metrics2.txt"
+grep -q 'vc_shard_queries_total{shard=' "$WORK/metrics2.txt"
+grep -q 'vc_shard_proofs_total{shard=' "$WORK/metrics2.txt"
+
+kill $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
 echo "cli_test OK"

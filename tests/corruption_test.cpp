@@ -18,7 +18,7 @@ class CorruptionTest : public ::testing::Test {
                    .max_doc_words = 50, .vocab_size = 200, .zipf_s = 0.9, .seed = 51};
     testbed::TestBed bed(spec, testbed::small_config(256, "corrupt"), /*key_seed=*/401,
                          /*threads=*/2);
-    SearchEngine engine(bed.vidx, bed.pub_ctx, bed.cloud_key, &bed.pool);
+    SearchEngine engine(bed.vidx.snapshot(), bed.pub_ctx, bed.cloud_key, &bed.pool);
     Query q{.id = 9, .keywords = {synth_word(spec, 0), synth_word(spec, 1)}};
     SearchResponse resp = engine.search(q, SchemeKind::kHybrid);
     ByteWriter w;

@@ -15,6 +15,7 @@
 #include "support/threadpool.hpp"
 #include "text/stemmer.hpp"
 #include "text/synth.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -38,17 +39,17 @@ TEST(Lifecycle, EndToEnd) {
   SynthSpec spec{.name = "life", .num_docs = 45, .min_doc_words = 20,
                  .max_doc_words = 50, .vocab_size = 220, .zipf_s = 0.9, .seed = 81};
   Corpus corpus = generate_corpus(spec);
-  VerifiableIndex built = VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx,
+  IndexBuilder built = IndexBuilder::build(InvertedIndex::build(corpus), owner_ctx,
                                                  owner_key, cfg, pool);
 
   // --- outsource: serialize, reload as the cloud, validate receipt -----------
   auto path = (std::filesystem::temp_directory_path() / "vc_lifecycle.vc").string();
   built.save(path);
-  VerifiableIndex vidx = VerifiableIndex::load(path);
+  IndexBuilder vidx = IndexBuilder::load(path);
   std::filesystem::remove(path);
   ASSERT_NO_THROW(vidx.validate(owner_key.verify_key()));
 
-  CloudService cloud(vidx, pub_ctx, cloud_key, owner_key.verify_key(), &pool);
+  CloudService cloud(vidx.snapshot(), pub_ctx, cloud_key, owner_key.verify_key(), &pool);
   HttpFrontend frontend(cloud);
   frontend.start();
   DataOwner owner(owner_ctx, owner_key, cloud_key.verify_key(), cfg);
@@ -66,6 +67,7 @@ TEST(Lifecycle, EndToEnd) {
   {
     std::vector<Document> docs = {Document{45, "new", w5 + " " + w9 + " freshterm"}};
     vidx.add_documents(docs, owner_ctx, owner_key);
+    cloud.publish(vidx.snapshot());  // push the new epoch to the serving core
     SignedQuery q = owner.issue_query({w5, w9});
     SearchResponse resp = http_search(frontend.port(), q);
     ASSERT_NO_THROW(owner.receive_response(resp));
@@ -78,6 +80,7 @@ TEST(Lifecycle, EndToEnd) {
   {
     U64Set gone = {45};
     vidx.remove_documents(gone, owner_ctx, owner_key);
+    cloud.publish(vidx.snapshot());
     SignedQuery q = owner.issue_query({w5, w9});
     SearchResponse resp = http_search(frontend.port(), q);
     ASSERT_NO_THROW(owner.receive_response(resp));

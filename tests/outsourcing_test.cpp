@@ -9,6 +9,7 @@
 #include "support/errors.hpp"
 #include "test_fixtures.hpp"
 #include "text/synth.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -36,7 +37,7 @@ testbed::TestBed* OutsourcingTest::bed_ = nullptr;
 std::string OutsourcingTest::path_;
 
 TEST_F(OutsourcingTest, LoadedIndexMatchesOriginal) {
-  VerifiableIndex loaded = VerifiableIndex::load(path_);
+  IndexBuilder loaded = IndexBuilder::load(path_);
   EXPECT_EQ(loaded.term_count(), bed_->vidx.term_count());
   EXPECT_EQ(loaded.index(), bed_->vidx.index());
   EXPECT_EQ(loaded.dict_attestation(), bed_->vidx.dict_attestation());
@@ -57,20 +58,20 @@ TEST_F(OutsourcingTest, LoadedIndexMatchesOriginal) {
 }
 
 TEST_F(OutsourcingTest, ValidationAcceptsHonestArtifact) {
-  VerifiableIndex loaded = VerifiableIndex::load(path_);
+  IndexBuilder loaded = IndexBuilder::load(path_);
   EXPECT_NO_THROW(loaded.validate(bed_->owner_key.verify_key()));
 }
 
 TEST_F(OutsourcingTest, ValidationRejectsWrongOwnerKey) {
-  VerifiableIndex loaded = VerifiableIndex::load(path_);
+  IndexBuilder loaded = IndexBuilder::load(path_);
   DeterministicRng rng(502);
   SigningKey other = generate_signing_key(rng, 512);
   EXPECT_THROW(loaded.validate(other.verify_key()), VerifyError);
 }
 
 TEST_F(OutsourcingTest, LoadedIndexServesVerifiableProofs) {
-  VerifiableIndex loaded = VerifiableIndex::load(path_);
-  SearchEngine engine(loaded, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+  IndexBuilder loaded = IndexBuilder::load(path_);
+  SearchEngine engine(loaded.snapshot(), bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
   ResultVerifier verifier = bed_->owner_verifier();
   Query q{.id = 1, .keywords = {synth_word(bed_->spec, 5), synth_word(bed_->spec, 9)}};
   for (SchemeKind scheme : {SchemeKind::kAccumulator, SchemeKind::kBloom,
@@ -83,10 +84,10 @@ TEST_F(OutsourcingTest, LoadedIndexServesVerifiableProofs) {
 TEST_F(OutsourcingTest, SaveWithoutPrimeCaches) {
   auto p = (std::filesystem::temp_directory_path() / "vc_outsource_nocache.vc").string();
   bed_->vidx.save(p, /*include_prime_caches=*/false);
-  VerifiableIndex loaded = VerifiableIndex::load(p);
+  IndexBuilder loaded = IndexBuilder::load(p);
   EXPECT_EQ(loaded.tuple_primes().size(), 0u);
   // The cloud can still serve: representatives get recomputed on demand.
-  SearchEngine engine(loaded, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+  SearchEngine engine(loaded.snapshot(), bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
   ResultVerifier verifier = bed_->owner_verifier();
   Query q{.id = 2, .keywords = {synth_word(bed_->spec, 5), synth_word(bed_->spec, 9)}};
   EXPECT_NO_THROW(verifier.verify(engine.search(q, SchemeKind::kHybrid)));
@@ -95,7 +96,7 @@ TEST_F(OutsourcingTest, SaveWithoutPrimeCaches) {
 }
 
 TEST_F(OutsourcingTest, UpdatedIndexRoundtripsAndValidates) {
-  VerifiableIndex loaded = VerifiableIndex::load(path_);
+  IndexBuilder loaded = IndexBuilder::load(path_);
   std::vector<Document> docs = {
       Document{50, "new",
                synth_word(bed_->spec, 5) + " " + synth_word(bed_->spec, 9) + " brandnewterm"}};
@@ -103,7 +104,7 @@ TEST_F(OutsourcingTest, UpdatedIndexRoundtripsAndValidates) {
   EXPECT_NO_THROW(loaded.validate(bed_->owner_key.verify_key()));
   auto p = (std::filesystem::temp_directory_path() / "vc_outsource_upd.vc").string();
   loaded.save(p);
-  VerifiableIndex again = VerifiableIndex::load(p);
+  IndexBuilder again = IndexBuilder::load(p);
   EXPECT_NO_THROW(again.validate(bed_->owner_key.verify_key()));
   EXPECT_NE(again.find("brandnewterm"), nullptr);
   std::filesystem::remove(p);
@@ -112,7 +113,7 @@ TEST_F(OutsourcingTest, UpdatedIndexRoundtripsAndValidates) {
 TEST_F(OutsourcingTest, TamperedArtifactDetectedByValidation) {
   // Load, swap one term's Bloom filter for another's (both validly signed),
   // save, reload: validate() must notice the inconsistency.
-  VerifiableIndex loaded = VerifiableIndex::load(path_);
+  IndexBuilder loaded = IndexBuilder::load(path_);
   // Direct tampering through the file: flip a byte inside and expect either
   // a parse error or a validation failure, never silent acceptance.
   Bytes raw;
@@ -132,7 +133,7 @@ TEST_F(OutsourcingTest, TamperedArtifactDetectedByValidation) {
                 static_cast<std::streamsize>(mutated.size()));
     }
     try {
-      VerifiableIndex t = VerifiableIndex::load(p);
+      IndexBuilder t = IndexBuilder::load(p);
       t.validate(bed_->owner_key.verify_key());
       ++silent;  // flip hit a prime-cache byte or other non-authenticated data
     } catch (const Error&) {

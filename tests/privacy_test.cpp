@@ -8,6 +8,7 @@
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
 #include "text/stemmer.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -157,9 +158,9 @@ TEST(PrivateSearch, EndToEndWithProofs) {
 
   Corpus tokenized = tokenize_corpus(corpus, key);
   EncryptedStore store = EncryptedStore::seal(corpus, key);
-  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(tokenized), owner_ctx,
+  IndexBuilder vidx = IndexBuilder::build(InvertedIndex::build(tokenized), owner_ctx,
                                                 owner_sig, cfg, pool);
-  SearchEngine cloud(vidx, pub_ctx, cloud_sig, &pool);
+  SearchEngine cloud(vidx.snapshot(), pub_ctx, cloud_sig, &pool);
   ResultVerifier verifier(owner_ctx, owner_sig.verify_key(), cloud_sig.verify_key(), cfg);
 
   // Owner-side query translation.

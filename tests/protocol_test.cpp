@@ -29,7 +29,7 @@ class ProtocolTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     bed_ = new Testbed(small_testbed_options());
-    cloud_ = new CloudService(bed_->vindex(), bed_->public_ctx(), bed_->cloud_key(),
+    cloud_ = new CloudService(bed_->vindex().snapshot(), bed_->public_ctx(), bed_->cloud_key(),
                               bed_->owner_key().verify_key(), &bed_->pool());
     arbiter_ = new ThirdPartyArbiter(bed_->public_ctx(), bed_->owner_key().verify_key(),
                                      bed_->cloud_key().verify_key(),

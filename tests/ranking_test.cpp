@@ -8,6 +8,7 @@
 #include "search/ranking.hpp"
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -42,9 +43,9 @@ class RankingTest : public ::testing::Test {
     corpus.add("d3", "rare common filler");
     corpus.add("d4", "common filler");
     corpus.add("d5", "common other filler");
-    vidx_ = std::make_unique<VerifiableIndex>(VerifiableIndex::build(
+    vidx_ = std::make_unique<IndexBuilder>(IndexBuilder::build(
         InvertedIndex::build(corpus), owner_ctx_, owner_key_, tiny_config(), pool_));
-    engine_ = std::make_unique<SearchEngine>(*vidx_, pub_ctx_, cloud_key_, &pool_);
+    engine_ = std::make_unique<SearchEngine>(vidx_->snapshot(), pub_ctx_, cloud_key_, &pool_);
   }
 
   MultiKeywordResponse search_both() {
@@ -58,7 +59,7 @@ class RankingTest : public ::testing::Test {
   ThreadPool pool_;
   SigningKey owner_key_;
   SigningKey cloud_key_;
-  std::unique_ptr<VerifiableIndex> vidx_;
+  std::unique_ptr<IndexBuilder> vidx_;
   std::unique_ptr<SearchEngine> engine_;
 };
 

@@ -10,6 +10,7 @@
 #include "support/threadpool.hpp"
 #include "text/stemmer.hpp"
 #include "text/synth.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -39,7 +40,7 @@ class RemovalTest : public ::testing::Test {
     Corpus corpus = generate_corpus(spec_);
     // One extra doc carrying a unique term, to test term disappearance.
     corpus.add("unique", "onlyhereterm " + synth_word(spec_, 0));
-    vidx_ = std::make_unique<VerifiableIndex>(VerifiableIndex::build(
+    vidx_ = std::make_unique<IndexBuilder>(IndexBuilder::build(
         InvertedIndex::build(corpus), owner_ctx_, owner_key_, small_config(), pool_));
   }
 
@@ -49,7 +50,7 @@ class RemovalTest : public ::testing::Test {
   SigningKey owner_key_;
   SigningKey cloud_key_;
   SynthSpec spec_;
-  std::unique_ptr<VerifiableIndex> vidx_;
+  std::unique_ptr<IndexBuilder> vidx_;
 };
 
 TEST_F(RemovalTest, InvertedIndexRemoval) {
@@ -97,7 +98,7 @@ TEST_F(RemovalTest, UniqueTermDisappearsAndBecomesUnknown) {
   EXPECT_FALSE(vidx_->dictionary().contains("onlyhereterm"));
   EXPECT_NO_THROW(vidx_->validate(owner_key_.verify_key()));
   // The term now gets an unknown-keyword gap proof.
-  SearchEngine engine(*vidx_, pub_ctx_, cloud_key_, &pool_);
+  SearchEngine engine(vidx_->snapshot(), pub_ctx_, cloud_key_, &pool_);
   ResultVerifier verifier(owner_ctx_, owner_key_.verify_key(), cloud_key_.verify_key(),
                           small_config());
   SearchResponse resp =
@@ -109,7 +110,7 @@ TEST_F(RemovalTest, UniqueTermDisappearsAndBecomesUnknown) {
 TEST_F(RemovalTest, SearchesVerifyAfterRemoval) {
   U64Set ids = {0, 1, 2, 3, 4};
   vidx_->remove_documents(ids, owner_ctx_, owner_key_);
-  SearchEngine engine(*vidx_, pub_ctx_, cloud_key_, &pool_);
+  SearchEngine engine(vidx_->snapshot(), pub_ctx_, cloud_key_, &pool_);
   ResultVerifier verifier(owner_ctx_, owner_key_.verify_key(), cloud_key_.verify_key(),
                           small_config());
   Query q{.id = 2, .keywords = {synth_word(spec_, 5), synth_word(spec_, 9)}};

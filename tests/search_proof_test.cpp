@@ -22,7 +22,7 @@ class SearchProofTest : public ::testing::Test {
                    .max_doc_words = 90, .vocab_size = 300, .zipf_s = 0.9, .seed = 21};
     bed_ = new testbed::TestBed(spec, testbed::small_config(), /*key_seed=*/201);
     // The cloud engine runs with PUBLIC parameters only.
-    engine_ = new SearchEngine(bed_->vidx, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+    engine_ = new SearchEngine(bed_->vidx.snapshot(), bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
     owner_verifier_ = new ResultVerifier(bed_->owner_verifier());
     third_party_verifier_ = new ResultVerifier(bed_->third_party_verifier());
   }
@@ -153,7 +153,7 @@ TEST_F(SearchProofTest, DroppedResultDetected) {
                                   [&](const Posting& p) { return p.doc_id == hidden; }),
                    postings.end());
   }
-  Prover prover(bed_->vidx, bed_->pub_ctx, &bed_->pool);
+  Prover prover(bed_->vidx.snapshot(), bed_->pub_ctx, &bed_->pool);
   for (SchemeKind scheme : kAllSchemes) {
     SearchResponse resp;
     resp.query_id = 99;
@@ -224,7 +224,7 @@ TEST_F(SearchProofTest, ForgedExtraResultDetected) {
       cheat.postings[i] = fixed;
     }
   }
-  Prover prover(bed_->vidx, bed_->pub_ctx, &bed_->pool);
+  Prover prover(bed_->vidx.snapshot(), bed_->pub_ctx, &bed_->pool);
   for (SchemeKind scheme : kAllSchemes) {
     SearchResponse resp;
     resp.query_id = 100;

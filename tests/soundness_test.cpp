@@ -18,6 +18,7 @@
 #include "data/workload.hpp"
 #include "support/errors.hpp"
 #include "test_fixtures.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -40,6 +41,14 @@ std::vector<std::uint64_t> seeds_from_env() {
   return seeds.empty() ? std::vector<std::uint64_t>{1, 2, 3} : seeds;
 }
 
+// Shard count for the serving core under test; VC_SHARDS=4 runs the whole
+// gate through sharded per-keyword proof generation.
+std::size_t shards_from_env() {
+  const char* env = std::getenv("VC_SHARDS");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::stoull(env)));
+}
+
 class SoundnessTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -57,7 +66,7 @@ class SoundnessTest : public ::testing::Test {
                        ("vc_soundness_stale_" + std::to_string(::getpid()) + ".vc"))
                           .string();
     bed_->vidx.save(stale_path);
-    stale_ = new VerifiableIndex(VerifiableIndex::load(stale_path));
+    SnapshotPtr stale = IndexBuilder::load(stale_path).snapshot();
     std::filesystem::remove(stale_path);
     std::string update_text = "zzstaleterm";
     for (std::uint32_t rank = 0; rank < spec.vocab_size; ++rank) {
@@ -66,10 +75,15 @@ class SoundnessTest : public ::testing::Test {
     bed_->vidx.add_documents({Document{1000, "update", update_text}}, bed_->owner_ctx,
                              bed_->owner_key);
 
-    cloud_ = new CloudService(bed_->vidx, bed_->pub_ctx, bed_->cloud_key,
-                              bed_->owner_key.verify_key(), &bed_->pool);
-    mal_ = new advtest::MaliciousCloud(*cloud_, bed_->vidx, bed_->pub_ctx, stale_);
+    SnapshotPtr live = bed_->vidx.snapshot();
+    cloud_ = new CloudService(live, bed_->pub_ctx, bed_->cloud_key,
+                              bed_->owner_key.verify_key(), &bed_->pool,
+                              SchemeKind::kHybrid, shards_from_env());
+    mal_ = new advtest::MaliciousCloud(*cloud_, live, bed_->pub_ctx, std::move(stale));
     verifier_ = new ResultVerifier(bed_->owner_verifier());
+    // The owner just pushed this epoch; pinning it is exactly the freshness
+    // discipline docs/SOUNDNESS.md describes (and what kEpochMixing needs).
+    verifier_->pin_epoch(live->epoch());
 
     for (const WorkloadQuery& wq : paper_query_workload(bed_->spec)) {
       queries_.push_back(SignedQuery{wq.query, bed_->owner_key.sign(wq.query.encode())});
@@ -79,7 +93,6 @@ class SoundnessTest : public ::testing::Test {
     delete verifier_;
     delete mal_;
     delete cloud_;
-    delete stale_;
     delete bed_;
     queries_.clear();
   }
@@ -96,7 +109,6 @@ class SoundnessTest : public ::testing::Test {
   }
 
   static testbed::TestBed* bed_;
-  static VerifiableIndex* stale_;
   static CloudService* cloud_;
   static advtest::MaliciousCloud* mal_;
   static ResultVerifier* verifier_;
@@ -104,7 +116,6 @@ class SoundnessTest : public ::testing::Test {
 };
 
 testbed::TestBed* SoundnessTest::bed_ = nullptr;
-VerifiableIndex* SoundnessTest::stale_ = nullptr;
 CloudService* SoundnessTest::cloud_ = nullptr;
 advtest::MaliciousCloud* SoundnessTest::mal_ = nullptr;
 ResultVerifier* SoundnessTest::verifier_ = nullptr;
@@ -128,8 +139,9 @@ TEST_F(SoundnessTest, VerifierKillsEveryForgery) {
   EXPECT_EQ(rep.accepted, 0u);
   EXPECT_EQ(rep.killed, rep.forged);
   EXPECT_TRUE(rep.sound());
-  // The acceptance floor: a meaningful gate needs real forgery volume.
-  EXPECT_GE(rep.forged, 500u);
+  // The acceptance floor: a meaningful gate needs real forgery volume —
+  // per seed, so single-seed runs (the TSan CI leg) keep a real floor too.
+  EXPECT_GE(rep.forged, 170u * seeds_from_env().size());
 }
 
 TEST_F(SoundnessTest, HonestControlsAllAccepted) {
@@ -139,7 +151,7 @@ TEST_F(SoundnessTest, HonestControlsAllAccepted) {
 }
 
 TEST_F(SoundnessTest, EveryForgeryClassProducesForgedProofs) {
-  // All nine classes must contribute actual forged (not merely refused)
+  // All ten classes must contribute actual forged (not merely refused)
   // proofs somewhere in the workload, and each class's kill rate is 100%.
   std::map<ForgeryClass, std::size_t> forged_per_class, killed_per_class;
   for (const auto& rec : report().attempts) {

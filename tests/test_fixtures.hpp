@@ -18,6 +18,7 @@
 #include "support/threadpool.hpp"
 #include "text/stemmer.hpp"
 #include "text/synth.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc::testbed {
 
@@ -48,7 +49,7 @@ class TestBed {
         owner_key(make_key(key_seed, 0)),
         cloud_key(make_key(key_seed, 1)),
         pool(threads),
-        vidx(VerifiableIndex::build(InvertedIndex::build(generate_corpus(spec)), owner_ctx,
+        vidx(IndexBuilder::build(InvertedIndex::build(generate_corpus(spec)), owner_ctx,
                                     owner_key, config, pool)) {}
 
   TestBed(const TestBed&) = delete;
@@ -83,7 +84,7 @@ class TestBed {
   SigningKey owner_key;
   SigningKey cloud_key;
   ThreadPool pool;
-  VerifiableIndex vidx;
+  IndexBuilder vidx;
 
  private:
   static SigningKey make_key(std::uint64_t seed, std::uint32_t index) {

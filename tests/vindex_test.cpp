@@ -7,7 +7,7 @@
 #include "text/stemmer.hpp"
 #include "text/synth.hpp"
 #include "vindex/balance.hpp"
-#include "vindex/verifiable_index.hpp"
+#include "vindex/index_builder.hpp"
 
 namespace vc {
 namespace {
@@ -34,7 +34,7 @@ class VIndexTest : public ::testing::Test {
     Corpus corpus = generate_corpus(
         SynthSpec{.name = "vt", .num_docs = 60, .min_doc_words = 30,
                   .max_doc_words = 80, .vocab_size = 400, .zipf_s = 1.0, .seed = 5});
-    vidx_ = new VerifiableIndex(VerifiableIndex::build(
+    vidx_ = new IndexBuilder(IndexBuilder::build(
         InvertedIndex::build(corpus), *owner_ctx_, *owner_key_, small_config(), *pool_,
         BalanceStrategy::kRecordBased, &stats_));
   }
@@ -50,7 +50,7 @@ class VIndexTest : public ::testing::Test {
   static AccumulatorContext* pub_ctx_;
   static SigningKey* owner_key_;
   static ThreadPool* pool_;
-  static VerifiableIndex* vidx_;
+  static IndexBuilder* vidx_;
   static BuildStats stats_;
 };
 
@@ -58,7 +58,7 @@ AccumulatorContext* VIndexTest::owner_ctx_ = nullptr;
 AccumulatorContext* VIndexTest::pub_ctx_ = nullptr;
 SigningKey* VIndexTest::owner_key_ = nullptr;
 ThreadPool* VIndexTest::pool_ = nullptr;
-VerifiableIndex* VIndexTest::vidx_ = nullptr;
+IndexBuilder* VIndexTest::vidx_ = nullptr;
 BuildStats VIndexTest::stats_;
 
 TEST_F(VIndexTest, BuildCoversAllTerms) {
@@ -122,9 +122,9 @@ TEST_F(VIndexTest, TermAndRecordStrategiesBuildIdenticalStatements) {
       SynthSpec{.name = "vt2", .num_docs = 20, .min_doc_words = 15,
                 .max_doc_words = 40, .vocab_size = 150, .zipf_s = 1.0, .seed = 9});
   InvertedIndex idx = InvertedIndex::build(corpus);
-  VerifiableIndex a = VerifiableIndex::build(idx, *owner_ctx_, *owner_key_, small_config(),
+  IndexBuilder a = IndexBuilder::build(idx, *owner_ctx_, *owner_key_, small_config(),
                                              *pool_, BalanceStrategy::kRecordBased);
-  VerifiableIndex b = VerifiableIndex::build(idx, *owner_ctx_, *owner_key_, small_config(),
+  IndexBuilder b = IndexBuilder::build(idx, *owner_ctx_, *owner_key_, small_config(),
                                              *pool_, BalanceStrategy::kTermBased);
   for (const auto& term : idx.dictionary()) {
     EXPECT_EQ(a.find(term)->attestation.stmt, b.find(term)->attestation.stmt) << term;
@@ -135,7 +135,7 @@ TEST_F(VIndexTest, AddDocumentsUpdatesEverything) {
   Corpus corpus = generate_corpus(
       SynthSpec{.name = "vt3", .num_docs = 30, .min_doc_words = 20,
                 .max_doc_words = 50, .vocab_size = 200, .zipf_s = 1.0, .seed = 12});
-  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), *owner_ctx_,
+  IndexBuilder vidx = IndexBuilder::build(InvertedIndex::build(corpus), *owner_ctx_,
                                                 *owner_key_, small_config(), *pool_);
   // New docs drawn from the same vocabulary plus one brand-new word.
   std::vector<Document> added;
@@ -170,7 +170,7 @@ TEST_F(VIndexTest, AddDocumentsUpdatesEverything) {
 
 TEST_F(VIndexTest, AddDocumentsRequiresTrapdoor) {
   Corpus corpus = generate_corpus(SynthSpec{.num_docs = 5, .vocab_size = 50, .seed = 13});
-  VerifiableIndex vidx = VerifiableIndex::build(InvertedIndex::build(corpus), *owner_ctx_,
+  IndexBuilder vidx = IndexBuilder::build(InvertedIndex::build(corpus), *owner_ctx_,
                                                 *owner_key_, small_config(), *pool_);
   std::vector<Document> docs = {Document{5, "x", "hello world"}};
   EXPECT_THROW(vidx.add_documents(docs, *pub_ctx_, *owner_key_), UsageError);

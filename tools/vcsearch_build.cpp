@@ -21,7 +21,7 @@
 #include "support/stopwatch.hpp"
 #include "support/threadpool.hpp"
 #include "text/synth.hpp"
-#include "vindex/verifiable_index.hpp"
+#include "vindex/index_builder.hpp"
 
 using namespace vc;
 
@@ -84,9 +84,9 @@ int main(int argc, char** argv) {
   ThreadPool pool;
   BuildStats stats;
   double build_s = 0;
-  VerifiableIndex vidx = [&] {
+  IndexBuilder vidx = [&] {
     ScopedTimer timer(build_s);
-    return VerifiableIndex::build(InvertedIndex::build(corpus), owner_ctx, owner_key,
+    return IndexBuilder::build(InvertedIndex::build(corpus), owner_ctx, owner_key,
                                   config, pool, BalanceStrategy::kRecordBased, &stats);
   }();
   std::printf("built verifiable index in %.2fs: %zu terms, %llu records\n"

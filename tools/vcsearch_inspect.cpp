@@ -7,7 +7,7 @@
 #include <cstring>
 #include <filesystem>
 
-#include "vindex/verifiable_index.hpp"
+#include "vindex/index_builder.hpp"
 
 using namespace vc;
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   std::size_t top = std::strtoul(arg_value(argc, argv, "--top", "10"), nullptr, 10);
 
   std::filesystem::path base(dir);
-  VerifiableIndex vidx = VerifiableIndex::load((base / "index.vc").string());
+  IndexBuilder vidx = IndexBuilder::load((base / "index.vc").string());
   const auto& cfg = vidx.config();
   std::printf("verifiable index: %s\n", (base / "index.vc").c_str());
   std::printf("  modulus          %zu bits\n", cfg.modulus_bits);

@@ -3,7 +3,14 @@
 // signed search responses over HTTP until interrupted.
 //
 //   vcsearch-serve --dir DIR [--port P] [--scheme hybrid|accumulator|bloom|interval]
+//                  [--shards N] [--max-inflight M]
+//
+// Requests are dispatched onto the worker pool (up to --max-inflight
+// concurrently; excess gets 503) and proofs are generated per shard when
+// --shards > 1 (also settable via VC_SHARDS).  SIGINT/SIGTERM drain
+// in-flight requests before exiting.
 #include <csignal>
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -11,6 +18,7 @@
 #include "crypto/standard_params.hpp"
 #include "protocol/http.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/index_builder.hpp"
 
 using namespace vc;
 
@@ -44,9 +52,18 @@ int main(int argc, char** argv) {
   std::uint16_t port = static_cast<std::uint16_t>(
       std::strtoul(arg_value(argc, argv, "--port", "8080"), nullptr, 10));
   SchemeKind scheme = parse_scheme(arg_value(argc, argv, "--scheme", "hybrid"));
+  const char* shards_env = std::getenv("VC_SHARDS");
+  std::size_t shards = std::strtoul(
+      arg_value(argc, argv, "--shards",
+                (shards_env != nullptr && *shards_env != '\0') ? shards_env : "1"),
+      nullptr, 10);
+  if (shards == 0) shards = 1;
+  std::size_t max_inflight =
+      std::strtoul(arg_value(argc, argv, "--max-inflight", "32"), nullptr, 10);
+  if (max_inflight == 0) max_inflight = 1;
 
   std::filesystem::path base(dir);
-  VerifiableIndex vidx = VerifiableIndex::load((base / "index.vc").string());
+  IndexBuilder vidx = IndexBuilder::load((base / "index.vc").string());
   SigningKey cloud_key = SigningKey::load((base / "cloud.key").string());
   SigningKey owner_key = SigningKey::load((base / "owner.key").string());
 
@@ -60,12 +77,16 @@ int main(int argc, char** argv) {
       standard_accumulator_modulus(vidx.config().modulus_bits).n,
       standard_qr_generator(vidx.config().modulus_bits)});
   ThreadPool pool;
-  CloudService cloud(vidx, cloud_ctx, cloud_key, owner_key.verify_key(), &pool, scheme);
-  HttpFrontend frontend(cloud, port);
+  SnapshotPtr snapshot = vidx.snapshot();
+  CloudService cloud(snapshot, cloud_ctx, cloud_key, owner_key.verify_key(), &pool,
+                     scheme, shards);
+  HttpFrontend frontend(cloud, port, &pool, max_inflight);
   frontend.start();
   std::printf("serving %s scheme on http://127.0.0.1:%u "
-              "(POST /search, GET /stats, GET /metrics)\n",
-              scheme_name(scheme), frontend.port());
+              "(POST /search, GET /stats, GET /metrics) "
+              "epoch=%llu shards=%zu max-inflight=%zu\n",
+              scheme_name(scheme), frontend.port(),
+              static_cast<unsigned long long>(snapshot->epoch()), shards, max_inflight);
 
   std::fflush(stdout);
   std::signal(SIGINT, handle_signal);
