@@ -1,5 +1,6 @@
 #include "primes/prime_cache.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "obs/metrics.hpp"
@@ -34,6 +35,7 @@ obs::Histogram& miss_stage() {
 PrimeCache::PrimeCache(PrimeRepConfig config) : gen_(std::move(config)) {}
 
 Bigint PrimeCache::get(std::uint64_t element) {
+  std::shared_ptr<const PrimeBacking> backing;
   {
     std::shared_lock lock(mu_);
     auto it = cache_.find(element);
@@ -41,6 +43,20 @@ Bigint PrimeCache::get(std::uint64_t element) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       lookup_hits().inc();
       return it->second;
+    }
+    backing = backing_;
+  }
+  // Map miss: consult the read-only backing tier before recomputing.  A
+  // backing hit still counts as a hit — no Miller–Rabin ran — and the
+  // entry is promoted so later lookups stay on the map fast path.
+  if (backing != nullptr) {
+    Bigint rep;
+    if (backing->lookup(element, rep)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lookup_hits().inc();
+      std::unique_lock lock(mu_);
+      cache_.emplace(element, rep);
+      return rep;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -55,11 +71,22 @@ Bigint PrimeCache::get(std::uint64_t element) {
 }
 
 bool PrimeCache::try_get(std::uint64_t element, Bigint& out) const {
-  std::shared_lock lock(mu_);
-  auto it = cache_.find(element);
-  if (it == cache_.end()) return false;
-  out = it->second;
-  return true;
+  std::shared_ptr<const PrimeBacking> backing;
+  {
+    std::shared_lock lock(mu_);
+    auto it = cache_.find(element);
+    if (it != cache_.end()) {
+      out = it->second;
+      return true;
+    }
+    backing = backing_;
+  }
+  return backing != nullptr && backing->lookup(element, out);
+}
+
+void PrimeCache::set_backing(std::shared_ptr<const PrimeBacking> backing) {
+  std::unique_lock lock(mu_);
+  backing_ = std::move(backing);
 }
 
 void PrimeCache::precompute(std::span<const std::uint64_t> elements, ThreadPool& pool) {
@@ -85,6 +112,18 @@ void PrimeCache::clear() {
 std::size_t PrimeCache::size() const {
   std::shared_lock lock(mu_);
   return cache_.size();
+}
+
+std::vector<std::pair<std::uint64_t, Bigint>> PrimeCache::sorted_entries() const {
+  std::vector<std::pair<std::uint64_t, Bigint>> out;
+  {
+    std::shared_lock lock(mu_);
+    out.reserve(cache_.size());
+    for (const auto& [k, v] : cache_) out.emplace_back(k, v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 void PrimeCache::write(ByteWriter& w) const {

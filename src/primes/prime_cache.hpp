@@ -10,8 +10,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <utility>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +23,19 @@
 namespace vc {
 
 class ThreadPool;
+
+// Read-only lookup tier behind the in-memory map.  Store-backed snapshots
+// (src/store) implement this over a memory-mapped sorted array so a cold
+// restart resolves known representatives without re-running Miller–Rabin,
+// yet without materializing the whole table up front.  Purely accelerative:
+// when a backing misses, get() falls back to computing the representative.
+// Implementations must be thread-safe.
+class PrimeBacking {
+ public:
+  virtual ~PrimeBacking() = default;
+  // Returns true and fills `out` if `element` is in the backing store.
+  [[nodiscard]] virtual bool lookup(std::uint64_t element, Bigint& out) const = 0;
+};
 
 class PrimeCache {
  public:
@@ -51,12 +66,22 @@ class PrimeCache {
   void write(ByteWriter& w) const;
   void read_into(ByteReader& r);
 
+  // Installs a read-only lookup tier consulted on map misses (see
+  // PrimeBacking).  Entries found there are promoted into the map and
+  // counted as hits — the representative was never recomputed.
+  void set_backing(std::shared_ptr<const PrimeBacking> backing);
+
+  // The map contents as (element, prime) pairs sorted by element — the
+  // epoch store serializes this into its binary-searchable prime sections.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Bigint>> sorted_entries() const;
+
   [[nodiscard]] const PrimeRepGenerator& generator() const { return gen_; }
 
  private:
   PrimeRepGenerator gen_;
   mutable std::shared_mutex mu_;
   std::unordered_map<std::uint64_t, Bigint> cache_;
+  std::shared_ptr<const PrimeBacking> backing_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -1,6 +1,7 @@
 #include "protocol/cloud.hpp"
 
 #include "obs/metrics.hpp"
+#include "store/epoch_store.hpp"
 #include "support/errors.hpp"
 #include "text/tokenizer.hpp"
 
@@ -84,6 +85,12 @@ void CloudService::publish(SnapshotPtr snapshot) {
       .inc();
   reg.gauge("vc_epoch", "", "Epoch of the newest published index snapshot")
       .set(static_cast<std::int64_t>(snapshot->epoch()));
+}
+
+std::uint64_t CloudService::publish_from(const store::EpochStore& store) {
+  store::OpenedEpoch opened = store.open_current();
+  publish(opened.snapshot);
+  return opened.snapshot->epoch();
 }
 
 CloudService::StatePtr CloudService::current_state() const {

@@ -27,6 +27,10 @@
 
 namespace vc {
 
+namespace store {
+class EpochStore;
+}  // namespace store
+
 namespace advtest {
 struct CloudAccess;
 }  // namespace advtest
@@ -47,6 +51,12 @@ class CloudService {
   // call while queries are being served concurrently; concurrent publishers
   // must be externally serialized (there is one owner).
   void publish(SnapshotPtr snapshot);
+
+  // Opens the store's CURRENT epoch (mmap-backed, lazily materialized) and
+  // publishes it into the shard slots — the cold-restart entry point.
+  // Throws the store's typed errors when the epoch is missing or damaged.
+  // Returns the published epoch number.
+  std::uint64_t publish_from(const store::EpochStore& store);
 
   // Throws VerifyError if the query signature is invalid.
   [[nodiscard]] SearchResponse handle(const SignedQuery& query);

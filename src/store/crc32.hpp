@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for the epoch store's
+// per-section integrity checks.
+//
+// The store favors CRC over a cryptographic hash on purpose: the sections it
+// guards are *already* covered by owner signatures for soundness — the CRC
+// only has to catch torn writes and bit rot fast enough to run on every
+// open, and a table-driven CRC sweeps a mapped file at memory speed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vc::store {
+
+// CRC of `data` continued from `seed` (pass the previous return value to
+// checksum discontiguous ranges as one stream).  Seed 0 starts a fresh CRC.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace vc::store

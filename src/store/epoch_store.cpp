@@ -1,0 +1,193 @@
+#include "store/epoch_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+
+namespace vc::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+obs::Counter& epochs_published() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_store_epochs_published_total", "", "Epochs atomically published to disk");
+  return c;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw StoreError(what + ": " + std::strerror(errno));
+}
+
+// Durably writes `data` to `path`: write + fsync + close.  The atomicity
+// comes from the caller's rename; this only guarantees the bytes are on
+// the platter before the rename makes them reachable.
+void write_file_synced(const fs::path& path, std::span<const std::uint8_t> data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot create " + path.string());
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      errno = err;
+      throw_errno("cannot write " + path.string());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("cannot fsync " + path.string());
+  }
+  ::close(fd);
+}
+
+// fsyncs a directory so the entries renamed into it survive a crash.
+void sync_dir(const fs::path& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("cannot open directory " + dir.string());
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("cannot fsync directory " + dir.string());
+  }
+  ::close(fd);
+}
+
+// "epoch-<20 decimal digits>" -> epoch number, or nullopt.
+std::optional<std::uint64_t> parse_epoch_dir(const std::string& name) {
+  constexpr std::string_view kPrefix = "epoch-";
+  if (name.size() != kPrefix.size() + 20 || name.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+EpochStore::EpochStore(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) throw StoreError("cannot create store root " + root_.string() + ": " + ec.message());
+}
+
+std::string EpochStore::epoch_dir_name(std::uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch-%020llu", static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+fs::path EpochStore::epoch_file(std::uint64_t epoch) const {
+  return root_ / epoch_dir_name(epoch) / kSnapshotFile;
+}
+
+fs::path EpochStore::publish(const IndexSnapshot& snap, std::uint32_t shard_count) {
+  const std::string dir_name = epoch_dir_name(snap.epoch());
+  const fs::path target = root_ / dir_name;
+
+  if (!fs::exists(target / kSnapshotFile)) {
+    Bytes data = encode_snapshot(snap, shard_count);
+    // Stage in a hidden temp directory; the pid suffix keeps concurrent
+    // publishers (two owner processes on one store) from colliding.
+    const fs::path tmp =
+        root_ / (".tmp-" + dir_name + "-" + std::to_string(::getpid()));
+    fs::remove_all(tmp);
+    fs::create_directories(tmp);
+    write_file_synced(tmp / kSnapshotFile, data);
+    sync_dir(tmp);
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec) {
+      // Lost a race to another publisher of the same epoch: their complete
+      // directory is as good as ours.
+      if (!fs::exists(target / kSnapshotFile)) {
+        throw StoreError("cannot publish " + target.string() + ": " + ec.message());
+      }
+      fs::remove_all(tmp);
+    }
+    sync_dir(root_);
+  }
+
+  // Advance CURRENT via the same write-then-rename dance.
+  const fs::path current_tmp = root_ / (std::string(kCurrentFile) + ".tmp");
+  const std::string pointer = dir_name + "\n";
+  write_file_synced(current_tmp,
+                    {reinterpret_cast<const std::uint8_t*>(pointer.data()), pointer.size()});
+  std::error_code ec;
+  fs::rename(current_tmp, root_ / kCurrentFile, ec);
+  if (ec) throw StoreError("cannot advance CURRENT: " + ec.message());
+  sync_dir(root_);
+  epochs_published().inc();
+  return target;
+}
+
+bool EpochStore::has_current() const { return fs::exists(root_ / kCurrentFile); }
+
+std::string EpochStore::read_current_name() const {
+  std::ifstream in(root_ / kCurrentFile);
+  if (!in) throw StoreCurrentError("missing in " + root_.string());
+  std::string name;
+  std::getline(in, name);
+  if (!parse_epoch_dir(name)) {
+    throw StoreCurrentError("malformed content \"" + name + "\"");
+  }
+  if (!fs::exists(root_ / name / kSnapshotFile)) {
+    throw StoreCurrentError("stale: names missing epoch " + name);
+  }
+  return name;
+}
+
+std::optional<std::uint64_t> EpochStore::current_epoch() const {
+  if (!has_current()) return std::nullopt;
+  return parse_epoch_dir(read_current_name());
+}
+
+std::vector<std::uint64_t> EpochStore::epochs() const {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (!entry.is_directory()) continue;
+    if (auto e = parse_epoch_dir(entry.path().filename().string())) {
+      if (fs::exists(entry.path() / kSnapshotFile)) out.push_back(*e);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+OpenedEpoch EpochStore::open_current(const Digest* expected_fingerprint) const {
+  const std::string name = read_current_name();
+  auto file = std::make_shared<const MappedFile>(root_ / name / kSnapshotFile);
+  return open_snapshot(std::move(file), expected_fingerprint);
+}
+
+OpenedEpoch EpochStore::open_epoch(std::uint64_t epoch,
+                                   const Digest* expected_fingerprint) const {
+  const fs::path path = epoch_file(epoch);
+  if (!fs::exists(path)) {
+    throw StoreError("epoch " + std::to_string(epoch) + " is not in " + root_.string());
+  }
+  auto file = std::make_shared<const MappedFile>(path);
+  return open_snapshot(std::move(file), expected_fingerprint);
+}
+
+}  // namespace vc::store

@@ -1,0 +1,76 @@
+// Persistent, crash-safe store of published epochs.
+//
+// Directory layout under the store root:
+//
+//   root/
+//     CURRENT                      -> "epoch-00000000000000000042\n"
+//     epoch-00000000000000000042/
+//       snapshot.vcs               (format.hpp layout)
+//     epoch-00000000000000000043/
+//       snapshot.vcs
+//
+// Publication is atomic at two levels.  The epoch file is written into a
+// hidden temp directory, fsynced, and the whole directory rename(2)d into
+// place — a crash mid-write leaves only a temp directory that no reader
+// ever looks at.  The CURRENT pointer is then replaced by writing
+// CURRENT.tmp and renaming it over CURRENT — readers see either the old
+// epoch or the new one, never a torn pointer.  A cold restart therefore
+// always finds a complete, checksummed epoch (or an empty store).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/snapshot_codec.hpp"
+
+namespace vc::store {
+
+class EpochStore {
+ public:
+  // Opens (creating if needed) the store rooted at `root`.
+  explicit EpochStore(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+  // Serializes `snap` and atomically publishes it as its epoch, advancing
+  // CURRENT.  Re-publishing an epoch that is already on disk only advances
+  // the pointer (the existing file is trusted — it was fsynced before its
+  // rename).  Returns the epoch directory.
+  std::filesystem::path publish(const IndexSnapshot& snap, std::uint32_t shard_count);
+
+  // True when CURRENT exists (the store has at least one published epoch).
+  [[nodiscard]] bool has_current() const;
+
+  // Epoch number CURRENT points at; nullopt when the store is empty.
+  // Throws StoreCurrentError when CURRENT exists but is malformed or names
+  // a directory that is not on disk (a stale pointer).
+  [[nodiscard]] std::optional<std::uint64_t> current_epoch() const;
+
+  // All epochs present on disk, ascending (published or not yet pointed at).
+  [[nodiscard]] std::vector<std::uint64_t> epochs() const;
+
+  // Opens the epoch CURRENT points at / a specific epoch, fully validated
+  // (see open_snapshot).  Throws StoreCurrentError when the pointer is
+  // missing or stale.
+  [[nodiscard]] OpenedEpoch open_current(const Digest* expected_fingerprint = nullptr) const;
+  [[nodiscard]] OpenedEpoch open_epoch(std::uint64_t epoch,
+                                       const Digest* expected_fingerprint = nullptr) const;
+
+  // Path of an epoch's snapshot file (existing or not).
+  [[nodiscard]] std::filesystem::path epoch_file(std::uint64_t epoch) const;
+
+  static constexpr const char* kSnapshotFile = "snapshot.vcs";
+  static constexpr const char* kCurrentFile = "CURRENT";
+  // Zero-padded so lexicographic directory order is epoch order.
+  static std::string epoch_dir_name(std::uint64_t epoch);
+
+ private:
+  [[nodiscard]] std::string read_current_name() const;  // throws if missing/bad
+
+  std::filesystem::path root_;
+};
+
+}  // namespace vc::store

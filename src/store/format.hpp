@@ -1,0 +1,101 @@
+// On-disk format of a persisted epoch (docs/PERSISTENCE.md).
+//
+// One file per epoch, `snapshot.vcs`, inside its per-epoch directory:
+//
+//   [ header          | kHeaderBytes, fixed-width little-endian ]
+//   [ section table   | section_count × kSectionEntryBytes      ]
+//   [ section 0 bytes | ...                                     ]
+//   [ section 1 bytes | ...  (contiguous, no padding)           ]
+//
+// Sections are butt-joined so that every byte after the table is covered by
+// exactly one per-section CRC — a flipped bit anywhere in the payload is
+// caught at open.  The header carries its own CRC over the section table,
+// and the param fingerprint (SHA-256 of the canonical config encoding) must
+// match the config section, so a header transplanted from another store is
+// rejected before any payload is trusted.
+//
+// Format stability: readers reject any file whose magic or format_version
+// they do not know.  Additive evolution bumps kFormatVersion.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/errors.hpp"
+
+namespace vc::store {
+
+// --- errors ------------------------------------------------------------------
+// Each rejection class is a distinct type so operators (and the corruption
+// tests) can tell a torn write from a parameter mix-up from a stale pointer.
+
+// Base for every epoch-store failure.
+class StoreError : public Error {
+ public:
+  explicit StoreError(const std::string& what) : Error("store: " + what) {}
+};
+
+// Checksum or structural mismatch inside an epoch file (bit rot, torn
+// write, transplanted header).
+class StoreCorruptError : public StoreError {
+ public:
+  explicit StoreCorruptError(const std::string& what)
+      : StoreError("corrupt epoch: " + what) {}
+};
+
+// The file is shorter than its header claims (interrupted write that
+// somehow bypassed the atomic-rename protocol, or external truncation).
+class StoreTruncatedError : public StoreError {
+ public:
+  explicit StoreTruncatedError(const std::string& what)
+      : StoreError("truncated epoch: " + what) {}
+};
+
+// The epoch was written under different index/crypto parameters than the
+// caller (or the file's own config section) expects.
+class StoreParamMismatchError : public StoreError {
+ public:
+  explicit StoreParamMismatchError(const std::string& what)
+      : StoreError("param fingerprint mismatch: " + what) {}
+};
+
+// The CURRENT pointer is missing, malformed, or names an epoch directory
+// that does not exist (stale pointer surviving a partial cleanup).
+class StoreCurrentError : public StoreError {
+ public:
+  explicit StoreCurrentError(const std::string& what)
+      : StoreError("CURRENT pointer: " + what) {}
+};
+
+// --- layout constants --------------------------------------------------------
+
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'C', 'E', 'P',
+                                                       'O', 'C', 'H', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 96;
+inline constexpr std::size_t kSectionEntryBytes = 32;
+inline constexpr std::size_t kFingerprintOffset = 32;  // 32-byte SHA-256 digest
+
+// Section identifiers.  Order in the file follows this enumeration.
+enum class SectionId : std::uint32_t {
+  kConfig = 1,       // VerifiableIndexConfig, canonical encoding
+  kDictionary = 2,   // DictionaryIntervals + DictAttestation
+  kTermDirectory = 3,  // max_posting_count + per-term (name, offset, size)
+  kEntries = 4,      // concatenated per-term entry blobs (lazy-parsed)
+  kTuplePrimes = 5,  // sorted (u64 key, prime) arrays for binary search
+  kDocPrimes = 6,
+};
+
+inline const char* section_name(SectionId id) {
+  switch (id) {
+    case SectionId::kConfig: return "config";
+    case SectionId::kDictionary: return "dictionary";
+    case SectionId::kTermDirectory: return "term-directory";
+    case SectionId::kEntries: return "entries";
+    case SectionId::kTuplePrimes: return "tuple-primes";
+    case SectionId::kDocPrimes: return "doc-primes";
+  }
+  return "unknown";
+}
+
+}  // namespace vc::store

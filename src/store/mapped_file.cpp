@@ -1,0 +1,44 @@
+#include "store/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "store/format.hpp"
+
+namespace vc::store {
+
+MappedFile::MappedFile(const std::filesystem::path& path) : path_(path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw StoreError("cannot open " + path.string() + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw StoreError("cannot stat " + path.string() + ": " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      throw StoreError("cannot mmap " + path.string() + ": " + std::strerror(err));
+    }
+    data_ = p;
+  }
+  // The mapping pins the inode; the descriptor is no longer needed.
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace vc::store

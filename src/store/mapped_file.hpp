@@ -1,0 +1,41 @@
+// Read-only memory-mapped file (RAII over open(2) + mmap(2)).
+//
+// The serving side holds a published epoch through one of these: the large
+// flat payloads (posting lists, interval members, prime representatives,
+// signed statements) are consumed as zero-copy spans into the mapping, and
+// the kernel pages them in on first touch — a cold restart therefore costs
+// O(touched terms), not O(index bytes).  The mapping stays valid for the
+// object's lifetime; every structure parsed out of it keeps a shared_ptr to
+// the MappedFile so a snapshot can outlive the store that opened it.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+
+namespace vc::store {
+
+class MappedFile {
+ public:
+  // Maps the whole file read-only.  Throws StoreError (see epoch_store.hpp)
+  // when the file cannot be opened or mapped; an empty file maps to an
+  // empty span.
+  explicit MappedFile(const std::filesystem::path& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {static_cast<const std::uint8_t*>(data_), size_};
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vc::store

@@ -1,0 +1,69 @@
+// Serialization of IndexSnapshot to/from the epoch-file layout (format.hpp).
+//
+// encode_snapshot() flattens a frozen snapshot — per-term entries, the
+// dictionary gap structure, both prime caches — into one self-describing
+// buffer.  open_snapshot() is the other direction, but deliberately NOT a
+// full parse: it validates the header, section CRCs and param fingerprint,
+// eagerly decodes only the small sections (config, dictionary, term
+// directory), and hands back a lazy IndexSnapshot whose per-term entries
+// and prime representatives materialize from the mapping on first touch.
+// Cold-start cost is therefore O(terms) string table + O(touched terms)
+// entry parses, not O(index bytes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hash/sha256.hpp"
+#include "store/format.hpp"
+#include "store/mapped_file.hpp"
+#include "vindex/index_snapshot.hpp"
+
+namespace vc::store {
+
+// SHA-256 of the canonical VerifiableIndexConfig encoding; stamped into the
+// header so mixing epochs across parameter sets fails before any payload
+// parse.
+Digest param_fingerprint(const VerifiableIndexConfig& config);
+
+// Serializes `snap` into the epoch-file byte layout.  `shard_count` records
+// the serving topology the epoch was published under (informational; the
+// serving side may re-shard).
+Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count);
+
+// A validated, opened epoch.  The snapshot holds the mapping alive through
+// shared_ptr, so the OpenedEpoch struct itself may be discarded.
+struct OpenedEpoch {
+  SnapshotPtr snapshot;
+  std::uint32_t shard_count = 0;
+  std::shared_ptr<const MappedFile> file;
+};
+
+// Validates every structural invariant (magic, version, size, table CRC,
+// section bounds, per-section CRCs, fingerprint-vs-config) and returns the
+// lazy snapshot.  Throws the distinct StoreError subclasses on rejection;
+// when `expected_fingerprint` is non-null it must additionally match the
+// file's (StoreParamMismatchError otherwise).
+OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file,
+                          const Digest* expected_fingerprint = nullptr);
+
+// Header/section dump for tooling (vcsearch-inspect).  Checks structure and
+// CRCs but never decodes payloads; `crc_ok` is per-section.
+struct SectionInfo {
+  SectionId id{};
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  bool crc_ok = false;
+};
+struct StoreFileInfo {
+  std::uint32_t format_version = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t shard_count = 0;
+  Digest param_fingerprint{};
+  std::uint64_t file_bytes = 0;
+  std::vector<SectionInfo> sections;
+};
+StoreFileInfo inspect_file(const MappedFile& file);
+
+}  // namespace vc::store

@@ -144,32 +144,10 @@ double IndexBuilder::rebuild_dictionary(const AccumulatorContext& owner_ctx,
   return sw.seconds();
 }
 
-namespace {
-
-void write_config(ByteWriter& w, const VerifiableIndexConfig& cfg) {
-  w.varint(cfg.modulus_bits);
-  w.varint(cfg.rep_bits);
-  w.varint(cfg.interval_size);
-  w.varint(static_cast<std::uint64_t>(cfg.prime_mr_rounds));
-  cfg.bloom.write(w);
-}
-
-VerifiableIndexConfig read_config(ByteReader& r) {
-  VerifiableIndexConfig cfg;
-  cfg.modulus_bits = r.varint();
-  cfg.rep_bits = r.varint();
-  cfg.interval_size = r.varint();
-  cfg.prime_mr_rounds = static_cast<int>(r.varint());
-  cfg.bloom = BloomParams::read(r);
-  return cfg;
-}
-
-}  // namespace
-
 void IndexBuilder::save(const std::string& path, bool include_prime_caches) const {
   ByteWriter w;
   w.str("vc.verifiable-index.v2");
-  write_config(w, config_);
+  config_.write(w);
   w.u64(epoch_);
   index_.write(w);
   w.varint(entries_.size());
@@ -200,7 +178,7 @@ IndexBuilder IndexBuilder::load(const std::string& path) {
   Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   ByteReader r(data);
   if (r.str() != "vc.verifiable-index.v2") throw ParseError("bad verifiable-index tag");
-  IndexBuilder vidx(read_config(r));
+  IndexBuilder vidx(VerifiableIndexConfig::read(r));
   vidx.epoch_ = r.u64();
   vidx.index_ = InvertedIndex::read(r);
   std::uint64_t n = r.varint();

@@ -1,6 +1,26 @@
 #include "vindex/index_snapshot.hpp"
 
+#include <algorithm>
+
 namespace vc {
+
+void VerifiableIndexConfig::write(ByteWriter& w) const {
+  w.varint(modulus_bits);
+  w.varint(rep_bits);
+  w.varint(interval_size);
+  w.varint(static_cast<std::uint64_t>(prime_mr_rounds));
+  bloom.write(w);
+}
+
+VerifiableIndexConfig VerifiableIndexConfig::read(ByteReader& r) {
+  VerifiableIndexConfig cfg;
+  cfg.modulus_bits = r.varint();
+  cfg.rep_bits = r.varint();
+  cfg.interval_size = r.varint();
+  cfg.prime_mr_rounds = static_cast<int>(r.varint());
+  cfg.bloom = BloomParams::read(r);
+  return cfg;
+}
 
 IndexSnapshot::IndexSnapshot(VerifiableIndexConfig config, std::uint64_t epoch,
                              EntryMap entries,
@@ -20,7 +40,37 @@ IndexSnapshot::IndexSnapshot(VerifiableIndexConfig config, std::uint64_t epoch,
   }
 }
 
+IndexSnapshot::IndexSnapshot(VerifiableIndexConfig config, std::uint64_t epoch,
+                             std::vector<std::string> terms,
+                             std::shared_ptr<const EntrySource> source,
+                             std::size_t max_posting_count,
+                             std::shared_ptr<const DictionaryIntervals> dict,
+                             std::shared_ptr<const DictAttestation> dict_attestation,
+                             std::shared_ptr<PrimeCache> tuple_primes,
+                             std::shared_ptr<PrimeCache> doc_primes)
+    : config_(config),
+      epoch_(epoch),
+      dict_(std::move(dict)),
+      dict_attestation_(std::move(dict_attestation)),
+      tuple_primes_(std::move(tuple_primes)),
+      doc_primes_(std::move(doc_primes)),
+      max_posting_count_(max_posting_count),
+      source_(std::move(source)) {
+  for (std::string& t : terms) entries_.emplace(std::move(t), nullptr);
+  lazy_terms_.reserve(entries_.size());
+  for (const auto& [term, e] : entries_) lazy_terms_.push_back(term);
+  lazy_slots_ = std::make_unique<LazySlot[]>(lazy_terms_.size());
+}
+
 const IndexEntry* IndexSnapshot::find(std::string_view term) const {
+  if (source_ != nullptr) {
+    auto it = std::lower_bound(lazy_terms_.begin(), lazy_terms_.end(), term);
+    if (it == lazy_terms_.end() || *it != term) return nullptr;
+    auto rank = static_cast<std::size_t>(it - lazy_terms_.begin());
+    LazySlot& slot = lazy_slots_[rank];
+    std::call_once(slot.once, [&] { slot.entry = source_->load(rank, *it); });
+    return slot.entry.get();
+  }
   auto it = entries_.find(term);
   return it == entries_.end() ? nullptr : it->second.get();
 }

@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "bloom/counting_bloom.hpp"
 #include "index/inverted_index.hpp"
@@ -44,6 +46,11 @@ struct VerifiableIndexConfig {
   [[nodiscard]] PrimeRepConfig dict_prime_config() const {
     return PrimeRepConfig{.rep_bits = rep_bits, .domain = "vc.dict", .mr_rounds = prime_mr_rounds};
   }
+
+  // Canonical encoding (shared by the builder artifact and the epoch
+  // store's config section; the store's param fingerprint hashes it).
+  void write(ByteWriter& w) const;
+  static VerifiableIndexConfig read(ByteReader& r);
 };
 
 // Everything the cloud holds for one indexed term.  Entries are immutable
@@ -58,11 +65,39 @@ struct IndexEntry {
   BloomAttestation bloom_attestation;
 };
 
+// Materializes one term's IndexEntry on first touch.  Store-backed
+// snapshots (src/store) implement this over a memory-mapped epoch file so a
+// cold restart parses only the terms queries actually reach; the returned
+// entry is cached in the snapshot and shared by every later find().
+// Implementations must be thread-safe and return a non-null entry for every
+// rank the snapshot was constructed with.
+class EntrySource {
+ public:
+  virtual ~EntrySource() = default;
+  // `rank` is the term's position in the snapshot's sorted term list.
+  [[nodiscard]] virtual std::shared_ptr<const IndexEntry> load(
+      std::size_t rank, std::string_view term) const = 0;
+};
+
 class IndexSnapshot {
  public:
   using EntryMap = std::map<std::string, std::shared_ptr<const IndexEntry>, std::less<>>;
 
   IndexSnapshot(VerifiableIndexConfig config, std::uint64_t epoch, EntryMap entries,
+                std::shared_ptr<const DictionaryIntervals> dict,
+                std::shared_ptr<const DictAttestation> dict_attestation,
+                std::shared_ptr<PrimeCache> tuple_primes,
+                std::shared_ptr<PrimeCache> doc_primes);
+
+  // Lazy (store-backed) snapshot: `terms` is the sorted term list,
+  // `source` materializes entries on first find(), and max_posting_count
+  // comes from the store header (the entries are not scanned at open).
+  // entries() exposes the term set with null values until touched — the
+  // serving core only reads its keys; consumers that need entry data go
+  // through find().
+  IndexSnapshot(VerifiableIndexConfig config, std::uint64_t epoch,
+                std::vector<std::string> terms, std::shared_ptr<const EntrySource> source,
+                std::size_t max_posting_count,
                 std::shared_ptr<const DictionaryIntervals> dict,
                 std::shared_ptr<const DictAttestation> dict_attestation,
                 std::shared_ptr<PrimeCache> tuple_primes,
@@ -86,6 +121,14 @@ class IndexSnapshot {
   [[nodiscard]] std::size_t max_posting_count() const { return max_posting_count_; }
 
  private:
+  // One lazily-filled entry slot.  call_once publishes the materialized
+  // entry with the synchronization find() needs to hand it to concurrent
+  // readers without further locking.
+  struct LazySlot {
+    std::once_flag once;
+    std::shared_ptr<const IndexEntry> entry;
+  };
+
   VerifiableIndexConfig config_;
   std::uint64_t epoch_ = 0;
   EntryMap entries_;
@@ -94,6 +137,11 @@ class IndexSnapshot {
   std::shared_ptr<PrimeCache> tuple_primes_;
   std::shared_ptr<PrimeCache> doc_primes_;
   std::size_t max_posting_count_ = 0;
+
+  // Lazy mode only (store-backed snapshots).
+  std::shared_ptr<const EntrySource> source_;
+  std::vector<std::string_view> lazy_terms_;  // sorted views into entries_ keys
+  mutable std::unique_ptr<LazySlot[]> lazy_slots_;
 };
 
 using SnapshotPtr = std::shared_ptr<const IndexSnapshot>;

@@ -1,0 +1,85 @@
+#!/bin/sh
+# Cold-restart gate: a server SIGKILLed mid-flight must come back from the
+# persistent epoch store alone — no builder artifact — and serve a proof
+# byte-identical to the one captured before the crash.
+# Usage: cold_restart_test.sh <build-dir>
+# Set VC_COLD_RESTART_WORK to keep the work dir (CI uploads it on failure).
+set -e
+BUILD="$1"
+if [ -n "$VC_COLD_RESTART_WORK" ]; then
+  WORK="$VC_COLD_RESTART_WORK"
+  mkdir -p "$WORK"
+  trap 'kill -9 $SERVE_PID 2>/dev/null || true' EXIT
+else
+  WORK=$(mktemp -d)
+  trap 'kill -9 $SERVE_PID 2>/dev/null || true; rm -rf "$WORK" || true' EXIT
+fi
+
+"$BUILD/tools/vcsearch-build" --out "$WORK" --synth 60 --seed 9 \
+    --modulus-bits 512 --rep-bits 64 --interval 8 > "$WORK/build.log"
+grep -q "built verifiable index" "$WORK/build.log"
+
+wait_serving() {
+  tries=0
+  until grep -q "serving" "$1" 2>/dev/null; do
+    tries=$((tries + 1))
+    test $tries -lt 100 || { echo "server never came up"; cat "$1"; exit 1; }
+    sleep 0.2
+  done
+}
+
+# First boot: no epoch on disk yet, so the server loads the builder
+# artifact and seeds the store.
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --store "$WORK/store" --port 0 \
+    > "$WORK/serve1.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/serve1.log"
+grep -q "store: published epoch 1" "$WORK/serve1.log"
+test -f "$WORK/store/CURRENT"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve1.log" | head -1)
+
+WORDS=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK" --top 2 | grep ' docs' | awk '{print $1}')
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" \
+    --dump "$WORK/proof1.bin" $WORDS > "$WORK/q1.log"
+grep -q "VERIFIED" "$WORK/q1.log"
+test -s "$WORK/proof1.bin"
+
+# The crash: SIGKILL, no shutdown path runs.
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+
+# Prove the restart needs only the store: hide the builder artifact.
+mv "$WORK/index.vc" "$WORK/index.vc.hidden"
+
+# The epoch on disk must pass structural validation (header + CRCs).
+"$BUILD/tools/vcsearch-inspect" --store "$WORK/store" > "$WORK/inspect.log"
+grep -q "CURRENT          epoch 1" "$WORK/inspect.log"
+if grep -q "BAD" "$WORK/inspect.log"; then
+  echo "CRC damage after restart"; exit 1
+fi
+
+# Second boot: cold start from the mapped epoch.
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --store "$WORK/store" --port 0 \
+    > "$WORK/serve2.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/serve2.log"
+grep -q "store: restored epoch 1" "$WORK/serve2.log"
+grep -q "epoch=1" "$WORK/serve2.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve2.log" | head -1)
+
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" \
+    --dump "$WORK/proof2.bin" $WORDS > "$WORK/q2.log"
+grep -q "VERIFIED" "$WORK/q2.log"
+
+# The headline assertion: the post-restart proof is byte-identical.
+cmp "$WORK/proof1.bin" "$WORK/proof2.bin" || {
+  echo "proofs differ across restart"; exit 1; }
+
+# Unknown keywords still get dictionary gap proofs from the mapped epoch.
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" zzznotaword > "$WORK/q3.log"
+grep -q "not in the indexed dictionary" "$WORK/q3.log"
+
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+mv "$WORK/index.vc.hidden" "$WORK/index.vc"
+echo "cold_restart OK"

@@ -1,0 +1,266 @@
+// Persistent epoch store: round-trip fidelity, crash-safe publication, and
+// rejection of every corruption class with its own error type.
+//
+// The load-bearing property is byte identity: a snapshot serialized to
+// disk, reopened through mmap and served must produce responses whose
+// canonical encodings equal the in-memory snapshot's bit for bit — that is
+// what lets the CI restart gate diff proofs across a SIGKILL.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "store/epoch_store.hpp"
+#include "test_fixtures.hpp"
+#include "text/stemmer.hpp"
+#include "text/synth.hpp"
+
+namespace vc {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes encode_response(const SearchResponse& resp) {
+  ByteWriter w;
+  resp.write(w);
+  return std::move(w).take();
+}
+
+void flip_byte(const fs::path& file, std::size_t offset) {
+  std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x01);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthSpec spec{.name = "st", .num_docs = 60, .min_doc_words = 25,
+                   .max_doc_words = 60, .vocab_size = 250, .zipf_s = 0.9, .seed = 77};
+    bed_ = new testbed::TestBed(spec, testbed::small_config(256, "store"),
+                                /*key_seed=*/601, /*threads=*/2);
+    root_ = new fs::path(fs::path(::testing::TempDir()) / "vc_store_test");
+    fs::remove_all(*root_);
+    store::EpochStore store(*root_);
+    // Pin the published epoch's state: one test mutates the shared builder,
+    // and every other test must keep comparing against what went to disk.
+    mem_snap_ = new SnapshotPtr(bed_->vidx.snapshot());
+    prime_entries_ =
+        new std::vector<std::pair<std::uint64_t, Bigint>>(bed_->vidx.tuple_primes().sorted_entries());
+    store.publish(**mem_snap_, /*shard_count=*/2);
+  }
+  static void TearDownTestSuite() {
+    fs::remove_all(*root_);
+    delete prime_entries_;
+    delete mem_snap_;
+    delete root_;
+    delete bed_;
+    bed_ = nullptr;
+    root_ = nullptr;
+    mem_snap_ = nullptr;
+    prime_entries_ = nullptr;
+  }
+
+  static fs::path current_file() {
+    store::EpochStore store(*root_);
+    return store.epoch_file(store.current_epoch().value());
+  }
+
+  // A byte-identical scratch copy of the published epoch to damage.
+  static fs::path scratch_copy(const std::string& tag) {
+    fs::path dst = *root_ / ("scratch-" + tag + ".vcs");
+    fs::copy_file(current_file(), dst, fs::copy_options::overwrite_existing);
+    return dst;
+  }
+
+  static store::OpenedEpoch open_file(const fs::path& p,
+                                      const Digest* expected = nullptr) {
+    return store::open_snapshot(std::make_shared<const store::MappedFile>(p), expected);
+  }
+
+  static testbed::TestBed* bed_;
+  static fs::path* root_;
+  static SnapshotPtr* mem_snap_;
+  static std::vector<std::pair<std::uint64_t, Bigint>>* prime_entries_;
+};
+
+testbed::TestBed* StoreTest::bed_ = nullptr;
+fs::path* StoreTest::root_ = nullptr;
+SnapshotPtr* StoreTest::mem_snap_ = nullptr;
+std::vector<std::pair<std::uint64_t, Bigint>>* StoreTest::prime_entries_ = nullptr;
+
+TEST_F(StoreTest, RoundTripProofsAreByteIdentical) {
+  SnapshotPtr mem = *mem_snap_;
+  store::OpenedEpoch opened = store::EpochStore(*root_).open_current();
+  ASSERT_NE(opened.snapshot, nullptr);
+  EXPECT_EQ(opened.snapshot->epoch(), mem->epoch());
+  EXPECT_EQ(opened.snapshot->term_count(), mem->term_count());
+  EXPECT_EQ(opened.snapshot->max_posting_count(), mem->max_posting_count());
+  EXPECT_EQ(opened.shard_count, 2u);
+
+  SearchEngine mem_engine(mem, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+  SearchEngine map_engine(opened.snapshot, bed_->pub_ctx, bed_->cloud_key, &bed_->pool);
+  ResultVerifier verifier = bed_->owner_verifier();
+
+  auto words = bed_->frequent_terms(3);
+  std::uint64_t id = 1;
+  for (SchemeKind scheme : {SchemeKind::kHybrid, SchemeKind::kAccumulator,
+                            SchemeKind::kBloom, SchemeKind::kIntervalAccumulator}) {
+    Query q{.id = id++, .keywords = {words[0], words[1]}};
+    SearchResponse from_mem = mem_engine.search(q, scheme);
+    SearchResponse from_map = map_engine.search(q, scheme);
+    EXPECT_NO_THROW(verifier.verify(from_map)) << scheme_name(scheme);
+    EXPECT_EQ(encode_response(from_mem), encode_response(from_map))
+        << scheme_name(scheme);
+  }
+
+  // Unknown keyword: the dictionary gap proof must survive the round trip too.
+  Query unknown{.id = id, .keywords = {"zzzunindexedzzz"}};
+  SearchResponse from_mem = mem_engine.search(unknown, SchemeKind::kHybrid);
+  SearchResponse from_map = map_engine.search(unknown, SchemeKind::kHybrid);
+  EXPECT_NO_THROW(verifier.verify(from_map));
+  EXPECT_EQ(encode_response(from_mem), encode_response(from_map));
+}
+
+TEST_F(StoreTest, LazySnapshotMaterializesOnDemand) {
+  store::OpenedEpoch opened = store::EpochStore(*root_).open_current();
+  const IndexSnapshot& snap = *opened.snapshot;
+  EXPECT_EQ(snap.find("zzznotthere"), nullptr);
+  std::string term = porter_stem(bed_->frequent_terms(1)[0]);
+  const IndexEntry* first = snap.find(term);
+  ASSERT_NE(first, nullptr);
+  // Second touch returns the cached materialization, not a fresh parse.
+  EXPECT_EQ(snap.find(term), first);
+  // The mapped entry equals the in-memory one where it matters.
+  const IndexEntry* mem = (*mem_snap_)->find(term);
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(first->postings.size(), mem->postings.size());
+  EXPECT_EQ(first->attestation.stmt.encode(), mem->attestation.stmt.encode());
+}
+
+TEST_F(StoreTest, MappedPrimeBackingServesWithoutRecompute) {
+  store::OpenedEpoch opened = store::EpochStore(*root_).open_current();
+  PrimeCache& map_primes = opened.snapshot->tuple_primes();
+  const auto& entries = *prime_entries_;
+  ASSERT_FALSE(entries.empty());
+  std::uint64_t misses_before = map_primes.misses();
+  // Spot-check across the key range, including both ends.
+  for (std::size_t i : {std::size_t{0}, entries.size() / 2, entries.size() - 1}) {
+    EXPECT_EQ(map_primes.get(entries[i].first), entries[i].second);
+  }
+  EXPECT_EQ(map_primes.misses(), misses_before);  // backing hits, no Miller–Rabin
+  Bigint out;
+  EXPECT_FALSE(map_primes.try_get(0xdeadbeefdeadbeefull, out));
+}
+
+TEST_F(StoreTest, SecondPublishAdvancesCurrentAndKeepsOldEpoch) {
+  fs::path root = fs::path(::testing::TempDir()) / "vc_store_epochs";
+  fs::remove_all(root);
+  store::EpochStore store(root);
+  EXPECT_FALSE(store.has_current());
+  EXPECT_THROW(store.open_current(), store::StoreCurrentError);
+
+  SnapshotPtr first = *mem_snap_;
+  store.publish(*first, 1);
+  ASSERT_EQ(store.current_epoch(), first->epoch());
+
+  std::vector<Document> docs = {Document{
+      900, "new", synth_word(bed_->spec, 0) + " " + synth_word(bed_->spec, 1)}};
+  bed_->vidx.add_documents(docs, bed_->owner_ctx, bed_->owner_key);
+  SnapshotPtr second = bed_->vidx.snapshot();
+  ASSERT_GT(second->epoch(), first->epoch());
+  store.publish(*second, 1);
+
+  EXPECT_EQ(store.current_epoch(), second->epoch());
+  EXPECT_EQ(store.epochs(), (std::vector<std::uint64_t>{first->epoch(), second->epoch()}));
+  // The superseded epoch stays openable (rollback / audit).
+  store::OpenedEpoch old_epoch = store.open_epoch(first->epoch());
+  EXPECT_EQ(old_epoch.snapshot->epoch(), first->epoch());
+  store::OpenedEpoch cur = store.open_current();
+  EXPECT_EQ(cur.snapshot->epoch(), second->epoch());
+  fs::remove_all(root);
+}
+
+TEST_F(StoreTest, FlippedPayloadByteIsCorrupt) {
+  fs::path p = scratch_copy("flip");
+  // Past header + section table: guaranteed payload territory.
+  flip_byte(p, fs::file_size(p) - 7);
+  EXPECT_THROW(open_file(p), store::StoreCorruptError);
+}
+
+TEST_F(StoreTest, TruncatedFileIsTruncated) {
+  fs::path p = scratch_copy("trunc");
+  fs::resize_file(p, fs::file_size(p) / 2);
+  EXPECT_THROW(open_file(p), store::StoreTruncatedError);
+  fs::path tiny = scratch_copy("tiny");
+  fs::resize_file(tiny, store::kHeaderBytes / 2);
+  EXPECT_THROW(open_file(tiny), store::StoreTruncatedError);
+}
+
+TEST_F(StoreTest, FlippedFingerprintIsParamMismatch) {
+  fs::path p = scratch_copy("fp");
+  flip_byte(p, store::kFingerprintOffset);
+  EXPECT_THROW(open_file(p), store::StoreParamMismatchError);
+}
+
+TEST_F(StoreTest, WrongExpectedFingerprintIsParamMismatch) {
+  VerifiableIndexConfig other = bed_->config;
+  other.interval_size += 1;
+  Digest expected = store::param_fingerprint(other);
+  EXPECT_THROW(open_file(current_file(), &expected), store::StoreParamMismatchError);
+  // The matching fingerprint passes the same gate.
+  Digest right = store::param_fingerprint(bed_->config);
+  EXPECT_NO_THROW(open_file(current_file(), &right));
+}
+
+TEST_F(StoreTest, BadMagicIsCorrupt) {
+  fs::path p = scratch_copy("magic");
+  flip_byte(p, 0);
+  EXPECT_THROW(open_file(p), store::StoreCorruptError);
+}
+
+TEST_F(StoreTest, StaleCurrentPointerIsCurrentError) {
+  fs::path root = fs::path(::testing::TempDir()) / "vc_store_stale";
+  fs::remove_all(root);
+  store::EpochStore store(root);
+  store.publish(*bed_->vidx.snapshot(), 1);
+  {
+    std::ofstream current(root / store::EpochStore::kCurrentFile, std::ios::trunc);
+    current << store::EpochStore::epoch_dir_name(999) << "\n";
+  }
+  EXPECT_THROW(store.open_current(), store::StoreCurrentError);
+  {
+    std::ofstream current(root / store::EpochStore::kCurrentFile, std::ios::trunc);
+    current << "not-an-epoch\n";
+  }
+  EXPECT_THROW(store.open_current(), store::StoreCurrentError);
+  fs::remove_all(root);
+}
+
+TEST_F(StoreTest, InspectReportsLayoutAndCrcVerdicts) {
+  store::MappedFile file(current_file());
+  store::StoreFileInfo info = store::inspect_file(file);
+  EXPECT_EQ(info.format_version, store::kFormatVersion);
+  EXPECT_EQ(info.epoch, (*mem_snap_)->epoch());
+  EXPECT_EQ(info.file_bytes, file.size());
+  EXPECT_EQ(info.param_fingerprint, store::param_fingerprint(bed_->config));
+  ASSERT_EQ(info.sections.size(), 6u);
+  for (const auto& s : info.sections) EXPECT_TRUE(s.crc_ok) << store::section_name(s.id);
+
+  // inspect_file flags payload damage instead of throwing.
+  fs::path p = scratch_copy("inspect");
+  flip_byte(p, fs::file_size(p) - 7);
+  store::MappedFile damaged(p);
+  store::StoreFileInfo dinfo = store::inspect_file(damaged);
+  bool any_bad = false;
+  for (const auto& s : dinfo.sections) any_bad = any_bad || !s.crc_ok;
+  EXPECT_TRUE(any_bad);
+}
+
+}  // namespace
+}  // namespace vc

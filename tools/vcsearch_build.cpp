@@ -4,6 +4,9 @@
 //
 //   vcsearch-build --out DIR [--docs DIR | --synth N] [--seed S]
 //                  [--modulus-bits 1024] [--rep-bits 128] [--interval 100]
+//                  [--store DIR]  also publish the built epoch into a
+//                                 persistent epoch store (vcsearch-serve
+//                                 boots from it with --store)
 //                  [--profile]   print the telemetry stage table after the build
 //
 // Writes into --out:
@@ -18,6 +21,7 @@
 
 #include "crypto/standard_params.hpp"
 #include "obs/export.hpp"
+#include "store/epoch_store.hpp"
 #include "support/stopwatch.hpp"
 #include "support/threadpool.hpp"
 #include "text/synth.hpp"
@@ -111,6 +115,16 @@ int main(int argc, char** argv) {
               out_dir,
               static_cast<double>(std::filesystem::file_size(out / "index.vc")) /
                   (1024 * 1024));
+  if (const char* store_dir = arg_value(argc, argv, "--store", nullptr)) {
+    store::EpochStore store(store_dir);
+    SnapshotPtr snapshot = vidx.snapshot();
+    auto published = store.publish(*snapshot, 1);
+    std::printf("store: published epoch %llu to %s (%.2f MB)\n",
+                static_cast<unsigned long long>(snapshot->epoch()), published.c_str(),
+                static_cast<double>(std::filesystem::file_size(
+                    published / store::EpochStore::kSnapshotFile)) /
+                    (1024 * 1024));
+  }
   if (has_flag(argc, argv, "--profile")) {
     std::printf("\nbuild stage profile\n%s",
                 obs::render_profile(obs::MetricsRegistry::global()).c_str());

@@ -7,6 +7,10 @@
 //     --fetch PATH  raw GET against the server (e.g. /metrics, /stats);
 //                   prints the body and exits — a curl stand-in for
 //                   scripts on minimal systems
+//     --dump FILE   write the verified response's canonical byte encoding
+//                   to FILE; responses are deterministic, so two runs of
+//                   the same query against the same epoch dump identical
+//                   bytes (the CI restart gate diffs them)
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -53,10 +57,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const char* dump_path = arg_value(argc, argv, "--dump", nullptr);
+
   std::vector<std::string> keywords;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 || std::strcmp(argv[i], "--port") == 0 ||
-        std::strcmp(argv[i], "--fetch") == 0) {
+        std::strcmp(argv[i], "--fetch") == 0 || std::strcmp(argv[i], "--dump") == 0) {
       ++i;
       continue;
     }
@@ -65,7 +71,8 @@ int main(int argc, char** argv) {
   }
   if (dir == nullptr || keywords.empty()) {
     std::fprintf(stderr,
-                 "usage: vcsearch-query --dir DIR [--port P] [--profile] keyword...\n"
+                 "usage: vcsearch-query --dir DIR [--port P] [--profile] [--dump FILE]"
+                 " keyword...\n"
                  "       vcsearch-query --port P --fetch /metrics\n");
     return 2;
   }
@@ -102,6 +109,18 @@ int main(int argc, char** argv) {
   } catch (const VerifyError& e) {
     std::fprintf(stderr, "VERIFICATION FAILED — the cloud misbehaved: %s\n", e.what());
     return 1;
+  }
+
+  if (dump_path != nullptr) {
+    ByteWriter w;
+    resp.write(w);
+    std::ofstream out(dump_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for write\n", dump_path);
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.size()));
   }
 
   if (const auto* multi = std::get_if<MultiKeywordResponse>(&resp.body)) {

@@ -2,8 +2,16 @@
 // owner's signatures (the "acknowledge receipt" step of Fig 1), and serve
 // signed search responses over HTTP until interrupted.
 //
-//   vcsearch-serve --dir DIR [--port P] [--scheme hybrid|accumulator|bloom|interval]
+//   vcsearch-serve --dir DIR [--store DIR] [--port P]
+//                  [--scheme hybrid|accumulator|bloom|interval]
 //                  [--shards N] [--max-inflight M]
+//
+// With --store, the server boots from the persistent epoch store when it
+// has a published epoch (mmap-backed, lazily materialized — no builder
+// load, no full-index signature sweep), and otherwise performs the normal
+// builder load and then publishes the snapshot into the store so the next
+// restart is a cold start from disk.  --dir stays required either way: the
+// signing keys live there.
 //
 // Requests are dispatched onto the worker pool (up to --max-inflight
 // concurrently; excess gets 503) and proofs are generated per shard when
@@ -14,9 +22,11 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 
 #include "crypto/standard_params.hpp"
 #include "protocol/http.hpp"
+#include "store/epoch_store.hpp"
 #include "support/threadpool.hpp"
 #include "vindex/index_builder.hpp"
 
@@ -45,8 +55,10 @@ SchemeKind parse_scheme(const char* s) {
 
 int main(int argc, char** argv) {
   const char* dir = arg_value(argc, argv, "--dir", nullptr);
+  const char* store_dir = arg_value(argc, argv, "--store", nullptr);
   if (dir == nullptr) {
-    std::fprintf(stderr, "usage: vcsearch-serve --dir DIR [--port P] [--scheme S]\n");
+    std::fprintf(stderr,
+                 "usage: vcsearch-serve --dir DIR [--store DIR] [--port P] [--scheme S]\n");
     return 2;
   }
   std::uint16_t port = static_cast<std::uint16_t>(
@@ -63,21 +75,44 @@ int main(int argc, char** argv) {
   if (max_inflight == 0) max_inflight = 1;
 
   std::filesystem::path base(dir);
-  IndexBuilder vidx = IndexBuilder::load((base / "index.vc").string());
   SigningKey cloud_key = SigningKey::load((base / "cloud.key").string());
   SigningKey owner_key = SigningKey::load((base / "owner.key").string());
 
-  // Receipt check: refuse to serve an index whose signatures don't verify.
-  vidx.validate(owner_key.verify_key());
-  std::printf("index validated: %zu terms, owner key fingerprint %s...\n",
-              vidx.term_count(),
-              to_hex(owner_key.verify_key().fingerprint()).substr(0, 16).c_str());
+  // Boot path 1 (cold restart): the store has a published epoch — mmap it
+  // and serve without touching the builder artifact.  Per-term signatures
+  // in the mapped epoch still guard soundness; the full receipt sweep ran
+  // when the epoch was first built and published.
+  SnapshotPtr snapshot;
+  std::optional<store::EpochStore> store;
+  if (store_dir != nullptr) store.emplace(store_dir);
+  if (store && store->has_current()) {
+    store::OpenedEpoch opened = store->open_current();
+    snapshot = opened.snapshot;
+    std::printf("store: restored epoch %llu from %s (%zu terms, %.2f MB mapped)\n",
+                static_cast<unsigned long long>(snapshot->epoch()), store_dir,
+                snapshot->term_count(),
+                static_cast<double>(opened.file->size()) / (1024 * 1024));
+  } else {
+    // Boot path 2: load + receipt-check the builder artifact, and seed the
+    // store (when given) so the next restart takes path 1.
+    IndexBuilder vidx = IndexBuilder::load((base / "index.vc").string());
+    vidx.validate(owner_key.verify_key());
+    std::printf("index validated: %zu terms, owner key fingerprint %s...\n",
+                vidx.term_count(),
+                to_hex(owner_key.verify_key().fingerprint()).substr(0, 16).c_str());
+    snapshot = vidx.snapshot();
+    if (store) {
+      auto published = store->publish(*snapshot, static_cast<std::uint32_t>(shards));
+      std::printf("store: published epoch %llu to %s\n",
+                  static_cast<unsigned long long>(snapshot->epoch()),
+                  published.c_str());
+    }
+  }
 
   auto cloud_ctx = AccumulatorContext::public_side(AccumulatorParams{
-      standard_accumulator_modulus(vidx.config().modulus_bits).n,
-      standard_qr_generator(vidx.config().modulus_bits)});
+      standard_accumulator_modulus(snapshot->config().modulus_bits).n,
+      standard_qr_generator(snapshot->config().modulus_bits)});
   ThreadPool pool;
-  SnapshotPtr snapshot = vidx.snapshot();
   CloudService cloud(snapshot, cloud_ctx, cloud_key, owner_key.verify_key(), &pool,
                      scheme, shards);
   HttpFrontend frontend(cloud, port, &pool, max_inflight);
