@@ -92,6 +92,7 @@ inline double mean(const std::vector<double>& xs) {
 inline const char* const kBenchParamEnv[] = {
     "VC_DOCS",   "VC_MODULUS_BITS", "VC_REP_BITS", "VC_BLOOM_M",
     "VC_RUNS",   "VC_INTERVAL_SIZE", "VC_BATCH_N", "VC_OBS",
+    "VC_TIER_N", "VC_TIER_TERMS",   "VC_TIER_REQUIRE_SPEEDUP",
 };
 
 struct TablePrinter {

@@ -6,8 +6,16 @@
 // Hybrid < IntervalAccumulator << Bloom ≈ Accumulator, gap widening with
 // data size; search far below everything.
 //
+// The *_tiered columns re-run the two accumulator schemes with a
+// publish-time witness tier materialized over every workload keyword
+// (vindex/witness_tier.hpp) — the zero-modexp fast path the serving stack
+// takes for hot terms.  Tiered payloads are byte-compared against the
+// untiered ones: the tier must change latency, never bytes.
+//
 //   VC_DOCS="200,400,800,1600,3200"
 #include "bench_common.hpp"
+#include "text/tokenizer.hpp"
+#include "vindex/witness_tier.hpp"
 
 using namespace vc;
 using namespace vc::bench;
@@ -16,8 +24,10 @@ int main() {
   const auto doc_scales = env_sizes("VC_DOCS", {200, 400, 800, 1600, 3200});
   std::printf("# Fig 5: average proof generation time (s) per scheme vs data size\n");
   std::printf("# (synthetic Enron profile; 24-query workload incl. single/unknown)\n");
-  TablePrinter table("fig5_proof_time", {"docs", "data_mb", "search_s", "Bloom", "Accumulator",
-                      "IntervalAcc", "Hybrid"});
+  TablePrinter table("fig5_proof_time",
+                     {"docs", "data_mb", "search_s", "Bloom", "Accumulator",
+                      "IntervalAcc", "Hybrid", "Acc_tiered", "IntervalAcc_tiered"});
+  bool ok = true;
 
   for (std::uint32_t docs : doc_scales) {
     Testbed bed(bench_testbed_options(docs));
@@ -25,6 +35,7 @@ int main() {
 
     std::vector<double> search_times;
     std::map<SchemeKind, std::vector<double>> proof_times;
+    std::vector<Bytes> baseline_payloads;  // accumulator schemes, workload order
     for (const auto& wq : workload) {
       for (SchemeKind scheme :
            {SchemeKind::kBloom, SchemeKind::kAccumulator,
@@ -32,15 +43,50 @@ int main() {
         SearchResponse resp = bed.engine().search(wq.query, scheme);
         proof_times[scheme].push_back(resp.proof_seconds);
         if (scheme == SchemeKind::kHybrid) search_times.push_back(resp.search_seconds);
+        if (scheme == SchemeKind::kAccumulator || scheme == SchemeKind::kIntervalAccumulator) {
+          baseline_payloads.push_back(resp.payload_bytes());
+        }
         // Every proof must verify — a benchmark of invalid proofs is void.
         bed.owner_verifier().verify(resp);
       }
     }
+
+    // Tier every workload keyword (rank_hot_terms drops the unknown ones)
+    // and re-run the accumulator schemes through a tiered engine.
+    TierPolicy policy;
+    for (const auto& wq : workload) {
+      for (const auto& kw : wq.query.keywords) policy.hot_terms.push_back(normalize_term(kw));
+    }
+    SnapshotPtr snap = bed.vindex().snapshot();
+    TierBuildResult built = build_witness_tier(*snap, bed.owner_ctx(), policy);
+    snap->attach_tier(built.tier);
+    SearchEngine tiered(snap, bed.public_ctx(), bed.cloud_key(), &bed.pool());
+    snap->attach_tier(nullptr);
+
+    std::map<SchemeKind, std::vector<double>> tiered_times;
+    std::size_t at = 0;
+    for (const auto& wq : workload) {
+      for (SchemeKind scheme :
+           {SchemeKind::kAccumulator, SchemeKind::kIntervalAccumulator}) {
+        SearchResponse resp = tiered.search(wq.query, scheme);
+        tiered_times[scheme].push_back(resp.proof_seconds);
+        if (resp.payload_bytes() != baseline_payloads[at++]) {
+          std::printf("BYTE-IDENTITY FAILED: tiered %s proof differs for query %llu\n",
+                      scheme_name(scheme),
+                      static_cast<unsigned long long>(wq.query.id));
+          ok = false;
+        }
+        bed.owner_verifier().verify(resp);
+      }
+    }
+
     table.row({std::to_string(docs), fmt(corpus_mb(bed.corpus()), "%.2f"),
                fmt(mean(search_times)), fmt(mean(proof_times[SchemeKind::kBloom])),
                fmt(mean(proof_times[SchemeKind::kAccumulator])),
                fmt(mean(proof_times[SchemeKind::kIntervalAccumulator])),
-               fmt(mean(proof_times[SchemeKind::kHybrid]))});
+               fmt(mean(proof_times[SchemeKind::kHybrid])),
+               fmt(mean(tiered_times[SchemeKind::kAccumulator])),
+               fmt(mean(tiered_times[SchemeKind::kIntervalAccumulator]))});
   }
-  return 0;
+  return ok ? 0 : 1;
 }

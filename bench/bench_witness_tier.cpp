@@ -1,0 +1,194 @@
+// Witness-tier fast path: online proofs/sec before/after materializing
+// publish-time witness tables (src/vindex/witness_tier.hpp), with the tier
+// coverage of the query mix swept over 0% / 50% / 100%.
+//
+// Workload: `VC_TIER_TERMS` hot terms that each occur in all N documents
+// (posting lists of size N — the regime where the flat Eq-4 complement
+// exponentiation is a full-width modexp), each paired with a rare selector
+// term whose R=4 documents are spread one per interval.  A query is one
+// {hot, selector} pair: the result is R docs, so the correctness proof for
+// the hot keyword needs a witness for an R-subset of an N-set — one
+// ~N·rep_bits-bit modexp on the compute path, R table lookups plus a
+// Shamir aggregation on the tiered path.  Coverage c tieres the first c·T
+// pairs, so the measured hit rate tracks the sweep point.
+//
+// Every response payload is byte-compared against the untiered baseline
+// (witness residues are unique, so the tier must not change a single byte)
+// and verified; any mismatch exits non-zero.  Set VC_TIER_REQUIRE_SPEEDUP
+// to also fail the run when the flat-scheme speedup at 100% coverage falls
+// below that factor (the ctest gate runs with 5 at N=10000).
+//
+//   VC_TIER_N="1000,10000"   posting-list sizes (docs per hot term)
+//   VC_TIER_TERMS=8          hot/selector term pairs (queries per pass)
+//   VC_RUNS=1                measurement repetitions
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/rng.hpp"
+#include "text/tokenizer.hpp"
+#include "vindex/witness_tier.hpp"
+
+namespace vc::bench {
+namespace {
+
+constexpr std::size_t kResultDocs = 4;
+
+obs::Counter& tier_counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name, "");
+}
+
+struct Pass {
+  double proof_seconds = 0;
+  std::vector<Bytes> payloads;  // per (scheme-slot, query), first run only
+};
+
+}  // namespace
+
+int run() {
+  const auto sizes = env_sizes("VC_TIER_N", {1000, 10000});
+  const std::size_t terms = std::min<std::size_t>(26, std::max<std::size_t>(2, env_size("VC_TIER_TERMS", 8)));
+  const std::size_t runs = std::max<std::size_t>(1, env_size("VC_RUNS", 1));
+  const double require = static_cast<double>(env_size("VC_TIER_REQUIRE_SPEEDUP", 0));
+  const VerifiableIndexConfig config = bench_index_config();
+  const SchemeKind schemes[] = {SchemeKind::kAccumulator, SchemeKind::kIntervalAccumulator};
+
+  std::printf("# witness tier: proofs/sec vs tier coverage (%zu hot-term queries, "
+              "%zu result docs each)\n", terms, kResultDocs);
+  TablePrinter table("witness_tier",
+                     {"N", "scheme", "coverage", "hit_rate", "proofs_per_s", "speedup",
+                      "tier_build_s", "tier_mb"});
+  bool ok = true;
+
+  for (std::uint32_t n : sizes) {
+    // Corpus: hot term i in every doc; selector i in docs {0, N/R, 2N/R, …}
+    // so the R result docs land in distinct intervals (singleton interval
+    // groups stay under the Shamir profitability crossover).
+    std::vector<std::string> hot(terms), sel(terms);
+    for (std::size_t i = 0; i < terms; ++i) {
+      hot[i] = std::string("hotz") + static_cast<char>('a' + i);
+      sel[i] = std::string("selz") + static_cast<char>('a' + i);
+    }
+    const std::size_t stride = std::max<std::size_t>(1, n / kResultDocs);
+    Corpus corpus("tier-bench");
+    for (std::uint32_t d = 0; d < n; ++d) {
+      std::string text;
+      for (const auto& w : hot) text += w + " ";
+      if (d % stride == 0 && d / stride < kResultDocs) {
+        for (const auto& w : sel) text += w + " ";
+      }
+      corpus.add("d" + std::to_string(d), std::move(text));
+    }
+
+    auto owner_ctx = AccumulatorContext::owner(
+        standard_accumulator_modulus(config.modulus_bits),
+        standard_qr_generator(config.modulus_bits));
+    DeterministicRng key_rng(7, "vc.bench.tier.keys");
+    SigningKey owner_key = generate_signing_key(key_rng, config.modulus_bits);
+    SigningKey cloud_key = generate_signing_key(key_rng, config.modulus_bits);
+    ThreadPool pool;
+    owner_ctx.set_pool(&pool);
+    IndexBuilder vidx = IndexBuilder::build(InvertedIndex::build(corpus), owner_ctx,
+                                            owner_key, config, pool);
+    SnapshotPtr snapshot = vidx.snapshot();
+    ResultVerifier verifier(owner_ctx, owner_key.verify_key(), cloud_key.verify_key(),
+                            config);
+
+    // One shared public context: the fixed-base table for g is built once
+    // and shared by every engine in the sweep (as the serving core does).
+    auto cloud_ctx = AccumulatorContext::public_side(owner_ctx.params());
+    cloud_ctx.set_pool(&pool);
+    cloud_ctx.enable_fixed_base((snapshot->max_posting_count() + 1) * config.rep_bits);
+
+    std::vector<Query> queries;
+    for (std::size_t i = 0; i < terms; ++i) {
+      queries.push_back(Query{.id = i + 1, .keywords = {hot[i], sel[i]}});
+    }
+
+    std::vector<Bytes> baseline_payloads;
+    double base_mixed_pps = 0, base_flat_pps = 0;
+    const std::size_t levels[] = {0, 50, 100};
+    for (std::size_t coverage : levels) {
+      const std::size_t tiered_pairs = terms * coverage / 100;
+      double tier_build_s = 0, tier_mb = 0;
+      snapshot->attach_tier(nullptr);
+      if (tiered_pairs > 0) {
+        TierPolicy policy;
+        for (std::size_t i = 0; i < tiered_pairs; ++i) {
+          policy.hot_terms.push_back(normalize_term(hot[i]));
+          policy.hot_terms.push_back(normalize_term(sel[i]));
+        }
+        TierBuildResult built = build_witness_tier(*snapshot, owner_ctx, policy);
+        snapshot->attach_tier(built.tier);
+        tier_build_s = built.build_seconds;
+        tier_mb = static_cast<double>(built.table_bytes + built.fixed_base_bytes) /
+                  (1024 * 1024);
+      }
+      SearchEngine engine(snapshot, cloud_ctx, cloud_key, &pool);
+
+      const std::uint64_t hits0 = tier_counter("vc_witness_tier_hits").value();
+      const std::uint64_t miss0 = tier_counter("vc_witness_tier_misses").value();
+      Pass pass;
+      for (std::size_t r = 0; r < runs; ++r) {
+        for (const Query& q : queries) {
+          for (SchemeKind scheme : schemes) {
+            SearchResponse resp = engine.search(q, scheme);
+            pass.proof_seconds += resp.proof_seconds;
+            if (r == 0) {
+              verifier.verify(resp);
+              pass.payloads.push_back(resp.payload_bytes());
+            }
+          }
+        }
+      }
+      const std::uint64_t hits = tier_counter("vc_witness_tier_hits").value() - hits0;
+      const std::uint64_t misses = tier_counter("vc_witness_tier_misses").value() - miss0;
+      const double hit_rate =
+          hits + misses == 0 ? 0.0
+                             : static_cast<double>(hits) / static_cast<double>(hits + misses);
+
+      if (coverage == 0) {
+        baseline_payloads = std::move(pass.payloads);
+      } else if (pass.payloads != baseline_payloads) {
+        std::printf("BYTE-IDENTITY FAILED: tiered proofs differ from the untiered "
+                    "baseline at N=%u coverage=%zu%%\n", n, coverage);
+        ok = false;
+      }
+
+      const double mixed_pps =
+          runs * static_cast<double>(queries.size()) * 2 / pass.proof_seconds;
+      // Flat-only pass for the speedup gate (the ≥5x acceptance criterion is
+      // on the flat scheme, where the compute path is a full-width modexp).
+      double flat_seconds = 0;
+      for (std::size_t r = 0; r < runs; ++r) {
+        for (const Query& q : queries) {
+          flat_seconds += engine.search(q, SchemeKind::kAccumulator).proof_seconds;
+        }
+      }
+      const double flat_pps = runs * static_cast<double>(queries.size()) / flat_seconds;
+      if (coverage == 0) {
+        base_mixed_pps = mixed_pps;
+        base_flat_pps = flat_pps;
+      }
+      table.row({std::to_string(n), "acc+interval", std::to_string(coverage) + "%",
+                 fmt(hit_rate * 100, "%.0f%%"), fmt(mixed_pps, "%.2f"),
+                 fmt(mixed_pps / base_mixed_pps, "%.2fx"), fmt(tier_build_s, "%.2f"),
+                 fmt(tier_mb, "%.2f")});
+      table.row({std::to_string(n), "accumulator", std::to_string(coverage) + "%",
+                 fmt(hit_rate * 100, "%.0f%%"), fmt(flat_pps, "%.2f"),
+                 fmt(flat_pps / base_flat_pps, "%.2fx"), fmt(tier_build_s, "%.2f"),
+                 fmt(tier_mb, "%.2f")});
+      if (coverage == 100 && require > 0 && flat_pps / base_flat_pps < require) {
+        std::printf("SPEEDUP GATE FAILED: flat-scheme speedup %.2fx < %.0fx at N=%u\n",
+                    flat_pps / base_flat_pps, require, n);
+        ok = false;
+      }
+    }
+  }
+  if (ok) std::printf("\nbyte-identity OK: tiered responses match the untiered baseline\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace vc::bench
+
+int main() { return vc::bench::run(); }

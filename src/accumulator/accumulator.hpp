@@ -13,6 +13,7 @@
 #include "bigint/bigint.hpp"
 #include "bigint/power_context.hpp"
 #include "support/bytes.hpp"
+#include "support/errors.hpp"
 
 namespace vc {
 
@@ -59,6 +60,17 @@ class AccumulatorContext {
   // to the generic path.
   void enable_fixed_base(std::size_t max_exp_bits) {
     power_.prepare_fixed_base(params_.g, max_exp_bits);
+  }
+
+  // Adopts a persisted public-side fixed-base table for g (see
+  // PowerContext::import_fixed_base) — the cold-restart shortcut that skips
+  // the capacity_bits squarings enable_fixed_base would spend rebuilding it.
+  // The image's base must be this context's generator.
+  void adopt_fixed_base(const FixedBaseSnapshot& snap) {
+    if (snap.base != params_.g) {
+      throw UsageError("adopt_fixed_base: table base is not this context's generator");
+    }
+    power_.import_fixed_base(snap);
   }
 
   // base^(Π primes) mod n.  With the trapdoor the product is accumulated

@@ -13,6 +13,42 @@ bool verify_membership(const AccumulatorContext& ctx, const Bigint& c, const Big
   return ctx.pow_product(witness, subset) == c;
 }
 
+namespace {
+
+// Pairwise Shamir combine along a balanced tree: returns (g^(u/Π range),
+// Π range).  Balanced halving keeps every Bézout coefficient bounded by the
+// sibling product, so total exponent work is O(k log k · rep_bits).
+std::pair<Bigint, Bigint> combine_witnesses(const PowerContext& power,
+                                            std::span<const Bigint> primes,
+                                            std::span<const Bigint> witnesses) {
+  if (primes.size() == 1) {
+    return {witnesses[0], primes[0]};
+  }
+  std::size_t mid = primes.size() / 2;
+  auto [wl, vl] = combine_witnesses(power, primes.subspan(0, mid), witnesses.subspan(0, mid));
+  auto [wr, vr] = combine_witnesses(power, primes.subspan(mid), witnesses.subspan(mid));
+  Bigint gcd, s, t;
+  Bigint::gcd_ext(vl, vr, gcd, s, t);  // s·vl + t·vr = 1
+  if (!gcd.is_one()) {
+    throw CryptoError("aggregate_membership_witnesses: primes are not coprime");
+  }
+  // wl^t · wr^s = g^(u·(t·vr + s·vl)/(vl·vr)) = g^(u/(vl·vr)); one of the
+  // coefficients is negative, which pow() serves via inversion mod n.
+  Bigint w = power.mul(power.pow(wl, t), power.pow(wr, s));
+  return {std::move(w), vl * vr};
+}
+
+}  // namespace
+
+Bigint aggregate_membership_witnesses(const AccumulatorContext& ctx,
+                                      std::span<const Bigint> primes,
+                                      std::span<const Bigint> witnesses) {
+  if (primes.empty() || primes.size() != witnesses.size()) {
+    throw UsageError("aggregate_membership_witnesses: need matching non-empty spans");
+  }
+  return combine_witnesses(ctx.power(), primes, witnesses).first;
+}
+
 void NonmembershipWitness::write(ByteWriter& w) const {
   a.write(w);
   d.write(w);

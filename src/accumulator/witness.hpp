@@ -31,6 +31,23 @@ namespace vc {
 [[nodiscard]] bool verify_membership(const AccumulatorContext& ctx, const Bigint& c,
                                      const Bigint& witness, std::span<const Bigint> subset);
 
+// Shamir's-trick aggregation over precomputed per-element witnesses.  Given
+// w_i = g^(u/p_i) for distinct primes p_i of one accumulated set (u = Π of
+// the whole set — exactly what batch_membership_witnesses materializes),
+// combines them into the subset witness g^(u/Π p_i): for coprime v_L, v_R
+// with Bézout coefficients s·v_L + t·v_R = 1,
+//   (w_L)^t · (w_R)^s = g^(u·(t·v_R + s·v_L)/(v_L·v_R)) = g^(u/(v_L·v_R)),
+// applied along a balanced divide-and-conquer tree.  The result is the same
+// unique residue membership_witness(ctx, set \ subset) computes, so proof
+// bytes are identical — but the cost is O(k log k) short exponentiations
+// over rep-width coefficients instead of one full-width modexp over the
+// complement product, and never touches the elements outside the subset.
+// Throws UsageError on a size mismatch or empty input, CryptoError when two
+// primes are not coprime (duplicate elements).
+[[nodiscard]] Bigint aggregate_membership_witnesses(const AccumulatorContext& ctx,
+                                                    std::span<const Bigint> primes,
+                                                    std::span<const Bigint> witnesses);
+
 // --- nonmembership ----------------------------------------------------------
 
 struct NonmembershipWitness {

@@ -183,6 +183,54 @@ bool PowerContext::fixed_base_matches(const Bigint& base) const {
   return fixed_ != nullptr && fixed_->base == base;
 }
 
+std::size_t PowerContext::fixed_base_capacity_bits() const {
+  if (fixed_ == nullptr) return 0;
+  if (trapdoor_) return static_cast<std::size_t>(-1);
+  return fixed_->subs[0].capacity_bits;
+}
+
+std::optional<FixedBaseSnapshot> PowerContext::export_fixed_base() const {
+  if (fixed_ == nullptr || trapdoor_) return std::nullopt;
+  const FixedSub& sub = fixed_->subs[0];
+  FixedBaseSnapshot out;
+  out.base = fixed_->base;
+  out.window = sub.window;
+  out.capacity_bits = sub.capacity_bits;
+  out.powers = sub.powers;
+  return out;
+}
+
+void PowerContext::import_fixed_base(const FixedBaseSnapshot& snap) {
+  if (trapdoor_) {
+    throw UsageError("import_fixed_base: trapdoor-side tables are never persisted");
+  }
+  if (snap.window < 2 || snap.window > 12 || snap.capacity_bits == 0 ||
+      snap.capacity_bits > kMaxFixedCapacityBits) {
+    throw UsageError("import_fixed_base: window/capacity out of range");
+  }
+  std::size_t entries = (snap.capacity_bits + snap.window - 1) / snap.window;
+  if (snap.powers.size() != entries) {
+    throw UsageError("import_fixed_base: entry count does not match window/capacity");
+  }
+  if (snap.powers[0] != Bigint::mod(snap.base, n_)) {
+    throw UsageError("import_fixed_base: powers[0] != base mod n");
+  }
+  // Spot-check one chain link; a wrong table only yields proofs the verifier
+  // rejects (availability, not soundness), and the store CRCs cover bit rot.
+  if (entries > 1 &&
+      snap.powers[1] !=
+          Bigint::pow_mod(snap.powers[0], Bigint(long{1} << snap.window), n_)) {
+    throw UsageError("import_fixed_base: power chain mismatch");
+  }
+  auto fixed = std::make_shared<FixedBase>();
+  fixed->base = snap.base;
+  fixed->subs.push_back(FixedSub{.mod = n_,
+                                 .window = snap.window,
+                                 .capacity_bits = snap.capacity_bits,
+                                 .powers = snap.powers});
+  fixed_ = std::move(fixed);
+}
+
 Bigint PowerContext::pow(const Bigint& base, const Bigint& exp) const {
   if (exp.is_negative()) {
     return pow(inv(base), -exp);

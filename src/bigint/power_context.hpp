@@ -10,10 +10,23 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "bigint/bigint.hpp"
 
 namespace vc {
+
+// Serializable image of a *public-side* fixed-base table: powers[i] =
+// base^(2^(window·i)) mod n, enough for exponents up to capacity_bits.  The
+// epoch store persists this so a cold restart adopts the table instead of
+// redoing capacity_bits squarings.  Trapdoor-side tables are never exported:
+// they live mod the secret factors p and q.
+struct FixedBaseSnapshot {
+  Bigint base;
+  std::size_t window = 0;
+  std::size_t capacity_bits = 0;
+  std::vector<Bigint> powers;
+};
 
 class PowerContext {
  public:
@@ -51,6 +64,21 @@ class PowerContext {
   [[nodiscard]] bool has_fixed_base(const Bigint& base) const {
     return fixed_ != nullptr && fixed_base_matches(base);
   }
+
+  // Widest exponent the current table serves: 0 without a table, SIZE_MAX on
+  // the trapdoor side (exponents arrive reduced mod p-1 / q-1, so capacity
+  // never limits them).
+  [[nodiscard]] std::size_t fixed_base_capacity_bits() const;
+
+  // Public side only.  export_fixed_base() images the current table (nullopt
+  // when there is none or the context holds the trapdoor); import_fixed_base()
+  // adopts a previously exported image after validating it against this
+  // modulus — powers[0] must equal base mod n, the chain is spot-checked, and
+  // entry count must match window/capacity.  A damaged image throws
+  // UsageError; an adopted table is byte-for-byte the one prepare_fixed_base
+  // would have rebuilt.
+  [[nodiscard]] std::optional<FixedBaseSnapshot> export_fixed_base() const;
+  void import_fixed_base(const FixedBaseSnapshot& snap);
 
   [[nodiscard]] Bigint mul(const Bigint& a, const Bigint& b) const {
     return Bigint::mod(a * b, n_);

@@ -237,7 +237,7 @@ std::size_t IntervalIndex::find_interval(std::uint64_t v) const {
 
 IntervalMembershipProof IntervalIndex::prove_membership(
     const AccumulatorContext& ctx, std::span<const std::uint64_t> values,
-    PrimeCache& element_primes) const {
+    PrimeCache& element_primes, const ChatProvider& chat_provider) const {
   // The online fast path of Fig 3: Fig 2's seconds-per-witness collapses to
   // one interval's worth of work, and this span is where that shows up.
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("interval_walk");
@@ -264,6 +264,16 @@ IntervalMembershipProof IntervalIndex::prove_membership(
     std::size_t k = touched[t];
     std::sort(grouped[k].begin(), grouped[k].end());
     const Interval& iv = intervals_[k];
+    if (chat_provider) {
+      if (std::optional<Bigint> chat = chat_provider(iv.members, grouped[k])) {
+        proof.parts[t] = IntervalMembershipPart{
+            .desc = iv.desc,
+            .chat = *std::move(chat),
+            .mid_witness = iv.mid_witness,
+        };
+        return;
+      }
+    }
     // chat = g^(Π reps of members not in the value group)  — Eq 4 within X_k.
     std::vector<Bigint> rest;
     rest.reserve(iv.members.size());

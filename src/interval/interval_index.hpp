@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -113,13 +115,32 @@ class IntervalIndex {
   [[nodiscard]] const IntervalDescriptor& descriptor(std::size_t k) const {
     return intervals_[k].desc;
   }
+  // Sorted members of interval k (the witness-tier builder batches per-member
+  // witnesses over exactly this set).
+  [[nodiscard]] std::span<const std::uint64_t> interval_members(std::size_t k) const {
+    return intervals_[k].members;
+  }
+
+  // Optional fast-path hook for prove_membership: given one touched
+  // interval's full sorted member list and the sorted group of proven values
+  // inside it, returns the aggregated chat g^(Π reps(members \ group)) — or
+  // nullopt to fall back to the direct computation.  The witness tier backs
+  // this with precomputed per-member witnesses; grouping, part order, and
+  // every other proof byte are identical either way.
+  using ChatProvider = std::function<std::optional<Bigint>(
+      std::span<const std::uint64_t> members, std::span<const std::uint64_t> group)>;
 
   // Aggregated membership proof for `values` (every value must be a member;
   // throws CryptoError otherwise).  Cost: O(interval_size) ring mults per
   // touched interval — the fast online path.
   [[nodiscard]] IntervalMembershipProof prove_membership(
       const AccumulatorContext& ctx, std::span<const std::uint64_t> values,
-      PrimeCache& element_primes) const;
+      PrimeCache& element_primes) const {
+    return prove_membership(ctx, values, element_primes, nullptr);
+  }
+  [[nodiscard]] IntervalMembershipProof prove_membership(
+      const AccumulatorContext& ctx, std::span<const std::uint64_t> values,
+      PrimeCache& element_primes, const ChatProvider& chat_provider) const;
 
   // Aggregated nonmembership proof for `values` (none may be a member).
   [[nodiscard]] IntervalNonmembershipProof prove_nonmembership(

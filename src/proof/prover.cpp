@@ -8,10 +8,29 @@
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
 #include "support/threadpool.hpp"
+#include "vindex/witness_tier.hpp"
 
 namespace vc {
 
 namespace {
+
+// Tier effectiveness: one event per nonempty membership evidence generated
+// while a tier is attached.  A hit means every witness in the evidence came
+// from the tables; anything else (untiered term, missing key, aggregation
+// past the profitability crossover) is a miss and fell back to the compute
+// path.  Empty-subset evidence (an integrity proof with no check docs) is
+// served straight from the attested accumulator and counts as neither.
+obs::Counter& tier_hits() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_witness_tier_hits", "", "Membership evidences fully served from the witness tier");
+  return c;
+}
+obs::Counter& tier_misses() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_witness_tier_misses", "",
+      "Membership evidences that fell back to the compute path");
+  return c;
+}
 
 // Fan-out helper: pool when present, inline otherwise.  Bodies fill
 // disjoint slots, so proof bytes are independent of scheduling.
@@ -70,6 +89,11 @@ Prover::Prover(SnapshotPtr snapshot, AccumulatorContext ctx, ThreadPool* pool,
     std::size_t max_postings = std::max<std::size_t>(1, snap_->max_posting_count());
     ctx_.enable_fixed_base((max_postings + 1) * snap_->config().rep_bits);
   }
+  tier_ = snap_->witness_tier();
+}
+
+const TermWitnessTable* Prover::tier_for(std::string_view term) const {
+  return tier_ == nullptr ? nullptr : tier_->find(term);
 }
 
 std::vector<Bigint> Prover::prove_all_tuple_memberships(
@@ -99,17 +123,71 @@ std::vector<const IndexEntry*> Prover::lookup(const SearchResult& result) const 
   return entries;
 }
 
+namespace {
+
+// Wraps a tier's interval subtable as a ChatProvider for the interval proof
+// path.  `served` stays true only if every touched interval's chat came from
+// the tables; a returned nullopt makes prove_membership fall back to the
+// direct computation for that part (and the evidence counts as a tier miss).
+IntervalIndex::ChatProvider make_chat_provider(const AccumulatorContext& ctx,
+                                               const WitnessSubTable& table,
+                                               PrimeCache& primes,
+                                               std::atomic<bool>& served) {
+  return [&ctx, &table, &primes, &served](std::span<const std::uint64_t> members,
+                                          std::span<const std::uint64_t> group)
+             -> std::optional<Bigint> {
+    static obs::Histogram& stage = obs::MetricsRegistry::global().stage("tier_lookup");
+    obs::Span span(stage);
+    std::optional<Bigint> chat =
+        tiered_subset_witness(ctx, table, group, members.size(), primes);
+    if (!chat) served.store(false, std::memory_order_relaxed);
+    return chat;
+  };
+}
+
+}  // namespace
+
 MembershipEvidence Prover::prove_tuple_membership(const IndexEntry& entry,
                                                   std::span<const std::uint64_t> tuples,
-                                                  bool interval_form) const {
+                                                  bool interval_form,
+                                                  const TermWitnessTable* tier) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
   obs::Span span(stage);
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
-    ev.interval = entry.tuple_intervals.prove_membership(ctx_, tuples, snap_->tuple_primes());
+    IntervalIndex::ChatProvider provider;
+    std::atomic<bool> served{tier != nullptr};
+    if (tier != nullptr) {
+      provider =
+          make_chat_provider(ctx_, tier->interval_tuple, snap_->tuple_primes(), served);
+    }
+    ev.interval =
+        entry.tuple_intervals.prove_membership(ctx_, tuples, snap_->tuple_primes(), provider);
+    if (tier_ != nullptr && !tuples.empty()) {
+      (served.load() ? tier_hits() : tier_misses()).inc();
+    }
     return ev;
   }
+  if (tuples.empty()) {
+    // The empty subset's witness is g^(Π all reps) — exactly the flat
+    // accumulator the owner attested.  Witness residues are unique, so
+    // serving it from the statement is byte-identical to the complement
+    // exponentiation it replaces.
+    ev.flat_witness = entry.attestation.stmt.tuple_acc;
+    return ev;
+  }
+  if (tier != nullptr) {
+    static obs::Histogram& lookup_stage = obs::MetricsRegistry::global().stage("tier_lookup");
+    obs::Span lookup_span(lookup_stage);
+    if (std::optional<Bigint> w = tiered_subset_witness(
+            ctx_, tier->flat_tuple, tuples, entry.postings.size(), snap_->tuple_primes())) {
+      tier_hits().inc();
+      ev.flat_witness = *std::move(w);
+      return ev;
+    }
+  }
+  if (tier_ != nullptr) tier_misses().inc();
   // Flat Eq-4 witness: g^(Π reps of all postings not in the subset).
   std::vector<Bigint> rest;
   rest.reserve(entry.postings.size());
@@ -125,15 +203,40 @@ MembershipEvidence Prover::prove_tuple_membership(const IndexEntry& entry,
 
 MembershipEvidence Prover::prove_doc_membership(const IndexEntry& entry,
                                                 std::span<const std::uint64_t> docs,
-                                                bool interval_form) const {
+                                                bool interval_form,
+                                                const TermWitnessTable* tier) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
   obs::Span span(stage);
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
-    ev.interval = entry.doc_intervals.prove_membership(ctx_, docs, snap_->doc_primes());
+    IntervalIndex::ChatProvider provider;
+    std::atomic<bool> served{tier != nullptr};
+    if (tier != nullptr) {
+      provider = make_chat_provider(ctx_, tier->interval_doc, snap_->doc_primes(), served);
+    }
+    ev.interval =
+        entry.doc_intervals.prove_membership(ctx_, docs, snap_->doc_primes(), provider);
+    if (tier_ != nullptr && !docs.empty()) {
+      (served.load() ? tier_hits() : tier_misses()).inc();
+    }
     return ev;
   }
+  if (docs.empty()) {
+    ev.flat_witness = entry.attestation.stmt.doc_acc;
+    return ev;
+  }
+  if (tier != nullptr) {
+    static obs::Histogram& lookup_stage = obs::MetricsRegistry::global().stage("tier_lookup");
+    obs::Span lookup_span(lookup_stage);
+    if (std::optional<Bigint> w = tiered_subset_witness(
+            ctx_, tier->flat_doc, docs, entry.postings.size(), snap_->doc_primes())) {
+      tier_hits().inc();
+      ev.flat_witness = *std::move(w);
+      return ev;
+    }
+  }
+  if (tier_ != nullptr) tier_misses().inc();
   std::vector<Bigint> rest;
   rest.reserve(entry.postings.size());
   for (const Posting& p : entry.postings) {
@@ -195,8 +298,8 @@ AccumulatorIntegrity Prover::make_accumulator_integrity(
 
   U64Set base_docs = InvertedIndex::doc_set(entries[base]->postings);
   integrity.check_docs = set_difference(base_docs, result.docs);
-  integrity.check_membership =
-      prove_doc_membership(*entries[base], integrity.check_docs, interval_form);
+  integrity.check_membership = prove_doc_membership(
+      *entries[base], integrity.check_docs, interval_form, tier_for(result.keywords[base]));
 
   // Assign every check doc to the smallest other keyword missing it, then
   // aggregate one nonmembership witness per keyword (§III-C).
@@ -283,8 +386,8 @@ BloomIntegrity Prover::make_bloom_integrity(
         }
       }
     }
-    part.check_membership =
-        prove_doc_membership(*entries[i], part.check_elements, interval_form);
+    part.check_membership = prove_doc_membership(*entries[i], part.check_elements,
+                                                 interval_form, tier_for(result.keywords[i]));
     integrity.parts[i] = std::move(part);
   });
   return integrity;
@@ -325,7 +428,8 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
   auto prove_keyword = [&](CorrectnessProof& correctness, std::size_t i) {
     U64Set tuples = InvertedIndex::tuple_set(result.postings[i]);
     std::sort(tuples.begin(), tuples.end());
-    correctness.keywords[i] = prove_tuple_membership(*entries[i], tuples, interval_form);
+    correctness.keywords[i] = prove_tuple_membership(*entries[i], tuples, interval_form,
+                                                     tier_for(result.keywords[i]));
   };
   auto build_correctness = [&]() {
     static obs::Histogram& stage = obs::MetricsRegistry::global().stage("correctness");

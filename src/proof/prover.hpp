@@ -16,6 +16,8 @@
 namespace vc {
 
 class ThreadPool;
+class WitnessTier;
+struct TermWitnessTable;
 
 namespace advtest {
 struct ProverAccess;
@@ -61,12 +63,17 @@ class Prover {
   [[nodiscard]] std::vector<const IndexEntry*> lookup(
       const SearchResult& result) const;
 
+  // `tier` is the term's materialized witness table when one exists (null
+  // otherwise): membership witnesses it can serve skip the complement
+  // exponentiation entirely — singleton subsets are pure lookups — and any
+  // miss falls back to the compute path below.  Witness residues are unique,
+  // so the returned evidence is byte-identical either way.
   [[nodiscard]] MembershipEvidence prove_tuple_membership(
-      const IndexEntry& entry, std::span<const std::uint64_t> tuples,
-      bool interval_form) const;
-  [[nodiscard]] MembershipEvidence prove_doc_membership(const IndexEntry& entry,
-                                                        std::span<const std::uint64_t> docs,
-                                                        bool interval_form) const;
+      const IndexEntry& entry, std::span<const std::uint64_t> tuples, bool interval_form,
+      const TermWitnessTable* tier = nullptr) const;
+  [[nodiscard]] MembershipEvidence prove_doc_membership(
+      const IndexEntry& entry, std::span<const std::uint64_t> docs, bool interval_form,
+      const TermWitnessTable* tier = nullptr) const;
   [[nodiscard]] NonmembershipEvidence prove_doc_nonmembership(
       const IndexEntry& entry, std::span<const std::uint64_t> docs,
       bool interval_form) const;
@@ -78,10 +85,17 @@ class Prover {
       const SearchResult& result, std::span<const IndexEntry* const> entries,
       bool interval_form) const;
 
+  // Witness table for `term`, or null when the term (or the whole snapshot)
+  // is untiered.
+  [[nodiscard]] const TermWitnessTable* tier_for(std::string_view term) const;
+
   SnapshotPtr snap_;
   AccumulatorContext ctx_;
   ThreadPool* pool_;
   std::size_t shards_;
+  // Captured from the snapshot at construction; the publish/open paths
+  // attach the tier before provers are built over the snapshot.
+  std::shared_ptr<const WitnessTier> tier_;
 };
 
 }  // namespace vc

@@ -57,8 +57,18 @@ void CloudService::publish(SnapshotPtr snapshot) {
   std::size_t need = (std::max<std::size_t>(1, snapshot->max_posting_count()) + 1) *
                      snapshot->config().rep_bits;
   if (need > fixed_base_bits_) {
-    ctx_.enable_fixed_base(need);
-    fixed_base_bits_ = need;
+    // A table already on the context (adopted from a persisted epoch, or
+    // handed in by the embedder) that covers this width is kept as-is — the
+    // whole point of persisting it is to not pay the rebuild squarings here.
+    std::size_t have = ctx_.power().has_fixed_base(ctx_.g())
+                           ? ctx_.power().fixed_base_capacity_bits()
+                           : 0;
+    if (have >= need) {
+      fixed_base_bits_ = have;
+    } else {
+      ctx_.enable_fixed_base(need);
+      fixed_base_bits_ = need;
+    }
   }
   auto engine = std::make_shared<const SearchEngine>(snapshot, ctx_, key_, pool_,
                                                      shards_.size());
@@ -89,6 +99,15 @@ void CloudService::publish(SnapshotPtr snapshot) {
 
 std::uint64_t CloudService::publish_from(const store::EpochStore& store) {
   store::OpenedEpoch opened = store.open_current();
+  // A tiered epoch carries the public fixed-base table for g; adopting it
+  // makes the cold restart skip the capacity_bits squarings publish() would
+  // otherwise spend rebuilding the table from scratch.  The witness tier
+  // itself is already attached to the snapshot (lazy, mmap-backed) — no
+  // per-term witness is recomputed on reopen.
+  if (opened.fixed_base && opened.fixed_base->base == ctx_.g()) {
+    ctx_.adopt_fixed_base(*opened.fixed_base);
+    fixed_base_bits_ = std::max(fixed_base_bits_, opened.fixed_base->capacity_bits);
+  }
   publish(opened.snapshot);
   return opened.snapshot->epoch();
 }

@@ -100,12 +100,13 @@ fs::path EpochStore::epoch_file(std::uint64_t epoch) const {
   return root_ / epoch_dir_name(epoch) / kSnapshotFile;
 }
 
-fs::path EpochStore::publish(const IndexSnapshot& snap, std::uint32_t shard_count) {
+fs::path EpochStore::publish(const IndexSnapshot& snap, std::uint32_t shard_count,
+                             const TierArtifacts* tier) {
   const std::string dir_name = epoch_dir_name(snap.epoch());
   const fs::path target = root_ / dir_name;
 
   if (!fs::exists(target / kSnapshotFile)) {
-    Bytes data = encode_snapshot(snap, shard_count);
+    Bytes data = encode_snapshot(snap, shard_count, tier);
     // Stage in a hidden temp directory; the pid suffix keeps concurrent
     // publishers (two owner processes on one store) from colliding.
     const fs::path tmp =
@@ -175,19 +176,27 @@ std::vector<std::uint64_t> EpochStore::epochs() const {
 }
 
 OpenedEpoch EpochStore::open_current(const Digest* expected_fingerprint) const {
-  const std::string name = read_current_name();
-  auto file = std::make_shared<const MappedFile>(root_ / name / kSnapshotFile);
-  return open_snapshot(std::move(file), expected_fingerprint);
+  return open_current(OpenOptions{.expected_fingerprint = expected_fingerprint});
 }
 
 OpenedEpoch EpochStore::open_epoch(std::uint64_t epoch,
                                    const Digest* expected_fingerprint) const {
+  return open_epoch(epoch, OpenOptions{.expected_fingerprint = expected_fingerprint});
+}
+
+OpenedEpoch EpochStore::open_current(const OpenOptions& options) const {
+  const std::string name = read_current_name();
+  auto file = std::make_shared<const MappedFile>(root_ / name / kSnapshotFile);
+  return open_snapshot(std::move(file), options);
+}
+
+OpenedEpoch EpochStore::open_epoch(std::uint64_t epoch, const OpenOptions& options) const {
   const fs::path path = epoch_file(epoch);
   if (!fs::exists(path)) {
     throw StoreError("epoch " + std::to_string(epoch) + " is not in " + root_.string());
   }
   auto file = std::make_shared<const MappedFile>(path);
-  return open_snapshot(std::move(file), expected_fingerprint);
+  return open_snapshot(std::move(file), options);
 }
 
 }  // namespace vc::store

@@ -38,8 +38,11 @@ class EpochStore {
   // Serializes `snap` and atomically publishes it as its epoch, advancing
   // CURRENT.  Re-publishing an epoch that is already on disk only advances
   // the pointer (the existing file is trusted — it was fsynced before its
-  // rename).  Returns the epoch directory.
-  std::filesystem::path publish(const IndexSnapshot& snap, std::uint32_t shard_count);
+  // rename).  A non-null `tier` persists the materialized witness tier and
+  // fixed-base table alongside (format v2; see snapshot_codec.hpp).
+  // Returns the epoch directory.
+  std::filesystem::path publish(const IndexSnapshot& snap, std::uint32_t shard_count,
+                                const TierArtifacts* tier = nullptr);
 
   // True when CURRENT exists (the store has at least one published epoch).
   [[nodiscard]] bool has_current() const;
@@ -58,6 +61,9 @@ class EpochStore {
   [[nodiscard]] OpenedEpoch open_current(const Digest* expected_fingerprint = nullptr) const;
   [[nodiscard]] OpenedEpoch open_epoch(std::uint64_t epoch,
                                        const Digest* expected_fingerprint = nullptr) const;
+  // Full-option forms (max_format_version, tier degradation; see OpenOptions).
+  [[nodiscard]] OpenedEpoch open_current(const OpenOptions& options) const;
+  [[nodiscard]] OpenedEpoch open_epoch(std::uint64_t epoch, const OpenOptions& options) const;
 
   // Path of an epoch's snapshot file (existing or not).
   [[nodiscard]] std::filesystem::path epoch_file(std::uint64_t epoch) const;

@@ -15,7 +15,12 @@
 // rejected before any payload is trusted.
 //
 // Format stability: readers reject any file whose magic or format_version
-// they do not know.  Additive evolution bumps kFormatVersion.
+// they do not know.  Additive evolution bumps the version: v1 is the base
+// layout (sections 1–6), v2 adds the materialized witness-tier sections
+// (7–9).  Untiered epochs are still written as v1 — byte-identical to what
+// a v1 writer produces — so the bump only ever gates files that actually
+// carry tier payloads; a v1-only reader rejects those with a typed error
+// instead of misparsing them.
 #pragma once
 
 #include <array>
@@ -71,7 +76,9 @@ class StoreCurrentError : public StoreError {
 
 inline constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'C', 'E', 'P',
                                                        'O', 'C', 'H', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 1;        // base layout
+inline constexpr std::uint32_t kFormatVersionTiered = 2;  // + witness-tier sections
+inline constexpr std::uint32_t kMaxFormatVersion = kFormatVersionTiered;
 inline constexpr std::size_t kHeaderBytes = 96;
 inline constexpr std::size_t kSectionEntryBytes = 32;
 inline constexpr std::size_t kFingerprintOffset = 32;  // 32-byte SHA-256 digest
@@ -84,6 +91,10 @@ enum class SectionId : std::uint32_t {
   kEntries = 4,      // concatenated per-term entry blobs (lazy-parsed)
   kTuplePrimes = 5,  // sorted (u64 key, prime) arrays for binary search
   kDocPrimes = 6,
+  // Format v2 only (materialized witness tiers):
+  kWitnessTierDir = 7,  // total bytes + per-term (name, offset, size) into 8
+  kWitnessTables = 8,   // concatenated TermWitnessTable blobs (lazy-parsed)
+  kFixedBase = 9,       // public-side BGMW fixed-base table for g
 };
 
 inline const char* section_name(SectionId id) {
@@ -94,8 +105,18 @@ inline const char* section_name(SectionId id) {
     case SectionId::kEntries: return "entries";
     case SectionId::kTuplePrimes: return "tuple-primes";
     case SectionId::kDocPrimes: return "doc-primes";
+    case SectionId::kWitnessTierDir: return "witness-tier-dir";
+    case SectionId::kWitnessTables: return "witness-tables";
+    case SectionId::kFixedBase: return "fixed-base";
   }
   return "unknown";
+}
+
+// The sections introduced by format v2; a v1 file must not contain them and
+// a v2 file must contain all of them.
+inline bool is_tier_section(SectionId id) {
+  return id == SectionId::kWitnessTierDir || id == SectionId::kWitnessTables ||
+         id == SectionId::kFixedBase;
 }
 
 }  // namespace vc::store

@@ -180,6 +180,30 @@ class MappedEntrySource final : public EntrySource {
   std::vector<TermLoc> locs_;
 };
 
+// --- lazy witness-tier source ------------------------------------------------
+
+class MappedTierSource final : public TierSource {
+ public:
+  MappedTierSource(std::shared_ptr<const MappedFile> file,
+                   std::span<const std::uint8_t> tables, std::vector<TermLoc> locs)
+      : file_(std::move(file)), tables_(tables), locs_(std::move(locs)) {}
+
+  [[nodiscard]] std::shared_ptr<const TermWitnessTable> load(
+      std::size_t rank, std::string_view /*term*/) const override {
+    const TermLoc& loc = locs_[rank];
+    ByteReader r(tables_.subspan(loc.offset, loc.size));
+    auto table = std::make_shared<TermWitnessTable>(TermWitnessTable::read(r));
+    r.expect_done();
+    table->byte_size = loc.size;
+    return table;
+  }
+
+ private:
+  std::shared_ptr<const MappedFile> file_;  // keeps the mapping alive
+  std::span<const std::uint8_t> tables_;
+  std::vector<TermLoc> locs_;
+};
+
 // --- layout parsing ----------------------------------------------------------
 
 struct ParsedLayout {
@@ -196,7 +220,8 @@ struct ParsedLayout {
 // mismatches land in SectionInfo::crc_ok rather than throwing so the
 // inspect tool can dump a damaged file; open_snapshot() turns them into
 // StoreCorruptError.
-ParsedLayout parse_layout(std::span<const std::uint8_t> data) {
+ParsedLayout parse_layout(std::span<const std::uint8_t> data,
+                          std::uint32_t max_format_version = kMaxFormatVersion) {
   if (data.size() < kHeaderBytes) {
     throw StoreTruncatedError("file smaller than header (" +
                               std::to_string(data.size()) + " bytes)");
@@ -208,7 +233,8 @@ ParsedLayout parse_layout(std::span<const std::uint8_t> data) {
   }
   ParsedLayout out;
   out.format_version = r.u32();
-  if (out.format_version != kFormatVersion) {
+  if (out.format_version < kFormatVersion ||
+      out.format_version > std::min(max_format_version, kMaxFormatVersion)) {
     throw StoreCorruptError("unsupported format version " +
                             std::to_string(out.format_version));
   }
@@ -278,7 +304,9 @@ Digest param_fingerprint(const VerifiableIndexConfig& config) {
   return Sha256::hash(w.data());
 }
 
-Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count) {
+Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count,
+                      const TierArtifacts* tier) {
+  if (tier != nullptr && tier->tier == nullptr) tier = nullptr;  // empty tier → v1
   // Section payloads first; the header needs their sizes and CRCs.
   ByteWriter config_w;
   snap.config().write(config_w);
@@ -306,18 +334,46 @@ Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count) {
   ByteWriter doc_w;
   write_primes(doc_w, snap.doc_primes());
 
+  // v2 payloads: witness-table blobs, the directory locating them, and the
+  // fixed-base image.  Lazy tiers materialize table-by-table here — the
+  // publish path hands in eager tiers, and re-encoding an opened epoch
+  // round-trips the mapped one.
+  ByteWriter tierdir_w;
+  ByteWriter tiertab_w;
+  ByteWriter fixed_w;
+  if (tier != nullptr) {
+    const WitnessTier& t = *tier->tier;
+    tierdir_w.u64(t.table_bytes());
+    tierdir_w.varint(t.term_count());
+    for (const std::string& term : t.terms()) {
+      const TermWitnessTable* table = t.find(term);
+      if (table == nullptr) throw StoreError("witness tier table vanished for term " + term);
+      std::size_t start = tiertab_w.size();
+      table->write(tiertab_w);
+      tierdir_w.str(term);
+      tierdir_w.varint(start);
+      tierdir_w.varint(tiertab_w.size() - start);
+    }
+    write_fixed_base(fixed_w, tier->fixed_base);
+  }
+
   struct Payload {
     SectionId id;
     const Bytes* bytes;
   };
-  const std::array<Payload, 6> payloads = {{
+  std::vector<Payload> payloads = {
       {SectionId::kConfig, &config_w.data()},
       {SectionId::kDictionary, &dict_w.data()},
       {SectionId::kTermDirectory, &termdir_w.data()},
       {SectionId::kEntries, &entries_w.data()},
       {SectionId::kTuplePrimes, &tuple_w.data()},
       {SectionId::kDocPrimes, &doc_w.data()},
-  }};
+  };
+  if (tier != nullptr) {
+    payloads.push_back({SectionId::kWitnessTierDir, &tierdir_w.data()});
+    payloads.push_back({SectionId::kWitnessTables, &tiertab_w.data()});
+    payloads.push_back({SectionId::kFixedBase, &fixed_w.data()});
+  }
 
   std::uint64_t offset = kHeaderBytes + payloads.size() * kSectionEntryBytes;
   ByteWriter table;
@@ -335,7 +391,7 @@ Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count) {
   Digest fp = param_fingerprint(snap.config());
   ByteWriter out;
   out.raw(kMagic);
-  out.u32(kFormatVersion);
+  out.u32(tier != nullptr ? kFormatVersionTiered : kFormatVersion);
   out.u32(static_cast<std::uint32_t>(kHeaderBytes));
   out.u64(snap.epoch());
   out.u32(shard_count);
@@ -352,19 +408,36 @@ Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count) {
   return std::move(out).take();
 }
 
-OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file,
-                          const Digest* expected_fingerprint) {
+OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file, OpenOptions options) {
   Stopwatch timer;
   auto data = file->bytes();
-  ParsedLayout layout = parse_layout(data);
+  ParsedLayout layout = parse_layout(data, options.max_format_version);
+  // Version/section coherence: tier sections exist exactly in v2 files.
+  bool has_tier_sections = false;
   for (const SectionInfo& s : layout.sections) {
-    if (!s.crc_ok) {
-      crc_failures().inc();
-      throw StoreCorruptError(std::string("section ") + section_name(s.id) +
-                              " CRC mismatch");
-    }
+    if (is_tier_section(s.id)) has_tier_sections = true;
   }
-  if (expected_fingerprint != nullptr && *expected_fingerprint != layout.fingerprint) {
+  if (layout.format_version == kFormatVersion && has_tier_sections) {
+    throw StoreCorruptError("v1 file contains witness-tier sections");
+  }
+  if (layout.format_version == kFormatVersionTiered && !has_tier_sections) {
+    throw StoreCorruptError("v2 file is missing its witness-tier sections");
+  }
+  bool tier_degraded = false;
+  for (const SectionInfo& s : layout.sections) {
+    if (s.crc_ok) continue;
+    crc_failures().inc();
+    if (is_tier_section(s.id) && options.degrade_tier_on_corruption) {
+      // The tier is a pure cache over the base sections; serve untiered
+      // rather than refuse the epoch.
+      tier_degraded = true;
+      continue;
+    }
+    throw StoreCorruptError(std::string("section ") + section_name(s.id) +
+                            " CRC mismatch");
+  }
+  if (options.expected_fingerprint != nullptr &&
+      *options.expected_fingerprint != layout.fingerprint) {
     throw StoreParamMismatchError("epoch " + file->path().string() +
                                   " was written under different index parameters");
   }
@@ -411,10 +484,44 @@ OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file,
       file, section_bytes(data, layout, SectionId::kDocPrimes)));
 
   OpenedEpoch out;
+  out.tier_degraded = tier_degraded;
   out.snapshot = std::make_shared<const IndexSnapshot>(
       config, layout.epoch, std::move(terms), std::move(source),
       static_cast<std::size_t>(max_posting_count), std::move(dict), std::move(dict_att),
       std::move(tuple_primes), std::move(doc_primes));
+
+  if (layout.format_version >= kFormatVersionTiered && !tier_degraded) {
+    // Tier directory: total table bytes + per-term blob locations.  The tier
+    // itself stays lazy — reopening a tiered epoch never recomputes (or even
+    // parses) a witness until a query touches its term.
+    auto tables_sec = section_bytes(data, layout, SectionId::kWitnessTables);
+    ByteReader tier_r(section_bytes(data, layout, SectionId::kWitnessTierDir));
+    std::uint64_t tier_bytes = tier_r.u64();
+    std::uint64_t tier_terms = tier_r.varint();
+    std::vector<std::string> tiered;
+    std::vector<TermLoc> tier_locs;
+    tiered.reserve(tier_terms);
+    tier_locs.reserve(tier_terms);
+    for (std::uint64_t i = 0; i < tier_terms; ++i) {
+      tiered.push_back(tier_r.str());
+      TermLoc loc{.offset = tier_r.varint(), .size = tier_r.varint()};
+      if (loc.offset + loc.size > tables_sec.size()) {
+        throw StoreCorruptError("witness-tier directory points past tables section");
+      }
+      tier_locs.push_back(loc);
+    }
+    tier_r.expect_done();
+    auto tier_source =
+        std::make_shared<const MappedTierSource>(file, tables_sec, std::move(tier_locs));
+    out.tier = std::make_shared<const WitnessTier>(std::move(tiered),
+                                                   std::move(tier_source), tier_bytes);
+    out.snapshot->attach_tier(out.tier);
+
+    ByteReader fixed_r(section_bytes(data, layout, SectionId::kFixedBase));
+    out.fixed_base = read_fixed_base(fixed_r);
+    fixed_r.expect_done();
+  }
+
   out.shard_count = layout.shard_count;
   out.file = std::move(file);
   open_seconds().add(timer.seconds());
@@ -430,6 +537,14 @@ StoreFileInfo inspect_file(const MappedFile& file) {
   info.shard_count = layout.shard_count;
   info.param_fingerprint = layout.fingerprint;
   info.file_bytes = layout.file_bytes;
+  // Tier summary from an intact directory (counts only; no table parses —
+  // inspect stays cheap on corrupt files).
+  for (const SectionInfo& s : layout.sections) {
+    if (s.id != SectionId::kWitnessTierDir || !s.crc_ok) continue;
+    ByteReader r(file.bytes().subspan(s.offset, s.size));
+    info.tier_table_bytes = r.u64();
+    info.tier_terms = r.varint();
+  }
   info.sections = std::move(layout.sections);
   return info;
 }

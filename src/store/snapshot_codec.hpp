@@ -12,12 +12,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "hash/sha256.hpp"
 #include "store/format.hpp"
 #include "store/mapped_file.hpp"
 #include "vindex/index_snapshot.hpp"
+#include "vindex/witness_tier.hpp"
 
 namespace vc::store {
 
@@ -26,10 +28,19 @@ namespace vc::store {
 // parse.
 Digest param_fingerprint(const VerifiableIndexConfig& config);
 
+// Publish-time witness-tier payloads riding along with a snapshot.  Their
+// presence switches the file to format v2 (sections 7–9); a null tier keeps
+// the file at v1, byte-identical to a tier-unaware writer.
+struct TierArtifacts {
+  std::shared_ptr<const WitnessTier> tier;
+  FixedBaseSnapshot fixed_base;
+};
+
 // Serializes `snap` into the epoch-file byte layout.  `shard_count` records
 // the serving topology the epoch was published under (informational; the
 // serving side may re-shard).
-Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count);
+Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count,
+                      const TierArtifacts* tier = nullptr);
 
 // A validated, opened epoch.  The snapshot holds the mapping alive through
 // shared_ptr, so the OpenedEpoch struct itself may be discarded.
@@ -37,6 +48,25 @@ struct OpenedEpoch {
   SnapshotPtr snapshot;
   std::uint32_t shard_count = 0;
   std::shared_ptr<const MappedFile> file;
+  // v2 files only: the lazy mapped witness tier (already attached to the
+  // snapshot) and the persisted fixed-base table for the serving context to
+  // adopt instead of rebuilding.
+  std::shared_ptr<const WitnessTier> tier;
+  std::optional<FixedBaseSnapshot> fixed_base;
+  // True when tier sections were dropped under degrade_tier_on_corruption.
+  bool tier_degraded = false;
+};
+
+struct OpenOptions {
+  // Non-null: the file's param fingerprint must match (StoreParamMismatchError).
+  const Digest* expected_fingerprint = nullptr;
+  // Reject files newer than this (tests use it to emulate a pre-v2 reader;
+  // a real old binary takes the same StoreCorruptError path).
+  std::uint32_t max_format_version = kMaxFormatVersion;
+  // On a tier-section CRC failure, serve the epoch untiered (compute path)
+  // instead of failing the open — the tier is a cache, the base sections
+  // are the data.  Base-section corruption still throws.
+  bool degrade_tier_on_corruption = false;
 };
 
 // Validates every structural invariant (magic, version, size, table CRC,
@@ -44,8 +74,12 @@ struct OpenedEpoch {
 // lazy snapshot.  Throws the distinct StoreError subclasses on rejection;
 // when `expected_fingerprint` is non-null it must additionally match the
 // file's (StoreParamMismatchError otherwise).
-OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file,
-                          const Digest* expected_fingerprint = nullptr);
+OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file, OpenOptions options);
+inline OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file,
+                                 const Digest* expected_fingerprint = nullptr) {
+  return open_snapshot(std::move(file),
+                       OpenOptions{.expected_fingerprint = expected_fingerprint});
+}
 
 // Header/section dump for tooling (vcsearch-inspect).  Checks structure and
 // CRCs but never decodes payloads; `crc_ok` is per-section.
@@ -63,6 +97,10 @@ struct StoreFileInfo {
   Digest param_fingerprint{};
   std::uint64_t file_bytes = 0;
   std::vector<SectionInfo> sections;
+  // v2 files with an intact tier directory: tiered term count and the total
+  // encoded witness-table bytes it declares.
+  std::uint64_t tier_terms = 0;
+  std::uint64_t tier_table_bytes = 0;
 };
 StoreFileInfo inspect_file(const MappedFile& file);
 

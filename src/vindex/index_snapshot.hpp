@@ -13,6 +13,7 @@
 // epoch is a single atomic shared_ptr store per shard.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,6 +30,8 @@
 #include "vindex/statements.hpp"
 
 namespace vc {
+
+class WitnessTier;
 
 struct VerifiableIndexConfig {
   std::size_t modulus_bits = 1024;
@@ -120,6 +123,19 @@ class IndexSnapshot {
   // exponentiation table.
   [[nodiscard]] std::size_t max_posting_count() const { return max_posting_count_; }
 
+  // Optional materialized witness tier (vindex/witness_tier.hpp).  Attached
+  // once after construction — by the publish path (freshly built tier) or
+  // the store's open path (lazy mapped tier) — and read by every Prover
+  // built over this snapshot.  The atomic store keeps attach legal on a
+  // snapshot already shared across threads; proof bytes are identical with
+  // or without a tier, so a late attach only changes latency.
+  void attach_tier(std::shared_ptr<const WitnessTier> tier) const {
+    tier_.store(std::move(tier), std::memory_order_release);
+  }
+  [[nodiscard]] std::shared_ptr<const WitnessTier> witness_tier() const {
+    return tier_.load(std::memory_order_acquire);
+  }
+
  private:
   // One lazily-filled entry slot.  call_once publishes the materialized
   // entry with the synchronization find() needs to hand it to concurrent
@@ -137,6 +153,7 @@ class IndexSnapshot {
   std::shared_ptr<PrimeCache> tuple_primes_;
   std::shared_ptr<PrimeCache> doc_primes_;
   std::size_t max_posting_count_ = 0;
+  mutable std::atomic<std::shared_ptr<const WitnessTier>> tier_;
 
   // Lazy mode only (store-backed snapshots).
   std::shared_ptr<const EntrySource> source_;

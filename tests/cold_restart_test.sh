@@ -82,4 +82,66 @@ grep -q "not in the indexed dictionary" "$WORK/q3.log"
 kill -9 $SERVE_PID
 wait $SERVE_PID 2>/dev/null || true
 mv "$WORK/index.vc.hidden" "$WORK/index.vc"
+
+# --- Tiered phase: a publish-time witness tier must survive the same crash. ---
+# vcsearch-build publishes a format-v2 epoch with materialized witness
+# tables; the server must restore the tier and the persisted fixed-base
+# table from the mapping (no witness recompute) and keep proofs
+# byte-identical across a SIGKILL.
+mkdir -p "$WORK/t"
+"$BUILD/tools/vcsearch-build" --out "$WORK/t" --synth 60 --seed 9 \
+    --modulus-bits 512 --rep-bits 64 --interval 8 \
+    --store "$WORK/t/store" --tier-budget-mb 64 > "$WORK/t/build.log"
+grep -q "terms tiered" "$WORK/t/build.log"
+grep -q "store: published epoch 1" "$WORK/t/build.log"
+
+# The tiered epoch passes structural validation: v2, tier sections, CRCs OK.
+"$BUILD/tools/vcsearch-inspect" --store "$WORK/t/store" > "$WORK/t/inspect.log"
+grep -q "format version 2" "$WORK/t/inspect.log"
+grep -q "section witness-tier-dir" "$WORK/t/inspect.log"
+grep -q "section witness-tables" "$WORK/t/inspect.log"
+grep -q "section fixed-base" "$WORK/t/inspect.log"
+grep -q "witness tier" "$WORK/t/inspect.log"
+if grep -q "BAD" "$WORK/t/inspect.log"; then
+  echo "tiered epoch CRC damage"; exit 1
+fi
+
+# First boot serves straight from the tiered store (never the builder file).
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/t" --store "$WORK/t/store" --port 0 \
+    > "$WORK/t/serve1.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/t/serve1.log"
+grep -q "store: restored witness tier" "$WORK/t/serve1.log"
+grep -q "no witness recompute" "$WORK/t/serve1.log"
+grep -q "store: adopted persisted fixed-base table" "$WORK/t/serve1.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/t/serve1.log" | head -1)
+
+TWORDS=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK/t" --top 2 | grep ' docs' | awk '{print $1}')
+"$BUILD/tools/vcsearch-query" --dir "$WORK/t" --port "$PORT" \
+    --dump "$WORK/t/proof1.bin" $TWORDS > "$WORK/t/q1.log"
+grep -q "VERIFIED" "$WORK/t/q1.log"
+test -s "$WORK/t/proof1.bin"
+
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+mv "$WORK/t/index.vc" "$WORK/t/index.vc.hidden"
+
+# Restart: tier intact, fixed base adopted, proof byte-identical.
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/t" --store "$WORK/t/store" --port 0 \
+    > "$WORK/t/serve2.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/t/serve2.log"
+grep -q "store: restored witness tier" "$WORK/t/serve2.log"
+grep -q "store: adopted persisted fixed-base table" "$WORK/t/serve2.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/t/serve2.log" | head -1)
+
+"$BUILD/tools/vcsearch-query" --dir "$WORK/t" --port "$PORT" \
+    --dump "$WORK/t/proof2.bin" $TWORDS > "$WORK/t/q2.log"
+grep -q "VERIFIED" "$WORK/t/q2.log"
+cmp "$WORK/t/proof1.bin" "$WORK/t/proof2.bin" || {
+  echo "tiered proofs differ across restart"; exit 1; }
+
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+mv "$WORK/t/index.vc.hidden" "$WORK/t/index.vc"
 echo "cold_restart OK"

@@ -7,6 +7,12 @@
 //                  [--store DIR]  also publish the built epoch into a
 //                                 persistent epoch store (vcsearch-serve
 //                                 boots from it with --store)
+//                  [--tier-budget-mb MB]  materialize witness tiers for the
+//                                 hottest terms, greedily packed under MB
+//                                 megabytes, and persist them in the epoch
+//                                 (requires --store)
+//                  [--hot-terms FILE]  explicit hot-term list (one term per
+//                                 line) instead of the by-frequency ranking
 //                  [--profile]   print the telemetry stage table after the build
 //
 // Writes into --out:
@@ -25,7 +31,9 @@
 #include "support/stopwatch.hpp"
 #include "support/threadpool.hpp"
 #include "text/synth.hpp"
+#include "text/tokenizer.hpp"
 #include "vindex/index_builder.hpp"
+#include "vindex/witness_tier.hpp"
 
 using namespace vc;
 
@@ -118,7 +126,39 @@ int main(int argc, char** argv) {
   if (const char* store_dir = arg_value(argc, argv, "--store", nullptr)) {
     store::EpochStore store(store_dir);
     SnapshotPtr snapshot = vidx.snapshot();
-    auto published = store.publish(*snapshot, 1);
+    std::optional<store::TierArtifacts> artifacts;
+    const char* budget_mb = arg_value(argc, argv, "--tier-budget-mb", nullptr);
+    const char* hot_file = arg_value(argc, argv, "--hot-terms", nullptr);
+    if (budget_mb != nullptr || hot_file != nullptr) {
+      TierPolicy policy;
+      if (budget_mb != nullptr) {
+        policy.budget_bytes = std::strtoull(budget_mb, nullptr, 10) * 1024 * 1024;
+      }
+      if (hot_file != nullptr) {
+        std::ifstream in(hot_file);
+        if (!in) {
+          std::fprintf(stderr, "cannot read --hot-terms file %s\n", hot_file);
+          return 2;
+        }
+        for (std::string line; std::getline(in, line);) {
+          std::string norm = normalize_term(line);
+          if (!norm.empty()) policy.hot_terms.push_back(std::move(norm));
+        }
+      }
+      owner_ctx.set_pool(&pool);
+      TierBuildResult tier = build_witness_tier(*snapshot, owner_ctx, policy);
+      if (tier.tier != nullptr) {
+        snapshot->attach_tier(tier.tier);
+        artifacts = store::TierArtifacts{tier.tier, std::move(tier.fixed_base)};
+      }
+      std::printf(
+          "tier: %zu terms tiered (%zu considered, %zu over budget), "
+          "%.2f MB tables + %.2f MB fixed-base, built in %.2fs\n",
+          tier.tier != nullptr ? tier.tier->term_count() : 0, tier.terms_considered,
+          tier.terms_skipped, static_cast<double>(tier.table_bytes) / (1024 * 1024),
+          static_cast<double>(tier.fixed_base_bytes) / (1024 * 1024), tier.build_seconds);
+    }
+    auto published = store.publish(*snapshot, 1, artifacts ? &*artifacts : nullptr);
     std::printf("store: published epoch %llu to %s (%.2f MB)\n",
                 static_cast<unsigned long long>(snapshot->epoch()), published.c_str(),
                 static_cast<double>(std::filesystem::file_size(

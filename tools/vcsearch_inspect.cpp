@@ -70,6 +70,11 @@ int inspect_store(const char* store_dir, int argc, char** argv) {
                 static_cast<unsigned long long>(s.size), s.crc, s.crc_ok ? "OK" : "BAD");
     all_ok = all_ok && s.crc_ok;
   }
+  if (info.format_version >= store::kFormatVersionTiered) {
+    std::printf("    witness tier   %llu terms, %llu table bytes\n",
+                static_cast<unsigned long long>(info.tier_terms),
+                static_cast<unsigned long long>(info.tier_table_bytes));
+  }
   return all_ok ? 0 : 1;
 }
 

@@ -83,15 +83,29 @@ int main(int argc, char** argv) {
   // in the mapped epoch still guard soundness; the full receipt sweep ran
   // when the epoch was first built and published.
   SnapshotPtr snapshot;
+  std::optional<FixedBaseSnapshot> restored_fixed_base;
   std::optional<store::EpochStore> store;
   if (store_dir != nullptr) store.emplace(store_dir);
   if (store && store->has_current()) {
-    store::OpenedEpoch opened = store->open_current();
+    // A corrupt tier section degrades to untiered serving (the tier is a
+    // cache over the base sections); base-section corruption still fails.
+    store::OpenedEpoch opened =
+        store->open_current(store::OpenOptions{.degrade_tier_on_corruption = true});
     snapshot = opened.snapshot;
+    restored_fixed_base = std::move(opened.fixed_base);
     std::printf("store: restored epoch %llu from %s (%zu terms, %.2f MB mapped)\n",
                 static_cast<unsigned long long>(snapshot->epoch()), store_dir,
                 snapshot->term_count(),
                 static_cast<double>(opened.file->size()) / (1024 * 1024));
+    if (opened.tier != nullptr) {
+      std::printf("store: restored witness tier (%zu terms, %.2f MB tables, "
+                  "no witness recompute)\n",
+                  opened.tier->term_count(),
+                  static_cast<double>(opened.tier->table_bytes()) / (1024 * 1024));
+    } else if (opened.tier_degraded) {
+      std::printf("store: witness tier sections corrupt — serving untiered "
+                  "(compute path)\n");
+    }
   } else {
     // Boot path 2: load + receipt-check the builder artifact, and seed the
     // store (when given) so the next restart takes path 1.
@@ -112,6 +126,13 @@ int main(int argc, char** argv) {
   auto cloud_ctx = AccumulatorContext::public_side(AccumulatorParams{
       standard_accumulator_modulus(snapshot->config().modulus_bits).n,
       standard_qr_generator(snapshot->config().modulus_bits)});
+  if (restored_fixed_base && restored_fixed_base->base == cloud_ctx.g()) {
+    // Skip the fixed-base rebuild squarings CloudService::publish would
+    // otherwise pay on every cold start.
+    cloud_ctx.adopt_fixed_base(*restored_fixed_base);
+    std::printf("store: adopted persisted fixed-base table (%zu-bit capacity)\n",
+                restored_fixed_base->capacity_bits);
+  }
   ThreadPool pool;
   CloudService cloud(snapshot, cloud_ctx, cloud_key, owner_key.verify_key(), &pool,
                      scheme, shards);
