@@ -241,7 +241,7 @@ IntervalMembershipProof IntervalIndex::prove_membership(
   // The online fast path of Fig 3: Fig 2's seconds-per-witness collapses to
   // one interval's worth of work, and this span is where that shows up.
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("interval_walk");
-  obs::Span span(stage);
+  obs::Span span(stage, "interval_walk");
   // Group values by home interval.
   std::vector<std::vector<std::uint64_t>> grouped(intervals_.size());
   for (std::uint64_t v : values) {
@@ -295,7 +295,7 @@ IntervalNonmembershipProof IntervalIndex::prove_nonmembership(
     const AccumulatorContext& ctx, std::span<const std::uint64_t> values,
     PrimeCache& element_primes) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("interval_walk");
-  obs::Span span(stage);
+  obs::Span span(stage, "interval_walk");
   std::vector<std::vector<std::uint64_t>> grouped(intervals_.size());
   for (std::uint64_t v : values) grouped[find_interval(v)].push_back(v);
 

@@ -123,8 +123,10 @@ std::string render_json(const MetricsRegistry& registry) {
                                ",\"sum\":" + fmt_double(s.sum) +
                                ",\"mean\":" + fmt_double(s.mean()) +
                                ",\"p50\":" + fmt_double(s.quantile(0.50)) +
+                               ",\"p90\":" + fmt_double(s.quantile(0.90)) +
                                ",\"p95\":" + fmt_double(s.quantile(0.95)) +
-                               ",\"p99\":" + fmt_double(s.quantile(0.99)) + "}");
+                               ",\"p99\":" + fmt_double(s.quantile(0.99)) +
+                               ",\"p999\":" + fmt_double(s.quantile(0.999)) + "}");
         break;
       }
     }

@@ -15,8 +15,8 @@ namespace vc::obs {
 std::string render_prometheus(const MetricsRegistry& registry);
 
 // One JSON object: {"uptime_seconds": ..., "counters": {...}, "gauges":
-// {...}, "histograms": {key: {count, sum, mean, p50, p95, p99}}}.  Keys are
-// the full name{labels} form.
+// {...}, "histograms": {key: {count, sum, mean, p50, p90, p95, p99,
+// p999}}}.  Keys are the full name{labels} form.
 std::string render_json(const MetricsRegistry& registry);
 
 // The --profile stage table: vc_stage_seconds histograms sorted by total

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
+
 namespace vc::obs {
 
 // --- enable switch -----------------------------------------------------------
@@ -115,6 +117,15 @@ Span::Span(Histogram& h) : hist_(enabled() ? &h : nullptr) {
   start_ = Clock::now();
 }
 
+Span::Span(Histogram& h, const char* trace_name) : hist_(enabled() ? &h : nullptr) {
+  if (hist_ == nullptr) return;
+  parent_ = t_current_span;
+  depth_ = parent_ == nullptr ? 0 : parent_->depth_ + 1;
+  t_current_span = this;
+  traced_ = trace_detail::begin_span(trace_name);
+  start_ = Clock::now();
+}
+
 double Span::seconds() const {
   if (hist_ == nullptr) return 0;
   return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -123,6 +134,7 @@ double Span::seconds() const {
 Span::~Span() {
   if (hist_ == nullptr) return;
   double elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
+  if (traced_) trace_detail::end_span();
   hist_->observe(elapsed);
   if (parent_ != nullptr) parent_->child_seconds_ += elapsed;
   t_current_span = parent_;

@@ -132,9 +132,16 @@ class Histogram {
 
 // RAII stage timer.  Construction and destruction each read the monotonic
 // clock once when telemetry is enabled and touch nothing otherwise.
+//
+// The two-argument form additionally records the span into the thread's
+// active trace (obs/trace.hpp) under `trace_name`, building the per-query
+// span tree; when no trace is active the extra cost is one thread-local
+// load.  `trace_name` must point at storage outliving the span (string
+// literals in practice).
 class Span {
  public:
   explicit Span(Histogram& h);
+  Span(Histogram& h, const char* trace_name);
   ~Span();
 
   Span(const Span&) = delete;
@@ -151,6 +158,7 @@ class Span {
   Histogram* hist_;  // null when disabled at construction
   Span* parent_ = nullptr;
   int depth_ = 0;
+  bool traced_ = false;  // opened a trace span that ~Span must close
   double child_seconds_ = 0;
   Clock::time_point start_;
 };

@@ -91,7 +91,7 @@ void PrimeCache::set_backing(std::shared_ptr<const PrimeBacking> backing) {
 
 void PrimeCache::precompute(std::span<const std::uint64_t> elements, ThreadPool& pool) {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("prime_precompute");
-  obs::Span span(stage);
+  obs::Span span(stage, "prime_precompute");
   // Compute into a private vector per chunk, then merge once; avoids lock
   // contention on the hot path.
   std::vector<std::pair<std::uint64_t, Bigint>> computed(elements.size());

@@ -196,9 +196,10 @@ std::size_t QueryProof::encoded_size() const { return size_of(*this); }
 
 Bytes SearchResponse::payload_bytes() const {
   ByteWriter w;
-  w.str("vc.response.v2");
+  w.str("vc.response.v3");
   w.u64(query_id);
   w.u64(epoch);
+  w.u64(trace_id);
   w.varint(raw_keywords.size());
   for (const auto& k : raw_keywords) w.str(k);
   w.u8(static_cast<std::uint8_t>(body.index()));
@@ -242,10 +243,11 @@ void SearchResponse::write(ByteWriter& w) const {
 SearchResponse SearchResponse::read(ByteReader& r) {
   Bytes payload = r.bytes();
   ByteReader pr(payload);
-  if (pr.str() != "vc.response.v2") throw ParseError("bad response tag");
+  if (pr.str() != "vc.response.v3") throw ParseError("bad response tag");
   SearchResponse resp;
   resp.query_id = pr.u64();
   resp.epoch = pr.u64();
+  resp.trace_id = pr.u64();
   std::uint64_t nk = pr.varint();
   for (std::uint64_t i = 0; i < nk; ++i) resp.raw_keywords.push_back(pr.str());
   std::uint8_t kind = pr.u8();

@@ -135,6 +135,9 @@ struct SearchResponse {
   // the payload; the verifier rejects any attestation newer than this epoch
   // (cross-epoch proof mixing) and can optionally pin an expected epoch.
   std::uint64_t epoch = 0;
+  // Echo of the query's distributed-tracing ID (0 = untraced), signed with
+  // the payload so the client can tie the signed response to its trace.
+  std::uint64_t trace_id = 0;
   std::vector<std::string> raw_keywords;
   std::variant<MultiKeywordResponse, SingleKeywordResponse, UnknownKeywordResponse> body;
   Signature cloud_sig;  // over payload_bytes()

@@ -5,6 +5,7 @@
 
 #include "accumulator/batch_witness.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
 #include "support/threadpool.hpp"
@@ -137,7 +138,7 @@ IntervalIndex::ChatProvider make_chat_provider(const AccumulatorContext& ctx,
                                           std::span<const std::uint64_t> group)
              -> std::optional<Bigint> {
     static obs::Histogram& stage = obs::MetricsRegistry::global().stage("tier_lookup");
-    obs::Span span(stage);
+    obs::Span span(stage, "tier_lookup");
     std::optional<Bigint> chat =
         tiered_subset_witness(ctx, table, group, members.size(), primes);
     if (!chat) served.store(false, std::memory_order_relaxed);
@@ -152,7 +153,7 @@ MembershipEvidence Prover::prove_tuple_membership(const IndexEntry& entry,
                                                   bool interval_form,
                                                   const TermWitnessTable* tier) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
-  obs::Span span(stage);
+  obs::Span span(stage, "membership_witness");
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
@@ -165,7 +166,9 @@ MembershipEvidence Prover::prove_tuple_membership(const IndexEntry& entry,
     ev.interval =
         entry.tuple_intervals.prove_membership(ctx_, tuples, snap_->tuple_primes(), provider);
     if (tier_ != nullptr && !tuples.empty()) {
-      (served.load() ? tier_hits() : tier_misses()).inc();
+      bool hit = served.load();
+      (hit ? tier_hits() : tier_misses()).inc();
+      obs::trace_attr("witness_tier", hit ? "hit" : "miss");
     }
     return ev;
   }
@@ -179,15 +182,19 @@ MembershipEvidence Prover::prove_tuple_membership(const IndexEntry& entry,
   }
   if (tier != nullptr) {
     static obs::Histogram& lookup_stage = obs::MetricsRegistry::global().stage("tier_lookup");
-    obs::Span lookup_span(lookup_stage);
+    obs::Span lookup_span(lookup_stage, "tier_lookup");
     if (std::optional<Bigint> w = tiered_subset_witness(
             ctx_, tier->flat_tuple, tuples, entry.postings.size(), snap_->tuple_primes())) {
       tier_hits().inc();
+      obs::trace_attr("witness_tier", "hit");
       ev.flat_witness = *std::move(w);
       return ev;
     }
   }
-  if (tier_ != nullptr) tier_misses().inc();
+  if (tier_ != nullptr) {
+    tier_misses().inc();
+    obs::trace_attr("witness_tier", "miss");
+  }
   // Flat Eq-4 witness: g^(Π reps of all postings not in the subset).
   std::vector<Bigint> rest;
   rest.reserve(entry.postings.size());
@@ -206,7 +213,7 @@ MembershipEvidence Prover::prove_doc_membership(const IndexEntry& entry,
                                                 bool interval_form,
                                                 const TermWitnessTable* tier) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("membership_witness");
-  obs::Span span(stage);
+  obs::Span span(stage, "membership_witness");
   MembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
@@ -218,7 +225,9 @@ MembershipEvidence Prover::prove_doc_membership(const IndexEntry& entry,
     ev.interval =
         entry.doc_intervals.prove_membership(ctx_, docs, snap_->doc_primes(), provider);
     if (tier_ != nullptr && !docs.empty()) {
-      (served.load() ? tier_hits() : tier_misses()).inc();
+      bool hit = served.load();
+      (hit ? tier_hits() : tier_misses()).inc();
+      obs::trace_attr("witness_tier", hit ? "hit" : "miss");
     }
     return ev;
   }
@@ -228,15 +237,19 @@ MembershipEvidence Prover::prove_doc_membership(const IndexEntry& entry,
   }
   if (tier != nullptr) {
     static obs::Histogram& lookup_stage = obs::MetricsRegistry::global().stage("tier_lookup");
-    obs::Span lookup_span(lookup_stage);
+    obs::Span lookup_span(lookup_stage, "tier_lookup");
     if (std::optional<Bigint> w = tiered_subset_witness(
             ctx_, tier->flat_doc, docs, entry.postings.size(), snap_->doc_primes())) {
       tier_hits().inc();
+      obs::trace_attr("witness_tier", "hit");
       ev.flat_witness = *std::move(w);
       return ev;
     }
   }
-  if (tier_ != nullptr) tier_misses().inc();
+  if (tier_ != nullptr) {
+    tier_misses().inc();
+    obs::trace_attr("witness_tier", "miss");
+  }
   std::vector<Bigint> rest;
   rest.reserve(entry.postings.size());
   for (const Posting& p : entry.postings) {
@@ -254,7 +267,7 @@ NonmembershipEvidence Prover::prove_doc_nonmembership(const IndexEntry& entry,
                                                       bool interval_form) const {
   static obs::Histogram& stage =
       obs::MetricsRegistry::global().stage("nonmembership_witness");
-  obs::Span span(stage);
+  obs::Span span(stage, "nonmembership_witness");
   NonmembershipEvidence ev;
   ev.interval_form = interval_form;
   if (interval_form) {
@@ -291,7 +304,7 @@ AccumulatorIntegrity Prover::make_accumulator_integrity(
     bool interval_form) const {
   static obs::Histogram& stage =
       obs::MetricsRegistry::global().stage("integrity_accumulator");
-  obs::Span span(stage);
+  obs::Span span(stage, "integrity_accumulator");
   AccumulatorIntegrity integrity;
   std::size_t base = pick_base(entries);
   integrity.base_keyword = static_cast<std::uint32_t>(base);
@@ -337,7 +350,7 @@ AccumulatorIntegrity Prover::make_accumulator_integrity(
   // fan out across the pool.  Slot order fixes the proof byte order.
   static obs::Histogram& agg_stage =
       obs::MetricsRegistry::global().stage("witness_aggregation");
-  obs::Span agg_span(agg_stage);
+  obs::Span agg_span(agg_stage, "witness_aggregation");
   integrity.groups.resize(nonempty.size());
   for_each_index(pool_, nonempty.size(), [&](std::size_t t) {
     std::size_t i = nonempty[t];
@@ -354,7 +367,7 @@ BloomIntegrity Prover::make_bloom_integrity(
     const SearchResult& result, std::span<const IndexEntry* const> entries,
     bool interval_form) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("integrity_bloom");
-  obs::Span span(stage);
+  obs::Span span(stage, "integrity_bloom");
   const BloomParams& params = snap_->config().bloom;
   // B̂ = element-wise min over every keyword's signed filter; slots where
   // B(S) falls short need check elements from every keyword.
@@ -415,7 +428,7 @@ HybridEstimate Prover::hybrid_estimate(const SearchResult& result) const {
 
 QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
   static obs::Histogram& prove_stage = obs::MetricsRegistry::global().stage("prove");
-  obs::Span prove_span(prove_stage);
+  obs::Span prove_span(prove_stage, "prove");
   auto entries = lookup(result);
   const bool interval_form =
       scheme == SchemeKind::kIntervalAccumulator || scheme == SchemeKind::kHybrid;
@@ -433,7 +446,7 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
   };
   auto build_correctness = [&]() {
     static obs::Histogram& stage = obs::MetricsRegistry::global().stage("correctness");
-    obs::Span span(stage);
+    obs::Span span(stage, "correctness");
     CorrectnessProof correctness;
     correctness.keywords.resize(entries.size());
     if (shards_ > 1) {
@@ -452,6 +465,11 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
         }
       }
       for_each_index(pool_, groups.size(), [&](std::size_t gi) {
+        static obs::Histogram& shard_stage =
+            obs::MetricsRegistry::global().stage("shard_prove");
+        obs::Span shard_span(shard_stage, "shard_prove");
+        obs::trace_attr("shard", static_cast<std::int64_t>(groups[gi].first));
+        obs::trace_attr("keywords", static_cast<std::int64_t>(groups[gi].second.size()));
         auto& counter = obs::MetricsRegistry::global().counter(
             "vc_shard_proofs_total", "shard=\"" + std::to_string(groups[gi].first) + "\"",
             "Per-keyword correctness proofs generated, by serving shard");

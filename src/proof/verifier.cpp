@@ -32,7 +32,7 @@ void ResultVerifier::reset_prime_caches() const {
 
 void ResultVerifier::verify(const SearchResponse& response) const {
   static obs::Histogram& stage = obs::MetricsRegistry::global().stage("verify");
-  obs::Span span(stage);
+  obs::Span span(stage, "verify");
   // Check 1 (§III-E): results and proofs signed by the cloud.
   require(cloud_key_.verify(response.payload_bytes(), response.cloud_sig),
           "cloud signature invalid");

@@ -1,6 +1,7 @@
 #include "protocol/cloud.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/epoch_store.hpp"
 #include "support/errors.hpp"
 #include "text/tokenizer.hpp"
@@ -136,6 +137,8 @@ CloudService::StatePtr CloudService::current_state() const {
 std::uint64_t CloudService::epoch() const { return current_state()->snap->epoch(); }
 
 SearchResponse CloudService::handle(const SignedQuery& query) {
+  static obs::Histogram& handle_stage = obs::MetricsRegistry::global().stage("handle");
+  obs::Span handle_span(handle_stage, "handle");
   if (!query.verify(owner_key_)) {
     error_counter("bad_signature").inc();
     throw VerifyError("query is not signed by the data owner");
@@ -143,6 +146,8 @@ SearchResponse CloudService::handle(const SignedQuery& query) {
   // Pin one epoch's state for the whole query: every keyword's proof comes
   // from the same snapshot even if a publish lands mid-query.
   StatePtr state = current_state();
+  obs::trace_attr("epoch", static_cast<std::int64_t>(state->snap->epoch()));
+  obs::trace_attr("shards", static_cast<std::int64_t>(shards_.size()));
   SearchResponse resp;
   try {
     resp = state->engine->search(query.query, scheme_);

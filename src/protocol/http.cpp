@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "support/errors.hpp"
 #include "support/threadpool.hpp"
 
@@ -19,6 +20,12 @@ obs::Counter& http_requests(const char* route) {
   return obs::MetricsRegistry::global().counter(
       "vc_http_requests_total", std::string("route=\"") + route + "\"",
       "HTTP requests by route");
+}
+
+obs::Counter& http_responses(int status) {
+  return obs::MetricsRegistry::global().counter(
+      "vc_http_responses_total", "code=\"" + std::to_string(status) + "\"",
+      "HTTP responses by status code");
 }
 
 std::string read_until_headers_end(int fd, std::string& buffer) {
@@ -43,6 +50,24 @@ std::size_t content_length_of(const std::string& headers) {
   std::size_t pos = lower.find("content-length:");
   if (pos == std::string::npos) return 0;
   return static_cast<std::size_t>(std::strtoull(lower.c_str() + pos + 15, nullptr, 10));
+}
+
+// X-VC-Trace: 16-hex-digit trace ID minted by the client; 0 when absent
+// or malformed.
+std::uint64_t trace_header_of(const std::string& headers) {
+  std::string lower;
+  lower.reserve(headers.size());
+  for (char c : headers) lower.push_back(static_cast<char>(std::tolower(c)));
+  std::size_t pos = lower.find("x-vc-trace:");
+  if (pos == std::string::npos) return 0;
+  std::size_t start = pos + 11;
+  std::size_t end = headers.find("\r\n", start);
+  if (end == std::string::npos) end = headers.size();
+  std::string value = headers.substr(start, end - start);
+  std::size_t a = value.find_first_not_of(" \t");
+  std::size_t b = value.find_last_not_of(" \t");
+  if (a == std::string::npos) return 0;
+  return obs::parse_trace_id(value.substr(a, b - a + 1));
 }
 
 void read_body(int fd, std::string& buffer, std::size_t length) {
@@ -71,6 +96,14 @@ std::string make_response(int status, const std::string& reason, const std::stri
   out += "Connection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+// Every response funnels through here so vc_http_responses_total{code}
+// counts all of them, including errors and shed requests.
+void send_response(int fd, int status, const std::string& reason, const std::string& body,
+                   const char* content_type = "text/plain") {
+  http_responses(status).inc();
+  send_all(fd, make_response(status, reason, body, content_type));
 }
 
 }  // namespace
@@ -148,21 +181,43 @@ void HttpFrontend::serve_loop() {
   }
 }
 
-void HttpFrontend::serve_search(int fd, const std::string& body) {
-  try {
-    Bytes raw = from_hex(body);
-    ByteReader r(raw);
-    SignedQuery query = SignedQuery::read(r);
-    r.expect_done();
-    SearchResponse resp = cloud_.handle(query);
-    ByteWriter w;
-    resp.write(w);
-    send_all(fd, make_response(200, "OK", to_hex(w.data())));
-  } catch (const VerifyError& e) {
-    send_all(fd, make_response(403, "Forbidden", std::string(e.what()) + "\n"));
-  } catch (const Error& e) {
-    send_all(fd, make_response(400, "Bad Request", std::string(e.what()) + "\n"));
+void HttpFrontend::serve_search(int fd, const std::string& body,
+                                std::uint64_t header_trace_id) {
+  // The whole request runs under one TraceScope; the response string is
+  // built inside it and sent after the scope closes, so by the time the
+  // client holds the response the trace is already in the collector and
+  // GET /traces/<id> cannot miss it.
+  int status = 200;
+  std::string reason = "OK";
+  std::string resp_body;
+  {
+    obs::TraceScope trace(header_trace_id, "http_search");
+    try {
+      Bytes raw = from_hex(body);
+      ByteReader r(raw);
+      SignedQuery query = SignedQuery::read(r);
+      r.expect_done();
+      // The signed query's trace_id is authoritative when no header named
+      // one (the header exists so un-resigned replayed queries can still be
+      // traced individually).
+      if (header_trace_id == 0) trace.set_trace_id(query.query.trace_id);
+      SearchResponse resp = cloud_.handle(query);
+      ByteWriter w;
+      resp.write(w);
+      resp_body = to_hex(w.data());
+    } catch (const VerifyError& e) {
+      status = 403;
+      reason = "Forbidden";
+      resp_body = std::string(e.what()) + "\n";
+    } catch (const Error& e) {
+      status = 400;
+      reason = "Bad Request";
+      resp_body = std::string(e.what()) + "\n";
+    }
+    obs::trace_attr("status", static_cast<std::int64_t>(status));
+    obs::trace_attr("response_bytes", static_cast<std::int64_t>(resp_body.size()));
   }
+  send_response(fd, status, reason, resp_body);
 }
 
 bool HttpFrontend::handle_connection(int fd) {
@@ -179,30 +234,76 @@ bool HttpFrontend::handle_connection(int fd) {
 
   if (method == "GET" && path == "/healthz") {
     http_requests("healthz").inc();
-    send_all(fd, make_response(200, "OK", "ok\n"));
+    send_response(fd, 200, "OK", "ok\n");
     return false;
   }
   if (method == "GET" && path == "/stats") {
     http_requests("stats").inc();
-    // JSON summary: top-level serving counters plus the full registry
-    // (counters / gauges / durations / histogram quantiles).
+    // JSON summary: top-level serving counters, a trace-collector summary,
+    // plus the full registry (counters / gauges / durations / histogram
+    // p50/p90/p95/p99/p999 quantiles).
+    auto& collector = obs::TraceCollector::global();
     std::string body = "{\"queries_served\":" + std::to_string(cloud_.queries_served()) +
+                       ",\"traces_seen\":" + std::to_string(collector.seen()) +
+                       ",\"traces_kept\":" + std::to_string(collector.traces().size()) +
                        ",\"metrics\":" +
                        obs::render_json(obs::MetricsRegistry::global()) + "}";
-    send_all(fd, make_response(200, "OK", body, "application/json"));
+    send_response(fd, 200, "OK", body, "application/json");
     return false;
   }
   if (method == "GET" && path == "/metrics") {
     http_requests("metrics").inc();
-    send_all(fd, make_response(200, "OK",
-                               obs::render_prometheus(obs::MetricsRegistry::global()),
-                               "text/plain; version=0.0.4"));
+    send_response(fd, 200, "OK",
+                  obs::render_prometheus(obs::MetricsRegistry::global()),
+                  "text/plain; version=0.0.4");
+    return false;
+  }
+  if (method == "GET" && path == "/traces") {
+    http_requests("traces").inc();
+    send_response(fd, 200, "OK",
+                  obs::render_trace_list_json(obs::TraceCollector::global()),
+                  "application/json");
+    return false;
+  }
+  if (method == "GET" && path.rfind("/traces/", 0) == 0) {
+    http_requests("traces").inc();
+    std::string rest = path.substr(8);
+    bool chrome = false;
+    const std::string suffix = "/chrome";
+    if (rest.size() > suffix.size() &&
+        rest.compare(rest.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      chrome = true;
+      rest.resize(rest.size() - suffix.size());
+    }
+    std::uint64_t id = obs::parse_trace_id(rest);
+    std::shared_ptr<const obs::FinishedTrace> trace =
+        id == 0 ? nullptr : obs::TraceCollector::global().find(id);
+    if (trace == nullptr) {
+      send_response(fd, 404, "Not Found", "no sampled trace with that id\n");
+      return false;
+    }
+    send_response(fd, 200, "OK",
+                  chrome ? obs::render_trace_chrome(*trace) : obs::render_trace_json(*trace),
+                  "application/json");
     return false;
   }
   if (method == "POST" && path == "/search") {
     http_requests("search").inc();
+    std::uint64_t header_trace_id = trace_header_of(headers);
+    static obs::Gauge& inflight_gauge = obs::MetricsRegistry::global().gauge(
+        "vc_http_inflight", "", "Admitted /search requests currently running");
     if (pool_ == nullptr) {
-      serve_search(fd, buffer);
+      // Inline serving still passes through the admission gauge so the
+      // metric means the same thing with and without a pool.
+      {
+        std::lock_guard<std::mutex> lk(inflight_mu_);
+        ++inflight_;
+      }
+      inflight_gauge.add(1);
+      // RAII release: decrements on success, transport error, and any
+      // exception serve_search lets escape.
+      auto slot = std::shared_ptr<void>(nullptr, [this](void*) { release_inflight(); });
+      serve_search(fd, buffer, header_trace_id);
       return false;
     }
     // Concurrency cap: admit up to max_inflight dispatched searches; shed
@@ -214,36 +315,47 @@ bool HttpFrontend::handle_connection(int fd) {
             .counter("vc_http_rejected_total", "reason=\"saturated\"",
                      "Requests shed because the in-flight cap was reached")
             .inc();
-        send_all(fd, make_response(503, "Service Unavailable", "server saturated\n"));
+        send_response(fd, 503, "Service Unavailable", "server saturated\n");
         return false;
       }
       ++inflight_;
     }
-    static obs::Gauge& inflight_gauge = obs::MetricsRegistry::global().gauge(
-        "vc_http_inflight", "", "Dispatched /search requests currently running");
     inflight_gauge.add(1);
-    pool_->submit([this, fd, body = std::move(buffer)] {
+    // The slot holder releases the admission exactly once — whether the
+    // task runs to completion, throws a transport Error, throws anything
+    // else (packaged_task captures it), or the pool drops the task: the
+    // last shared_ptr copy going away closes the socket and decrements.
+    auto slot = std::shared_ptr<void>(nullptr, [this, fd](void*) {
+      ::close(fd);
+      release_inflight();
+    });
+    pool_->submit([this, fd, slot, body = std::move(buffer), header_trace_id] {
       try {
-        serve_search(fd, body);
+        serve_search(fd, body, header_trace_id);
       } catch (const Error&) {
         // Transport errors end that request only.
       }
-      ::close(fd);
-      inflight_gauge.add(-1);
-      {
-        std::lock_guard<std::mutex> lk(inflight_mu_);
-        --inflight_;
-      }
-      inflight_cv_.notify_all();
     });
     return true;
   }
-  send_all(fd, make_response(404, "Not Found", "not found\n"));
+  send_response(fd, 404, "Not Found", "not found\n");
   return false;
 }
 
+void HttpFrontend::release_inflight() {
+  static obs::Gauge& inflight_gauge = obs::MetricsRegistry::global().gauge(
+      "vc_http_inflight", "", "Admitted /search requests currently running");
+  inflight_gauge.add(-1);
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    --inflight_;
+  }
+  inflight_cv_.notify_all();
+}
+
 std::string http_request(std::uint16_t port, const std::string& method,
-                         const std::string& path, const std::string& body) {
+                         const std::string& path, const std::string& body,
+                         const std::string& extra_headers) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw Error("http: cannot create socket");
   sockaddr_in addr{};
@@ -256,6 +368,7 @@ std::string http_request(std::uint16_t port, const std::string& method,
   }
   std::string req = method + " " + path + " HTTP/1.1\r\n";
   req += "Host: 127.0.0.1\r\n";
+  req += extra_headers;
   req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   req += "Connection: close\r\n\r\n";
   req += body;
@@ -275,9 +388,13 @@ std::string http_request(std::uint16_t port, const std::string& method,
   }
 }
 
-SearchResponse http_search(std::uint16_t port, const SignedQuery& query) {
+SearchResponse http_search(std::uint16_t port, const SignedQuery& query,
+                           std::uint64_t header_trace_id) {
   std::string body = to_hex(query.encode());
-  std::string resp_hex = http_request(port, "POST", "/search", body);
+  std::string extra = header_trace_id == 0
+                          ? std::string()
+                          : "X-VC-Trace: " + obs::trace_id_hex(header_trace_id) + "\r\n";
+  std::string resp_hex = http_request(port, "POST", "/search", body, extra);
   Bytes raw = from_hex(resp_hex);
   ByteReader r(raw);
   SearchResponse resp = SearchResponse::read(r);

@@ -12,8 +12,9 @@ DataOwner::DataOwner(AccumulatorContext owner_ctx, SigningKey owner_key, VerifyK
       verifier_(std::move(owner_ctx), key_.verify_key(), std::move(cloud_key),
                 std::move(config)) {}
 
-SignedQuery DataOwner::issue_query(std::vector<std::string> keywords) {
-  Query q{.id = next_query_id_++, .keywords = std::move(keywords)};
+SignedQuery DataOwner::issue_query(std::vector<std::string> keywords,
+                                   std::uint64_t trace_id) {
+  Query q{.id = next_query_id_++, .keywords = std::move(keywords), .trace_id = trace_id};
   SignedQuery signed_q{q, key_.sign(q.encode())};
   pending_.push_back(signed_q);
   return signed_q;
@@ -28,6 +29,9 @@ void DataOwner::receive_response(const SearchResponse& response) {
   }
   if (it->query.keywords != response.raw_keywords) {
     throw VerifyError("response keywords differ from the signed query");
+  }
+  if (it->query.trace_id != response.trace_id) {
+    throw VerifyError("response trace id differs from the signed query");
   }
   transcripts_.push_back(Transcript{*it, response});
   pending_.erase(it);

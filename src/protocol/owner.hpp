@@ -18,7 +18,10 @@ class DataOwner {
   DataOwner(AccumulatorContext owner_ctx, SigningKey owner_key, VerifyKey cloud_key,
             VerifiableIndexConfig config);
 
-  [[nodiscard]] SignedQuery issue_query(std::vector<std::string> keywords);
+  // `trace_id` (0 = untraced) is signed into the query and must be echoed
+  // in the response (receive_response enforces the echo).
+  [[nodiscard]] SignedQuery issue_query(std::vector<std::string> keywords,
+                                        std::uint64_t trace_id = 0);
 
   // Verifies a response against the matching retained query.  Throws
   // VerifyError when the cloud misbehaved; the transcript is retained

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
 #include "text/tokenizer.hpp"
@@ -17,18 +18,20 @@ Bytes Query::encode() const {
 }
 
 void Query::write(ByteWriter& w) const {
-  w.str("vc.query.v1");
+  w.str("vc.query.v2");
   w.u64(id);
   w.varint(keywords.size());
   for (const auto& k : keywords) w.str(k);
+  w.u64(trace_id);
 }
 
 Query Query::read(ByteReader& r) {
-  if (r.str() != "vc.query.v1") throw ParseError("bad query tag");
+  if (r.str() != "vc.query.v2") throw ParseError("bad query tag");
   Query q;
   q.id = r.u64();
   std::uint64_t n = r.varint();
   for (std::uint64_t i = 0; i < n; ++i) q.keywords.push_back(r.str());
+  q.trace_id = r.u64();
   return q;
 }
 
@@ -96,17 +99,21 @@ SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const
   static obs::Histogram& query_stage = obs::MetricsRegistry::global().stage("query");
   static obs::Histogram& exec_stage = obs::MetricsRegistry::global().stage("search_exec");
   static obs::Histogram& ser_stage = obs::MetricsRegistry::global().stage("serialize");
-  obs::Span query_span(query_stage);
+  obs::Span query_span(query_stage, "query");
+  obs::trace_attr("epoch", static_cast<std::int64_t>(snap_->epoch()));
+  obs::trace_attr("terms", static_cast<std::int64_t>(query.keywords.size()));
+  obs::trace_attr("scheme", scheme_name(scheme));
 
   SearchResponse resp;
   resp.query_id = query.id;
+  resp.trace_id = query.trace_id;
   resp.epoch = snap_->epoch();
   resp.raw_keywords = query.keywords;
 
   Stopwatch sw;
   // The exec span covers classify + intersect and closes where the legacy
   // search_seconds stopwatch stops, so both report the same phase.
-  std::optional<obs::Span> exec_span(std::in_place, exec_stage);
+  std::optional<obs::Span> exec_span(std::in_place, exec_stage, "search_exec");
   Classified c = classify(query);
 
   if (!c.unknown.empty()) {
@@ -144,7 +151,7 @@ SearchResponse SearchEngine::search(const Query& query, SchemeKind scheme) const
     resp.body = std::move(body);
   }
   {
-    obs::Span ser_span(ser_stage);
+    obs::Span ser_span(ser_stage, "serialize");
     resp.cloud_sig = cloud_key_.sign(resp.payload_bytes());
   }
   return resp;

@@ -16,6 +16,10 @@ namespace vc {
 struct Query {
   std::uint64_t id = 0;
   std::vector<std::string> keywords;  // raw user keywords (un-normalized)
+  // Client-minted distributed-tracing ID (0 = untraced).  Declared after
+  // `keywords` so existing {.id, .keywords} designated initializers keep
+  // compiling; covered by the signature like every other field.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] Bytes encode() const;
   void write(ByteWriter& w) const;

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "store/crc32.hpp"
+#include "obs/trace.hpp"
 #include "support/stopwatch.hpp"
 
 namespace vc::store {
@@ -171,6 +172,9 @@ class MappedEntrySource final : public EntrySource {
     ByteReader r(entries_.subspan(loc.offset, loc.size));
     auto entry = read_entry(r);
     entries_materialized().inc();
+    // Cold first touch of a mapped term — the trace attribute is what tells
+    // a slow first-query-after-restart apart from a warm one.
+    obs::trace_attr("store_lazy_materialize", static_cast<std::int64_t>(loc.size));
     return entry;
   }
 

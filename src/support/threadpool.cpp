@@ -136,10 +136,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   };
   // The helpers reference `body`, which lives until the caller returns —
   // and the caller only returns once all n iterations are done, after which
-  // late-starting helpers claim nothing and never touch `body`.
+  // late-starting helpers claim nothing and never touch `body`.  Each
+  // helper reinstalls the caller's trace binding so fan-out spans parent
+  // under the span that invoked parallel_for (the caller's own drain()
+  // below inherits it via thread-locals).
   const std::size_t helpers = std::min(worker_count(), n - 1);
+  const obs::TraceBinding binding = obs::current_trace_binding();
   for (std::size_t h = 0; h < helpers; ++h) {
-    std::function<void()> task = drain;
+    std::function<void()> task = [drain, binding] {
+      obs::TraceBindGuard guard(binding);
+      drain();
+    };
     {
       std::lock_guard lock(mu_);
       queue_.emplace_back(std::move(task));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace vc {
 
@@ -44,6 +45,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
 
   // Schedules fn; the returned future rethrows any exception from fn.
+  // The submitter's active trace (if any) is captured and reinstalled
+  // around fn, so spans opened inside pool tasks parent under the span
+  // that scheduled them.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -51,7 +55,10 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.emplace_back([task, binding = obs::current_trace_binding()] {
+        obs::TraceBindGuard guard(binding);
+        (*task)();
+      });
     }
     pool_metrics::tasks_submitted().inc();
     pool_metrics::queue_depth().add(1);

@@ -9,6 +9,7 @@
 #include "accumulator/batch_witness.hpp"
 #include "accumulator/witness.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/errors.hpp"
 
 namespace vc {
@@ -111,7 +112,10 @@ const TermWitnessTable* WitnessTier::find(std::string_view term) const {
   std::size_t rank = static_cast<std::size_t>(it - terms_.begin());
   if (source_ == nullptr) return tables_[rank].get();
   Slot& slot = slots_[rank];
-  std::call_once(slot.once, [&] { slot.table = source_->load(rank, *it); });
+  std::call_once(slot.once, [&] {
+    slot.table = source_->load(rank, *it);
+    obs::trace_attr("tier_lazy_materialize", std::string(*it));
+  });
   return slot.table.get();
 }
 
@@ -223,7 +227,7 @@ FixedBaseSnapshot read_fixed_base(ByteReader& r) {
 TierBuildResult build_witness_tier(const IndexSnapshot& snap,
                                    const AccumulatorContext& witness_ctx,
                                    const TierPolicy& policy) {
-  obs::Span span(obs::MetricsRegistry::global().stage("tier_build"));
+  obs::Span span(obs::MetricsRegistry::global().stage("tier_build"), "tier_build");
   auto start = std::chrono::steady_clock::now();
   TierBuildResult out;
 

@@ -37,6 +37,15 @@ grep -q "verify" "$WORK/q1.log"
 "$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" zzznotaword > "$WORK/q2.log"
 grep -q "not in the indexed dictionary" "$WORK/q2.log"
 
+# Traced query: the client mints a trace id, the server records a span tree
+# under it, and both the JSON and Chrome trace_event exports serve it back.
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" --trace-id auto $WORDS \
+    > "$WORK/q3.log"
+grep -q "VERIFIED" "$WORK/q3.log"
+grep -q "^trace " "$WORK/q3.log"
+TRACE_ID=$(sed -n 's/^trace \([0-9a-f]*\) .*/\1/p' "$WORK/q3.log")
+test -n "$TRACE_ID"
+
 # Scrape endpoints, after the two queries above so the series are non-zero.
 # Use curl when present, the bundled --fetch client otherwise.
 fetch() {
@@ -56,6 +65,36 @@ if command -v python3 >/dev/null 2>&1; then
   python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["queries_served"] >= 2, d' "$WORK/stats.json"
 fi
 
+# Trace surface: the listing carries the traced query's id, the span tree
+# has the engine's "query" span, and the Chrome export is valid trace_event
+# JSON (phase-X complete events) that chrome://tracing / Perfetto loads.
+fetch /traces > "$WORK/traces.json"
+grep -q '"traces"' "$WORK/traces.json"
+grep -q "$TRACE_ID" "$WORK/traces.json"
+fetch "/traces/$TRACE_ID" > "$WORK/trace.json"
+grep -q '"spans"' "$WORK/trace.json"
+grep -q '"query"' "$WORK/trace.json"
+fetch "/traces/$TRACE_ID/chrome" > "$WORK/trace_chrome.json"
+grep -q '"traceEvents"' "$WORK/trace_chrome.json"
+grep -q '"ph":"X"' "$WORK/trace_chrome.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+evs = d["traceEvents"]
+assert evs, "no trace events"
+for e in evs:
+    assert e["ph"] == "X" and "ts" in e and "dur" in e and e["name"], e
+assert any(e["name"] == "http_search" for e in evs), "missing root span"
+' "$WORK/trace_chrome.json"
+fi
+# /stats surfaces the collector counters next to the serving stats.
+fetch /stats > "$WORK/stats2.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["traces_seen"] >= 3, d' "$WORK/stats2.json"
+fi
+grep -q '"traces_kept"' "$WORK/stats2.json"
+
 fetch /metrics > "$WORK/metrics.txt"
 # Prometheus shape: typed families, per-stage latency histogram with
 # cumulative buckets, per-scheme query counters.
@@ -63,9 +102,12 @@ grep -q '# TYPE vc_stage_seconds histogram' "$WORK/metrics.txt"
 grep -q 'vc_stage_seconds_bucket{stage="prove",le="+Inf"}' "$WORK/metrics.txt"
 grep -q 'vc_stage_seconds_count{stage="serialize"}' "$WORK/metrics.txt"
 grep -q '# TYPE vc_cloud_queries_total counter' "$WORK/metrics.txt"
-grep -q 'vc_cloud_queries_total{scheme="hybrid"} 2' "$WORK/metrics.txt"
+grep -q 'vc_cloud_queries_total{scheme="hybrid"} 3' "$WORK/metrics.txt"
 grep -q 'vc_hybrid_choice_total' "$WORK/metrics.txt"
 grep -q 'vc_http_requests_total{route="metrics"} 1' "$WORK/metrics.txt"
+# Every response path funnels through the per-status counter family.
+grep -q '# TYPE vc_http_responses_total counter' "$WORK/metrics.txt"
+grep -q 'vc_http_responses_total{code="200"}' "$WORK/metrics.txt"
 
 kill $SERVE_PID
 wait $SERVE_PID 2>/dev/null || true

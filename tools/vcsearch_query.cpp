@@ -11,6 +11,10 @@
 //                   to FILE; responses are deterministic, so two runs of
 //                   the same query against the same epoch dump identical
 //                   bytes (the CI restart gate diffs them)
+//     --trace-id X  sign the query with trace ID X ("auto" mints a random
+//                   one); the server records a span tree under it — fetch
+//                   with --fetch /traces/<id> (or /traces/<id>/chrome for
+//                   Perfetto).  Default 0 keeps --dump byte-deterministic.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -18,6 +22,7 @@
 
 #include "crypto/standard_params.hpp"
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "support/errors.hpp"
 #include "protocol/http.hpp"
 #include "protocol/owner.hpp"
@@ -58,11 +63,22 @@ int main(int argc, char** argv) {
   }
 
   const char* dump_path = arg_value(argc, argv, "--dump", nullptr);
+  const char* trace_arg = arg_value(argc, argv, "--trace-id", nullptr);
+  std::uint64_t trace_id = 0;
+  if (trace_arg != nullptr) {
+    trace_id = std::strcmp(trace_arg, "auto") == 0 ? obs::mint_trace_id()
+                                                   : obs::parse_trace_id(trace_arg);
+    if (trace_id == 0) {
+      std::fprintf(stderr, "--trace-id expects 16 hex digits or \"auto\"\n");
+      return 2;
+    }
+  }
 
   std::vector<std::string> keywords;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 || std::strcmp(argv[i], "--port") == 0 ||
-        std::strcmp(argv[i], "--fetch") == 0 || std::strcmp(argv[i], "--dump") == 0) {
+        std::strcmp(argv[i], "--fetch") == 0 || std::strcmp(argv[i], "--dump") == 0 ||
+        std::strcmp(argv[i], "--trace-id") == 0) {
       ++i;
       continue;
     }
@@ -102,7 +118,7 @@ int main(int argc, char** argv) {
       standard_qr_generator(config.modulus_bits));
 
   DataOwner owner(owner_ctx, owner_key, cloud_key.verify_key(), config);
-  SignedQuery q = owner.issue_query(keywords);
+  SignedQuery q = owner.issue_query(keywords, trace_id);
   SearchResponse resp = http_search(port, q);
   try {
     owner.receive_response(resp);
@@ -121,6 +137,12 @@ int main(int argc, char** argv) {
     }
     out.write(reinterpret_cast<const char*>(w.data().data()),
               static_cast<std::streamsize>(w.size()));
+  }
+
+  if (trace_id != 0) {
+    std::printf("trace %s (fetch: --fetch /traces/%s)\n",
+                obs::trace_id_hex(resp.trace_id).c_str(),
+                obs::trace_id_hex(resp.trace_id).c_str());
   }
 
   if (const auto* multi = std::get_if<MultiKeywordResponse>(&resp.body)) {

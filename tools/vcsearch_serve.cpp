@@ -5,6 +5,7 @@
 //   vcsearch-serve --dir DIR [--store DIR] [--port P]
 //                  [--scheme hybrid|accumulator|bloom|interval]
 //                  [--shards N] [--max-inflight M]
+//                  [--slow-ms MS] [--trace-capacity N] [--profile]
 //
 // With --store, the server boots from the persistent epoch store when it
 // has a published epoch (mmap-backed, lazily materialized — no builder
@@ -17,6 +18,13 @@
 // concurrently; excess gets 503) and proofs are generated per shard when
 // --shards > 1 (also settable via VC_SHARDS).  SIGINT/SIGTERM drain
 // in-flight requests before exiting.
+//
+// Every /search is traced (GET /traces lists the sampled span trees;
+// /traces/<id>/chrome exports Chrome trace_event JSON for Perfetto).
+// Queries slower than --slow-ms (default 250, also VC_SLOW_MS) are always
+// kept and logged as one structured JSON line on stderr.  --profile dumps
+// the registry snapshot plus the top-10 slowest sampled traces on clean
+// shutdown.
 #include <csignal>
 #include <cstdlib>
 #include <cstdio>
@@ -25,6 +33,8 @@
 #include <optional>
 
 #include "crypto/standard_params.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "protocol/http.hpp"
 #include "store/epoch_store.hpp"
 #include "support/threadpool.hpp"
@@ -42,6 +52,13 @@ const char* arg_value(int argc, char** argv, const char* name, const char* fallb
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 SchemeKind parse_scheme(const char* s) {
@@ -73,6 +90,19 @@ int main(int argc, char** argv) {
   std::size_t max_inflight =
       std::strtoul(arg_value(argc, argv, "--max-inflight", "32"), nullptr, 10);
   if (max_inflight == 0) max_inflight = 1;
+  const bool profile = has_flag(argc, argv, "--profile");
+
+  // Trace collection: --slow-ms / --trace-capacity override the collector's
+  // env-seeded defaults (VC_SLOW_MS / VC_TRACE_CAPACITY, else 250 ms / 128).
+  auto& collector = obs::TraceCollector::global();
+  if (const char* v = arg_value(argc, argv, "--slow-ms", nullptr); v != nullptr) {
+    collector.set_slow_threshold_ns(std::strtoull(v, nullptr, 10) * 1'000'000ull);
+  }
+  if (const char* v = arg_value(argc, argv, "--trace-capacity", nullptr); v != nullptr) {
+    std::size_t cap = std::strtoul(v, nullptr, 10);
+    if (cap > 0) collector.configure(cap, collector.slow_threshold_ns(), cap / 2 + 1);
+  }
+  collector.set_slow_log(true);
 
   std::filesystem::path base(dir);
   SigningKey cloud_key = SigningKey::load((base / "cloud.key").string());
@@ -139,10 +169,11 @@ int main(int argc, char** argv) {
   HttpFrontend frontend(cloud, port, &pool, max_inflight);
   frontend.start();
   std::printf("serving %s scheme on http://127.0.0.1:%u "
-              "(POST /search, GET /stats, GET /metrics) "
-              "epoch=%llu shards=%zu max-inflight=%zu\n",
+              "(POST /search, GET /stats, GET /metrics, GET /traces) "
+              "epoch=%llu shards=%zu max-inflight=%zu slow-ms=%llu\n",
               scheme_name(scheme), frontend.port(),
-              static_cast<unsigned long long>(snapshot->epoch()), shards, max_inflight);
+              static_cast<unsigned long long>(snapshot->epoch()), shards, max_inflight,
+              static_cast<unsigned long long>(collector.slow_threshold_ns() / 1'000'000ull));
 
   std::fflush(stdout);
   std::signal(SIGINT, handle_signal);
@@ -152,6 +183,13 @@ int main(int argc, char** argv) {
   }
   std::printf("shutting down after %llu queries\n",
               static_cast<unsigned long long>(cloud.queries_served()));
-  frontend.stop();
+  frontend.stop();  // graceful drain: in-flight searches finish first
+  if (profile) {
+    std::printf("\n--- profile (registry snapshot) ---\n%s",
+                obs::render_profile(obs::MetricsRegistry::global()).c_str());
+    std::printf("\n--- top 10 slowest sampled traces ---\n%s",
+                obs::render_slowest_table(collector, 10).c_str());
+    std::fflush(stdout);
+  }
   return 0;
 }
