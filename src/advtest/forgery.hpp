@@ -52,9 +52,25 @@ enum class ForgeryClass : std::uint8_t {
   // a response claiming to be served from snapshot E while carrying owner
   // evidence stamped after E (the cross-epoch proof mix).
   kEpochMixing,
+  // Boolean queries: hide a satisfier of one OR branch by moving it from
+  // the result set S to the check set C, with otherwise-honest facts — the
+  // verifier's three-valued re-evaluation must find the doc provably TRUE.
+  kOrDroppedBranch,
+  // Boolean queries: smuggle a non-satisfier from the check set C into the
+  // result S (the NOT complement lie), with its true facts attached — the
+  // re-evaluation must find it provably FALSE.
+  kNotFalseComplement,
+  // Top-k: replace the top-ranked document with a lower-scoring one (or
+  // permute / inflate the claim) — the recomputed canonical ranking over
+  // the proven scores must disagree.
+  kTopkOmittedWinner,
+  // Top-k: inflate one disclosed posting's tf so the scores and ranking are
+  // self-consistent but the tuple is no longer the owner's — correctness
+  // evidence can only argue for the provable subset.
+  kTopkInflatedTf,
 };
 
-inline constexpr std::size_t kForgeryClassCount = 10;
+inline constexpr std::size_t kForgeryClassCount = 14;
 
 const char* forgery_class_name(ForgeryClass c);
 

@@ -17,6 +17,12 @@ SchemeKind scheme_for(ForgeryClass cls, std::size_t query_index, std::size_t see
   switch (cls) {
     case ForgeryClass::kDropResultDoc:
     case ForgeryClass::kAddExtraDoc:
+    // Boolean result-set lies and ranking lies are scheme-independent
+    // claims; rotate them the same way so every evidence form faces them.
+    case ForgeryClass::kOrDroppedBranch:
+    case ForgeryClass::kNotFalseComplement:
+    case ForgeryClass::kTopkOmittedWinner:
+    case ForgeryClass::kTopkInflatedTf:
       return kRotation[(query_index + seed_index) % 4];
     case ForgeryClass::kBloomCounterTamper:
       return SchemeKind::kBloom;

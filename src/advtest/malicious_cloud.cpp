@@ -171,9 +171,17 @@ ForgedResponse MaliciousCloud::forge(const SignedQuery& query, ForgeryClass cls,
     case ForgeryClass::kKnownKeywordGap:
       return forge_known_gap(query);
     case ForgeryClass::kStructuredMutation:
-      return forge_mutation(honest(query, SchemeKind::kHybrid), seed);
+      return forge_mutation(honest(query, scheme), seed);
     case ForgeryClass::kEpochMixing:
       return forge_epoch_mixing(honest(query, SchemeKind::kHybrid));
+    case ForgeryClass::kOrDroppedBranch:
+      return forge_or_drop(honest(query, scheme), rng);
+    case ForgeryClass::kNotFalseComplement:
+      return forge_not_false(honest(query, scheme), rng);
+    case ForgeryClass::kTopkOmittedWinner:
+      return forge_topk_omitted(honest(query, scheme), rng);
+    case ForgeryClass::kTopkInflatedTf:
+      return forge_topk_inflated(honest(query, scheme), rng);
   }
   throw UsageError("unknown forgery class");
 }
@@ -390,6 +398,9 @@ ForgedResponse MaliciousCloud::forge_witness_substitution(const SearchResponse& 
 ForgedResponse MaliciousCloud::forge_stale(const SignedQuery& query, SchemeKind scheme) {
   ForgedResponse out;
   if (stale_snap_ == nullptr || stale_prover_ == nullptr) return out;
+  // Boolean / top-k queries answer with a boolean body; this class forges
+  // legacy multi-keyword responses only.
+  if (query.query.expr.has_value() || query.query.top_k != 0) return out;
   SearchResult result = CloudAccess::engine(cloud_)->execute_only(query.query);
   if (result.keywords.size() < 2 || result.postings.size() != result.keywords.size()) {
     return out;
@@ -612,11 +623,175 @@ ForgedResponse MaliciousCloud::forge_epoch_mixing(const SearchResponse& base) {
     max_att = single->attestation.stmt.epoch;
   } else if (const auto* unknown = std::get_if<UnknownKeywordResponse>(&base.body)) {
     max_att = unknown->dict.stmt.epoch;
+  } else if (const auto* boolean = std::get_if<BooleanQueryResponse>(&base.body)) {
+    for (const auto& att : boolean->proof.terms) {
+      max_att = std::max(max_att, att.stmt.epoch);
+    }
+    if (!boolean->proof.unknowns.empty()) {
+      max_att = std::max(max_att, boolean->proof.dict.stmt.epoch);
+    }
   }
   if (max_att == 0) return out;  // epochs start at 1; nothing to rewind below
   SearchResponse resp = base;
   resp.epoch = max_att - 1;
   out.trace.push_back({"rewind_epoch", base.epoch, resp.epoch});
+  out.outcome = ForgeOutcome::kForged;
+  out.response = sign(std::move(resp));
+  return out;
+}
+
+void MaliciousCloud::rebuild_boolean_facts(BooleanQueryResponse& body) const {
+  BooleanProof& proof = body.proof;
+  const bool interval_form = wants_interval_form(proof.scheme);
+  U64Set universe = set_union(body.docs, body.check_docs);
+  proof.facts.clear();
+  proof.facts.resize(body.terms.size());
+  proof.correctness.keywords.clear();
+  for (std::size_t i = 0; i < body.terms.size(); ++i) {
+    const IndexEntry* e = entry(body.terms[i]);
+    U64Set docs = InvertedIndex::doc_set(e->postings);
+    BooleanTermFacts& f = proof.facts[i];
+    for (std::uint64_t d : universe) {
+      if (std::binary_search(docs.begin(), docs.end(), d)) {
+        f.members.push_back(d);
+      } else {
+        f.nonmembers.push_back(d);
+      }
+    }
+    f.membership = ProverAccess::doc_membership(*prover_, *e, f.members, interval_form);
+    if (!f.nonmembers.empty()) {
+      f.nonmembership =
+          ProverAccess::doc_nonmembership(*prover_, *e, f.nonmembers, interval_form);
+    }
+    // Tuple correctness over the provable subset of the claimed postings —
+    // an inflated tf leaves its tuple outside the index and unarguable.
+    U64Set claimed = InvertedIndex::tuple_set(body.postings[i]);
+    std::sort(claimed.begin(), claimed.end());
+    U64Set indexed = InvertedIndex::tuple_set(e->postings);
+    std::sort(indexed.begin(), indexed.end());
+    U64Set provable = set_intersection(claimed, indexed);
+    proof.correctness.keywords.push_back(
+        ProverAccess::tuple_membership(*prover_, *e, provable, interval_form));
+  }
+}
+
+ForgedResponse MaliciousCloud::forge_or_drop(const SearchResponse& base,
+                                             DeterministicRng& rng) {
+  ForgedResponse out;
+  const auto* boolean = std::get_if<BooleanQueryResponse>(&base.body);
+  if (boolean == nullptr || boolean->docs.empty() ||
+      !contains_kind(boolean->expr, BoolNode::Kind::kOr)) {
+    return out;
+  }
+  SearchResponse resp = base;
+  auto& body = std::get<BooleanQueryResponse>(resp.body);
+  // Demote a genuine satisfier into the check set and regenerate everything
+  // else honestly: postings filtered, facts true, ranking recomputed.  The
+  // lie survives every structural check and must die on the three-valued
+  // re-evaluation finding the doc provably TRUE.
+  std::size_t victim = rng.below(body.docs.size());
+  std::uint64_t dropped = body.docs[victim];
+  out.trace.push_back({"drop_or_satisfier", dropped, 0});
+  body.docs.erase(body.docs.begin() + static_cast<std::ptrdiff_t>(victim));
+  insert_sorted(body.check_docs, dropped);
+  for (std::size_t i = 0; i < body.terms.size(); ++i) {
+    body.postings[i] = InvertedIndex::filter_by_docs(entry(body.terms[i])->postings,
+                                                     body.docs);
+  }
+  if (body.top_k != 0) body.ranked = topk_by_tf(body.docs, body.postings, body.top_k);
+  rebuild_boolean_facts(body);
+  out.outcome = ForgeOutcome::kForged;
+  out.response = sign(std::move(resp));
+  return out;
+}
+
+ForgedResponse MaliciousCloud::forge_not_false(const SearchResponse& base,
+                                               DeterministicRng& rng) {
+  ForgedResponse out;
+  const auto* boolean = std::get_if<BooleanQueryResponse>(&base.body);
+  if (boolean == nullptr || boolean->check_docs.empty() ||
+      !contains_kind(boolean->expr, BoolNode::Kind::kNot)) {
+    return out;
+  }
+  SearchResponse resp = base;
+  auto& body = std::get<BooleanQueryResponse>(resp.body);
+  // Promote a genuine non-satisfier (a doc the NOT branch excludes) into the
+  // result, with its true postings attached — the complement lie.  All facts
+  // stay true; the re-evaluation must find the doc provably FALSE.
+  std::size_t victim = rng.below(body.check_docs.size());
+  std::uint64_t promoted = body.check_docs[victim];
+  out.trace.push_back({"promote_not_excluded", promoted, 0});
+  body.check_docs.erase(body.check_docs.begin() + static_cast<std::ptrdiff_t>(victim));
+  insert_sorted(body.docs, promoted);
+  for (std::size_t i = 0; i < body.terms.size(); ++i) {
+    body.postings[i] = InvertedIndex::filter_by_docs(entry(body.terms[i])->postings,
+                                                     body.docs);
+  }
+  if (body.top_k != 0) body.ranked = topk_by_tf(body.docs, body.postings, body.top_k);
+  rebuild_boolean_facts(body);
+  out.outcome = ForgeOutcome::kForged;
+  out.response = sign(std::move(resp));
+  return out;
+}
+
+ForgedResponse MaliciousCloud::forge_topk_omitted(const SearchResponse& base,
+                                                  DeterministicRng& rng) {
+  ForgedResponse out;
+  const auto* boolean = std::get_if<BooleanQueryResponse>(&base.body);
+  if (boolean == nullptr || boolean->top_k == 0 || boolean->ranked.empty()) return out;
+  SearchResponse resp = base;
+  auto& body = std::get<BooleanQueryResponse>(resp.body);
+  // Everything else stays fully honest — S, C, facts, postings — only the
+  // ranking claim lies.  Preferred lie: hide the winner in favour of a
+  // result doc outside the claimed top-k (the paid-placement cheat).
+  U64Set claimed;
+  for (const TopKEntry& e : body.ranked) claimed.push_back(e.doc_id);
+  std::sort(claimed.begin(), claimed.end());
+  U64Set unclaimed = set_difference(body.docs, claimed);
+  if (!unclaimed.empty()) {
+    std::uint64_t sub = unclaimed[rng.below(unclaimed.size())];
+    std::uint64_t score = 0;
+    for (const PostingList& list : body.postings) {
+      for (const Posting& p : list) {
+        if (p.doc_id == sub) score += p.tf;
+      }
+    }
+    out.trace.push_back({"replace_winner", body.ranked[0].doc_id, sub});
+    body.ranked[0] = TopKEntry{static_cast<std::uint32_t>(sub), score};
+  } else if (body.ranked.size() >= 2) {
+    out.trace.push_back({"swap_winners", body.ranked[0].doc_id, body.ranked[1].doc_id});
+    std::swap(body.ranked[0], body.ranked[1]);
+  } else {
+    out.trace.push_back({"inflate_winner_score", body.ranked[0].doc_id, 0});
+    body.ranked[0].score += 7;
+  }
+  out.outcome = ForgeOutcome::kForged;
+  out.response = sign(std::move(resp));
+  return out;
+}
+
+ForgedResponse MaliciousCloud::forge_topk_inflated(const SearchResponse& base,
+                                                   DeterministicRng& rng) {
+  ForgedResponse out;
+  const auto* boolean = std::get_if<BooleanQueryResponse>(&base.body);
+  if (boolean == nullptr) return out;
+  SearchResponse resp = base;
+  auto& body = std::get<BooleanQueryResponse>(resp.body);
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < body.postings.size(); ++i) {
+    if (!body.postings[i].empty()) candidates.push_back(i);
+  }
+  if (candidates.empty()) return out;
+  // Inflate one disclosed tf and recompute the ranking from the tampered
+  // postings, so the claim is perfectly self-consistent — the forged tuple
+  // itself is the only lie, and only tuple-membership correctness (the
+  // owner's signed (doc,tf) pairs) can catch it.
+  std::size_t term = candidates[rng.below(candidates.size())];
+  std::size_t slot = rng.below(body.postings[term].size());
+  body.postings[term][slot].tf += 1 + static_cast<std::uint32_t>(rng.below(9));
+  out.trace.push_back({"inflate_posting_tf", term, slot});
+  if (body.top_k != 0) body.ranked = topk_by_tf(body.docs, body.postings, body.top_k);
+  rebuild_boolean_facts(body);
   out.outcome = ForgeOutcome::kForged;
   out.response = sign(std::move(resp));
   return out;

@@ -77,6 +77,22 @@ class MaliciousCloud {
   [[nodiscard]] ForgedResponse forge_mutation(const SearchResponse& base,
                                               std::uint64_t seed);
   [[nodiscard]] ForgedResponse forge_epoch_mixing(const SearchResponse& base);
+  [[nodiscard]] ForgedResponse forge_or_drop(const SearchResponse& base,
+                                             DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_not_false(const SearchResponse& base,
+                                               DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_topk_omitted(const SearchResponse& base,
+                                                  DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_topk_inflated(const SearchResponse& base,
+                                                   DeterministicRng& rng);
+
+  // Rebuilds a boolean body's facts and correctness honestly for its
+  // (possibly tampered) S / C / postings: every doc in S ∪ C decided for
+  // every term by its *true* membership, guards' full sets included, tuple
+  // evidence over the provable subset.  The dishonesty then lives purely in
+  // the claimed sets — exactly what the three-valued re-evaluation and the
+  // ranking recomputation must catch.
+  void rebuild_boolean_facts(BooleanQueryResponse& body) const;
 
   CloudService& cloud_;
   SnapshotPtr snap_;

@@ -16,6 +16,10 @@ const char* forgery_class_name(ForgeryClass c) {
     case ForgeryClass::kKnownKeywordGap: return "known_keyword_gap";
     case ForgeryClass::kStructuredMutation: return "structured_mutation";
     case ForgeryClass::kEpochMixing: return "epoch_mixing";
+    case ForgeryClass::kOrDroppedBranch: return "or_dropped_branch";
+    case ForgeryClass::kNotFalseComplement: return "not_false_complement";
+    case ForgeryClass::kTopkOmittedWinner: return "topk_omitted_winner";
+    case ForgeryClass::kTopkInflatedTf: return "topk_inflated_tf";
   }
   return "?";
 }
@@ -44,8 +48,10 @@ bool ProofMutator::mutate(SearchResponse& response) {
     collect_multi(*multi, candidates);
   } else if (auto* single = std::get_if<SingleKeywordResponse>(&response.body)) {
     collect_single(*single, candidates);
+  } else if (auto* unknown = std::get_if<UnknownKeywordResponse>(&response.body)) {
+    collect_unknown(*unknown, candidates);
   } else {
-    collect_unknown(std::get<UnknownKeywordResponse>(response.body), candidates);
+    collect_boolean(std::get<BooleanQueryResponse>(response.body), candidates);
   }
   return apply_one(candidates);
 }
@@ -192,6 +198,135 @@ void ProofMutator::collect_single(SingleKeywordResponse& single,
     single.attestation.stmt.posting_count += 1;
     trace_.push_back({"forge_posting_count", 0, 0});
   });
+}
+
+void ProofMutator::collect_boolean(BooleanQueryResponse& boolean,
+                                   std::vector<Mutation>& out) {
+  BooleanProof& proof = boolean.proof;
+
+  // --- witness exponent perturbation over the per-term facts ---------------
+  for (std::size_t i = 0; i < proof.facts.size(); ++i) {
+    BooleanTermFacts& f = proof.facts[i];
+    if (f.members.empty() && f.nonmembers.empty()) continue;
+    if (!f.members.empty()) {
+      MembershipEvidence& ev = f.membership;
+      if (!ev.interval_form) {
+        out.emplace_back("perturb_fact_witness", [this, &ev, i] {
+          ev.flat_witness = perturb(ev.flat_witness);
+          trace_.push_back({"perturb_fact_witness", i, 0});
+        });
+      } else if (!ev.interval.parts.empty()) {
+        std::size_t p = rng_.below(ev.interval.parts.size());
+        out.emplace_back("perturb_fact_chat", [this, &ev, i, p] {
+          ev.interval.parts[p].chat = perturb(ev.interval.parts[p].chat);
+          trace_.push_back({"perturb_fact_chat", i, p});
+        });
+      }
+    }
+    if (!f.nonmembers.empty()) {
+      // Claim one more doc absent without extending the aggregated witness.
+      out.emplace_back("extend_nonmember_facts", [this, &boolean, &f, i] {
+        std::uint64_t fake = boolean.docs.empty() ? 1 : boolean.docs.back() + 1;
+        f.nonmembers.insert(
+            std::lower_bound(f.nonmembers.begin(), f.nonmembers.end(), fake), fake);
+        trace_.push_back({"extend_nonmember_facts", i, fake});
+      });
+    }
+    break;  // one facts-tamper target is enough per response
+  }
+
+  // --- guard-count lie: shrink a guard's member facts ----------------------
+  for (std::uint32_t g : proof.guards) {
+    BooleanTermFacts& f = proof.facts[g];
+    if (f.members.empty()) continue;
+    out.emplace_back("shrink_guard_members", [this, &f, g] {
+      f.members.pop_back();
+      trace_.push_back({"shrink_guard_members", g, f.members.size()});
+    });
+    break;
+  }
+
+  // --- drop a guard entirely ------------------------------------------------
+  // Only registered when the drop is provably falsifying: either the
+  // remaining guards no longer cover the expression, or the check set no
+  // longer equals the shrunken candidate universe minus S.  (A structurally
+  // redundant guard over a subset posting list could otherwise drop cleanly.)
+  if (!proof.guards.empty()) {
+    std::vector<std::string> remaining_names;
+    U64Set remaining_candidates;
+    for (std::size_t gi = 0; gi + 1 < proof.guards.size(); ++gi) {
+      remaining_names.push_back(boolean.terms[proof.guards[gi]]);
+      remaining_candidates =
+          set_union(remaining_candidates, proof.facts[proof.guards[gi]].members);
+    }
+    std::vector<std::string> unknown_names;
+    for (const auto& u : proof.unknowns) unknown_names.push_back(u.term);
+    const bool still_covered =
+        guards_cover(boolean.expr, remaining_names, unknown_names);
+    const bool check_set_closes =
+        set_difference(remaining_candidates, boolean.docs) == boolean.check_docs;
+    if (!still_covered || !check_set_closes) {
+      out.emplace_back("drop_guard", [this, &proof] {
+        std::uint64_t g = proof.guards.back();
+        proof.guards.pop_back();
+        trace_.push_back({"drop_guard", g, 0});
+      });
+    }
+  }
+
+  // --- move a doc across the S/C boundary ----------------------------------
+  if (!boolean.docs.empty()) {
+    std::size_t k = rng_.below(boolean.docs.size());
+    out.emplace_back("demote_result_doc", [this, &boolean, k] {
+      std::uint64_t d = boolean.docs[k];
+      boolean.docs.erase(boolean.docs.begin() + static_cast<std::ptrdiff_t>(k));
+      boolean.check_docs.insert(
+          std::lower_bound(boolean.check_docs.begin(), boolean.check_docs.end(), d), d);
+      trace_.push_back({"demote_result_doc", d, 0});
+    });
+  }
+  if (!boolean.check_docs.empty()) {
+    std::size_t k = rng_.below(boolean.check_docs.size());
+    out.emplace_back("promote_check_doc", [this, &boolean, k] {
+      std::uint64_t d = boolean.check_docs[k];
+      boolean.check_docs.erase(boolean.check_docs.begin() + static_cast<std::ptrdiff_t>(k));
+      boolean.docs.insert(std::lower_bound(boolean.docs.begin(), boolean.docs.end(), d), d);
+      trace_.push_back({"promote_check_doc", d, 0});
+    });
+  }
+
+  // --- tuple weight tamper --------------------------------------------------
+  for (std::size_t i = 0; i < boolean.postings.size(); ++i) {
+    if (boolean.postings[i].empty()) continue;
+    std::size_t k = rng_.below(boolean.postings[i].size());
+    out.emplace_back("inflate_bool_tf", [this, &boolean, i, k] {
+      boolean.postings[i][k].tf += 7;
+      trace_.push_back({"inflate_bool_tf", i, k});
+    });
+    break;
+  }
+
+  // --- top-k claim tamper ---------------------------------------------------
+  if (boolean.ranked.size() >= 2) {
+    out.emplace_back("swap_ranked_entries", [this, &boolean] {
+      std::swap(boolean.ranked[0], boolean.ranked[1]);
+      trace_.push_back({"swap_ranked_entries", 0, 1});
+    });
+  }
+  if (!boolean.ranked.empty()) {
+    out.emplace_back("inflate_ranked_score", [this, &boolean] {
+      boolean.ranked[0].score += 7;
+      trace_.push_back({"inflate_ranked_score", boolean.ranked[0].doc_id, 0});
+    });
+  }
+
+  // --- lie about an owner-signed field -------------------------------------
+  if (!proof.terms.empty()) {
+    out.emplace_back("forge_bool_posting_count", [this, &proof] {
+      proof.terms[0].stmt.posting_count += 1;
+      trace_.push_back({"forge_bool_posting_count", 0, 0});
+    });
+  }
 }
 
 void ProofMutator::collect_unknown(UnknownKeywordResponse& unknown,

@@ -42,6 +42,7 @@ class ProofMutator {
   void collect_multi(MultiKeywordResponse& multi, std::vector<Mutation>& out);
   void collect_single(SingleKeywordResponse& single, std::vector<Mutation>& out);
   void collect_unknown(UnknownKeywordResponse& unknown, std::vector<Mutation>& out);
+  void collect_boolean(BooleanQueryResponse& boolean, std::vector<Mutation>& out);
 
   // w -> 2w mod n: leaves the claimed statement unchanged but breaks the
   // verification equation with overwhelming probability.

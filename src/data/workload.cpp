@@ -62,6 +62,46 @@ std::vector<WorkloadQuery> paper_query_workload(const SynthSpec& spec) {
   return out;
 }
 
+std::vector<BooleanWorkloadQuery> boolean_query_workload(const SynthSpec& spec) {
+  // Same rank windows as the paper mix, independent PRNG stream so adding
+  // this workload does not perturb paper_query_workload's draws.
+  auto word = [&](std::uint32_t rank) { return synth_word(spec, rank); };
+  DeterministicRng rng(spec.seed, "vc.workload.bool");
+  auto frequent = [&] { return word(static_cast<std::uint32_t>(24 + rng.below(48))); };
+  auto medium = [&] {
+    std::uint32_t span = std::max<std::uint32_t>(64, spec.vocab_size / 8);
+    return word(static_cast<std::uint32_t>(200 + rng.below(span)));
+  };
+  // Draw distinct terms up front: an expression like "a OR a" is legal but
+  // collapses the shape this workload is meant to exercise.
+  std::vector<std::string> terms;
+  while (terms.size() < 3) {
+    auto t = frequent();
+    if (std::count(terms.begin(), terms.end(), t) == 0) terms.push_back(t);
+  }
+  while (terms.size() < 6) {
+    auto t = medium();
+    if (std::count(terms.begin(), terms.end(), t) == 0) terms.push_back(t);
+  }
+  const auto& a = terms[0];
+  const auto& b = terms[1];
+  const auto& c = terms[2];
+  const auto& d = terms[3];
+  const auto& e = terms[4];
+  const auto& f = terms[5];
+
+  std::vector<BooleanWorkloadQuery> out;
+  out.push_back({a + " OR " + d, 0, false});
+  out.push_back({a + " AND (" + b + " OR " + e + ")", 0, false});
+  out.push_back({a + " AND NOT " + d, 0, false});
+  out.push_back({b + " OR (" + a + " AND NOT " + e + ")", 0, false});
+  out.push_back({a + " AND " + b, 5, false});
+  out.push_back({"(" + a + " OR " + b + ") AND " + c, 3, false});
+  out.push_back({f + " AND NOT zzxqunknown", 0, true});
+  out.push_back({c + " OR qqvzunknown", 4, true});
+  return out;
+}
+
 std::vector<Query> known_multi_queries(const std::vector<WorkloadQuery>& workload) {
   std::vector<Query> out;
   for (const auto& wq : workload) {

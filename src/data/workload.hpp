@@ -24,6 +24,19 @@ struct WorkloadQuery {
 // The paper's 24-query mix for a corpus generated from `spec`.
 std::vector<WorkloadQuery> paper_query_workload(const SynthSpec& spec);
 
+// One boolean/top-k workload query: an expression in the query language
+// (docs/QUERY_LANGUAGE.md) plus an optional top-k cutoff (0 = full set).
+struct BooleanWorkloadQuery {
+  std::string text;
+  std::uint32_t top_k = 0;
+  bool has_unknown = false;
+};
+
+// A deterministic eight-query boolean mix for the same corpus: OR, NOT,
+// nesting, top-k cutoffs, and two queries touching an unknown keyword.
+// Every expression is positive-guarded, so the engine accepts all of them.
+std::vector<BooleanWorkloadQuery> boolean_query_workload(const SynthSpec& spec);
+
 // Only the multi-keyword, fully-known queries (proof benchmarks often want
 // exactly these).
 std::vector<Query> known_multi_queries(const std::vector<WorkloadQuery>& workload);

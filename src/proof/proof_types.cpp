@@ -1,5 +1,7 @@
 #include "proof/proof_types.hpp"
 
+#include <algorithm>
+
 #include "support/errors.hpp"
 
 namespace vc {
@@ -194,9 +196,140 @@ QueryProof QueryProof::read(ByteReader& r) {
 
 std::size_t QueryProof::encoded_size() const { return size_of(*this); }
 
+void BooleanTermFacts::write(ByteWriter& w) const {
+  write_u64set(w, members);
+  membership.write(w);
+  write_u64set(w, nonmembers);
+  if (!nonmembers.empty()) nonmembership.write(w);
+}
+
+BooleanTermFacts BooleanTermFacts::read(ByteReader& r) {
+  BooleanTermFacts f;
+  f.members = read_u64set(r);
+  f.membership = MembershipEvidence::read(r);
+  f.nonmembers = read_u64set(r);
+  if (!f.nonmembers.empty()) f.nonmembership = NonmembershipEvidence::read(r);
+  return f;
+}
+
+void UnknownTermProof::write(ByteWriter& w) const {
+  w.str(term);
+  gap.write(w);
+}
+
+UnknownTermProof UnknownTermProof::read(ByteReader& r) {
+  UnknownTermProof u;
+  u.term = r.str();
+  u.gap = GapProof::read(r);
+  return u;
+}
+
+void BooleanProof::write(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(scheme));
+  w.varint(terms.size());
+  for (const auto& t : terms) t.write(w);
+  w.varint(guards.size());
+  for (std::uint32_t g : guards) w.varint(g);
+  w.varint(facts.size());
+  for (const auto& f : facts) f.write(w);
+  correctness.write(w);
+  w.varint(unknowns.size());
+  for (const auto& u : unknowns) u.write(w);
+  if (!unknowns.empty()) dict.write(w);
+}
+
+BooleanProof BooleanProof::read(ByteReader& r) {
+  BooleanProof p;
+  std::uint8_t s = r.u8();
+  if (s > 3) throw ParseError("bad scheme tag");
+  p.scheme = static_cast<SchemeKind>(s);
+  std::uint64_t nt = r.varint();
+  for (std::uint64_t i = 0; i < nt; ++i) p.terms.push_back(TermAttestation::read(r));
+  std::uint64_t ng = r.varint();
+  for (std::uint64_t i = 0; i < ng; ++i) {
+    p.guards.push_back(static_cast<std::uint32_t>(r.varint()));
+  }
+  std::uint64_t nf = r.varint();
+  for (std::uint64_t i = 0; i < nf; ++i) p.facts.push_back(BooleanTermFacts::read(r));
+  p.correctness = CorrectnessProof::read(r);
+  std::uint64_t nu = r.varint();
+  for (std::uint64_t i = 0; i < nu; ++i) p.unknowns.push_back(UnknownTermProof::read(r));
+  if (!p.unknowns.empty()) p.dict = DictAttestation::read(r);
+  return p;
+}
+
+std::size_t BooleanProof::encoded_size() const { return size_of(*this); }
+
+std::vector<TopKEntry> topk_by_tf(const U64Set& docs,
+                                  const std::vector<PostingList>& postings,
+                                  std::uint32_t k) {
+  std::vector<TopKEntry> entries;
+  entries.reserve(docs.size());
+  for (std::uint64_t d : docs) {
+    entries.push_back(TopKEntry{static_cast<std::uint32_t>(d), 0});
+  }
+  for (const PostingList& list : postings) {
+    for (const Posting& p : list) {
+      auto it = std::lower_bound(entries.begin(), entries.end(), p.doc_id,
+                                 [](const TopKEntry& e, std::uint32_t d) { return e.doc_id < d; });
+      if (it != entries.end() && it->doc_id == p.doc_id) it->score += p.tf;
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(), [](const TopKEntry& a, const TopKEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+namespace {
+
+void write_boolean_body(ByteWriter& w, const BooleanQueryResponse& b) {
+  b.expr.write(w);
+  w.varint(b.terms.size());
+  for (const auto& t : b.terms) w.str(t);
+  write_u64set(w, b.docs);
+  w.varint(b.postings.size());
+  for (const auto& p : b.postings) write_postings(w, p);
+  write_u64set(w, b.check_docs);
+  w.u32(b.top_k);
+  w.varint(b.ranked.size());
+  for (const TopKEntry& e : b.ranked) {
+    w.u32(e.doc_id);
+    w.u64(e.score);
+  }
+  b.proof.write(w);
+}
+
+BooleanQueryResponse read_boolean_body(ByteReader& r) {
+  BooleanQueryResponse b;
+  b.expr = BoolNode::read(r);
+  std::uint64_t nt = r.varint();
+  for (std::uint64_t i = 0; i < nt; ++i) b.terms.push_back(r.str());
+  b.docs = read_u64set(r);
+  std::uint64_t np = r.varint();
+  for (std::uint64_t i = 0; i < np; ++i) b.postings.push_back(read_postings(r));
+  b.check_docs = read_u64set(r);
+  b.top_k = r.u32();
+  std::uint64_t nr = r.varint();
+  for (std::uint64_t i = 0; i < nr; ++i) {
+    TopKEntry e;
+    e.doc_id = r.u32();
+    e.score = r.u64();
+    b.ranked.push_back(e);
+  }
+  b.proof = BooleanProof::read(r);
+  return b;
+}
+
+}  // namespace
+
 Bytes SearchResponse::payload_bytes() const {
   ByteWriter w;
-  w.str("vc.response.v3");
+  // Tag and body index pin each other in both directions so a signature
+  // over one wire version can never be replayed as the other.
+  w.str(body.index() == 3 ? "vc.response.v4" : "vc.response.v3");
   w.u64(query_id);
   w.u64(epoch);
   w.u64(trace_id);
@@ -210,11 +343,12 @@ Bytes SearchResponse::payload_bytes() const {
     w.str(single->keyword);
     write_postings(w, single->postings);
     single->attestation.write(w);
+  } else if (const auto* unknown = std::get_if<UnknownKeywordResponse>(&body)) {
+    w.str(unknown->keyword);
+    unknown->gap.write(w);
+    unknown->dict.write(w);
   } else {
-    const auto& unknown = std::get<UnknownKeywordResponse>(body);
-    w.str(unknown.keyword);
-    unknown.gap.write(w);
-    unknown.dict.write(w);
+    write_boolean_body(w, std::get<BooleanQueryResponse>(body));
   }
   return std::move(w).take();
 }
@@ -227,9 +361,10 @@ std::size_t SearchResponse::proof_size_bytes() const {
     size += multi->proof.encoded_size();
   } else if (const auto* single = std::get_if<SingleKeywordResponse>(&body)) {
     size += single->attestation.encoded_size();
+  } else if (const auto* unknown = std::get_if<UnknownKeywordResponse>(&body)) {
+    size += unknown->gap.encoded_size() + unknown->dict.encoded_size();
   } else {
-    const auto& unknown = std::get<UnknownKeywordResponse>(body);
-    size += unknown.gap.encoded_size() + unknown.dict.encoded_size();
+    size += std::get<BooleanQueryResponse>(body).proof.encoded_size();
   }
   return size;
 }
@@ -243,7 +378,9 @@ void SearchResponse::write(ByteWriter& w) const {
 SearchResponse SearchResponse::read(ByteReader& r) {
   Bytes payload = r.bytes();
   ByteReader pr(payload);
-  if (pr.str() != "vc.response.v3") throw ParseError("bad response tag");
+  std::string tag = pr.str();
+  const bool v4 = tag == "vc.response.v4";
+  if (!v4 && tag != "vc.response.v3") throw ParseError("bad response tag");
   SearchResponse resp;
   resp.query_id = pr.u64();
   resp.epoch = pr.u64();
@@ -251,6 +388,7 @@ SearchResponse SearchResponse::read(ByteReader& r) {
   std::uint64_t nk = pr.varint();
   for (std::uint64_t i = 0; i < nk; ++i) resp.raw_keywords.push_back(pr.str());
   std::uint8_t kind = pr.u8();
+  if (v4 != (kind == 3)) throw ParseError("response tag does not match body kind");
   if (kind == 0) {
     MultiKeywordResponse multi;
     multi.result = SearchResult::read(pr);
@@ -268,6 +406,8 @@ SearchResponse SearchResponse::read(ByteReader& r) {
     unknown.gap = GapProof::read(pr);
     unknown.dict = DictAttestation::read(pr);
     resp.body = std::move(unknown);
+  } else if (kind == 3) {
+    resp.body = read_boolean_body(pr);
   } else {
     throw ParseError("bad response body tag");
   }

@@ -13,6 +13,7 @@
 
 #include "interval/dict_intervals.hpp"
 #include "proof/evidence.hpp"
+#include "proof/query_ast.hpp"
 #include "vindex/statements.hpp"
 
 namespace vc {
@@ -129,6 +130,74 @@ struct UnknownKeywordResponse {
   DictAttestation dict;
 };
 
+// --- boolean query response (wire v4) ---------------------------------------------
+//
+// For a boolean (OR / NOT) or top-k query the cloud discloses the satisfier
+// set S, a check set C, and per-term *facts*: document sets proven in or out
+// of each term's set.  The verifier re-evaluates the expression over the
+// facts with Kleene semantics; guard terms disclose their full document set
+// (pinned by the attested posting count), which bounds every satisfier, so
+// S is provably exact — and with per-S-document completeness facts the tf
+// scores are exact too, making the top-k claim checkable by recomputation.
+
+struct BooleanTermFacts {
+  U64Set members;     // docs proven ∈ X_t (⊆ S ∪ C)
+  MembershipEvidence membership;
+  U64Set nonmembers;  // docs proven ∉ X_t (⊆ S ∪ C)
+  NonmembershipEvidence nonmembership;  // serialized only when nonmembers nonempty
+
+  void write(ByteWriter& w) const;
+  static BooleanTermFacts read(ByteReader& r);
+};
+
+// Dictionary-absent leaf term: gap proof that its satisfier set is empty.
+struct UnknownTermProof {
+  std::string term;
+  GapProof gap;
+
+  void write(ByteWriter& w) const;
+  static UnknownTermProof read(ByteReader& r);
+};
+
+struct BooleanProof {
+  SchemeKind scheme = SchemeKind::kHybrid;
+  std::vector<TermAttestation> terms;  // parallel to BooleanQueryResponse::terms
+  std::vector<std::uint32_t> guards;   // indices into terms; sorted, distinct
+  std::vector<BooleanTermFacts> facts; // parallel to terms
+  CorrectnessProof correctness;        // postings[t] tuples ⊆ term t's tuple set
+  std::vector<UnknownTermProof> unknowns;  // sorted by term
+  DictAttestation dict;                // serialized iff unknowns nonempty
+
+  void write(ByteWriter& w) const;
+  static BooleanProof read(ByteReader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+struct TopKEntry {
+  std::uint32_t doc_id = 0;
+  std::uint64_t score = 0;  // Σ_t tf(t, doc) over the query's known terms
+
+  friend bool operator==(const TopKEntry&, const TopKEntry&) = default;
+};
+
+// The canonical top-k claim: first min(k, |docs|) documents ordered by
+// (score desc, doc_id asc).  Both prover and verifier call this, so the
+// verifier's check is claim == topk_by_tf(docs, postings, k).
+std::vector<TopKEntry> topk_by_tf(const U64Set& docs,
+                                  const std::vector<PostingList>& postings,
+                                  std::uint32_t k);
+
+struct BooleanQueryResponse {
+  BoolNode expr;                       // normalized expression
+  std::vector<std::string> terms;      // known leaf terms; sorted, distinct
+  U64Set docs;                         // S = exact satisfier set
+  std::vector<PostingList> postings;   // per term: X_t ∩ S with tf (parallel to terms)
+  U64Set check_docs;                   // C = candidate docs proven non-satisfying
+  std::uint32_t top_k = 0;             // 0 = no ranking claim
+  std::vector<TopKEntry> ranked;       // the top-k claim (empty iff top_k == 0)
+  BooleanProof proof;
+};
+
 struct SearchResponse {
   std::uint64_t query_id = 0;
   // Epoch of the index snapshot this response was served from.  Signed with
@@ -139,7 +208,9 @@ struct SearchResponse {
   // the payload so the client can tie the signed response to its trace.
   std::uint64_t trace_id = 0;
   std::vector<std::string> raw_keywords;
-  std::variant<MultiKeywordResponse, SingleKeywordResponse, UnknownKeywordResponse> body;
+  std::variant<MultiKeywordResponse, SingleKeywordResponse, UnknownKeywordResponse,
+               BooleanQueryResponse>
+      body;
   Signature cloud_sig;  // over payload_bytes()
 
   // Unsigned runtime metadata (benchmark instrumentation, not serialized).

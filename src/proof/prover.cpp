@@ -530,4 +530,166 @@ QueryProof Prover::prove(const SearchResult& result, SchemeKind scheme) const {
   return proof;
 }
 
+void Prover::prove_boolean(BooleanQueryResponse& body,
+                           const std::vector<std::string>& unknowns,
+                           SchemeKind scheme) const {
+  static obs::Histogram& prove_stage = obs::MetricsRegistry::global().stage("prove");
+  obs::Span prove_span(prove_stage, "prove");
+  const bool interval_form =
+      scheme == SchemeKind::kIntervalAccumulator || scheme == SchemeKind::kHybrid;
+
+  std::vector<const IndexEntry*> entries;
+  std::vector<U64Set> doc_sets;
+  entries.reserve(body.terms.size());
+  doc_sets.reserve(body.terms.size());
+  for (const auto& t : body.terms) {
+    const auto* e = snap_->find(t);
+    if (e == nullptr) throw UsageError("keyword not in verifiable index: " + t);
+    entries.push_back(e);
+    doc_sets.push_back(InvertedIndex::doc_set(e->postings));
+  }
+  auto term_index = [&](const std::string& t) -> std::ptrdiff_t {
+    auto it = std::lower_bound(body.terms.begin(), body.terms.end(), t);
+    if (it == body.terms.end() || *it != t) return -1;
+    return it - body.terms.begin();
+  };
+  auto in_set = [&](std::size_t ti, std::uint64_t d) {
+    return std::binary_search(doc_sets[ti].begin(), doc_sets[ti].end(), d);
+  };
+
+  BooleanProof& proof = body.proof;
+  proof.scheme = scheme;
+  for (const auto* e : entries) proof.terms.push_back(e->attestation);
+
+  // Guards: recomputed deterministically from the expression, so the indices
+  // the proof carries always match what guard_terms chose for the engine.
+  auto posting_count = [&](const std::string& t) -> std::optional<std::uint64_t> {
+    std::ptrdiff_t i = term_index(t);
+    if (i < 0) return std::nullopt;
+    return entries[static_cast<std::size_t>(i)]->postings.size();
+  };
+  std::optional<std::vector<std::string>> guards = guard_terms(body.expr, posting_count);
+  if (!guards.has_value()) throw UsageError("query is not positive-guarded");
+  for (const auto& g : *guards) {
+    proof.guards.push_back(static_cast<std::uint32_t>(term_index(g)));
+  }
+
+  // Facts: the minimal member/nonmember sets that let the verifier's
+  // three-valued evaluation reach a definite verdict for every doc in S and
+  // C, plus a completeness fill over S (every term decided for every result
+  // doc — this pins the disclosed postings, hence the tf scores), plus each
+  // guard's full document set (the posting-count pin makes it exhaustive).
+  std::vector<U64Set> members(entries.size()), nonmembers(entries.size());
+  std::function<bool(const BoolNode&, std::uint64_t)> sat =
+      [&](const BoolNode& node, std::uint64_t d) -> bool {
+    switch (node.kind) {
+      case BoolNode::Kind::kTerm: {
+        std::ptrdiff_t i = term_index(node.term);
+        return i >= 0 && in_set(static_cast<std::size_t>(i), d);
+      }
+      case BoolNode::Kind::kNot:
+        return !sat(node.children[0], d);
+      case BoolNode::Kind::kAnd:
+        for (const BoolNode& c : node.children) {
+          if (!sat(c, d)) return false;
+        }
+        return true;
+      case BoolNode::Kind::kOr:
+        for (const BoolNode& c : node.children) {
+          if (sat(c, d)) return true;
+        }
+        return false;
+    }
+    return false;
+  };
+  std::function<void(const BoolNode&, std::uint64_t, bool)> collect =
+      [&](const BoolNode& node, std::uint64_t d, bool want) {
+        switch (node.kind) {
+          case BoolNode::Kind::kTerm: {
+            std::ptrdiff_t i = term_index(node.term);
+            // Dictionary-absent leaf: constant false, covered by a gap proof.
+            if (i < 0) return;
+            (want ? members : nonmembers)[static_cast<std::size_t>(i)].push_back(d);
+            return;
+          }
+          case BoolNode::Kind::kNot:
+            collect(node.children[0], d, !want);
+            return;
+          case BoolNode::Kind::kAnd:
+            if (want) {
+              for (const BoolNode& c : node.children) collect(c, d, true);
+            } else {
+              for (const BoolNode& c : node.children) {
+                if (!sat(c, d)) {
+                  collect(c, d, false);
+                  return;
+                }
+              }
+              throw CryptoError("boolean facts: AND is false with no false child");
+            }
+            return;
+          case BoolNode::Kind::kOr:
+            if (want) {
+              for (const BoolNode& c : node.children) {
+                if (sat(c, d)) {
+                  collect(c, d, true);
+                  return;
+                }
+              }
+              throw CryptoError("boolean facts: OR is true with no true child");
+            } else {
+              for (const BoolNode& c : node.children) collect(c, d, false);
+            }
+            return;
+        }
+      };
+  for (std::uint64_t d : body.docs) collect(body.expr, d, true);
+  for (std::uint64_t c : body.check_docs) collect(body.expr, c, false);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::uint64_t d : body.docs) {
+      (in_set(i, d) ? members : nonmembers)[i].push_back(d);
+    }
+  }
+  for (std::uint32_t g : proof.guards) {
+    members[g].insert(members[g].end(), doc_sets[g].begin(), doc_sets[g].end());
+  }
+  auto dedup = [](U64Set& s) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  };
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    dedup(members[i]);
+    dedup(nonmembers[i]);
+  }
+
+  // Per-term evidence — membership and nonmembership facts plus the tuple
+  // correctness over the disclosed postings — fans out across the pool.
+  // Slot order fixes the proof bytes, as in prove().
+  proof.facts.resize(entries.size());
+  proof.correctness.keywords.resize(entries.size());
+  for_each_index(pool_, entries.size(), [&](std::size_t i) {
+    const TermWitnessTable* tier = tier_for(body.terms[i]);
+    BooleanTermFacts f;
+    f.members = std::move(members[i]);
+    f.membership = prove_doc_membership(*entries[i], f.members, interval_form, tier);
+    f.nonmembers = std::move(nonmembers[i]);
+    if (!f.nonmembers.empty()) {
+      f.nonmembership = prove_doc_nonmembership(*entries[i], f.nonmembers, interval_form);
+    }
+    proof.facts[i] = std::move(f);
+    U64Set tuples = InvertedIndex::tuple_set(body.postings[i]);
+    std::sort(tuples.begin(), tuples.end());
+    proof.correctness.keywords[i] =
+        prove_tuple_membership(*entries[i], tuples, interval_form, tier);
+  });
+
+  for (const auto& u : unknowns) {
+    UnknownTermProof up;
+    up.term = u;
+    up.gap = snap_->dictionary().prove_unknown(u);
+    proof.unknowns.push_back(std::move(up));
+  }
+  if (!proof.unknowns.empty()) proof.dict = snap_->dict_attestation();
+}
+
 }  // namespace vc

@@ -38,6 +38,13 @@ class Prover {
   // Builds the full proof for a computed multi-keyword result.
   [[nodiscard]] QueryProof prove(const SearchResult& result, SchemeKind scheme) const;
 
+  // Builds the proof for a computed boolean / top-k response: `body` arrives
+  // with expr, terms, docs (S), postings, check_docs (C), top_k and ranked
+  // already filled; this fills body.proof (guards, per-term facts, tuple
+  // correctness, gap proofs for `unknowns`).
+  void prove_boolean(BooleanQueryResponse& body, const std::vector<std::string>& unknowns,
+                     SchemeKind scheme) const;
+
   // The integrity-choice estimate the hybrid scheme would make (exposed for
   // the ablation benchmarks).
   [[nodiscard]] HybridEstimate hybrid_estimate(const SearchResult& result) const;

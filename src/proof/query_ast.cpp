@@ -1,0 +1,409 @@
+#include "proof/query_ast.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/errors.hpp"
+#include "text/tokenizer.hpp"
+
+namespace vc {
+
+namespace {
+
+void count_nodes(const BoolNode& node, std::size_t depth, std::size_t& total) {
+  if (depth > kMaxQueryDepth) throw UsageError("query expression too deep");
+  if (++total > kMaxQueryNodes) throw UsageError("query expression too large");
+  for (const BoolNode& c : node.children) count_nodes(c, depth + 1, total);
+}
+
+void check_caps(const BoolNode& node) {
+  std::size_t total = 0;
+  count_nodes(node, 1, total);
+}
+
+void write_node(const BoolNode& node, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(node.kind));
+  if (node.kind == BoolNode::Kind::kTerm) {
+    w.str(node.term);
+    return;
+  }
+  w.varint(node.children.size());
+  for (const BoolNode& c : node.children) write_node(c, w);
+}
+
+BoolNode read_node(ByteReader& r, std::size_t depth, std::size_t& total) {
+  if (depth > kMaxQueryDepth) throw ParseError("query expression too deep");
+  if (++total > kMaxQueryNodes) throw ParseError("query expression too large");
+  BoolNode node;
+  std::uint8_t kind = r.u8();
+  if (kind > 3) throw ParseError("bad query node kind");
+  node.kind = static_cast<BoolNode::Kind>(kind);
+  if (node.kind == BoolNode::Kind::kTerm) {
+    node.term = r.str();
+    if (node.term.empty()) throw ParseError("empty query term");
+    return node;
+  }
+  std::uint64_t n = r.varint();
+  if (node.kind == BoolNode::Kind::kNot && n != 1) {
+    throw ParseError("NOT node needs exactly one child");
+  }
+  if (node.kind != BoolNode::Kind::kNot && n < 2) {
+    throw ParseError("AND/OR node needs at least two children");
+  }
+  for (std::uint64_t i = 0; i < n; ++i) node.children.push_back(read_node(r, depth + 1, total));
+  return node;
+}
+
+// --- parser ----------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kWord, kAnd, kOr, kNot, kOpen, kClose } kind;
+  std::string text;
+};
+
+std::vector<Token> lex_query(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back({Token::Kind::kOpen, "("});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      out.push_back({Token::Kind::kClose, ")"});
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t' && text[i] != '\n' &&
+           text[i] != '\r' && text[i] != '(' && text[i] != ')') {
+      ++i;
+    }
+    std::string word(text.substr(start, i - start));
+    if (word == "AND") {
+      out.push_back({Token::Kind::kAnd, std::move(word)});
+    } else if (word == "OR") {
+      out.push_back({Token::Kind::kOr, std::move(word)});
+    } else if (word == "NOT") {
+      out.push_back({Token::Kind::kNot, std::move(word)});
+    } else {
+      out.push_back({Token::Kind::kWord, std::move(word)});
+    }
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  BoolNode parse() {
+    if (tokens_.empty()) throw UsageError("empty query");
+    BoolNode node = parse_or(0);
+    if (pos_ != tokens_.size()) {
+      throw UsageError("unexpected token in query: " + tokens_[pos_].text);
+    }
+    return node;
+  }
+
+ private:
+  [[nodiscard]] bool at(Token::Kind k) const {
+    return pos_ < tokens_.size() && tokens_[pos_].kind == k;
+  }
+
+  BoolNode parse_or(std::size_t depth) {
+    BoolNode first = parse_and(depth);
+    if (!at(Token::Kind::kOr)) return first;
+    BoolNode node;
+    node.kind = BoolNode::Kind::kOr;
+    node.children.push_back(std::move(first));
+    while (at(Token::Kind::kOr)) {
+      ++pos_;
+      node.children.push_back(parse_and(depth));
+    }
+    return node;
+  }
+
+  BoolNode parse_and(std::size_t depth) {
+    BoolNode first = parse_unary(depth);
+    // Implicit conjunction: a bare word list ("alpha beta") is the legacy
+    // multi-keyword query, so juxtaposition means AND.
+    auto more = [&] {
+      return at(Token::Kind::kAnd) || at(Token::Kind::kNot) || at(Token::Kind::kWord) ||
+             at(Token::Kind::kOpen);
+    };
+    if (!more()) return first;
+    BoolNode node;
+    node.kind = BoolNode::Kind::kAnd;
+    node.children.push_back(std::move(first));
+    while (more()) {
+      if (at(Token::Kind::kAnd)) ++pos_;
+      node.children.push_back(parse_unary(depth));
+    }
+    return node;
+  }
+
+  BoolNode parse_unary(std::size_t depth) {
+    if (depth > kMaxQueryDepth) throw UsageError("query expression too deep");
+    if (at(Token::Kind::kNot)) {
+      ++pos_;
+      BoolNode node;
+      node.kind = BoolNode::Kind::kNot;
+      node.children.push_back(parse_unary(depth + 1));
+      return node;
+    }
+    if (at(Token::Kind::kOpen)) {
+      ++pos_;
+      BoolNode inner = parse_or(depth + 1);
+      if (!at(Token::Kind::kClose)) throw UsageError("unbalanced parenthesis in query");
+      ++pos_;
+      return inner;
+    }
+    if (at(Token::Kind::kWord)) {
+      BoolNode node;
+      node.kind = BoolNode::Kind::kTerm;
+      node.term = tokens_[pos_++].text;
+      return node;
+    }
+    throw UsageError(pos_ < tokens_.size() ? "unexpected token in query: " + tokens_[pos_].text
+                                           : "query ends with a dangling operator");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+int precedence(BoolNode::Kind kind) {
+  switch (kind) {
+    case BoolNode::Kind::kOr: return 0;
+    case BoolNode::Kind::kAnd: return 1;
+    case BoolNode::Kind::kNot: return 2;
+    case BoolNode::Kind::kTerm: return 3;
+  }
+  return 3;
+}
+
+void render(const BoolNode& node, int parent_prec, std::string& out) {
+  const int prec = precedence(node.kind);
+  const bool parens = prec < parent_prec;
+  if (parens) out += "(";
+  switch (node.kind) {
+    case BoolNode::Kind::kTerm:
+      out += node.term;
+      break;
+    case BoolNode::Kind::kNot:
+      out += "NOT ";
+      render(node.children[0], prec + 1, out);
+      break;
+    case BoolNode::Kind::kAnd:
+    case BoolNode::Kind::kOr: {
+      const char* op = node.kind == BoolNode::Kind::kAnd ? " AND " : " OR ";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += op;
+        render(node.children[i], prec + 1, out);
+      }
+      break;
+    }
+  }
+  if (parens) out += ")";
+}
+
+void collect_leaves(const BoolNode& node, std::vector<std::string>& out) {
+  if (node.kind == BoolNode::Kind::kTerm) {
+    out.push_back(node.term);
+    return;
+  }
+  for (const BoolNode& c : node.children) collect_leaves(c, out);
+}
+
+}  // namespace
+
+void BoolNode::write(ByteWriter& w) const { write_node(*this, w); }
+
+BoolNode BoolNode::read(ByteReader& r) {
+  std::size_t total = 0;
+  return read_node(r, 1, total);
+}
+
+BoolNode parse_query(std::string_view text) {
+  Parser parser(lex_query(text));
+  BoolNode node = parser.parse();
+  check_caps(node);
+  return node;
+}
+
+std::string to_string(const BoolNode& node) {
+  std::string out;
+  render(node, 0, out);
+  return out;
+}
+
+BoolNode normalize_query(const BoolNode& node) {
+  BoolNode out;
+  out.kind = node.kind;
+  if (node.kind == BoolNode::Kind::kTerm) {
+    out.term = normalize_term(node.term);
+    if (out.term.empty()) {
+      throw UsageError("query term normalized to nothing: " + node.term);
+    }
+    return out;
+  }
+  out.children.reserve(node.children.size());
+  for (const BoolNode& c : node.children) out.children.push_back(normalize_query(c));
+  return out;
+}
+
+std::vector<std::string> query_terms(const BoolNode& node) {
+  std::vector<std::string> out;
+  collect_leaves(node, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> leaf_terms_in_order(const BoolNode& node) {
+  std::vector<std::string> leaves;
+  collect_leaves(node, leaves);
+  std::vector<std::string> out;
+  for (auto& t : leaves) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+bool is_pure_conjunction(const BoolNode& node) {
+  if (node.kind == BoolNode::Kind::kTerm) return true;
+  if (node.kind != BoolNode::Kind::kAnd) return false;
+  for (const BoolNode& c : node.children) {
+    if (c.kind != BoolNode::Kind::kTerm) return false;
+  }
+  return true;
+}
+
+bool contains_kind(const BoolNode& node, BoolNode::Kind kind) {
+  if (node.kind == kind) return true;
+  for (const BoolNode& c : node.children) {
+    if (contains_kind(c, kind)) return true;
+  }
+  return false;
+}
+
+Truth eval_query(const BoolNode& node, const TruthLookup& lookup) {
+  switch (node.kind) {
+    case BoolNode::Kind::kTerm:
+      return lookup(node.term);
+    case BoolNode::Kind::kNot: {
+      Truth t = eval_query(node.children[0], lookup);
+      if (t == Truth::kUnknown) return Truth::kUnknown;
+      return t == Truth::kTrue ? Truth::kFalse : Truth::kTrue;
+    }
+    case BoolNode::Kind::kAnd: {
+      Truth acc = Truth::kTrue;
+      for (const BoolNode& c : node.children) {
+        Truth t = eval_query(c, lookup);
+        if (t == Truth::kFalse) return Truth::kFalse;
+        if (t == Truth::kUnknown) acc = Truth::kUnknown;
+      }
+      return acc;
+    }
+    case BoolNode::Kind::kOr: {
+      Truth acc = Truth::kFalse;
+      for (const BoolNode& c : node.children) {
+        Truth t = eval_query(c, lookup);
+        if (t == Truth::kTrue) return Truth::kTrue;
+        if (t == Truth::kUnknown) acc = Truth::kUnknown;
+      }
+      return acc;
+    }
+  }
+  return Truth::kUnknown;
+}
+
+namespace {
+
+struct GuardSet {
+  std::vector<std::string> terms;  // sorted distinct
+  std::uint64_t cost = 0;          // total disclosed postings
+};
+
+std::optional<GuardSet> guard_rec(
+    const BoolNode& node,
+    const std::function<std::optional<std::uint64_t>(const std::string&)>& posting_count) {
+  switch (node.kind) {
+    case BoolNode::Kind::kTerm: {
+      std::optional<std::uint64_t> count = posting_count(node.term);
+      // An unknown-dictionary term has an empty satisfier set — trivially
+      // covered without disclosing anything.
+      if (!count.has_value()) return GuardSet{};
+      return GuardSet{{node.term}, *count};
+    }
+    case BoolNode::Kind::kNot:
+      return std::nullopt;
+    case BoolNode::Kind::kAnd: {
+      // Any covered child bounds the conjunction; take the cheapest.
+      std::optional<GuardSet> best;
+      for (const BoolNode& c : node.children) {
+        std::optional<GuardSet> g = guard_rec(c, posting_count);
+        if (g.has_value() && (!best.has_value() || g->cost < best->cost)) best = std::move(g);
+      }
+      return best;
+    }
+    case BoolNode::Kind::kOr: {
+      // A disjunction's satisfiers span every branch: all must be covered.
+      GuardSet merged;
+      for (const BoolNode& c : node.children) {
+        std::optional<GuardSet> g = guard_rec(c, posting_count);
+        if (!g.has_value()) return std::nullopt;
+        merged.terms.insert(merged.terms.end(), g->terms.begin(), g->terms.end());
+      }
+      std::sort(merged.terms.begin(), merged.terms.end());
+      merged.terms.erase(std::unique(merged.terms.begin(), merged.terms.end()),
+                         merged.terms.end());
+      for (const std::string& t : merged.terms) {
+        merged.cost += posting_count(t).value_or(0);
+      }
+      return merged;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> guard_terms(
+    const BoolNode& node,
+    const std::function<std::optional<std::uint64_t>(const std::string&)>& posting_count) {
+  std::optional<GuardSet> g = guard_rec(node, posting_count);
+  if (!g.has_value()) return std::nullopt;
+  return std::move(g->terms);
+}
+
+bool guards_cover(const BoolNode& node, std::span<const std::string> guards,
+                  std::span<const std::string> unknowns) {
+  switch (node.kind) {
+    case BoolNode::Kind::kTerm:
+      return std::binary_search(unknowns.begin(), unknowns.end(), node.term) ||
+             std::binary_search(guards.begin(), guards.end(), node.term);
+    case BoolNode::Kind::kNot:
+      return false;
+    case BoolNode::Kind::kAnd:
+      for (const BoolNode& c : node.children) {
+        if (guards_cover(c, guards, unknowns)) return true;
+      }
+      return false;
+    case BoolNode::Kind::kOr:
+      for (const BoolNode& c : node.children) {
+        if (!guards_cover(c, guards, unknowns)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace vc

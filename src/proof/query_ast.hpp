@@ -1,0 +1,108 @@
+// Boolean query AST (AND / OR / NOT) with a canonical wire encoding.
+//
+// The engine's original query model — a flat keyword list meaning pure
+// conjunction — generalizes here to a small boolean language over keyword
+// leaves.  Goodrich et al. (PAPERS.md) treat exactly this generalization of
+// verifiable conjunctive search: union and complement are provable from the
+// same membership / nonmembership machinery, *provided* the result set stays
+// bounded by disclosed posting lists.  That restriction is the "positive
+// guard" below: every satisfier of the query must belong to some known
+// keyword whose full document set the cloud discloses, so negation is legal
+// only under a conjunction with a positive branch (`a AND NOT b`), never
+// bare (`NOT b` alone would claim a complement of the whole corpus).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace vc {
+
+struct BoolNode {
+  enum class Kind : std::uint8_t { kTerm = 0, kAnd = 1, kOr = 2, kNot = 3 };
+  Kind kind = Kind::kTerm;
+  std::string term;                // kTerm only
+  std::vector<BoolNode> children;  // operators only (kNot has exactly one)
+
+  void write(ByteWriter& w) const;
+  static BoolNode read(ByteReader& r);
+  friend bool operator==(const BoolNode&, const BoolNode&) = default;
+};
+
+// Caps enforced by both parse_query and BoolNode::read so a hostile wire
+// blob can neither recurse past the stack nor allocate unbounded trees.
+inline constexpr std::size_t kMaxQueryDepth = 32;
+inline constexpr std::size_t kMaxQueryNodes = 256;
+
+// Parses the query language:
+//
+//   expr  := or ; or := and ("OR" and)* ; and := unary (["AND"] unary)*
+//   unary := "NOT" unary | "(" expr ")" | TERM
+//
+// Operators are the exact uppercase words AND / OR / NOT; anything else is a
+// term, so legacy lowercase keyword lists parse to a pure conjunction.
+// Throws UsageError on malformed input (unbalanced parens, dangling
+// operators, empty query, cap overflow).
+BoolNode parse_query(std::string_view text);
+
+// Renders the canonical query string (minimal parentheses).
+std::string to_string(const BoolNode& node);
+
+// Applies the index's term normalization (stem/lowercase pipeline) to every
+// leaf.  Throws UsageError when a leaf normalizes to nothing — unlike the
+// flat keyword list, an AST cannot silently drop a leaf without changing the
+// query's meaning.
+BoolNode normalize_query(const BoolNode& node);
+
+// Distinct leaf terms, sorted.
+std::vector<std::string> query_terms(const BoolNode& node);
+
+// Leaf terms in first-appearance order, duplicates removed (the raw-keyword
+// echo a response carries for a boolean query).
+std::vector<std::string> leaf_terms_in_order(const BoolNode& node);
+
+// True when the expression is AND/terms only — the legacy conjunctive shape.
+bool is_pure_conjunction(const BoolNode& node);
+
+// True when any node of the given kind appears.
+bool contains_kind(const BoolNode& node, BoolNode::Kind kind);
+
+// --- three-valued evaluation ----------------------------------------------
+//
+// The verifier evaluates the query over *facts* (proven memberships and
+// nonmemberships); a document with no fact for some term is kUnknown there.
+// Kleene semantics make the evaluation sound: a definite kTrue/kFalse result
+// can never be flipped by resolving an unknown.
+enum class Truth : std::uint8_t { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+using TruthLookup = std::function<Truth(const std::string& term)>;
+
+Truth eval_query(const BoolNode& node, const TruthLookup& lookup);
+
+// --- positive guards -------------------------------------------------------
+//
+// A guard set G is a set of known terms such that every satisfier of the
+// query belongs to ∪_{g∈G} X_g.  Structurally: a term guards itself; an
+// unknown-dictionary term needs no guard (its satisfier set is empty); an
+// AND is guarded by any one guarded child; an OR needs every child guarded;
+// a NOT is never guarded.  `posting_count` returns the term's posting count,
+// or nullopt for a term absent from the dictionary.  Returns the cheapest
+// guard set (fewest disclosed postings), or nullopt when the query is not
+// positive-guarded and must be rejected.
+std::optional<std::vector<std::string>> guard_terms(
+    const BoolNode& node,
+    const std::function<std::optional<std::uint64_t>(const std::string&)>& posting_count);
+
+// The verifier's side of the same recursion: checks that `guards` (sorted
+// known terms) together with `unknowns` (sorted dictionary-absent terms)
+// cover every satisfier of the query.
+bool guards_cover(const BoolNode& node, std::span<const std::string> guards,
+                  std::span<const std::string> unknowns);
+
+}  // namespace vc

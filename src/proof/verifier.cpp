@@ -45,8 +45,10 @@ void ResultVerifier::verify(const SearchResponse& response) const {
     verify_multi(*multi, response.epoch);
   } else if (const auto* single = std::get_if<SingleKeywordResponse>(&response.body)) {
     verify_single(*single, response.epoch);
+  } else if (const auto* unknown = std::get_if<UnknownKeywordResponse>(&response.body)) {
+    verify_unknown(*unknown, response.epoch);
   } else {
-    verify_unknown(std::get<UnknownKeywordResponse>(response.body), response.epoch);
+    verify_boolean(std::get<BooleanQueryResponse>(response.body), response.epoch);
   }
 }
 
@@ -115,6 +117,213 @@ void ResultVerifier::verify_multi(const MultiKeywordResponse& multi,
   } else {
     verify_bloom_integrity(multi, std::get<BloomIntegrity>(proof.integrity),
                            response_epoch);
+  }
+}
+
+// Boolean / top-k verification.  The soundness argument, in order of the
+// checks below:
+//   (a) guard coverage (guards_cover) means every *true* satisfier of the
+//       expression lies in some guard term's document set X_g;
+//   (b) the posting-count pin makes each guard's member facts exactly X_g
+//       (members[g] ⊆ X_g by witness, |members[g]| = |X_g| by the owner's
+//       signed count), so the candidate universe ∪_g X_g is fully disclosed;
+//   (c) C is pinned to exactly (∪_g X_g) \ S, so every candidate is decided;
+//   (d) every fact is cryptographically true (membership / nonmembership
+//       witnesses against owner-attested accumulators), and three-valued
+//       evaluation is sound: a definite TRUE/FALSE verdict over true facts
+//       can never be flipped by resolving an unknown.  TRUE for all of S and
+//       FALSE for all of C therefore makes S *exactly* the satisfier set —
+//       no extra doc survives (e), no dropped doc hides (it would sit in C
+//       with an unprovable FALSE).
+//   (f) completeness facts decide every term for every doc in S, pinning the
+//       disclosed postings to X_t ∩ S exactly; with tuple-membership
+//       correctness the tf values are the owner's, so the tf-sum scores are
+//       exact and the top-k claim is checked by recomputation.
+void ResultVerifier::verify_boolean(const BooleanQueryResponse& boolean,
+                                    std::uint64_t response_epoch) const {
+  const BooleanProof& proof = boolean.proof;
+  const std::size_t q = boolean.terms.size();
+  require(boolean.postings.size() == q, "postings/term count mismatch");
+  require(proof.terms.size() == q, "attestation/term count mismatch");
+  require(proof.facts.size() == q, "facts/term count mismatch");
+  require(proof.correctness.keywords.size() == q, "correctness/term count mismatch");
+  require(std::is_sorted(boolean.terms.begin(), boolean.terms.end()) &&
+              std::adjacent_find(boolean.terms.begin(), boolean.terms.end()) ==
+                  boolean.terms.end(),
+          "terms not sorted distinct");
+  require(is_sorted_unique(boolean.docs), "result docs not a sorted set");
+  require(is_sorted_unique(boolean.check_docs), "check docs not a sorted set");
+  require(sets_disjoint(boolean.docs, boolean.check_docs),
+          "check docs overlap the result");
+
+  // Unknown (dictionary-absent) leaves: sorted, distinct, disjoint from the
+  // known terms.
+  std::vector<std::string> unknowns;
+  unknowns.reserve(proof.unknowns.size());
+  for (const UnknownTermProof& u : proof.unknowns) unknowns.push_back(u.term);
+  require(std::is_sorted(unknowns.begin(), unknowns.end()) &&
+              std::adjacent_find(unknowns.begin(), unknowns.end()) == unknowns.end(),
+          "unknown terms not sorted distinct");
+  for (const auto& u : unknowns) {
+    require(!std::binary_search(boolean.terms.begin(), boolean.terms.end(), u),
+            "unknown term also claimed as known");
+  }
+
+  // The expression's leaves must be exactly the known terms plus the
+  // unknowns — no term proven about that the query never mentioned, and no
+  // leaf left without facts or a gap proof.
+  {
+    std::vector<std::string> leaves = query_terms(boolean.expr);
+    std::vector<std::string> expected;
+    expected.reserve(q + unknowns.size());
+    std::merge(boolean.terms.begin(), boolean.terms.end(), unknowns.begin(), unknowns.end(),
+               std::back_inserter(expected));
+    require(leaves == expected, "expression leaves do not match proven terms");
+  }
+
+  // Scheme pins the evidence form, as in verify_multi.
+  const bool interval_scheme = proof.scheme == SchemeKind::kIntervalAccumulator ||
+                               proof.scheme == SchemeKind::kHybrid;
+  for (std::size_t i = 0; i < q; ++i) {
+    require(proof.correctness.keywords[i].interval_form == interval_scheme,
+            "correctness evidence form does not match declared scheme");
+    require(proof.facts[i].membership.interval_form == interval_scheme,
+            "fact evidence form does not match declared scheme");
+    if (!proof.facts[i].nonmembers.empty()) {
+      require(proof.facts[i].nonmembership.interval_form == interval_scheme,
+              "fact evidence form does not match declared scheme");
+    }
+  }
+
+  // Owner attestations bind each term to its accumulators and counts.
+  for (std::size_t i = 0; i < q; ++i) {
+    require(proof.terms[i].verify(owner_key_), "term attestation signature invalid");
+    require(proof.terms[i].stmt.term == boolean.terms[i],
+            "attestation term does not match keyword");
+    require(proof.terms[i].stmt.epoch <= response_epoch,
+            "attestation epoch newer than response epoch");
+  }
+
+  // (a) Guard coverage.
+  require(std::is_sorted(proof.guards.begin(), proof.guards.end()) &&
+              std::adjacent_find(proof.guards.begin(), proof.guards.end()) ==
+                  proof.guards.end(),
+          "guards not sorted distinct");
+  std::vector<std::string> guard_names;
+  guard_names.reserve(proof.guards.size());
+  for (std::uint32_t g : proof.guards) {
+    require(g < q, "guard index out of range");
+    guard_names.push_back(boolean.terms[g]);
+  }
+  require(guards_cover(boolean.expr, guard_names, unknowns),
+          "guards do not cover the expression");
+
+  // Facts are well-formed: sorted sets over S ∪ C, never both ways at once.
+  U64Set universe = set_union(boolean.docs, boolean.check_docs);
+  for (std::size_t i = 0; i < q; ++i) {
+    const BooleanTermFacts& f = proof.facts[i];
+    require(is_sorted_unique(f.members), "member facts not a sorted set");
+    require(is_sorted_unique(f.nonmembers), "nonmember facts not a sorted set");
+    require(sets_disjoint(f.members, f.nonmembers),
+            "a document claimed both in and out of a term");
+    require(is_subset(f.members, universe) && is_subset(f.nonmembers, universe),
+            "facts about documents outside the response");
+  }
+
+  // (b) Each guard's member facts are its entire posting list.
+  for (std::uint32_t g : proof.guards) {
+    require(proof.facts[g].members.size() == proof.terms[g].stmt.posting_count,
+            "guard member facts do not exhaust the posting count");
+  }
+
+  // (c) The check set is exactly the undisclosed part of the candidate
+  // universe: C = (∪_g members[g]) \ S.
+  {
+    U64Set candidates;
+    for (std::uint32_t g : proof.guards) {
+      candidates = set_union(candidates, proof.facts[g].members);
+    }
+    require(set_difference(candidates, boolean.docs) == boolean.check_docs,
+            "check docs are not exactly the non-matching candidates");
+  }
+
+  // (f, part 1) Completeness over S: every term decided for every result
+  // doc, and the disclosed postings are exactly the member docs within S.
+  for (std::size_t i = 0; i < q; ++i) {
+    const BooleanTermFacts& f = proof.facts[i];
+    for (std::uint64_t d : boolean.docs) {
+      require(std::binary_search(f.members.begin(), f.members.end(), d) ||
+                  std::binary_search(f.nonmembers.begin(), f.nonmembers.end(), d),
+              "result doc undecided for a term");
+    }
+    U64Set posting_docs = InvertedIndex::doc_set(boolean.postings[i]);
+    require(is_sorted_unique(posting_docs), "result postings not sorted");
+    require(posting_docs == set_intersection(f.members, boolean.docs),
+            "postings do not match the member facts");
+  }
+
+  // (d) The facts are cryptographically true.
+  for (std::size_t i = 0; i < q; ++i) {
+    const TermStatement& stmt = proof.terms[i].stmt;
+    const BooleanTermFacts& f = proof.facts[i];
+    require(f.membership.verify(ctx_, stmt.doc_acc, stmt.doc_root, f.members, *doc_primes_),
+            "member fact proof invalid");
+    if (!f.nonmembers.empty()) {
+      require(f.nonmembership.verify(ctx_, stmt.doc_acc, stmt.doc_root, f.nonmembers,
+                                     *doc_primes_),
+              "nonmember fact proof invalid");
+    }
+    U64Set tuples = InvertedIndex::tuple_set(boolean.postings[i]);
+    std::sort(tuples.begin(), tuples.end());
+    require(proof.correctness.keywords[i].verify(ctx_, stmt.tuple_acc, stmt.tuple_root,
+                                                 tuples, *tuple_primes_),
+            "correctness proof invalid");
+  }
+
+  // Unknown leaves: gap proofs against the owner's dictionary attestation.
+  if (!proof.unknowns.empty()) {
+    require(proof.dict.verify(owner_key_), "dictionary attestation signature invalid");
+    require(proof.dict.stmt.epoch <= response_epoch,
+            "dictionary attestation epoch newer than response epoch");
+    for (const UnknownTermProof& u : proof.unknowns) {
+      require(DictionaryIntervals::verify_unknown(ctx_, proof.dict.stmt.gap_root, u.term,
+                                                  u.gap, config_.dict_prime_config()),
+              "unknown-term gap proof invalid");
+    }
+  }
+
+  // (e) Three-valued evaluation over the facts: definitely TRUE for every
+  // claimed satisfier, definitely FALSE for every check doc.
+  auto lookup_for = [&](std::uint64_t d) {
+    return [&, d](const std::string& term) -> Truth {
+      if (std::binary_search(unknowns.begin(), unknowns.end(), term)) return Truth::kFalse;
+      auto it = std::lower_bound(boolean.terms.begin(), boolean.terms.end(), term);
+      if (it == boolean.terms.end() || *it != term) return Truth::kUnknown;
+      const BooleanTermFacts& f =
+          proof.facts[static_cast<std::size_t>(it - boolean.terms.begin())];
+      if (std::binary_search(f.members.begin(), f.members.end(), d)) return Truth::kTrue;
+      if (std::binary_search(f.nonmembers.begin(), f.nonmembers.end(), d)) {
+        return Truth::kFalse;
+      }
+      return Truth::kUnknown;
+    };
+  };
+  for (std::uint64_t d : boolean.docs) {
+    require(eval_query(boolean.expr, lookup_for(d)) == Truth::kTrue,
+            "claimed result doc does not provably satisfy the query");
+  }
+  for (std::uint64_t c : boolean.check_docs) {
+    require(eval_query(boolean.expr, lookup_for(c)) == Truth::kFalse,
+            "check doc not provably excluded by the query");
+  }
+
+  // (f, part 2) The top-k claim is exactly the canonical ranking of the
+  // (now provably exact) scores.
+  if (boolean.top_k == 0) {
+    require(boolean.ranked.empty(), "ranking claimed without top-k");
+  } else {
+    require(boolean.ranked == topk_by_tf(boolean.docs, boolean.postings, boolean.top_k),
+            "top-k claim does not match the proven scores");
   }
 }
 

@@ -47,6 +47,7 @@ class ResultVerifier {
 
  private:
   void verify_multi(const MultiKeywordResponse& multi, std::uint64_t response_epoch) const;
+  void verify_boolean(const BooleanQueryResponse& boolean, std::uint64_t response_epoch) const;
   void verify_single(const SingleKeywordResponse& single, std::uint64_t response_epoch) const;
   void verify_unknown(const UnknownKeywordResponse& unknown, std::uint64_t response_epoch) const;
   void verify_accumulator_integrity(const MultiKeywordResponse& multi,

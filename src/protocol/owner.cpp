@@ -20,6 +20,20 @@ SignedQuery DataOwner::issue_query(std::vector<std::string> keywords,
   return signed_q;
 }
 
+SignedQuery DataOwner::issue_expression_query(const std::string& text, std::uint32_t top_k,
+                                              std::uint64_t trace_id) {
+  BoolNode expr = parse_query(text);
+  normalize_query(expr);  // reject leaves that normalize to nothing, up front
+  Query q{.id = next_query_id_++,
+          .keywords = leaf_terms_in_order(expr),
+          .trace_id = trace_id,
+          .top_k = top_k,
+          .expr = std::move(expr)};
+  SignedQuery signed_q{q, key_.sign(q.encode())};
+  pending_.push_back(signed_q);
+  return signed_q;
+}
+
 void DataOwner::receive_response(const SearchResponse& response) {
   auto it = std::find_if(pending_.begin(), pending_.end(), [&](const SignedQuery& q) {
     return q.query.id == response.query_id;
@@ -32,6 +46,41 @@ void DataOwner::receive_response(const SearchResponse& response) {
   }
   if (it->query.trace_id != response.trace_id) {
     throw VerifyError("response trace id differs from the signed query");
+  }
+  // Bind the response *kind* and the boolean claims to the signed query: a
+  // boolean/top-k query must be answered with a boolean body carrying the
+  // same normalized expression and the same k, and a legacy query must
+  // never be (the verifier checks a boolean body's internal consistency,
+  // but only the query knows what was asked).
+  const Query& query = it->query;
+  const bool expect_boolean =
+      query.top_k != 0 ||
+      (query.expr.has_value() && !is_pure_conjunction(*query.expr));
+  const auto* boolean = std::get_if<BooleanQueryResponse>(&response.body);
+  if (expect_boolean != (boolean != nullptr)) {
+    throw VerifyError("response body kind does not match the signed query");
+  }
+  if (boolean != nullptr) {
+    if (boolean->top_k != query.top_k) {
+      throw VerifyError("response top-k differs from the signed query");
+    }
+    BoolNode expected = query.expr.has_value() ? *query.expr : [&] {
+      BoolNode conj;
+      if (query.keywords.size() == 1) {
+        conj.term = query.keywords[0];
+        return conj;
+      }
+      conj.kind = BoolNode::Kind::kAnd;
+      for (const auto& k : query.keywords) {
+        BoolNode leaf;
+        leaf.term = k;
+        conj.children.push_back(std::move(leaf));
+      }
+      return conj;
+    }();
+    if (normalize_query(expected) != boolean->expr) {
+      throw VerifyError("response expression differs from the signed query");
+    }
   }
   transcripts_.push_back(Transcript{*it, response});
   pending_.erase(it);

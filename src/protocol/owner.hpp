@@ -23,6 +23,14 @@ class DataOwner {
   [[nodiscard]] SignedQuery issue_query(std::vector<std::string> keywords,
                                         std::uint64_t trace_id = 0);
 
+  // Issues a boolean / top-k query from its string form (see parse_query's
+  // grammar).  The raw expression is signed as-is — the cloud normalizes —
+  // and the keyword list echoes its leaf terms.  Throws UsageError on
+  // malformed syntax or a leaf that normalizes to nothing.
+  [[nodiscard]] SignedQuery issue_expression_query(const std::string& text,
+                                                   std::uint32_t top_k = 0,
+                                                   std::uint64_t trace_id = 0);
+
   // Verifies a response against the matching retained query.  Throws
   // VerifyError when the cloud misbehaved; the transcript is retained
   // either way as evidence.

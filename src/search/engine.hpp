@@ -20,6 +20,13 @@ struct Query {
   // `keywords` so existing {.id, .keywords} designated initializers keep
   // compiling; covered by the signature like every other field.
   std::uint64_t trace_id = 0;
+  // Boolean-language extension (wire v3).  `expr` carries the raw
+  // (un-normalized) expression; `keywords` then echoes its leaf terms in
+  // first-appearance order.  `top_k` > 0 requests a verifiable tf ranking.
+  // Both default-absent, in which case the query encodes byte-identically
+  // to wire v2 and legacy peers interoperate unchanged.
+  std::uint32_t top_k = 0;
+  std::optional<BoolNode> expr;
 
   [[nodiscard]] Bytes encode() const;
   void write(ByteWriter& w) const;
@@ -55,8 +62,13 @@ class SearchEngine {
     std::vector<std::string> known;    // normalized keywords present in the index
     std::vector<std::string> unknown;  // normalized keywords absent from it
   };
-  [[nodiscard]] Classified classify(const Query& query) const;
+  [[nodiscard]] Classified classify(const std::vector<std::string>& keywords) const;
   [[nodiscard]] SearchResult intersect(const std::vector<std::string>& keywords) const;
+  // Evaluates a boolean / top-k query into a response body (everything but
+  // the proof): normalized expr, sorted known terms, S, C, postings, top-k
+  // claim.  Returns the sorted unknown leaf terms through `unknowns`.
+  [[nodiscard]] BooleanQueryResponse evaluate_boolean(
+      const Query& query, std::vector<std::string>& unknowns) const;
 
   SnapshotPtr snap_;
   AccumulatorContext ctx_;

@@ -139,6 +139,39 @@ for i in 1 2 3 4; do
   grep -q "VERIFIED" "$WORK/cq$i.log" || { echo "query $i not verified"; cat "$WORK/cq$i.log"; exit 1; }
 done
 
+# Boolean query language + verifiable top-k (docs/QUERY_LANGUAGE.md),
+# against the live sharded server.  Three known words: the top terms.
+BWORDS=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK" --top 3 | grep ' docs' | awk '{print $1}')
+B1=$(echo $BWORDS | awk '{print $1}')
+B2=$(echo $BWORDS | awk '{print $2}')
+B3=$(echo $BWORDS | awk '{print $3}')
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" \
+    "$B1 AND ($B2 OR NOT $B3)" --top-k 5 > "$WORK/q4.log"
+grep -q "VERIFIED" "$WORK/q4.log"
+grep -q "top-5 by summed tf" "$WORK/q4.log"
+
+# Disjunction without a cutoff: the full verified satisfier listing.
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" "$B1 OR $B2" > "$WORK/q5.log"
+grep -q "documents satisfy" "$WORK/q5.log"
+grep -q "VERIFIED" "$WORK/q5.log"
+
+# Malformed syntax is rejected client-side with the usage exit code.
+set +e
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" "$B1 AND (" > "$WORK/q6.log" 2>&1
+RC=$?
+set -e
+test "$RC" -eq 2 || { echo "malformed query: expected exit 2, got $RC"; cat "$WORK/q6.log"; exit 1; }
+grep -q "malformed query" "$WORK/q6.log"
+
+# A bare complement is not positive-guarded: the server refuses it (400)
+# and the client reports the failure without crashing.
+set +e
+"$BUILD/tools/vcsearch-query" --dir "$WORK" --port "$PORT" "NOT $B1" > "$WORK/q7.log" 2>&1
+RC=$?
+set -e
+test "$RC" -eq 1 || { echo "unguarded query: expected exit 1, got $RC"; cat "$WORK/q7.log"; exit 1; }
+grep -q "query failed" "$WORK/q7.log"
+
 fetch /metrics > "$WORK/metrics2.txt"
 grep -q '^vc_epoch 1' "$WORK/metrics2.txt"
 grep -q 'vc_snapshot_swaps_total' "$WORK/metrics2.txt"

@@ -1,0 +1,336 @@
+// Differential query fuzzer for the boolean / top-k proof path.
+//
+// Random boolean expressions (AND/OR/NOT, nesting, occasional unknown
+// keywords, random top-k cutoffs) are issued by a real DataOwner against a
+// live CloudService across all four schemes.  Every honest response must
+// (a) verify cryptographically, (b) survive an encode/decode round trip
+// byte-identically, and (c) match a brute-force in-memory reference that
+// re-evaluates the expression per document straight off the corpus text —
+// a completely independent implementation path from the engine's posting-
+// list set algebra.  A seeded tampering leg then mutates a fraction of the
+// same responses (ProofMutator's boolean catalogue plus direct result-set
+// lies) and asserts the verifier rejects every single one.
+//
+// Knobs (all via environment, for CI legs and local replay):
+//   VC_FUZZ_ITERS       fixed-seed iteration count   (default 1000)
+//   VC_FUZZ_RANDOM_SEED seed for the random leg      (default: random_device)
+//   VC_FUZZ_BUDGET_MS   time box for the random leg  (default 2000)
+//   VC_FUZZ_LOG         append replayable per-iteration lines to this file
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "advtest/proof_mutator.hpp"
+#include "data/workload.hpp"
+#include "proof/query_ast.hpp"
+#include "protocol/cloud.hpp"
+#include "protocol/owner.hpp"
+#include "support/errors.hpp"
+#include "test_fixtures.hpp"
+#include "text/tokenizer.hpp"
+
+namespace vc {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::stoull(env);
+}
+
+// The brute-force reference: per-document term-frequency maps built by
+// re-analyzing the raw corpus text, never touching the index or setops.
+using DocTf = std::map<std::uint32_t, std::map<std::string, std::uint32_t>>;
+
+DocTf brute_force_corpus(const SynthSpec& spec) {
+  DocTf out;
+  for (const Document& doc : generate_corpus(spec)) {
+    auto& tf = out[doc.id];
+    for (std::string& term : analyze(doc.text)) tf[term] += 1;
+  }
+  return out;
+}
+
+struct Reference {
+  std::vector<std::uint64_t> docs;              // sorted satisfier docIDs
+  std::vector<std::string> known_terms;         // sorted distinct, in corpus
+  std::vector<PostingList> postings;            // parallel to known_terms
+  std::vector<TopKEntry> ranked;                // top-k by summed tf
+};
+
+// Evaluates the normalized expression per document against the raw tf maps.
+Reference brute_force(const DocTf& corpus, const BoolNode& normalized,
+                      std::uint32_t top_k) {
+  Reference ref;
+  for (const std::string& t : query_terms(normalized)) {
+    for (const auto& [doc, tf] : corpus) {
+      if (tf.count(t) != 0) {
+        ref.known_terms.push_back(t);
+        break;
+      }
+    }
+  }
+  for (const auto& [doc, tf] : corpus) {
+    Truth verdict = eval_query(normalized, [&](const std::string& term) {
+      return tf.count(term) != 0 ? Truth::kTrue : Truth::kFalse;
+    });
+    if (verdict == Truth::kTrue) ref.docs.push_back(doc);
+  }
+  ref.postings.resize(ref.known_terms.size());
+  for (std::size_t i = 0; i < ref.known_terms.size(); ++i) {
+    for (std::uint64_t doc : ref.docs) {
+      const auto& tf = corpus.at(static_cast<std::uint32_t>(doc));
+      auto it = tf.find(ref.known_terms[i]);
+      if (it != tf.end()) {
+        ref.postings[i].push_back(
+            Posting{static_cast<std::uint32_t>(doc), it->second});
+      }
+    }
+  }
+  for (std::uint64_t doc : ref.docs) {
+    std::uint64_t score = 0;
+    for (const auto& [term, count] : corpus.at(static_cast<std::uint32_t>(doc))) {
+      for (std::size_t i = 0; i < ref.known_terms.size(); ++i) {
+        if (ref.known_terms[i] == term) score += count;
+      }
+    }
+    ref.ranked.push_back(TopKEntry{static_cast<std::uint32_t>(doc), score});
+  }
+  std::stable_sort(ref.ranked.begin(), ref.ranked.end(),
+                   [](const TopKEntry& a, const TopKEntry& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.doc_id < b.doc_id;
+                   });
+  if (ref.ranked.size() > top_k) ref.ranked.resize(top_k);
+  return ref;
+}
+
+class QueryFuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthSpec spec{.name = "fuzz", .num_docs = 60, .min_doc_words = 25,
+                   .max_doc_words = 60, .vocab_size = 300, .zipf_s = 0.9, .seed = 47};
+    bed_ = new testbed::TestBed(spec, testbed::small_config(), /*key_seed=*/811);
+    corpus_ = new DocTf(brute_force_corpus(spec));
+    for (SchemeKind scheme :
+         {SchemeKind::kAccumulator, SchemeKind::kBloom,
+          SchemeKind::kIntervalAccumulator, SchemeKind::kHybrid}) {
+      clouds_.push_back(new CloudService(bed_->vidx.snapshot(), bed_->pub_ctx,
+                                         bed_->cloud_key,
+                                         bed_->owner_key.verify_key(), &bed_->pool,
+                                         scheme));
+    }
+    // Term pool: four frequent words, three medium-rank words, one word the
+    // dictionary provably does not contain.
+    pool_ = bed_->frequent_terms(4);
+    for (std::uint32_t rank = 150; pool_.size() < 7; ++rank) {
+      std::string w = synth_word(spec, rank);
+      if (bed_->vidx.find(porter_stem(w)) != nullptr &&
+          std::count(pool_.begin(), pool_.end(), w) == 0) {
+        pool_.push_back(w);
+      }
+    }
+    pool_.push_back("zzxqunknown");
+  }
+  static void TearDownTestSuite() {
+    for (CloudService* c : clouds_) delete c;
+    clouds_.clear();
+    delete corpus_;
+    delete bed_;
+    pool_.clear();
+  }
+
+  static BoolNode term_node(DeterministicRng& rng) {
+    BoolNode n;
+    n.term = pool_[rng.below(pool_.size())];
+    return n;
+  }
+
+  static BoolNode gen_expr(DeterministicRng& rng, int depth) {
+    const std::uint64_t pick = rng.below(depth == 0 ? 4u : 10u);
+    if (pick < 4) return term_node(rng);
+    BoolNode n;
+    if (pick < 6) {
+      n.kind = BoolNode::Kind::kNot;
+      n.children.push_back(gen_expr(rng, depth - 1));
+      return n;
+    }
+    n.kind = pick < 8 ? BoolNode::Kind::kAnd : BoolNode::Kind::kOr;
+    const std::size_t arity = 2 + rng.below(2);
+    for (std::size_t i = 0; i < arity; ++i) {
+      n.children.push_back(gen_expr(rng, depth - 1));
+    }
+    return n;
+  }
+
+  static std::optional<std::uint64_t> posting_count(const std::string& term) {
+    const IndexEntry* e = bed_->vidx.find(term);
+    if (e == nullptr) return std::nullopt;
+    return e->postings.size();
+  }
+
+  // One full differential iteration.  `tag` goes into the replay line.
+  static void run_one(DeterministicRng& rng, const std::string& tag,
+                      std::vector<std::string>* log) {
+    // -- generate a positive-guarded expression + top-k cutoff ------------
+    BoolNode expr = gen_expr(rng, 3);
+    if (!guard_terms(normalize_query(expr), posting_count).has_value()) {
+      BoolNode guarded;
+      guarded.kind = BoolNode::Kind::kAnd;
+      guarded.children.push_back(std::move(expr));
+      guarded.children.push_back(term_node(rng));
+      while (guarded.children.back().term == "zzxqunknown") {
+        guarded.children.back() = term_node(rng);
+      }
+      expr = std::move(guarded);
+    }
+    std::uint32_t top_k = static_cast<std::uint32_t>(rng.below(7));
+    if (top_k == 0 && is_pure_conjunction(expr)) top_k = 1 + rng.below(5);
+    const std::string text = to_string(expr);
+    const std::size_t scheme_index = rng.below(clouds_.size());
+    SCOPED_TRACE("replay: scheme=" + std::to_string(scheme_index) +
+                 " k=" + std::to_string(top_k) + " expr=\"" + text + "\" " + tag);
+    if (log != nullptr) {
+      log->push_back(tag + " scheme=" + std::to_string(scheme_index) +
+                     " k=" + std::to_string(top_k) + " expr=\"" + text + "\"");
+    }
+
+    // The printer/parser round trip must reproduce the tree exactly.
+    ASSERT_EQ(parse_query(text), expr);
+
+    // -- honest exchange: issue, serve, verify ----------------------------
+    DataOwner owner(bed_->owner_ctx, bed_->owner_key, bed_->cloud_key.verify_key(),
+                    bed_->config);
+    SignedQuery q = owner.issue_expression_query(text, top_k);
+    SearchResponse resp = clouds_[scheme_index]->handle(q);
+    ASSERT_NO_THROW(owner.receive_response(resp));
+
+    // -- wire round trip is byte-identical --------------------------------
+    ByteWriter w;
+    resp.write(w);
+    ByteReader r(w.data());
+    SearchResponse round = SearchResponse::read(r);
+    r.expect_done();
+    ASSERT_EQ(round.payload_bytes(), resp.payload_bytes());
+
+    // -- differential: the verified claim equals brute force --------------
+    const auto* body = std::get_if<BooleanQueryResponse>(&resp.body);
+    ASSERT_NE(body, nullptr) << "fuzzed query did not take the boolean path";
+    Reference ref = brute_force(*corpus_, normalize_query(expr), top_k);
+    EXPECT_EQ(body->docs, ref.docs);
+    EXPECT_EQ(body->terms, ref.known_terms);
+    ASSERT_EQ(body->postings.size(), ref.postings.size());
+    for (std::size_t i = 0; i < ref.postings.size(); ++i) {
+      EXPECT_EQ(body->postings[i], ref.postings[i]) << "term " << ref.known_terms[i];
+    }
+    if (top_k == 0) {
+      EXPECT_TRUE(body->ranked.empty());
+    } else {
+      EXPECT_EQ(body->ranked, ref.ranked);
+    }
+
+    // -- seeded tampering: every mutation must be rejected ----------------
+    ResultVerifier verifier = bed_->owner_verifier();
+    const std::uint64_t mutation_seed = rng.next_u64();
+    if (mutation_seed % 3 == 0) {
+      SearchResponse tampered = resp;
+      advtest::ProofMutator mutator(mutation_seed, bed_->pub_ctx.n());
+      if (mutator.mutate(tampered)) {
+        tampered.cloud_sig = bed_->cloud_key.sign(tampered.payload_bytes());
+        EXPECT_THROW(verifier.verify(tampered), VerifyError)
+            << "mutation accepted: " << advtest::format_trace(mutator.trace());
+      }
+    } else if (mutation_seed % 3 == 1 && !body->docs.empty()) {
+      // Direct result-set lie: hide one satisfier (facts untouched).
+      SearchResponse tampered = resp;
+      auto* tb = std::get_if<BooleanQueryResponse>(&tampered.body);
+      std::uint64_t victim = tb->docs[mutation_seed % tb->docs.size()];
+      tb->docs.erase(std::find(tb->docs.begin(), tb->docs.end(), victim));
+      tb->check_docs.insert(
+          std::lower_bound(tb->check_docs.begin(), tb->check_docs.end(), victim),
+          victim);
+      tampered.cloud_sig = bed_->cloud_key.sign(tampered.payload_bytes());
+      EXPECT_THROW(verifier.verify(tampered), VerifyError)
+          << "dropped satisfier " << victim << " accepted";
+    } else if (!body->ranked.empty()) {
+      // Ranking lie: inflate the winner's claimed score.
+      SearchResponse tampered = resp;
+      auto* tb = std::get_if<BooleanQueryResponse>(&tampered.body);
+      tb->ranked.front().score += 1 + mutation_seed % 5;
+      tampered.cloud_sig = bed_->cloud_key.sign(tampered.payload_bytes());
+      EXPECT_THROW(verifier.verify(tampered), VerifyError)
+          << "inflated winner score accepted";
+    }
+  }
+
+  static void flush_log(const std::vector<std::string>& lines) {
+    const char* path = std::getenv("VC_FUZZ_LOG");
+    if (path == nullptr || *path == '\0' || lines.empty()) return;
+    std::ofstream out(path, std::ios::app);
+    for (const std::string& line : lines) out << line << "\n";
+  }
+
+  static testbed::TestBed* bed_;
+  static DocTf* corpus_;
+  static std::vector<CloudService*> clouds_;
+  static std::vector<std::string> pool_;
+};
+
+testbed::TestBed* QueryFuzzTest::bed_ = nullptr;
+DocTf* QueryFuzzTest::corpus_ = nullptr;
+std::vector<CloudService*> QueryFuzzTest::clouds_;
+std::vector<std::string> QueryFuzzTest::pool_;
+
+TEST_F(QueryFuzzTest, FixedSeedDifferentialSweep) {
+  const std::uint64_t iters = env_u64("VC_FUZZ_ITERS", 1000);
+  std::vector<std::string> log;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    DeterministicRng rng(i, "vc.fuzz.query");
+    run_one(rng, "leg=fixed iter=" + std::to_string(i), &log);
+    if (::testing::Test::HasFailure()) break;
+  }
+  flush_log(log);
+}
+
+TEST_F(QueryFuzzTest, TimeBoxedRandomLeg) {
+  const std::uint64_t budget_ms = env_u64("VC_FUZZ_BUDGET_MS", 2000);
+  std::uint64_t seed = env_u64("VC_FUZZ_RANDOM_SEED", 0);
+  if (seed == 0) seed = std::random_device{}();
+  // The seed is the replay handle for this leg: VC_FUZZ_RANDOM_SEED=<seed>.
+  std::cout << "[query_fuzz] random leg seed=" << seed << "\n";
+  std::vector<std::string> log;
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t i = 0;
+  while (std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+             .count() < static_cast<std::int64_t>(budget_ms)) {
+    DeterministicRng rng(seed + i, "vc.fuzz.query.random");
+    run_one(rng, "leg=random seed=" + std::to_string(seed) +
+                     " iter=" + std::to_string(i), &log);
+    if (::testing::Test::HasFailure()) break;
+    ++i;
+  }
+  std::cout << "[query_fuzz] random leg ran " << i << " iterations\n";
+  flush_log(log);
+}
+
+TEST_F(QueryFuzzTest, UnguardedQueriesRejectedAtBothEnds) {
+  // A bare complement is refused by the engine, and a hand-built signed
+  // query smuggling one past the owner dies in the cloud with UsageError.
+  DataOwner owner(bed_->owner_ctx, bed_->owner_key, bed_->cloud_key.verify_key(),
+                  bed_->config);
+  SignedQuery q = owner.issue_expression_query("NOT " + pool_[0]);
+  EXPECT_THROW((void)clouds_[3]->handle(q), UsageError);
+  SignedQuery q2 = owner.issue_expression_query(pool_[0] + " OR NOT " + pool_[1]);
+  EXPECT_THROW((void)clouds_[3]->handle(q2), UsageError);
+}
+
+}  // namespace
+}  // namespace vc

@@ -133,5 +133,97 @@ TEST_F(RankingTest, Bm25SaturatesTf) {
   EXPECT_LT(spread_a, spread_b);
 }
 
+TEST_F(RankingTest, RankingIsDeterministicAcrossCalls) {
+  MultiKeywordResponse multi = search_both();
+  for (RankingModel model :
+       {RankingModel::kTfSum, RankingModel::kTfIdf, RankingModel::kBm25Lite}) {
+    RankingOptions opts{.model = model};
+    auto a = rank_results(multi, vidx_->dict_attestation(), opts);
+    auto b = rank_results(multi, vidx_->dict_attestation(), opts);
+    EXPECT_EQ(a, b) << "model " << static_cast<int>(model);
+  }
+}
+
+TEST_F(RankingTest, ExactTiesBreakByAscendingDocId) {
+  // Three documents with identical tf vectors for both query terms tie
+  // exactly under every model; the order must then be ascending docID —
+  // the determinism contract a verifiable top-k claim depends on.
+  Corpus tie("tie");
+  tie.add("t0", "xx yy fillera");
+  tie.add("t1", "xx yy fillerb");
+  tie.add("t2", "xx yy fillerc");
+  IndexBuilder tied = IndexBuilder::build(InvertedIndex::build(tie), owner_ctx_,
+                                          owner_key_, tiny_config(), pool_);
+  SearchEngine engine(tied.snapshot(), pub_ctx_, cloud_key_, &pool_);
+  SearchResponse resp =
+      engine.search(Query{.id = 9, .keywords = {"xx", "yy"}}, SchemeKind::kHybrid);
+  auto multi = std::get<MultiKeywordResponse>(resp.body);
+  for (RankingModel model :
+       {RankingModel::kTfSum, RankingModel::kTfIdf, RankingModel::kBm25Lite}) {
+    auto ranked = rank_results(multi, tied.dict_attestation(),
+                               RankingOptions{.model = model});
+    ASSERT_EQ(ranked.size(), 3u) << "model " << static_cast<int>(model);
+    EXPECT_DOUBLE_EQ(ranked[0].score, ranked[1].score);
+    EXPECT_DOUBLE_EQ(ranked[1].score, ranked[2].score);
+    EXPECT_EQ(ranked[0].doc_id, 0u);
+    EXPECT_EQ(ranked[1].doc_id, 1u);
+    EXPECT_EQ(ranked[2].doc_id, 2u);
+  }
+}
+
+TEST_F(RankingTest, Bm25K1ZeroFullySaturates) {
+  // k1 = 0 collapses tf(k1+1)/(tf+k1) to 1 for every tf ≥ 1: the model
+  // degenerates to pure presence scoring, so d1 (rare×3) and d3 (rare×1)
+  // tie exactly and fall back to docID order.
+  MultiKeywordResponse multi = search_both();
+  auto ranked = rank_results(multi, vidx_->dict_attestation(),
+                             RankingOptions{.model = RankingModel::kBm25Lite, .k1 = 0.0});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranked[0].score, ranked[1].score);
+  EXPECT_EQ(ranked[0].doc_id, 1u);
+  EXPECT_EQ(ranked[1].doc_id, 3u);
+}
+
+TEST_F(RankingTest, DfEqualToCorpusSizeContributesNothing) {
+  // df("common") = 6 = N ⇒ idf = ln(1) = 0: under TF-IDF the whole score is
+  // the rare term's, so the signed-statement arithmetic is checkable in
+  // closed form.
+  MultiKeywordResponse multi = search_both();
+  const double idf_rare = std::log(6.0 / 2.0);
+  auto ranked = rank_results(multi, vidx_->dict_attestation(),
+                             RankingOptions{.model = RankingModel::kTfIdf});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 3.0 * idf_rare);  // d1: rare x3
+  EXPECT_DOUBLE_EQ(ranked[1].score, 1.0 * idf_rare);  // d3: rare x1
+}
+
+TEST(TopkByTf, TiesBreakByAscendingDocIdAndKClamps) {
+  // The provable server-side top-k (proof_types) must agree with the
+  // client-side tie-break convention: score descending, docID ascending.
+  U64Set docs{1, 2, 3, 4};
+  std::vector<PostingList> postings(1);
+  postings[0] = {Posting{1, 2}, Posting{2, 5}, Posting{3, 2}, Posting{4, 5}};
+  auto top = topk_by_tf(docs, postings, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (TopKEntry{2, 5}));  // ties at 5: doc 2 before doc 4
+  EXPECT_EQ(top[1], (TopKEntry{4, 5}));
+  EXPECT_EQ(top[2], (TopKEntry{1, 2}));  // ties at 2: doc 1 before doc 3
+  // k past the result size returns everything; k = 0 returns nothing.
+  EXPECT_EQ(topk_by_tf(docs, postings, 99).size(), 4u);
+  EXPECT_TRUE(topk_by_tf(docs, postings, 0).empty());
+  // A doc in the result with no posting for any term scores zero but stays.
+  U64Set with_zero{1, 2, 7};
+  auto zero = topk_by_tf(with_zero, postings, 3);
+  ASSERT_EQ(zero.size(), 3u);
+  EXPECT_EQ(zero[2], (TopKEntry{7, 0}));
+  // Scores sum across terms.
+  std::vector<PostingList> two(2);
+  two[0] = {Posting{1, 2}};
+  two[1] = {Posting{1, 3}, Posting{2, 4}};
+  auto summed = topk_by_tf(U64Set{1, 2}, two, 2);
+  EXPECT_EQ(summed[0], (TopKEntry{1, 5}));
+  EXPECT_EQ(summed[1], (TopKEntry{2, 4}));
+}
+
 }  // namespace
 }  // namespace vc

@@ -1,9 +1,19 @@
 #include <gtest/gtest.h>
 
 #include "setops/setops.hpp"
+#include "support/rng.hpp"
 
 namespace vc {
 namespace {
+
+// Seeded random sorted-unique set over [0, universe_size).
+U64Set random_set(DeterministicRng& rng, std::uint64_t universe_size) {
+  U64Set out;
+  for (std::uint64_t v = 0; v < universe_size; ++v) {
+    if (rng.below(100) < 30) out.push_back(v);
+  }
+  return out;
+}
 
 TEST(SetOps, IsSortedUnique) {
   EXPECT_TRUE(is_sorted_unique({}));
@@ -69,6 +79,93 @@ TEST(SetOps, IntersectionIdentityProperties) {
   EXPECT_TRUE(sets_disjoint(diff, b));
   EXPECT_EQ(inter.size() + diff.size(), a.size());
   EXPECT_EQ(set_union(inter, diff), a);
+}
+
+TEST(SetOpsProperty, AlgebraLawsOnRandomSets) {
+  // The boolean query planner (src/proof/query_ast) leans on exactly these
+  // identities when it rewrites guard unions and check-set differences, so
+  // they are pinned here as properties over seeded random sets.
+  DeterministicRng rng(17, "vc.test.setops");
+  for (int trial = 0; trial < 50; ++trial) {
+    U64Set a = random_set(rng, 128);
+    U64Set b = random_set(rng, 128);
+    U64Set c = random_set(rng, 128);
+    // Commutativity.
+    EXPECT_EQ(set_union(a, b), set_union(b, a));
+    EXPECT_EQ(set_intersection(a, b), set_intersection(b, a));
+    // Associativity.
+    EXPECT_EQ(set_union(set_union(a, b), c), set_union(a, set_union(b, c)));
+    EXPECT_EQ(set_intersection(set_intersection(a, b), c),
+              set_intersection(a, set_intersection(b, c)));
+    // Distributivity both ways.
+    EXPECT_EQ(set_intersection(a, set_union(b, c)),
+              set_union(set_intersection(a, b), set_intersection(a, c)));
+    EXPECT_EQ(set_union(a, set_intersection(b, c)),
+              set_intersection(set_union(a, b), set_union(a, c)));
+    // Absorption and idempotence.
+    EXPECT_EQ(set_union(a, set_intersection(a, b)), a);
+    EXPECT_EQ(set_intersection(a, set_union(a, b)), a);
+    EXPECT_EQ(set_union(a, a), a);
+    EXPECT_EQ(set_intersection(a, a), a);
+    // Difference identities.
+    EXPECT_EQ(set_difference(a, b), set_difference(a, set_intersection(a, b)));
+    EXPECT_EQ(set_union(set_intersection(a, b), set_difference(a, b)), a);
+    EXPECT_TRUE(sets_disjoint(set_difference(a, b), b));
+    // Outputs stay canonical.
+    EXPECT_TRUE(is_sorted_unique(set_union(a, b)));
+    EXPECT_TRUE(is_sorted_unique(set_intersection(a, b)));
+    EXPECT_TRUE(is_sorted_unique(set_difference(a, b)));
+  }
+}
+
+TEST(SetOpsProperty, DeMorganAgainstUniverse) {
+  // Complements relative to an explicit universe U — the shape the NOT
+  // branch of a guarded boolean query takes (complement within the guard
+  // union, never within the whole corpus).
+  DeterministicRng rng(23, "vc.test.setops.demorgan");
+  U64Set universe;
+  for (std::uint64_t v = 0; v < 96; ++v) universe.push_back(v);
+  for (int trial = 0; trial < 50; ++trial) {
+    U64Set a = random_set(rng, 96);
+    U64Set b = random_set(rng, 96);
+    auto complement = [&](const U64Set& x) { return set_difference(universe, x); };
+    // ¬(A ∪ B) = ¬A ∩ ¬B and ¬(A ∩ B) = ¬A ∪ ¬B.
+    EXPECT_EQ(complement(set_union(a, b)),
+              set_intersection(complement(a), complement(b)));
+    EXPECT_EQ(complement(set_intersection(a, b)),
+              set_union(complement(a), complement(b)));
+    // Double complement restores the set; complement partitions U.
+    EXPECT_EQ(complement(complement(a)), a);
+    EXPECT_EQ(set_union(a, complement(a)), universe);
+    EXPECT_TRUE(sets_disjoint(a, complement(a)));
+  }
+}
+
+TEST(SetOpsProperty, EmptyAndSingletonEdges) {
+  const U64Set empty;
+  const U64Set one{42};
+  EXPECT_EQ(set_union(empty, empty), empty);
+  EXPECT_EQ(set_union(one, empty), one);
+  EXPECT_EQ(set_intersection(one, empty), empty);
+  EXPECT_EQ(set_difference(empty, one), empty);
+  EXPECT_EQ(set_difference(one, one), empty);
+  EXPECT_TRUE(sets_disjoint(empty, empty));
+  EXPECT_TRUE(is_subset(empty, empty));
+  EXPECT_TRUE(is_sorted_unique(empty));
+  // Singleton at the extremes of the value domain.
+  const U64Set lo{0};
+  const U64Set hi{~0ull};
+  EXPECT_EQ(set_union(lo, hi), (U64Set{0, ~0ull}));
+  EXPECT_EQ(set_intersection(lo, hi), empty);
+  EXPECT_TRUE(sets_disjoint(lo, hi));
+  // Many-way intersection edges: single operand is identity, any empty
+  // operand annihilates, duplicated operands are idempotent.
+  std::vector<U64Set> single = {one};
+  EXPECT_EQ(set_intersection_many(single), one);
+  std::vector<U64Set> dup = {one, one, one};
+  EXPECT_EQ(set_intersection_many(dup), one);
+  std::vector<U64Set> annihilate = {one, empty, one};
+  EXPECT_EQ(set_intersection_many(annihilate), empty);
 }
 
 }  // namespace

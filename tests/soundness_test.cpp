@@ -88,6 +88,19 @@ class SoundnessTest : public ::testing::Test {
     for (const WorkloadQuery& wq : paper_query_workload(bed_->spec)) {
       queries_.push_back(SignedQuery{wq.query, bed_->owner_key.sign(wq.query.encode())});
     }
+    // The boolean/top-k mix rides the same gate: OR, NOT, nesting, top-k
+    // cutoffs and unknown keywords, so the boolean forgery classes (and the
+    // legacy classes' boolean arms) face real queries.
+    std::uint64_t next_id = queries_.size() + 1;
+    for (const BooleanWorkloadQuery& bq : boolean_query_workload(bed_->spec)) {
+      Query q;
+      q.id = next_id++;
+      BoolNode expr = parse_query(bq.text);
+      q.keywords = leaf_terms_in_order(expr);
+      q.top_k = bq.top_k;
+      q.expr = std::move(expr);
+      queries_.push_back(SignedQuery{q, bed_->owner_key.sign(q.encode())});
+    }
   }
   static void TearDownTestSuite() {
     delete verifier_;
@@ -122,7 +135,8 @@ ResultVerifier* SoundnessTest::verifier_ = nullptr;
 std::vector<SignedQuery> SoundnessTest::queries_;
 
 TEST_F(SoundnessTest, WorkloadHasPaperShape) {
-  ASSERT_EQ(queries_.size(), 24u);
+  // 24 paper-mix queries plus the eight-query boolean/top-k mix.
+  ASSERT_EQ(queries_.size(), 32u);
   for (const auto& q : queries_) {
     EXPECT_TRUE(q.verify(bed_->owner_key.verify_key()));
   }
@@ -141,7 +155,7 @@ TEST_F(SoundnessTest, VerifierKillsEveryForgery) {
   EXPECT_TRUE(rep.sound());
   // The acceptance floor: a meaningful gate needs real forgery volume —
   // per seed, so single-seed runs (the TSan CI leg) keep a real floor too.
-  EXPECT_GE(rep.forged, 170u * seeds_from_env().size());
+  EXPECT_GE(rep.forged, 195u * seeds_from_env().size());
 }
 
 TEST_F(SoundnessTest, HonestControlsAllAccepted) {
@@ -151,7 +165,7 @@ TEST_F(SoundnessTest, HonestControlsAllAccepted) {
 }
 
 TEST_F(SoundnessTest, EveryForgeryClassProducesForgedProofs) {
-  // All ten classes must contribute actual forged (not merely refused)
+  // All fourteen classes must contribute actual forged (not merely refused)
   // proofs somewhere in the workload, and each class's kill rate is 100%.
   std::map<ForgeryClass, std::size_t> forged_per_class, killed_per_class;
   for (const auto& rec : report().attempts) {

@@ -1,6 +1,7 @@
 // vcsearch-loadgen — open-loop load harness with SLO gating.
 //
-// Drives a vcsearch-serve HTTP frontend with the paper's 24-query mix at a
+// Drives a vcsearch-serve HTTP frontend with the paper's 24-query mix plus
+// the eight-query boolean/top-k mix (OR, NOT, nesting, ranking cutoffs) at a
 // fixed offered rate (Poisson arrivals), measures client-side latency from
 // each request's *scheduled* arrival time (so a stalled server inflates the
 // tail instead of silently slowing the generator — no coordinated
@@ -163,6 +164,10 @@ int main(int argc, char** argv) {
       pool.push_back(owner.issue_query(wq.query.keywords));
       pool_terms.push_back(wq.keyword_count);
     }
+    for (const auto& bq : boolean_query_workload(spec)) {
+      pool.push_back(owner.issue_expression_query(bq.text, bq.top_k));
+      pool_terms.push_back(0);
+    }
     std::printf("spawned in-process server on port %u (%u docs, %s scheme)\n", port,
                 synth, scheme_name(scheme));
   } else {
@@ -188,6 +193,10 @@ int main(int argc, char** argv) {
     for (const auto& wq : workload) {
       pool.push_back(owner.issue_query(wq.query.keywords));
       pool_terms.push_back(wq.keyword_count);
+    }
+    for (const auto& bq : boolean_query_workload(spec)) {
+      pool.push_back(owner.issue_expression_query(bq.text, bq.top_k));
+      pool_terms.push_back(0);
     }
   }
 

@@ -2,6 +2,14 @@
 // running vcsearch-serve instance, verify the response, print the results.
 //
 //   vcsearch-query --dir DIR --port P keyword [keyword...]
+//   vcsearch-query --dir DIR --port P 'alpha AND (beta OR NOT gamma)' --top-k 5
+//
+// Positional arguments are joined into one query string.  Plain lowercase
+// words mean conjunction (the legacy flat-keyword protocol); the uppercase
+// operators AND / OR / NOT and parentheses select the boolean query
+// language (docs/QUERY_LANGUAGE.md), as does --top-k.
+//     --top-k K     ask for the K best documents by summed term frequency,
+//                   server-ranked and verified against the proven postings
 //     --profile     append the client-side stage table (verification,
 //                   prime lookups, serialization) after the results
 //     --fetch PATH  raw GET against the server (e.g. /metrics, /stats);
@@ -19,6 +27,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "crypto/standard_params.hpp"
 #include "obs/export.hpp"
@@ -74,11 +83,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  const char* topk_s = arg_value(argc, argv, "--top-k", "0");
+  std::uint32_t top_k = static_cast<std::uint32_t>(std::strtoul(topk_s, nullptr, 10));
+
   std::vector<std::string> keywords;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 || std::strcmp(argv[i], "--port") == 0 ||
         std::strcmp(argv[i], "--fetch") == 0 || std::strcmp(argv[i], "--dump") == 0 ||
-        std::strcmp(argv[i], "--trace-id") == 0) {
+        std::strcmp(argv[i], "--trace-id") == 0 || std::strcmp(argv[i], "--top-k") == 0) {
       ++i;
       continue;
     }
@@ -88,9 +100,30 @@ int main(int argc, char** argv) {
   if (dir == nullptr || keywords.empty()) {
     std::fprintf(stderr,
                  "usage: vcsearch-query --dir DIR [--port P] [--profile] [--dump FILE]"
-                 " keyword...\n"
+                 " [--top-k K] keyword... | 'EXPR'\n"
+                 "       boolean EXPR grammar: term, AND, OR, NOT, parentheses\n"
                  "       vcsearch-query --port P --fetch /metrics\n");
     return 2;
+  }
+
+  // The boolean query language engages when the query uses an operator or
+  // parentheses, or when a ranking cutoff is requested; bare lowercase
+  // keywords keep the legacy flat-conjunction protocol byte-for-byte.
+  // Arguments are joined first so both `a AND b` and 'a AND b' (one quoted
+  // argument) read identically.
+  std::string query_text;
+  for (const std::string& k : keywords) {
+    if (!query_text.empty()) query_text += ' ';
+    query_text += k;
+  }
+  bool expression = top_k != 0 ||
+                    query_text.find_first_of("()") != std::string::npos;
+  {
+    std::string word;
+    std::istringstream words(query_text);
+    while (words >> word) {
+      if (word == "AND" || word == "OR" || word == "NOT") expression = true;
+    }
   }
 
   std::filesystem::path base(dir);
@@ -118,8 +151,23 @@ int main(int argc, char** argv) {
       standard_qr_generator(config.modulus_bits));
 
   DataOwner owner(owner_ctx, owner_key, cloud_key.verify_key(), config);
-  SignedQuery q = owner.issue_query(keywords, trace_id);
-  SearchResponse resp = http_search(port, q);
+  SignedQuery q;
+  try {
+    q = expression ? owner.issue_expression_query(query_text, top_k, trace_id)
+                   : owner.issue_query(keywords, trace_id);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "malformed query: %s\n", e.what());
+    return 2;
+  }
+  SearchResponse resp;
+  try {
+    resp = http_search(port, q);
+  } catch (const Error& e) {
+    // The server answers engine refusals (e.g. a query that is not
+    // positive-guarded) with a 400 whose body carries the reason.
+    std::fprintf(stderr, "query failed: %s\n", e.what());
+    return 1;
+  }
   try {
     owner.receive_response(resp);
   } catch (const VerifyError& e) {
@@ -159,6 +207,28 @@ int main(int argc, char** argv) {
         }
       }
       std::printf("\n");
+    }
+  } else if (const auto* boolean = std::get_if<BooleanQueryResponse>(&resp.body)) {
+    std::printf("%zu documents satisfy %s (proof %.1f KB, %s scheme) [VERIFIED]\n",
+                boolean->docs.size(), to_string(boolean->expr).c_str(),
+                static_cast<double>(resp.proof_size_bytes()) / 1024,
+                scheme_name(boolean->proof.scheme));
+    if (boolean->top_k != 0) {
+      std::printf("top-%u by summed tf:\n", boolean->top_k);
+      for (std::size_t i = 0; i < boolean->ranked.size(); ++i) {
+        std::printf("  #%zu doc %u score %llu\n", i + 1, boolean->ranked[i].doc_id,
+                    static_cast<unsigned long long>(boolean->ranked[i].score));
+      }
+    } else {
+      for (std::uint64_t doc : boolean->docs) {
+        std::printf("  doc %llu", static_cast<unsigned long long>(doc));
+        for (std::size_t k = 0; k < boolean->terms.size(); ++k) {
+          for (const Posting& p : boolean->postings[k]) {
+            if (p.doc_id == doc) std::printf("  %s:%u", boolean->terms[k].c_str(), p.tf);
+          }
+        }
+        std::printf("\n");
+      }
     }
   } else if (const auto* single = std::get_if<SingleKeywordResponse>(&resp.body)) {
     std::printf("%zu documents contain \"%s\" (signature proof) [VERIFIED]\n",
