@@ -93,6 +93,8 @@ inline const char* const kBenchParamEnv[] = {
     "VC_DOCS",   "VC_MODULUS_BITS", "VC_REP_BITS", "VC_BLOOM_M",
     "VC_RUNS",   "VC_INTERVAL_SIZE", "VC_BATCH_N", "VC_OBS",
     "VC_TIER_N", "VC_TIER_TERMS",   "VC_TIER_REQUIRE_SPEEDUP",
+    "VC_DELTA_INITIAL", "VC_DELTA_ADDED", "VC_DELTA_REQUIRE_FLAT",
+    "VC_DELTA_REQUIRE_SPEEDUP",
 };
 
 struct TablePrinter {

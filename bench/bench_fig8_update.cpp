@@ -11,11 +11,23 @@
 // applied and its new epoch atomically swapped in.
 //
 //   VC_FIG8_INITIAL="250,500,1000,2000"  VC_FIG8_ADDED=200
+//
+// A second sweep (BENCH_delta_update.json) measures the log-structured
+// store's publish path: update-to-visible seconds for a delta publish
+// (O(touched terms)) against a full snapshot republish (O(index)), per
+// initial corpus size.  VC_DELTA_INITIAL / VC_DELTA_ADDED set the scale;
+// VC_DELTA_REQUIRE_FLAT=K turns it into a gate — the delta visible time at
+// the largest corpus must stay within Kx of the smallest.
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "protocol/cloud.hpp"
+#include "store/epoch_store.hpp"
 
 using namespace vc;
 using namespace vc::bench;
@@ -96,6 +108,137 @@ int main() {
                fmt(t.bloom_scheme_seconds(), "%.3f"), fmt(hybrid_paper_scope, "%.3f"),
                fmt(t.interval_seconds, "%.3f"), std::to_string(t.touched_terms),
                fmt(total_ms / static_cast<double>(served), "%.2f"), fmt(max_ms, "%.2f")});
+  }
+
+  // Delta-vs-full publish sweep: how long until an owner update is visible
+  // to a cold reader of the epoch store.  The delta path encodes only the
+  // touched terms and the reader resolves the chain into an overlay; the
+  // full path re-encodes the whole snapshot.  The first timed column
+  // (update_s) is the accumulator maintenance both paths share.
+  {
+    namespace fs = std::filesystem;
+    const auto delta_sizes = env_sizes("VC_DELTA_INITIAL", {500, 1000, 2000, 4000});
+    const auto delta_added =
+        static_cast<std::uint32_t>(env_size("VC_DELTA_ADDED", 50));
+    const double require_flat =
+        static_cast<double>(env_size("VC_DELTA_REQUIRE_FLAT", 0));
+    const double require_speedup =
+        static_cast<double>(env_size("VC_DELTA_REQUIRE_SPEEDUP", 0));
+
+    std::printf("\n# Delta vs full publish: update-to-visible seconds, adding %u docs\n",
+                delta_added);
+    std::printf("# (publish = encode + fsync + CURRENT advance; open = what a cold\n");
+    std::printf("#  reader then pays — the full-snapshot CRC sweep dominates it and is\n");
+    std::printf("#  identical for both paths, so the gate compares the publish legs)\n");
+    TablePrinter dt("delta_update",
+                    {"initial_docs", "corpus_MB", "touched_terms", "update_s",
+                     "delta_publish_s", "delta_open_s", "delta_KB", "full_publish_s",
+                     "full_KB", "publish_speedup"});
+    std::vector<double> delta_publish, speedups;
+    for (std::uint32_t initial : delta_sizes) {
+      TestbedOptions opts = bench_testbed_options(initial);
+      Testbed bed(opts);
+      fs::path root = fs::temp_directory_path() /
+                      ("vc_bench_delta_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(initial));
+      fs::remove_all(root);
+      store::EpochStore store(root);
+      store.publish(*bed.vindex().snapshot(), 1);
+      bed.vindex().note_full_publish();
+
+      // Two fresh batches over the shared vocabulary, continuing docIDs:
+      // batch A rides the delta path, batch B the full-republish path, so
+      // each path is measured on its own epoch of the same store.
+      auto make_batch = [&](std::uint64_t doc_seed_offset, std::uint32_t id_offset) {
+        SynthSpec add_spec = opts.corpus;
+        add_spec.num_docs = delta_added;
+        add_spec.doc_seed = opts.corpus.seed + doc_seed_offset;
+        std::vector<Document> docs;
+        for (const Document& d : generate_corpus(add_spec)) {
+          docs.push_back(Document{d.id + id_offset, d.name, d.text});
+        }
+        return docs;
+      };
+
+      double update_s = 0;
+      UpdateTimings ut;
+      {
+        ScopedTimer timer(update_s);
+        ut = bed.vindex().add_documents(make_batch(3000, initial), bed.owner_ctx(),
+                                        bed.owner_key(), /*rebuild_dictionary=*/false);
+      }
+      double delta_s = 0, delta_open_s = 0;
+      std::uintmax_t delta_bytes = 0;
+      {
+        ScopedTimer timer(delta_s);
+        auto delta = bed.vindex().publish_delta();
+        if (!delta) {
+          std::fprintf(stderr, "delta sweep: update produced no delta\n");
+          return 1;
+        }
+        fs::path dir = store.publish_delta(*delta, 1);
+        delta_bytes = fs::file_size(dir / store::EpochStore::kDeltaFile);
+      }
+      {
+        ScopedTimer timer(delta_open_s);
+        (void)store.open_current();  // a cold reader resolves the chain
+      }
+      delta_publish.push_back(delta_s);
+
+      bed.vindex().add_documents(make_batch(4000, initial + delta_added),
+                                 bed.owner_ctx(), bed.owner_key(),
+                                 /*rebuild_dictionary=*/false);
+      double full_s = 0;
+      std::uintmax_t full_bytes = 0;
+      {
+        ScopedTimer timer(full_s);
+        fs::path dir = store.publish(*bed.vindex().snapshot(), 1);
+        full_bytes = fs::file_size(dir / store::EpochStore::kSnapshotFile);
+      }
+      bed.vindex().note_full_publish();
+      speedups.push_back(full_s / delta_s);
+
+      dt.row({std::to_string(initial), fmt(corpus_mb(bed.corpus()), "%.1f"),
+              std::to_string(ut.touched_terms), fmt(update_s, "%.3f"),
+              fmt(delta_s, "%.3f"), fmt(delta_open_s, "%.3f"),
+              fmt(static_cast<double>(delta_bytes) / 1024.0, "%.1f"),
+              fmt(full_s, "%.3f"),
+              fmt(static_cast<double>(full_bytes) / 1024.0, "%.1f"),
+              fmt(full_s / delta_s, "%.1f")});
+      fs::remove_all(root);
+    }
+
+    // The gate (ctest: delta_update_latency).  Flatness: delta publish time
+    // must grow much slower than the corpus — hot Zipf terms' witnesses make
+    // it sub-linear rather than perfectly constant, so the bound is a factor
+    // over the swept sizes, not strict equality.  Speedup: at the largest
+    // corpus the delta path must beat the O(index) full republish by the
+    // given factor (this gap widens with corpus size).
+    if (require_flat > 0 && delta_publish.size() >= 2) {
+      const double lo = *std::min_element(delta_publish.begin(), delta_publish.end());
+      const double hi = *std::max_element(delta_publish.begin(), delta_publish.end());
+      const double ratio = lo > 0 ? hi / lo : 1.0;
+      if (ratio > require_flat) {
+        std::fprintf(stderr,
+                     "FAIL: delta publish latency is not flat across corpus "
+                     "sizes: %.3fs .. %.3fs (%.1fx > required %.1fx)\n",
+                     lo, hi, ratio, require_flat);
+        return 1;
+      }
+      std::printf("delta publish flatness: %.1fx across sizes (<= %.1fx required)\n",
+                  ratio, require_flat);
+    }
+    if (require_speedup > 0 && !speedups.empty()) {
+      if (speedups.back() < require_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: delta publish speedup %.1fx at the largest corpus is below "
+                     "the required %.1fx\n",
+                     speedups.back(), require_speedup);
+        return 1;
+      }
+      std::printf("delta publish speedup at largest corpus: %.1fx (>= %.1fx required)\n",
+                  speedups.back(), require_speedup);
+    }
   }
   return 0;
 }

@@ -68,9 +68,16 @@ enum class ForgeryClass : std::uint8_t {
   // self-consistent but the tuple is no longer the owner's — correctness
   // evidence can only argue for the provable subset.
   kTopkInflatedTf,
+  // Log-structured delta chains: serve one keyword of a multi-keyword
+  // result from a stale chain layer — the live result set and live epoch
+  // stamp, but that keyword's attestation and correctness evidence taken
+  // from the pre-delta entry (the cloud that "forgets" to apply a delta to
+  // one term while claiming the chain head).  The stale accumulator cannot
+  // argue for postings only the delta added, so the verifier must kill it.
+  kEpochChainSplice,
 };
 
-inline constexpr std::size_t kForgeryClassCount = 14;
+inline constexpr std::size_t kForgeryClassCount = 15;
 
 const char* forgery_class_name(ForgeryClass c);
 

@@ -182,6 +182,8 @@ ForgedResponse MaliciousCloud::forge(const SignedQuery& query, ForgeryClass cls,
       return forge_topk_omitted(honest(query, scheme), rng);
     case ForgeryClass::kTopkInflatedTf:
       return forge_topk_inflated(honest(query, scheme), rng);
+    case ForgeryClass::kEpochChainSplice:
+      return forge_epoch_chain_splice(query, scheme, rng);
   }
   throw UsageError("unknown forgery class");
 }
@@ -460,6 +462,63 @@ ForgedResponse MaliciousCloud::forge_stale(const SignedQuery& query, SchemeKind 
   // stale evidence, not about the epoch field (that is kEpochMixing).
   resp.epoch = snap_->epoch();
   resp.body = MultiKeywordResponse{std::move(result), std::move(proof)};
+  out.outcome = ForgeOutcome::kForged;
+  out.response = sign(std::move(resp));
+  return out;
+}
+
+ForgedResponse MaliciousCloud::forge_epoch_chain_splice(const SignedQuery& query,
+                                                        SchemeKind scheme,
+                                                        DeterministicRng& rng) {
+  // The log-structured-store cheat: a cloud serving a delta chain answers
+  // one keyword from a stale chain layer — live result set, live epoch
+  // stamp, live evidence for every other keyword, but the victim keyword's
+  // attestation and correctness evidence taken from the pre-delta entry
+  // (the operator who "saves" re-proving cost by skipping a delta for one
+  // term).  The stale accumulator cannot argue for postings only the delta
+  // added, so the correctness evidence covers a strict subset of the claim.
+  ForgedResponse out;
+  if (stale_snap_ == nullptr || stale_prover_ == nullptr) return out;
+  if (query.query.expr.has_value() || query.query.top_k != 0) return out;
+  const SearchResponse& base = honest(query, scheme);
+  const auto* multi = std::get_if<MultiKeywordResponse>(&base.body);
+  if (multi == nullptr) return out;
+  const SearchResult& result = multi->result;
+  if (result.keywords.size() < 2 || result.postings.size() != result.keywords.size() ||
+      multi->proof.terms.size() != result.keywords.size() ||
+      multi->proof.correctness.keywords.size() != result.keywords.size()) {
+    return out;
+  }
+
+  // A keyword is spliceable when the stale layer knows it but cannot cover
+  // the live claim — otherwise stale and live coincide and there is no lie.
+  const bool interval_form = wants_interval_form(scheme);
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < result.keywords.size(); ++i) {
+    const auto* stale_e = stale_snap_->find(result.keywords[i]);
+    if (stale_e == nullptr) continue;  // term born after the stale layer
+    U64Set claimed = InvertedIndex::tuple_set(result.postings[i]);
+    std::sort(claimed.begin(), claimed.end());
+    U64Set stale_tuples = InvertedIndex::tuple_set(stale_e->postings);
+    std::sort(stale_tuples.begin(), stale_tuples.end());
+    if (!is_subset(claimed, stale_tuples)) candidates.push_back(i);
+  }
+  if (candidates.empty()) return out;
+  std::size_t victim = candidates[rng.below(candidates.size())];
+  const auto* stale_e = stale_snap_->find(result.keywords[victim]);
+
+  SearchResponse resp = base;  // live, honest — except for the splice below
+  auto& body = std::get<MultiKeywordResponse>(resp.body);
+  body.proof.terms[victim] = stale_e->attestation;
+  U64Set claimed = InvertedIndex::tuple_set(result.postings[victim]);
+  std::sort(claimed.begin(), claimed.end());
+  U64Set stale_tuples = InvertedIndex::tuple_set(stale_e->postings);
+  std::sort(stale_tuples.begin(), stale_tuples.end());
+  U64Set provable = set_intersection(claimed, stale_tuples);
+  body.proof.correctness.keywords[victim] =
+      ProverAccess::tuple_membership(*stale_prover_, *stale_e, provable, interval_form);
+  out.trace.push_back({"splice_keyword", victim, claimed.size() - provable.size()});
+
   out.outcome = ForgeOutcome::kForged;
   out.response = sign(std::move(resp));
   return out;

@@ -85,6 +85,9 @@ class MaliciousCloud {
                                                   DeterministicRng& rng);
   [[nodiscard]] ForgedResponse forge_topk_inflated(const SearchResponse& base,
                                                    DeterministicRng& rng);
+  [[nodiscard]] ForgedResponse forge_epoch_chain_splice(const SignedQuery& query,
+                                                        SchemeKind scheme,
+                                                        DeterministicRng& rng);
 
   // Rebuilds a boolean body's facts and correctness honestly for its
   // (possibly tampered) S / C / postings: every doc in S ∪ C decided for

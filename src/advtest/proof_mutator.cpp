@@ -20,6 +20,7 @@ const char* forgery_class_name(ForgeryClass c) {
     case ForgeryClass::kNotFalseComplement: return "not_false_complement";
     case ForgeryClass::kTopkOmittedWinner: return "topk_omitted_winner";
     case ForgeryClass::kTopkInflatedTf: return "topk_inflated_tf";
+    case ForgeryClass::kEpochChainSplice: return "epoch_chain_splice";
   }
   return "?";
 }

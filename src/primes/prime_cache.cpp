@@ -126,6 +126,30 @@ std::vector<std::pair<std::uint64_t, Bigint>> PrimeCache::sorted_entries() const
   return out;
 }
 
+std::vector<std::pair<std::uint64_t, Bigint>> PrimeCache::merged_entries() const {
+  std::unordered_map<std::uint64_t, Bigint> merged;
+  std::shared_ptr<const PrimeBacking> backing;
+  {
+    std::shared_lock lock(mu_);
+    merged = cache_;
+    backing = backing_;
+  }
+  if (backing != nullptr) {
+    backing->for_each([&](std::uint64_t k, const Bigint& v) { merged.emplace(k, v); });
+  }
+  std::vector<std::pair<std::uint64_t, Bigint>> out;
+  out.reserve(merged.size());
+  for (auto& [k, v] : merged) out.emplace_back(k, std::move(v));
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::shared_ptr<const PrimeBacking> PrimeCache::backing() const {
+  std::shared_lock lock(mu_);
+  return backing_;
+}
+
 void PrimeCache::write(ByteWriter& w) const {
   std::shared_lock lock(mu_);
   w.str("vc.prime-cache.v1");

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -35,6 +36,13 @@ class PrimeBacking {
   virtual ~PrimeBacking() = default;
   // Returns true and fills `out` if `element` is in the backing store.
   [[nodiscard]] virtual bool lookup(std::uint64_t element, Bigint& out) const = 0;
+  // Enumerates every (element, representative) pair the backing can serve.
+  // Compaction uses this to fold a chain's prime sections back into one
+  // full snapshot.  A key may be emitted more than once (chained backings
+  // overlay newer tiers over older ones); the first emission wins.  The
+  // default is an empty enumeration for backings that cannot iterate.
+  virtual void for_each(
+      const std::function<void(std::uint64_t, const Bigint&)>& /*fn*/) const {}
 };
 
 class PrimeCache {
@@ -74,6 +82,16 @@ class PrimeCache {
   // The map contents as (element, prime) pairs sorted by element — the
   // epoch store serializes this into its binary-searchable prime sections.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, Bigint>> sorted_entries() const;
+
+  // sorted_entries() plus everything the backing tier can enumerate (map
+  // entries win on overlap).  This is what the epoch store persists: for a
+  // builder-fed cache (no backing) it is byte-for-byte sorted_entries(),
+  // and for a store-backed cache it folds the mapped sections back in so a
+  // re-encoded or compacted epoch keeps its precomputed representatives.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, Bigint>> merged_entries() const;
+
+  // The installed backing tier (may be null).
+  [[nodiscard]] std::shared_ptr<const PrimeBacking> backing() const;
 
   [[nodiscard]] const PrimeRepGenerator& generator() const { return gen_; }
 

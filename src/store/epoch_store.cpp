@@ -6,10 +6,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 
 #include "obs/metrics.hpp"
+#include "support/stopwatch.hpp"
 
 namespace vc::store {
 
@@ -22,9 +25,63 @@ obs::Counter& epochs_published() {
       "vc_store_epochs_published_total", "", "Epochs atomically published to disk");
   return c;
 }
+obs::Counter& delta_publishes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_store_delta_publishes_total", "",
+      "Delta records atomically published to disk");
+  return c;
+}
+obs::Counter& noop_publishes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_store_noop_publishes_total", "",
+      "publish() calls skipped because CURRENT already held the epoch");
+  return c;
+}
+obs::Counter& delta_opens() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_store_delta_opens_total", "", "Delta records resolved during epoch opens");
+  return c;
+}
+obs::Gauge& chain_length_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "vc_store_chain_length", "",
+      "Deltas stacked on the base snapshot at the last epoch open");
+  return g;
+}
+obs::Counter& compaction_runs() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_compaction_runs_total", "", "Delta chains folded into full snapshots");
+  return c;
+}
+obs::Counter& compaction_failures() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_compaction_failures_total", "", "Compaction attempts that threw");
+  return c;
+}
+obs::TimeCounter& compaction_seconds() {
+  static obs::TimeCounter& t = obs::MetricsRegistry::global().time_counter(
+      "vc_compaction_seconds", "", "Wall time spent folding delta chains");
+  return t;
+}
+obs::Histogram& compaction_stage() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().stage("store_compaction");
+  return h;
+}
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw StoreError(what + ": " + std::strerror(errno));
+}
+
+// Crash-point hook for the cold-restart harness: when VC_STORE_CRASH_POINT
+// names the point we just reached, die like a SIGKILL would — no unwinding,
+// no flushing beyond what the durability protocol already fsynced.
+void maybe_crash(const char* point) {
+  const char* env = std::getenv("VC_STORE_CRASH_POINT");
+  if (env != nullptr && std::strcmp(env, point) == 0) {
+    std::fprintf(stderr, "store: crash point %s\n", point);
+    std::fflush(stderr);
+    ::_exit(137);
+  }
 }
 
 // Durably writes `data` to `path`: write + fsync + close.  The atomicity
@@ -82,6 +139,95 @@ std::optional<std::uint64_t> parse_epoch_dir(const std::string& name) {
   return v;
 }
 
+// --- chain overlay -----------------------------------------------------------
+//
+// The overlay snapshot's term list is the base's with every delta applied
+// oldest→newest (touched terms upserted, removed terms dropped); each term
+// remembers which layer serves it.  Entry loads dispatch to the newest
+// delta that touched the term (lazy parse of its mapped blob) or fall back
+// to the base snapshot's own lazy find() — so an overlay open stays
+// O(terms) string work, exactly like a plain snapshot open.
+
+struct OverlayProvider {
+  int delta = -1;        // -1: base snapshot; otherwise index into deltas
+  std::size_t rank = 0;  // rank within that delta's touched_terms
+};
+
+class OverlayEntrySource final : public EntrySource {
+ public:
+  OverlayEntrySource(SnapshotPtr base, std::vector<OpenedDelta> deltas,
+                     std::vector<OverlayProvider> providers)
+      : base_(std::move(base)), deltas_(std::move(deltas)), providers_(std::move(providers)) {}
+
+  [[nodiscard]] std::shared_ptr<const IndexEntry> load(
+      std::size_t rank, std::string_view term) const override {
+    const OverlayProvider& p = providers_[rank];
+    if (p.delta >= 0) {
+      return deltas_[static_cast<std::size_t>(p.delta)].source->load(p.rank, term);
+    }
+    const IndexEntry* e = base_->find(term);
+    if (e == nullptr) {
+      throw StoreCorruptError("chain base lost term " + std::string(term));
+    }
+    // Alias the base snapshot's cached entry; the overlay keeps the base
+    // alive, so no copy and no second parse.
+    return {base_, e};
+  }
+
+ private:
+  SnapshotPtr base_;
+  std::vector<OpenedDelta> deltas_;
+  std::vector<OverlayProvider> providers_;
+};
+
+// Prime lookups consult the delta sections newest-first, then the base
+// epoch's mapped sections.  Representatives are deterministic, so overlap
+// between layers is harmless — the first hit wins.
+class ChainedPrimeBacking final : public PrimeBacking {
+ public:
+  explicit ChainedPrimeBacking(std::vector<std::shared_ptr<const PrimeBacking>> tiers)
+      : tiers_(std::move(tiers)) {}
+
+  [[nodiscard]] bool lookup(std::uint64_t element, Bigint& out) const override {
+    for (const auto& t : tiers_) {
+      if (t != nullptr && t->lookup(element, out)) return true;
+    }
+    return false;
+  }
+
+  void for_each(
+      const std::function<void(std::uint64_t, const Bigint&)>& fn) const override {
+    for (const auto& t : tiers_) {
+      if (t != nullptr) t->for_each(fn);
+    }
+  }
+
+ private:
+  std::vector<std::shared_ptr<const PrimeBacking>> tiers_;
+};
+
+// Serves the surviving subset of the base epoch's witness tier: tables load
+// through the base tier's own lazy path and are shared via aliasing
+// pointers.  Terms a delta touched or removed are filtered out before
+// construction — their persisted witnesses are stale — which is the
+// per-term degradation the chain wants instead of dropping the tier whole.
+class SubsetTierSource final : public TierSource {
+ public:
+  explicit SubsetTierSource(std::shared_ptr<const WitnessTier> base) : base_(std::move(base)) {}
+
+  [[nodiscard]] std::shared_ptr<const TermWitnessTable> load(
+      std::size_t /*rank*/, std::string_view term) const override {
+    const TermWitnessTable* t = base_->find(term);
+    if (t == nullptr) {
+      throw StoreCorruptError("base witness tier lost term " + std::string(term));
+    }
+    return {base_, t};
+  }
+
+ private:
+  std::shared_ptr<const WitnessTier> base_;
+};
+
 }  // namespace
 
 EpochStore::EpochStore(fs::path root) : root_(std::move(root)) {
@@ -100,10 +246,38 @@ fs::path EpochStore::epoch_file(std::uint64_t epoch) const {
   return root_ / epoch_dir_name(epoch) / kSnapshotFile;
 }
 
+fs::path EpochStore::delta_file(std::uint64_t epoch) const {
+  return root_ / epoch_dir_name(epoch) / kDeltaFile;
+}
+
+void EpochStore::advance_current(const std::string& dir_name) {
+  const fs::path current_tmp = root_ / (std::string(kCurrentFile) + ".tmp");
+  const std::string pointer = dir_name + "\n";
+  write_file_synced(current_tmp,
+                    {reinterpret_cast<const std::uint8_t*>(pointer.data()), pointer.size()});
+  std::error_code ec;
+  fs::rename(current_tmp, root_ / kCurrentFile, ec);
+  if (ec) throw StoreError("cannot advance CURRENT: " + ec.message());
+  sync_dir(root_);
+}
+
 fs::path EpochStore::publish(const IndexSnapshot& snap, std::uint32_t shard_count,
                              const TierArtifacts* tier) {
   const std::string dir_name = epoch_dir_name(snap.epoch());
   const fs::path target = root_ / dir_name;
+
+  if (fs::exists(target / kSnapshotFile) && has_current()) {
+    // True no-op: the epoch is durable and CURRENT already points at it —
+    // re-serializing an identical file buys nothing.  A stale or damaged
+    // pointer falls through to the normal path, which repairs it.
+    try {
+      if (read_current_name() == dir_name) {
+        noop_publishes().inc();
+        return target;
+      }
+    } catch (const StoreError&) {
+    }
+  }
 
   if (!fs::exists(target / kSnapshotFile)) {
     Bytes data = encode_snapshot(snap, shard_count, tier);
@@ -129,15 +303,44 @@ fs::path EpochStore::publish(const IndexSnapshot& snap, std::uint32_t shard_coun
   }
 
   // Advance CURRENT via the same write-then-rename dance.
-  const fs::path current_tmp = root_ / (std::string(kCurrentFile) + ".tmp");
-  const std::string pointer = dir_name + "\n";
-  write_file_synced(current_tmp,
-                    {reinterpret_cast<const std::uint8_t*>(pointer.data()), pointer.size()});
-  std::error_code ec;
-  fs::rename(current_tmp, root_ / kCurrentFile, ec);
-  if (ec) throw StoreError("cannot advance CURRENT: " + ec.message());
-  sync_dir(root_);
+  advance_current(dir_name);
   epochs_published().inc();
+  return target;
+}
+
+fs::path EpochStore::publish_delta(const IndexDelta& delta, std::uint32_t shard_count) {
+  // A delta that cannot resolve would brick CURRENT: its base must already
+  // be on disk (as a snapshot or as an earlier delta).
+  if (!fs::exists(epoch_file(delta.base_epoch)) && !fs::exists(delta_file(delta.base_epoch))) {
+    throw StoreChainError("base epoch " + std::to_string(delta.base_epoch) +
+                          " is not in " + root_.string());
+  }
+  const std::string dir_name = epoch_dir_name(delta.epoch);
+  const fs::path target = root_ / dir_name;
+
+  if (!fs::exists(target / kDeltaFile) && !fs::exists(target / kSnapshotFile)) {
+    Bytes data = encode_delta(delta, shard_count);
+    const fs::path tmp =
+        root_ / (".tmp-" + dir_name + "-" + std::to_string(::getpid()));
+    fs::remove_all(tmp);
+    fs::create_directories(tmp);
+    write_file_synced(tmp / kDeltaFile, data);
+    sync_dir(tmp);
+    maybe_crash("delta-staged");
+    std::error_code ec;
+    fs::rename(tmp, target, ec);
+    if (ec) {
+      if (!fs::exists(target / kDeltaFile) && !fs::exists(target / kSnapshotFile)) {
+        throw StoreError("cannot publish delta " + target.string() + ": " + ec.message());
+      }
+      fs::remove_all(tmp);
+    }
+    sync_dir(root_);
+  }
+
+  maybe_crash("delta-current");
+  advance_current(dir_name);
+  delta_publishes().inc();
   return target;
 }
 
@@ -151,7 +354,7 @@ std::string EpochStore::read_current_name() const {
   if (!parse_epoch_dir(name)) {
     throw StoreCurrentError("malformed content \"" + name + "\"");
   }
-  if (!fs::exists(root_ / name / kSnapshotFile)) {
+  if (!fs::exists(root_ / name / kSnapshotFile) && !fs::exists(root_ / name / kDeltaFile)) {
     throw StoreCurrentError("stale: names missing epoch " + name);
   }
   return name;
@@ -168,7 +371,9 @@ std::vector<std::uint64_t> EpochStore::epochs() const {
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
     if (!entry.is_directory()) continue;
     if (auto e = parse_epoch_dir(entry.path().filename().string())) {
-      if (fs::exists(entry.path() / kSnapshotFile)) out.push_back(*e);
+      if (fs::exists(entry.path() / kSnapshotFile) || fs::exists(entry.path() / kDeltaFile)) {
+        out.push_back(*e);
+      }
     }
   }
   std::sort(out.begin(), out.end());
@@ -186,17 +391,273 @@ OpenedEpoch EpochStore::open_epoch(std::uint64_t epoch,
 
 OpenedEpoch EpochStore::open_current(const OpenOptions& options) const {
   const std::string name = read_current_name();
-  auto file = std::make_shared<const MappedFile>(root_ / name / kSnapshotFile);
-  return open_snapshot(std::move(file), options);
+  return open_epoch(*parse_epoch_dir(name), options);
 }
 
 OpenedEpoch EpochStore::open_epoch(std::uint64_t epoch, const OpenOptions& options) const {
-  const fs::path path = epoch_file(epoch);
-  if (!fs::exists(path)) {
-    throw StoreError("epoch " + std::to_string(epoch) + " is not in " + root_.string());
+  const fs::path snap_path = epoch_file(epoch);
+  if (fs::exists(snap_path)) {
+    // A compacted head keeps its delta alongside; the full snapshot wins.
+    auto file = std::make_shared<const MappedFile>(snap_path);
+    OpenedEpoch out = open_snapshot(std::move(file), options);
+    chain_length_gauge().set(0);
+    return out;
   }
-  auto file = std::make_shared<const MappedFile>(path);
-  return open_snapshot(std::move(file), options);
+  if (fs::exists(delta_file(epoch))) return resolve_chain(epoch, options);
+  throw StoreError("epoch " + std::to_string(epoch) + " is not in " + root_.string());
+}
+
+OpenedEpoch EpochStore::resolve_chain(std::uint64_t head, const OpenOptions& options) const {
+  // Walk base links down to a full snapshot, newest delta first.  Every
+  // layer must carry the same param fingerprint as the head; the walk must
+  // strictly descend and stay under the length cap.
+  std::vector<OpenedDelta> deltas;
+  Digest chain_fp{};
+  OpenOptions layer_options = options;
+  std::uint64_t epoch = head;
+  while (!fs::exists(epoch_file(epoch))) {
+    const fs::path path = delta_file(epoch);
+    if (!fs::exists(path)) {
+      throw StoreChainError("epoch " + std::to_string(epoch) +
+                            " is missing (chain head " + std::to_string(head) + ")");
+    }
+    if (deltas.size() >= kMaxChainLength) {
+      throw StoreChainError("chain from epoch " + std::to_string(head) + " exceeds " +
+                            std::to_string(kMaxChainLength) + " deltas");
+    }
+    OpenedDelta d = open_delta(std::make_shared<const MappedFile>(path), layer_options);
+    delta_opens().inc();
+    if (d.epoch != epoch) {
+      throw StoreCorruptError("delta in " + epoch_dir_name(epoch) + " claims epoch " +
+                              std::to_string(d.epoch));
+    }
+    if (deltas.empty()) {
+      chain_fp = d.fingerprint;
+      // Deeper layers (and the base) must match the head's parameters even
+      // when the caller did not pin a fingerprint.
+      if (layer_options.expected_fingerprint == nullptr) {
+        layer_options.expected_fingerprint = &chain_fp;
+      }
+    }
+    epoch = d.base_epoch;  // open_delta guarantees base_epoch < epoch
+    deltas.push_back(std::move(d));
+  }
+
+  auto base_file = std::make_shared<const MappedFile>(epoch_file(epoch));
+  OpenedEpoch base = open_snapshot(std::move(base_file), layer_options);
+  std::reverse(deltas.begin(), deltas.end());  // oldest → newest
+
+  // Merged term list: upsert touched, drop removed, oldest delta first.
+  std::map<std::string, OverlayProvider, std::less<>> merged;
+  for (const auto& [term, unused] : base.snapshot->entries()) {
+    merged.emplace(term, OverlayProvider{});
+  }
+  for (std::size_t di = 0; di < deltas.size(); ++di) {
+    const OpenedDelta& d = deltas[di];
+    for (std::size_t r = 0; r < d.touched_terms.size(); ++r) {
+      merged[d.touched_terms[r]] = OverlayProvider{static_cast<int>(di), r};
+    }
+    for (const std::string& term : d.removed_terms) merged.erase(term);
+  }
+  std::vector<std::string> terms;
+  std::vector<OverlayProvider> providers;
+  terms.reserve(merged.size());
+  providers.reserve(merged.size());
+  for (auto& [term, p] : merged) {
+    terms.push_back(term);
+    providers.push_back(p);
+  }
+
+  // Newest-first prime resolution: delta sections, then the base mapping.
+  std::vector<std::shared_ptr<const PrimeBacking>> tuple_tiers, doc_tiers;
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    tuple_tiers.push_back(it->tuple_primes);
+    doc_tiers.push_back(it->doc_primes);
+  }
+  tuple_tiers.push_back(base.snapshot->tuple_primes().backing());
+  doc_tiers.push_back(base.snapshot->doc_primes().backing());
+  const VerifiableIndexConfig& config = base.snapshot->config();
+  auto tuple_primes = std::make_shared<PrimeCache>(config.tuple_prime_config());
+  tuple_primes->set_backing(std::make_shared<const ChainedPrimeBacking>(std::move(tuple_tiers)));
+  auto doc_primes = std::make_shared<PrimeCache>(config.doc_prime_config());
+  doc_primes->set_backing(std::make_shared<const ChainedPrimeBacking>(std::move(doc_tiers)));
+
+  // Dictionary: the newest delta that rebuilt it, else the base's (aliased —
+  // the base snapshot keeps it alive).
+  std::shared_ptr<const DictionaryIntervals> dict;
+  std::shared_ptr<const DictAttestation> dict_att;
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    if (it->dict_changed) {
+      dict = it->dict;
+      dict_att = it->dict_attestation;
+      break;
+    }
+  }
+  if (dict == nullptr) {
+    dict = {base.snapshot, &base.snapshot->dictionary()};
+    dict_att = {base.snapshot, &base.snapshot->dict_attestation()};
+  }
+
+  const OpenedDelta& newest = deltas.back();
+  OpenedEpoch out;
+  out.snapshot = std::make_shared<const IndexSnapshot>(
+      config, head, std::move(terms),
+      std::make_shared<const OverlayEntrySource>(base.snapshot, deltas, std::move(providers)),
+      newest.max_posting_count, std::move(dict), std::move(dict_att),
+      std::move(tuple_primes), std::move(doc_primes));
+
+  // Witness tier: keep the base's tables for terms no delta touched or
+  // removed — their sets are unchanged, so the persisted witnesses are
+  // still the unique residues.  Touched terms degrade to the compute path.
+  out.tier_degraded = base.tier_degraded;
+  if (base.tier != nullptr) {
+    std::vector<std::string> surviving;
+    for (const std::string& term : base.tier->terms()) {
+      bool stale = false;
+      for (const OpenedDelta& d : deltas) {
+        if (std::binary_search(d.touched_terms.begin(), d.touched_terms.end(), term) ||
+            std::binary_search(d.removed_terms.begin(), d.removed_terms.end(), term)) {
+          stale = true;
+          break;
+        }
+      }
+      if (!stale) surviving.push_back(term);
+    }
+    if (!surviving.empty()) {
+      out.tier = std::make_shared<const WitnessTier>(
+          std::move(surviving), std::make_shared<const SubsetTierSource>(base.tier),
+          base.tier->table_bytes());
+      out.snapshot->attach_tier(out.tier);
+    }
+    out.fixed_base = base.fixed_base;
+  }
+
+  out.shard_count = newest.shard_count;
+  out.file = base.file;
+  out.base_epoch = base.snapshot->epoch();
+  out.chain_length = static_cast<std::uint32_t>(deltas.size());
+  chain_length_gauge().set(static_cast<std::int64_t>(deltas.size()));
+  return out;
+}
+
+std::optional<std::uint64_t> EpochStore::compact(std::uint32_t min_chain_length,
+                                                 const OpenOptions& options) {
+  if (!has_current()) return std::nullopt;
+  OpenedEpoch head = open_current(options);
+  if (head.chain_length < std::max<std::uint32_t>(1, min_chain_length)) return std::nullopt;
+
+  Stopwatch timer;
+  obs::Span span(compaction_stage(), "store_compaction");
+  // Materialize the overlay into one full snapshot.  The surviving witness
+  // tier and the base's fixed-base table ride along (format v2) so the
+  // compacted epoch keeps its zero-modexp hot path.
+  TierArtifacts arts;
+  const TierArtifacts* tier = nullptr;
+  if (head.tier != nullptr && head.fixed_base.has_value()) {
+    arts.tier = head.tier;
+    arts.fixed_base = *head.fixed_base;
+    tier = &arts;
+  }
+  Bytes data = encode_snapshot(*head.snapshot, head.shard_count, tier);
+
+  // File-level atomic: stage next to the target and rename.  CURRENT never
+  // moves; the open path simply starts preferring the snapshot over the
+  // chain.  A crash before the rename leaves a .tmp nothing reads and the
+  // chain still resolves.
+  const std::uint64_t epoch = head.snapshot->epoch();
+  const fs::path dir = root_ / epoch_dir_name(epoch);
+  const fs::path tmp = dir / (std::string(kSnapshotFile) + ".tmp-" +
+                              std::to_string(::getpid()));
+  write_file_synced(tmp, data);
+  maybe_crash("compact-staged");
+  std::error_code ec;
+  fs::rename(tmp, dir / kSnapshotFile, ec);
+  if (ec) {
+    std::error_code ignore;
+    fs::remove(tmp, ignore);
+    throw StoreError("cannot install compacted snapshot " + (dir / kSnapshotFile).string() +
+                     ": " + ec.message());
+  }
+  sync_dir(dir);
+  compaction_runs().inc();
+  compaction_seconds().add(timer.seconds());
+  return epoch;
+}
+
+std::vector<EpochStore::ChainLink> EpochStore::current_chain() const {
+  std::vector<ChainLink> out;
+  std::uint64_t epoch = *parse_epoch_dir(read_current_name());
+  while (true) {
+    const fs::path snap = epoch_file(epoch);
+    const fs::path delta = delta_file(epoch);
+    if (fs::exists(snap)) {
+      out.push_back(ChainLink{.epoch = epoch, .is_delta = false,
+                              .compacted = fs::exists(delta), .file = snap});
+      return out;
+    }
+    if (!fs::exists(delta)) {
+      throw StoreChainError("epoch " + std::to_string(epoch) + " is missing");
+    }
+    if (out.size() >= kMaxChainLength) {
+      throw StoreChainError("chain exceeds " + std::to_string(kMaxChainLength) + " deltas");
+    }
+    out.push_back(ChainLink{.epoch = epoch, .is_delta = true, .file = delta});
+    StoreFileInfo info = inspect_file(MappedFile(delta));
+    if (info.delta_base_epoch == 0 || info.delta_base_epoch >= epoch) {
+      throw StoreChainError("delta in " + epoch_dir_name(epoch) +
+                            " has unreadable or non-descending base epoch");
+    }
+    epoch = info.delta_base_epoch;
+  }
+}
+
+// --- background compaction ---------------------------------------------------
+
+CompactionWorker::CompactionWorker(EpochStore& store, Options options)
+    : store_(store), options_(options) {}
+
+CompactionWorker::~CompactionWorker() { stop(); }
+
+void CompactionWorker::start() {
+  std::lock_guard lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void CompactionWorker::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::optional<std::uint64_t> CompactionWorker::run_once() {
+  try {
+    auto compacted = store_.compact(options_.max_chain_length, options_.open);
+    if (compacted.has_value()) runs_.fetch_add(1, std::memory_order_relaxed);
+    return compacted;
+  } catch (const std::exception& e) {
+    compaction_failures().inc();
+    std::fprintf(stderr, "store: compaction failed: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
+void CompactionWorker::loop() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                     [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    run_once();
+    lock.lock();
+  }
 }
 
 }  // namespace vc::store

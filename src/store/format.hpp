@@ -21,6 +21,16 @@
 // a v1 writer produces — so the bump only ever gates files that actually
 // carry tier payloads; a v1-only reader rejects those with a typed error
 // instead of misparsing them.
+//
+// Format v3 is a *delta record* (`delta.vcd`): not a snapshot but a journal
+// entry of one committed mutation — the touched terms' re-signed entries,
+// the removed terms, the prime representatives the new postings introduced,
+// and the dictionary when it changed — chained to a predecessor epoch via
+// `base_epoch` in its meta section.  A delta file reuses the v1/v2 header,
+// section-table and CRC machinery wholesale (sections 10–16) so the same
+// parse_layout validates it; it must never contain base-snapshot or tier
+// sections, and CURRENT may point at a delta whose chain resolves through
+// earlier deltas down to a full v1/v2 snapshot.
 #pragma once
 
 #include <array>
@@ -72,13 +82,23 @@ class StoreCurrentError : public StoreError {
       : StoreError("CURRENT pointer: " + what) {}
 };
 
+// A delta chain cannot be resolved to a full snapshot: a delta's base epoch
+// is missing from the store, the chain does not strictly descend, or it
+// exceeds the resolution length cap.
+class StoreChainError : public StoreError {
+ public:
+  explicit StoreChainError(const std::string& what)
+      : StoreError("delta chain: " + what) {}
+};
+
 // --- layout constants --------------------------------------------------------
 
 inline constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'C', 'E', 'P',
                                                        'O', 'C', 'H', '1'};
 inline constexpr std::uint32_t kFormatVersion = 1;        // base layout
 inline constexpr std::uint32_t kFormatVersionTiered = 2;  // + witness-tier sections
-inline constexpr std::uint32_t kMaxFormatVersion = kFormatVersionTiered;
+inline constexpr std::uint32_t kFormatVersionDelta = 3;   // delta record (journal entry)
+inline constexpr std::uint32_t kMaxFormatVersion = kFormatVersionDelta;
 inline constexpr std::size_t kHeaderBytes = 96;
 inline constexpr std::size_t kSectionEntryBytes = 32;
 inline constexpr std::size_t kFingerprintOffset = 32;  // 32-byte SHA-256 digest
@@ -95,6 +115,14 @@ enum class SectionId : std::uint32_t {
   kWitnessTierDir = 7,  // total bytes + per-term (name, offset, size) into 8
   kWitnessTables = 8,   // concatenated TermWitnessTable blobs (lazy-parsed)
   kFixedBase = 9,       // public-side BGMW fixed-base table for g
+  // Format v3 only (delta records; kConfig rides along for the fingerprint):
+  kDeltaMeta = 10,           // base_epoch + max_posting_count + dict flag
+  kDeltaTermDirectory = 11,  // per touched term (name, offset, size) into 12
+  kDeltaEntries = 12,        // concatenated re-signed entry blobs (lazy-parsed)
+  kDeltaRemoved = 13,        // terms whose posting lists emptied out
+  kDeltaDictionary = 14,     // rebuilt dictionary + attestation (empty if unchanged)
+  kDeltaTuplePrimes = 15,    // representatives introduced by the new postings
+  kDeltaDocPrimes = 16,
 };
 
 inline const char* section_name(SectionId id) {
@@ -108,6 +136,13 @@ inline const char* section_name(SectionId id) {
     case SectionId::kWitnessTierDir: return "witness-tier-dir";
     case SectionId::kWitnessTables: return "witness-tables";
     case SectionId::kFixedBase: return "fixed-base";
+    case SectionId::kDeltaMeta: return "delta-meta";
+    case SectionId::kDeltaTermDirectory: return "delta-term-directory";
+    case SectionId::kDeltaEntries: return "delta-entries";
+    case SectionId::kDeltaRemoved: return "delta-removed";
+    case SectionId::kDeltaDictionary: return "delta-dictionary";
+    case SectionId::kDeltaTuplePrimes: return "delta-tuple-primes";
+    case SectionId::kDeltaDocPrimes: return "delta-doc-primes";
   }
   return "unknown";
 }
@@ -117,6 +152,13 @@ inline const char* section_name(SectionId id) {
 inline bool is_tier_section(SectionId id) {
   return id == SectionId::kWitnessTierDir || id == SectionId::kWitnessTables ||
          id == SectionId::kFixedBase;
+}
+
+// The sections exclusive to format-v3 delta records; a snapshot file must
+// not contain any of them and a delta file must contain all of them.
+inline bool is_delta_section(SectionId id) {
+  return static_cast<std::uint32_t>(id) >= static_cast<std::uint32_t>(SectionId::kDeltaMeta) &&
+         static_cast<std::uint32_t>(id) <= static_cast<std::uint32_t>(SectionId::kDeltaDocPrimes);
 }
 
 }  // namespace vc::store

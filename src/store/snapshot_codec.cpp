@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/metrics.hpp"
+#include "store/codec_detail.hpp"
 #include "store/crc32.hpp"
 #include "obs/trace.hpp"
 #include "support/stopwatch.hpp"
@@ -12,6 +13,13 @@
 namespace vc::store {
 
 namespace {
+
+using detail::MappedEntrySource;
+using detail::MappedPrimeBacking;
+using detail::ParsedLayout;
+using detail::TermLoc;
+using detail::parse_layout;
+using detail::section_bytes;
 
 obs::TimeCounter& open_seconds() {
   static obs::TimeCounter& t = obs::MetricsRegistry::global().time_counter(
@@ -23,166 +31,6 @@ obs::Gauge& mapped_bytes() {
       "vc_store_mapped_bytes", "", "Size of the most recently opened epoch mapping");
   return g;
 }
-obs::Counter& crc_failures() {
-  static obs::Counter& c = obs::MetricsRegistry::global().counter(
-      "vc_store_crc_failures_total", "", "Epoch sections rejected by CRC validation");
-  return c;
-}
-obs::Counter& entries_materialized() {
-  static obs::Counter& c = obs::MetricsRegistry::global().counter(
-      "vc_store_entries_materialized_total", "",
-      "Per-term index entries parsed out of mapped epochs on first touch");
-  return c;
-}
-
-std::uint64_t load_u64le(const std::uint8_t* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;  // the toolchain targets little-endian platforms only
-}
-
-// --- entry blobs -------------------------------------------------------------
-
-void write_entry(ByteWriter& w, const IndexEntry& e) {
-  w.varint(e.postings.size());
-  for (const Posting& p : e.postings) {
-    w.u32(p.doc_id);
-    w.u32(p.tf);
-  }
-  e.tuple_intervals.write(w);
-  e.doc_intervals.write(w);
-  e.doc_bloom.write(w);
-  e.attestation.write(w);
-  e.bloom_attestation.write(w);
-}
-
-std::shared_ptr<const IndexEntry> read_entry(ByteReader& r) {
-  auto e = std::make_shared<IndexEntry>();
-  std::uint64_t n = r.varint();
-  e->postings.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    Posting p{};
-    p.doc_id = r.u32();
-    p.tf = r.u32();
-    e->postings.push_back(p);
-  }
-  e->tuple_intervals = IntervalIndex::read(r);
-  e->doc_intervals = IntervalIndex::read(r);
-  e->doc_bloom = CountingBloom::read(r);
-  e->attestation = TermAttestation::read(r);
-  e->bloom_attestation = BloomAttestation::read(r);
-  r.expect_done();
-  return e;
-}
-
-// --- prime sections ----------------------------------------------------------
-//
-// Layout: u64 count | count x u64 sorted keys | count x u64 value offsets
-// (relative to the values blob) | values blob (concatenated Bigint
-// encodings).  The parallel arrays binary-search without materializing a
-// single Bigint.
-
-void write_primes(ByteWriter& w, const PrimeCache& cache) {
-  auto entries = cache.sorted_entries();
-  w.u64(entries.size());
-  for (const auto& [k, v] : entries) w.u64(k);
-  ByteWriter values;
-  for (const auto& [k, v] : entries) {
-    w.u64(values.size());
-    v.write(values);
-  }
-  w.raw(values.data());
-}
-
-// Binary-searched view of a prime section inside the mapping.
-class MappedPrimeBacking final : public PrimeBacking {
- public:
-  MappedPrimeBacking(std::shared_ptr<const MappedFile> file,
-                     std::span<const std::uint8_t> section)
-      : file_(std::move(file)) {
-    ByteReader r(section);
-    count_ = r.u64();
-    constexpr std::uint64_t kEntryBytes = 16;  // key + offset, u64 each
-    if (count_ > (section.size() - sizeof(std::uint64_t)) / kEntryBytes) {
-      throw StoreCorruptError("prime section count exceeds section size");
-    }
-    keys_ = r.raw(count_ * sizeof(std::uint64_t)).data();
-    offsets_ = r.raw(count_ * sizeof(std::uint64_t)).data();
-    values_ = section.subspan(section.size() - r.remaining());
-    for (std::uint64_t i = 0; i < count_; ++i) {
-      if (offset_at(i) > values_.size()) {
-        throw StoreCorruptError("prime value offset out of range");
-      }
-      if (i > 0 && key_at(i) <= key_at(i - 1)) {
-        throw StoreCorruptError("prime keys not strictly sorted");
-      }
-    }
-  }
-
-  [[nodiscard]] bool lookup(std::uint64_t element, Bigint& out) const override {
-    std::uint64_t lo = 0, hi = count_;
-    while (lo < hi) {
-      std::uint64_t mid = lo + (hi - lo) / 2;
-      std::uint64_t k = key_at(mid);
-      if (k == element) {
-        ByteReader r(values_.subspan(offset_at(mid)));
-        out = Bigint::read(r);
-        return true;
-      }
-      if (k < element) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return false;
-  }
-
- private:
-  [[nodiscard]] std::uint64_t key_at(std::uint64_t i) const {
-    return load_u64le(keys_ + i * sizeof(std::uint64_t));
-  }
-  [[nodiscard]] std::uint64_t offset_at(std::uint64_t i) const {
-    return load_u64le(offsets_ + i * sizeof(std::uint64_t));
-  }
-
-  std::shared_ptr<const MappedFile> file_;  // keeps the mapping alive
-  std::uint64_t count_ = 0;
-  const std::uint8_t* keys_ = nullptr;
-  const std::uint8_t* offsets_ = nullptr;
-  std::span<const std::uint8_t> values_;
-};
-
-// --- lazy entry source -------------------------------------------------------
-
-struct TermLoc {
-  std::uint64_t offset = 0;
-  std::uint64_t size = 0;
-};
-
-class MappedEntrySource final : public EntrySource {
- public:
-  MappedEntrySource(std::shared_ptr<const MappedFile> file,
-                    std::span<const std::uint8_t> entries, std::vector<TermLoc> locs)
-      : file_(std::move(file)), entries_(entries), locs_(std::move(locs)) {}
-
-  [[nodiscard]] std::shared_ptr<const IndexEntry> load(
-      std::size_t rank, std::string_view /*term*/) const override {
-    const TermLoc& loc = locs_[rank];
-    ByteReader r(entries_.subspan(loc.offset, loc.size));
-    auto entry = read_entry(r);
-    entries_materialized().inc();
-    // Cold first touch of a mapped term — the trace attribute is what tells
-    // a slow first-query-after-restart apart from a warm one.
-    obs::trace_attr("store_lazy_materialize", static_cast<std::int64_t>(loc.size));
-    return entry;
-  }
-
- private:
-  std::shared_ptr<const MappedFile> file_;  // keeps the mapping alive
-  std::span<const std::uint8_t> entries_;
-  std::vector<TermLoc> locs_;
-};
 
 // --- lazy witness-tier source ------------------------------------------------
 
@@ -207,98 +55,6 @@ class MappedTierSource final : public TierSource {
   std::span<const std::uint8_t> tables_;
   std::vector<TermLoc> locs_;
 };
-
-// --- layout parsing ----------------------------------------------------------
-
-struct ParsedLayout {
-  std::uint32_t format_version = 0;
-  std::uint64_t epoch = 0;
-  std::uint32_t shard_count = 0;
-  Digest fingerprint{};
-  std::uint64_t file_bytes = 0;
-  std::vector<SectionInfo> sections;
-};
-
-// Validates the header and section table (structure + table CRC + section
-// bounds/contiguity) and computes per-section CRC verdicts.  Payload CRC
-// mismatches land in SectionInfo::crc_ok rather than throwing so the
-// inspect tool can dump a damaged file; open_snapshot() turns them into
-// StoreCorruptError.
-ParsedLayout parse_layout(std::span<const std::uint8_t> data,
-                          std::uint32_t max_format_version = kMaxFormatVersion) {
-  if (data.size() < kHeaderBytes) {
-    throw StoreTruncatedError("file smaller than header (" +
-                              std::to_string(data.size()) + " bytes)");
-  }
-  ByteReader r(data.subspan(0, kHeaderBytes));
-  auto magic = r.raw(kMagic.size());
-  if (!std::equal(magic.begin(), magic.end(), kMagic.begin())) {
-    throw StoreCorruptError("bad magic");
-  }
-  ParsedLayout out;
-  out.format_version = r.u32();
-  if (out.format_version < kFormatVersion ||
-      out.format_version > std::min(max_format_version, kMaxFormatVersion)) {
-    throw StoreCorruptError("unsupported format version " +
-                            std::to_string(out.format_version));
-  }
-  if (r.u32() != kHeaderBytes) throw StoreCorruptError("bad header size field");
-  out.epoch = r.u64();
-  out.shard_count = r.u32();
-  std::uint32_t section_count = r.u32();
-  auto fp = r.raw(out.fingerprint.size());
-  std::copy(fp.begin(), fp.end(), out.fingerprint.begin());
-  out.file_bytes = r.u64();
-  std::uint32_t table_crc = r.u32();
-
-  if (data.size() < out.file_bytes) {
-    throw StoreTruncatedError("file is " + std::to_string(data.size()) +
-                              " bytes, header claims " + std::to_string(out.file_bytes));
-  }
-  if (data.size() > out.file_bytes) {
-    throw StoreCorruptError("trailing bytes past declared file size");
-  }
-  std::uint64_t table_bytes = std::uint64_t{section_count} * kSectionEntryBytes;
-  if (kHeaderBytes + table_bytes > data.size()) {
-    throw StoreTruncatedError("section table extends past end of file");
-  }
-  auto table = data.subspan(kHeaderBytes, table_bytes);
-  if (crc32(table) != table_crc) throw StoreCorruptError("section table CRC mismatch");
-
-  ByteReader tr(table);
-  std::uint64_t expect_offset = kHeaderBytes + table_bytes;
-  for (std::uint32_t i = 0; i < section_count; ++i) {
-    SectionInfo s;
-    s.id = static_cast<SectionId>(tr.u32());
-    s.crc = tr.u32();
-    s.offset = tr.u64();
-    s.size = tr.u64();
-    tr.u64();  // reserved
-    if (s.offset != expect_offset) {
-      throw StoreCorruptError("section " + std::string(section_name(s.id)) +
-                              " not contiguous");
-    }
-    if (s.offset + s.size > data.size()) {
-      throw StoreTruncatedError("section " + std::string(section_name(s.id)) +
-                                " extends past end of file");
-    }
-    expect_offset = s.offset + s.size;
-    s.crc_ok = crc32(data.subspan(s.offset, s.size)) == s.crc;
-    out.sections.push_back(s);
-  }
-  if (expect_offset != data.size()) {
-    throw StoreCorruptError("sections do not cover the file");
-  }
-  return out;
-}
-
-std::span<const std::uint8_t> section_bytes(std::span<const std::uint8_t> data,
-                                            const ParsedLayout& layout, SectionId id) {
-  for (const SectionInfo& s : layout.sections) {
-    if (s.id == id) return data.subspan(s.offset, s.size);
-  }
-  throw StoreCorruptError(std::string("missing section ") + section_name(id));
-}
 
 }  // namespace
 
@@ -327,16 +83,20 @@ Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count,
     const IndexEntry* e = snap.find(term);
     if (e == nullptr) throw StoreError("snapshot entry vanished for term " + term);
     std::size_t start = entries_w.size();
-    write_entry(entries_w, *e);
+    detail::write_entry(entries_w, *e);
     termdir_w.str(term);
     termdir_w.varint(start);
     termdir_w.varint(entries_w.size() - start);
   }
 
+  // merged_entries folds a store-backed cache's mapped sections back in, so
+  // re-encoding an opened (or overlay) epoch — compaction — keeps every
+  // precomputed representative.  Builder-fed caches have no backing and the
+  // output is byte-identical to the map alone.
   ByteWriter tuple_w;
-  write_primes(tuple_w, snap.tuple_primes());
+  detail::write_primes(tuple_w, snap.tuple_primes().merged_entries());
   ByteWriter doc_w;
-  write_primes(doc_w, snap.doc_primes());
+  detail::write_primes(doc_w, snap.doc_primes().merged_entries());
 
   // v2 payloads: witness-table blobs, the directory locating them, and the
   // fixed-base image.  Lazy tiers materialize table-by-table here — the
@@ -361,11 +121,7 @@ Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count,
     write_fixed_base(fixed_w, tier->fixed_base);
   }
 
-  struct Payload {
-    SectionId id;
-    const Bytes* bytes;
-  };
-  std::vector<Payload> payloads = {
+  std::vector<detail::SectionPayload> payloads = {
       {SectionId::kConfig, &config_w.data()},
       {SectionId::kDictionary, &dict_w.data()},
       {SectionId::kTermDirectory, &termdir_w.data()},
@@ -379,47 +135,27 @@ Bytes encode_snapshot(const IndexSnapshot& snap, std::uint32_t shard_count,
     payloads.push_back({SectionId::kFixedBase, &fixed_w.data()});
   }
 
-  std::uint64_t offset = kHeaderBytes + payloads.size() * kSectionEntryBytes;
-  ByteWriter table;
-  std::uint64_t total = offset;
-  for (const Payload& p : payloads) total += p.bytes->size();
-  for (const Payload& p : payloads) {
-    table.u32(static_cast<std::uint32_t>(p.id));
-    table.u32(crc32(*p.bytes));
-    table.u64(offset);
-    table.u64(p.bytes->size());
-    table.u64(0);  // reserved
-    offset += p.bytes->size();
-  }
-
-  Digest fp = param_fingerprint(snap.config());
-  ByteWriter out;
-  out.raw(kMagic);
-  out.u32(tier != nullptr ? kFormatVersionTiered : kFormatVersion);
-  out.u32(static_cast<std::uint32_t>(kHeaderBytes));
-  out.u64(snap.epoch());
-  out.u32(shard_count);
-  out.u32(static_cast<std::uint32_t>(payloads.size()));
-  out.raw(fp);
-  out.u64(total);
-  out.u32(crc32(table.data()));
-  out.u32(0);  // reserved
-  const std::array<std::uint8_t, 16> pad{};
-  out.raw(pad);
-  if (out.size() != kHeaderBytes) throw StoreError("header size drifted from kHeaderBytes");
-  out.raw(table.data());
-  for (const Payload& p : payloads) out.raw(*p.bytes);
-  return std::move(out).take();
+  return detail::encode_sections(
+      tier != nullptr ? kFormatVersionTiered : kFormatVersion, snap.epoch(), shard_count,
+      param_fingerprint(snap.config()), payloads);
 }
 
 OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file, OpenOptions options) {
   Stopwatch timer;
   auto data = file->bytes();
   ParsedLayout layout = parse_layout(data, options.max_format_version);
-  // Version/section coherence: tier sections exist exactly in v2 files.
+  if (layout.format_version == kFormatVersionDelta) {
+    throw StoreCorruptError("file is a delta record, not a snapshot (open it via "
+                            "open_delta / the chain-resolving store open)");
+  }
+  // Version/section coherence: tier sections exist exactly in v2 files, and
+  // no snapshot carries delta sections.
   bool has_tier_sections = false;
   for (const SectionInfo& s : layout.sections) {
     if (is_tier_section(s.id)) has_tier_sections = true;
+    if (is_delta_section(s.id)) {
+      throw StoreCorruptError("snapshot file contains delta sections");
+    }
   }
   if (layout.format_version == kFormatVersion && has_tier_sections) {
     throw StoreCorruptError("v1 file contains witness-tier sections");
@@ -430,7 +166,7 @@ OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file, OpenOptions op
   bool tier_degraded = false;
   for (const SectionInfo& s : layout.sections) {
     if (s.crc_ok) continue;
-    crc_failures().inc();
+    detail::crc_failures().inc();
     if (is_tier_section(s.id) && options.degrade_tier_on_corruption) {
       // The tier is a pure cache over the base sections; serve untiered
       // rather than refuse the epoch.
@@ -527,6 +263,7 @@ OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file, OpenOptions op
   }
 
   out.shard_count = layout.shard_count;
+  out.base_epoch = layout.epoch;
   out.file = std::move(file);
   open_seconds().add(timer.seconds());
   mapped_bytes().set(static_cast<std::int64_t>(data.size()));
@@ -541,13 +278,21 @@ StoreFileInfo inspect_file(const MappedFile& file) {
   info.shard_count = layout.shard_count;
   info.param_fingerprint = layout.fingerprint;
   info.file_bytes = layout.file_bytes;
-  // Tier summary from an intact directory (counts only; no table parses —
-  // inspect stays cheap on corrupt files).
+  // Tier / delta summaries from intact directories (counts only; no payload
+  // parses — inspect stays cheap on corrupt files).
   for (const SectionInfo& s : layout.sections) {
-    if (s.id != SectionId::kWitnessTierDir || !s.crc_ok) continue;
+    if (!s.crc_ok) continue;
     ByteReader r(file.bytes().subspan(s.offset, s.size));
-    info.tier_table_bytes = r.u64();
-    info.tier_terms = r.varint();
+    if (s.id == SectionId::kWitnessTierDir) {
+      info.tier_table_bytes = r.u64();
+      info.tier_terms = r.varint();
+    } else if (s.id == SectionId::kDeltaMeta) {
+      info.delta_base_epoch = r.u64();
+    } else if (s.id == SectionId::kDeltaTermDirectory) {
+      info.delta_touched_terms = r.varint();
+    } else if (s.id == SectionId::kDeltaRemoved) {
+      info.delta_removed_terms = r.varint();
+    }
   }
   info.sections = std::move(layout.sections);
   return info;

@@ -55,6 +55,12 @@ struct OpenedEpoch {
   std::optional<FixedBaseSnapshot> fixed_base;
   // True when tier sections were dropped under degrade_tier_on_corruption.
   bool tier_degraded = false;
+  // Chain provenance (EpochStore::open_*): the full snapshot the resolution
+  // bottomed out at and the number of delta records applied on top of it.
+  // A directly opened snapshot file has base_epoch == snapshot->epoch() and
+  // chain_length == 0.
+  std::uint64_t base_epoch = 0;
+  std::uint32_t chain_length = 0;
 };
 
 struct OpenOptions {
@@ -101,6 +107,11 @@ struct StoreFileInfo {
   // encoded witness-table bytes it declares.
   std::uint64_t tier_terms = 0;
   std::uint64_t tier_table_bytes = 0;
+  // v3 delta records with intact meta/directory sections: the chain
+  // predecessor and the per-record touched/removed term counts.
+  std::uint64_t delta_base_epoch = 0;
+  std::uint64_t delta_touched_terms = 0;
+  std::uint64_t delta_removed_terms = 0;
 };
 StoreFileInfo inspect_file(const MappedFile& file);
 

@@ -135,6 +135,7 @@ double IndexBuilder::rebuild_dictionary(const AccumulatorContext& owner_ctx,
                                         const SigningKey& owner_key) {
   Stopwatch sw;
   cached_snapshot_.reset();
+  dict_dirty_ = true;
   auto dict = std::make_shared<DictionaryIntervals>(DictionaryIntervals::build(
       owner_ctx, index_.dictionary(), config_.dict_prime_config()));
   DictStatement stmt{dict->root(), dict->word_count(), index_.doc_count(), epoch_};
@@ -142,6 +143,73 @@ double IndexBuilder::rebuild_dictionary(const AccumulatorContext& owner_ctx,
       DictAttestation{stmt, owner_key.sign(stmt.encode())});
   dict_ = std::move(dict);
   return sw.seconds();
+}
+
+void IndexBuilder::note_full_publish() {
+  last_published_epoch_ = epoch_;
+  published_doc_watermark_ = index_.doc_count();
+  dirty_terms_.clear();
+  removed_terms_.clear();
+  dict_dirty_ = false;
+}
+
+std::optional<IndexDelta> IndexBuilder::publish_delta() {
+  // A delta needs a published predecessor to chain to, and at least one
+  // committed mutation since it.
+  if (last_published_epoch_ == 0 || epoch_ == last_published_epoch_) return std::nullopt;
+  if (dirty_terms_.empty() && removed_terms_.empty() && !dict_dirty_) return std::nullopt;
+
+  IndexDelta d;
+  d.epoch = epoch_;
+  d.base_epoch = last_published_epoch_;
+  d.config = config_;
+  for (const std::string& term : dirty_terms_) {
+    auto it = entries_.find(term);
+    if (it == entries_.end()) throw Error("dirty term vanished from the index: " + term);
+    d.touched.emplace(term, it->second);
+  }
+  d.removed.assign(removed_terms_.begin(), removed_terms_.end());
+  d.dict_changed = dict_dirty_;
+  if (dict_dirty_) {
+    d.dict = dict_;
+    d.dict_attestation = dict_attestation_;
+  }
+  for (const auto& [term, e] : entries_) {
+    d.max_posting_count = std::max(d.max_posting_count, e->postings.size());
+  }
+
+  // Representatives only for postings new since the last publish.  Older
+  // postings already had their primes referenced by the base epoch (docIDs
+  // are append-only, so the watermark is exact), and the overlay reader
+  // chains the base's prime backings — shipping them again would make the
+  // delta O(postings of touched terms) instead of O(added postings), which
+  // under a Zipf workload is the difference between flat and O(corpus)
+  // publish latency.
+  std::vector<std::uint64_t> tuple_keys, doc_keys;
+  for (const auto& [term, e] : d.touched) {
+    for (const Posting& p : e->postings) {
+      if (p.doc_id < published_doc_watermark_) continue;
+      tuple_keys.push_back(InvertedIndex::encode_tuple(p));
+      doc_keys.push_back(InvertedIndex::encode_doc(p.doc_id));
+    }
+  }
+  auto dedupe = [](std::vector<std::uint64_t>& keys) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  };
+  dedupe(tuple_keys);
+  dedupe(doc_keys);
+  d.tuple_primes.reserve(tuple_keys.size());
+  for (std::uint64_t k : tuple_keys) d.tuple_primes.emplace_back(k, tuple_primes_->get(k));
+  d.doc_primes.reserve(doc_keys.size());
+  for (std::uint64_t k : doc_keys) d.doc_primes.emplace_back(k, doc_primes_->get(k));
+
+  last_published_epoch_ = epoch_;
+  published_doc_watermark_ = index_.doc_count();
+  dirty_terms_.clear();
+  removed_terms_.clear();
+  dict_dirty_ = false;
+  return d;
 }
 
 void IndexBuilder::save(const std::string& path, bool include_prime_caches) const {
@@ -268,6 +336,8 @@ UpdateTimings IndexBuilder::add_documents(const std::vector<Document>& docs,
   bool new_terms = false;
 
   for (auto& [term, new_postings] : added) {
+    dirty_terms_.insert(term);
+    removed_terms_.erase(term);  // a re-appearing term is an upsert again
     auto it = entries_.find(term);
     if (it == entries_.end()) {
       // Brand-new term: build its entry from scratch (small list).
@@ -364,8 +434,11 @@ UpdateTimings IndexBuilder::remove_documents(std::span<const std::uint64_t> doc_
       // Every posting of this term is gone: drop the whole entry.
       entries_.erase(it);
       terms_vanished = true;
+      removed_terms_.insert(term);
+      dirty_terms_.erase(term);
       continue;
     }
+    dirty_terms_.insert(term);
 
     // Copy-on-write, as in add_documents.
     auto clone = std::make_shared<IndexEntry>(*it->second);

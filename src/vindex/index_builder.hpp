@@ -20,6 +20,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "accumulator/accumulator.hpp"
 #include "index/inverted_index.hpp"
@@ -58,6 +61,32 @@ struct UpdateTimings {
   [[nodiscard]] double hybrid_scheme_seconds() const {
     return flat_accumulator_seconds + bloom_seconds + interval_seconds + sign_seconds;
   }
+};
+
+// One publish's worth of committed changes, ready for the epoch store's
+// format-v3 delta record (store/delta_codec.hpp): the touched terms'
+// re-signed entries (accumulators already advanced via Eq 5/6), the terms
+// whose posting lists emptied out, the rebuilt dictionary when it changed,
+// and the prime representatives the touched postings reference — everything
+// a reader needs to overlay this epoch on top of `base_epoch` without the
+// O(index) payload of a full snapshot.
+struct IndexDelta {
+  std::uint64_t epoch = 0;       // the epoch this delta commits
+  std::uint64_t base_epoch = 0;  // the chain predecessor it applies to
+  VerifiableIndexConfig config;
+  std::map<std::string, std::shared_ptr<const IndexEntry>, std::less<>> touched;
+  std::vector<std::string> removed;  // sorted; absent from `touched`
+  bool dict_changed = false;
+  std::shared_ptr<const DictionaryIntervals> dict;             // when dict_changed
+  std::shared_ptr<const DictAttestation> dict_attestation;     // when dict_changed
+  std::size_t max_posting_count = 0;  // over the whole index at `epoch`
+  // Representatives for postings of documents added since the last publish,
+  // sorted by element.  Older postings' representatives resolve through the
+  // chain's base backings (docIDs are append-only, so anything at or below
+  // the publish watermark was already referenced there) and, in the worst
+  // case, recompute deterministically from the element.
+  std::vector<std::pair<std::uint64_t, Bigint>> tuple_primes;
+  std::vector<std::pair<std::uint64_t, Bigint>> doc_primes;
 };
 
 class IndexBuilder {
@@ -116,6 +145,27 @@ class IndexBuilder {
   // Rebuilds the dictionary gap structure + attestation from current terms.
   double rebuild_dictionary(const AccumulatorContext& owner_ctx, const SigningKey& owner_key);
 
+  // --- delta publication ---------------------------------------------------
+  // Every committed mutation records which terms it touched or removed and
+  // whether the dictionary was rebuilt.  publish_delta() drains that state
+  // into an IndexDelta chained to the last published epoch, so the publish
+  // path ships O(touched) bytes instead of O(index).  Returns nullopt when
+  // there is nothing to ship: no full epoch has been published yet (the
+  // chain needs a base snapshot), or no mutation committed since the last
+  // publish.  The caller hands the result to EpochStore::publish_delta().
+  [[nodiscard]] std::optional<IndexDelta> publish_delta();
+
+  // Records that the current epoch was published as a full snapshot,
+  // resetting the dirty state so the next publish_delta() chains to it.
+  void note_full_publish();
+
+  // Terms dirtied (touched or removed) since the last publish — what the
+  // next publish_delta() would ship.
+  [[nodiscard]] std::size_t dirty_term_count() const {
+    return dirty_terms_.size() + removed_terms_.size();
+  }
+  [[nodiscard]] std::uint64_t last_published_epoch() const { return last_published_epoch_; }
+
   // --- outsourcing ---------------------------------------------------------
   // Serializes the complete structure — index, per-term entries, dictionary
   // and (optionally) the pre-computed prime caches — into the artifact the
@@ -153,6 +203,16 @@ class IndexBuilder {
   std::shared_ptr<PrimeCache> doc_primes_;
   std::uint64_t epoch_ = 0;
   mutable SnapshotPtr cached_snapshot_;
+
+  // Delta-publication dirty tracking (see publish_delta).  A term is in at
+  // most one of the two sets; re-adding a removed term moves it back.
+  std::set<std::string, std::less<>> dirty_terms_;
+  std::set<std::string, std::less<>> removed_terms_;
+  bool dict_dirty_ = false;
+  std::uint64_t last_published_epoch_ = 0;  // 0: no publish recorded yet
+  // DocIDs below this were covered by the last published epoch; deltas ship
+  // prime representatives only for postings at or above it.
+  std::uint32_t published_doc_watermark_ = 0;
 };
 
 }  // namespace vc

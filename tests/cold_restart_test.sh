@@ -144,4 +144,149 @@ cmp "$WORK/t/proof1.bin" "$WORK/t/proof2.bin" || {
 kill -9 $SERVE_PID
 wait $SERVE_PID 2>/dev/null || true
 mv "$WORK/t/index.vc.hidden" "$WORK/t/index.vc"
+
+# --- Delta phase: log-structured delta publishes must be crash-safe too. ---
+# VC_STORE_CRASH_POINT makes the store _exit(137) at a named point in the
+# delta-publish / compaction protocol; after every crash the store must
+# still serve the last durable epoch with byte-identical proofs.
+mkdir -p "$WORK/d"
+"$BUILD/tools/vcsearch-build" --out "$WORK/d" --synth 60 --seed 9 \
+    --modulus-bits 512 --rep-bits 64 --interval 8 \
+    --store "$WORK/d/store" > "$WORK/d/build.log"
+grep -q "store: published epoch 1" "$WORK/d/build.log"
+DWORDS=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK/d" --top 2 | grep ' docs' | awk '{print $1}')
+
+# Baseline proof from the full epoch.
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+    > "$WORK/d/serve1.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/d/serve1.log"
+grep -q "store: restored epoch 1" "$WORK/d/serve1.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/d/serve1.log" | head -1)
+"$BUILD/tools/vcsearch-query" --dir "$WORK/d" --port "$PORT" \
+    --dump "$WORK/d/proof1.bin" $DWORDS > "$WORK/d/q1.log"
+grep -q "VERIFIED" "$WORK/d/q1.log"
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+
+# Crash 1: mid-delta-publish, before the delta directory is linked in.
+# Only a hidden temp directory exists; CURRENT must still name epoch 1.
+set +e
+VC_STORE_CRASH_POINT=delta-staged "$BUILD/tools/vcsearch-build" --out "$WORK/d" \
+    --update-synth 10 --seed 9 --store "$WORK/d/store" > "$WORK/d/crash1.log" 2>&1
+RC=$?
+set -e
+test $RC -eq 137 || { echo "delta-staged crash: expected exit 137, got $RC"; exit 1; }
+"$BUILD/tools/vcsearch-inspect" --store "$WORK/d/store" > "$WORK/d/inspect1.log"
+grep -q "CURRENT          epoch 1" "$WORK/d/inspect1.log"
+if grep -q "BAD" "$WORK/d/inspect1.log"; then
+  echo "CRC damage after delta-staged crash"; exit 1
+fi
+
+# Crash 2: the delta directory landed but CURRENT never advanced.  The
+# durable pointer still names epoch 1; the orphan delta is harmless.
+set +e
+VC_STORE_CRASH_POINT=delta-current "$BUILD/tools/vcsearch-build" --out "$WORK/d" \
+    --update-synth 10 --seed 9 --store "$WORK/d/store" > "$WORK/d/crash2.log" 2>&1
+RC=$?
+set -e
+test $RC -eq 137 || { echo "delta-current crash: expected exit 137, got $RC"; exit 1; }
+"$BUILD/tools/vcsearch-inspect" --store "$WORK/d/store" > "$WORK/d/inspect2.log"
+grep -q "CURRENT          epoch 1" "$WORK/d/inspect2.log"
+
+# After both crashes a restart serves the last durable epoch with the
+# byte-identical proof.
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+    > "$WORK/d/serve2.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/d/serve2.log"
+grep -q "store: restored epoch 1" "$WORK/d/serve2.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/d/serve2.log" | head -1)
+"$BUILD/tools/vcsearch-query" --dir "$WORK/d" --port "$PORT" \
+    --dump "$WORK/d/proof1b.bin" $DWORDS > "$WORK/d/q2.log"
+grep -q "VERIFIED" "$WORK/d/q2.log"
+cmp "$WORK/d/proof1.bin" "$WORK/d/proof1b.bin" || {
+  echo "proofs differ after crashed delta publishes"; exit 1; }
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+
+# The retried update completes: delta epoch 2 chained on the full epoch 1.
+"$BUILD/tools/vcsearch-build" --out "$WORK/d" --update-synth 10 --seed 9 \
+    --store "$WORK/d/store" > "$WORK/d/update.log"
+grep -q "store: published delta epoch 2" "$WORK/d/update.log"
+"$BUILD/tools/vcsearch-inspect" --store "$WORK/d/store" > "$WORK/d/inspect3.log"
+grep -q "CURRENT          epoch 2" "$WORK/d/inspect3.log"
+grep -q "compaction pending" "$WORK/d/inspect3.log"
+if grep -q "BAD" "$WORK/d/inspect3.log"; then
+  echo "CRC damage after delta publish"; exit 1
+fi
+
+# Serve the chain head from the store alone (builder artifact hidden) and
+# pin the overlay's proof bytes.
+mv "$WORK/d/index.vc" "$WORK/d/index.vc.hidden"
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+    > "$WORK/d/serve3.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/d/serve3.log"
+grep -q "store: restored epoch 2" "$WORK/d/serve3.log"
+grep -q "store: resolved delta chain (1 deltas on base epoch 1)" "$WORK/d/serve3.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/d/serve3.log" | head -1)
+"$BUILD/tools/vcsearch-query" --dir "$WORK/d" --port "$PORT" \
+    --dump "$WORK/d/proof2.bin" $DWORDS > "$WORK/d/q3.log"
+grep -q "VERIFIED" "$WORK/d/q3.log"
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+
+# Crash 3: mid-compaction.  The staged snapshot never got renamed into
+# place; the chain stays intact and keeps resolving.
+set +e
+VC_STORE_CRASH_POINT=compact-staged "$BUILD/tools/vcsearch-build" --compact-store \
+    --store "$WORK/d/store" > "$WORK/d/crash3.log" 2>&1
+RC=$?
+set -e
+test $RC -eq 137 || { echo "compact-staged crash: expected exit 137, got $RC"; exit 1; }
+"$BUILD/tools/vcsearch-inspect" --store "$WORK/d/store" > "$WORK/d/inspect4.log"
+grep -q "CURRENT          epoch 2" "$WORK/d/inspect4.log"
+grep -q "compaction pending" "$WORK/d/inspect4.log"
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+    > "$WORK/d/serve4.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/d/serve4.log"
+grep -q "store: resolved delta chain" "$WORK/d/serve4.log"
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/d/serve4.log" | head -1)
+"$BUILD/tools/vcsearch-query" --dir "$WORK/d" --port "$PORT" \
+    --dump "$WORK/d/proof2b.bin" $DWORDS > "$WORK/d/q4.log"
+grep -q "VERIFIED" "$WORK/d/q4.log"
+cmp "$WORK/d/proof2.bin" "$WORK/d/proof2b.bin" || {
+  echo "proofs differ after crashed compaction"; exit 1; }
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+
+# Compaction completes; the folded snapshot supersedes the chain and
+# proves byte-identically to the overlay it replaced.
+"$BUILD/tools/vcsearch-build" --compact-store --store "$WORK/d/store" \
+    > "$WORK/d/compact.log"
+grep -q "compacted chain into full snapshot at epoch 2" "$WORK/d/compact.log"
+"$BUILD/tools/vcsearch-inspect" --store "$WORK/d/store" > "$WORK/d/inspect5.log"
+grep -q "head compacted" "$WORK/d/inspect5.log"
+if grep -q "BAD" "$WORK/d/inspect5.log"; then
+  echo "CRC damage after compaction"; exit 1
+fi
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+    > "$WORK/d/serve5.log" 2>&1 &
+SERVE_PID=$!
+wait_serving "$WORK/d/serve5.log"
+grep -q "store: restored epoch 2" "$WORK/d/serve5.log"
+if grep -q "resolved delta chain" "$WORK/d/serve5.log"; then
+  echo "compacted head still resolves as a chain"; exit 1
+fi
+PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/d/serve5.log" | head -1)
+"$BUILD/tools/vcsearch-query" --dir "$WORK/d" --port "$PORT" \
+    --dump "$WORK/d/proof2c.bin" $DWORDS > "$WORK/d/q5.log"
+grep -q "VERIFIED" "$WORK/d/q5.log"
+cmp "$WORK/d/proof2.bin" "$WORK/d/proof2c.bin" || {
+  echo "proofs differ after compaction"; exit 1; }
+kill -9 $SERVE_PID
+wait $SERVE_PID 2>/dev/null || true
+mv "$WORK/d/index.vc.hidden" "$WORK/d/index.vc"
 echo "cold_restart OK"

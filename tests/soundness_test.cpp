@@ -165,7 +165,7 @@ TEST_F(SoundnessTest, HonestControlsAllAccepted) {
 }
 
 TEST_F(SoundnessTest, EveryForgeryClassProducesForgedProofs) {
-  // All fourteen classes must contribute actual forged (not merely refused)
+  // All fifteen classes must contribute actual forged (not merely refused)
   // proofs somewhere in the workload, and each class's kill rate is 100%.
   std::map<ForgeryClass, std::size_t> forged_per_class, killed_per_class;
   for (const auto& rec : report().attempts) {

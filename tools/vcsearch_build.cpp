@@ -7,6 +7,16 @@
 //                  [--store DIR]  also publish the built epoch into a
 //                                 persistent epoch store (vcsearch-serve
 //                                 boots from it with --store)
+//                  [--update-synth N]  incremental mode: reload --out's
+//                                 index.vc, append N fresh synthetic
+//                                 documents, and publish the mutation as a
+//                                 delta record chained to the store's
+//                                 current epoch (O(touched terms), not
+//                                 O(index)); requires --store
+//                  [--compact-store]  fold the store's delta chain into a
+//                                 full snapshot and exit (what
+//                                 vcsearch-serve's background worker does
+//                                 on its own)
 //                  [--tier-budget-mb MB]  materialize witness tiers for the
 //                                 hottest terms, greedily packed under MB
 //                                 megabytes, and persist them in the epoch
@@ -56,6 +66,23 @@ bool has_flag(int argc, char** argv, const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--compact-store")) {
+    const char* store_dir = arg_value(argc, argv, "--store", nullptr);
+    if (store_dir == nullptr) {
+      std::fprintf(stderr, "--compact-store requires --store DIR\n");
+      return 2;
+    }
+    store::EpochStore store(store_dir);
+    auto compacted = store.compact(1);
+    if (compacted.has_value()) {
+      std::printf("store: compacted chain into full snapshot at epoch %llu\n",
+                  static_cast<unsigned long long>(*compacted));
+    } else {
+      std::printf("store: nothing to compact\n");
+    }
+    return 0;
+  }
+
   const char* out_dir = arg_value(argc, argv, "--out", nullptr);
   if (out_dir == nullptr) {
     std::fprintf(stderr,
@@ -64,6 +91,69 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::filesystem::create_directories(out_dir);
+
+  if (const char* update = arg_value(argc, argv, "--update-synth", nullptr)) {
+    const char* store_dir = arg_value(argc, argv, "--store", nullptr);
+    if (store_dir == nullptr) {
+      std::fprintf(stderr, "--update-synth requires --store DIR\n");
+      return 2;
+    }
+    std::filesystem::path out(out_dir);
+    IndexBuilder vidx = IndexBuilder::load((out / "index.vc").string());
+    SigningKey owner_key = SigningKey::load((out / "owner.key").string());
+    auto owner_ctx = AccumulatorContext::owner(
+        standard_accumulator_modulus(vidx.config().modulus_bits),
+        standard_qr_generator(vidx.config().modulus_bits));
+    store::EpochStore store(store_dir);
+    // The saved artifact does not carry dirty-tracking state; the store's
+    // CURRENT epoch tells us which epoch the chain hangs off.
+    auto current = store.current_epoch();
+    if (!current.has_value() || *current != vidx.epoch()) {
+      std::fprintf(stderr,
+                   "store %s serves epoch %llu but %s/index.vc is at epoch %llu; "
+                   "publish a full epoch first\n",
+                   store_dir,
+                   static_cast<unsigned long long>(current.value_or(0)),
+                   out_dir, static_cast<unsigned long long>(vidx.epoch()));
+      return 2;
+    }
+    vidx.note_full_publish();
+
+    std::uint32_t n = static_cast<std::uint32_t>(std::strtoul(update, nullptr, 10));
+    std::uint64_t seed = std::strtoull(arg_value(argc, argv, "--seed", "1"), nullptr, 10);
+    SynthSpec add_spec = enron_profile(n, seed);
+    // Fresh draws over the same vocabulary, docIDs continuing past the
+    // indexed ones (epoch number salts doc_seed so repeated updates differ).
+    add_spec.doc_seed = seed + 1000 + vidx.epoch();
+    Corpus add_corpus = generate_corpus(add_spec);
+    std::uint32_t offset = vidx.index().doc_count();
+    std::vector<Document> docs;
+    for (const Document& d : add_corpus) {
+      docs.push_back(Document{d.id + offset, d.name, d.text});
+    }
+    double update_s = 0;
+    UpdateTimings timings = [&] {
+      ScopedTimer timer(update_s);
+      return vidx.add_documents(docs, owner_ctx, owner_key);
+    }();
+    std::printf("updated index in %.2fs: +%zu docs, %zu touched terms (%zu new)\n",
+                update_s, docs.size(), timings.touched_terms, timings.new_terms);
+
+    auto delta = vidx.publish_delta();
+    if (!delta.has_value()) {
+      std::fprintf(stderr, "update produced no delta to publish\n");
+      return 1;
+    }
+    std::size_t touched = delta->touched.size();
+    auto published = store.publish_delta(*delta, 1);
+    std::printf("store: published delta epoch %llu to %s (%zu touched terms, %.2f MB)\n",
+                static_cast<unsigned long long>(delta->epoch), published.c_str(), touched,
+                static_cast<double>(std::filesystem::file_size(
+                    published / store::EpochStore::kDeltaFile)) /
+                    (1024 * 1024));
+    vidx.save((out / "index.vc").string());
+    return 0;
+  }
 
   VerifiableIndexConfig config;
   config.modulus_bits = std::strtoul(arg_value(argc, argv, "--modulus-bits", "1024"),

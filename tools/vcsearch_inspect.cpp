@@ -5,8 +5,10 @@
 //   vcsearch-inspect --store DIR [--epoch N]
 //
 // The --store form dumps the persistent epoch store instead: the epochs on
-// disk, the CURRENT pointer, and the full header + section table (with CRC
-// verdicts) of one epoch file.
+// disk, the CURRENT pointer, the delta chain CURRENT resolves through (base
+// epoch, per-delta touched/removed term counts, compaction status, per-record
+// CRC verdicts), and the full header + section table (with CRC verdicts) of
+// one epoch file.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -30,15 +32,17 @@ bool has_flag(int argc, char** argv, const char* name) {
   }
   return false;
 }
-// Dumps the store root, then the header/section table of one epoch file
-// (--epoch N, defaulting to CURRENT).  Exits non-zero when the chosen
-// epoch fails structural validation so scripts can gate on it.
+// Dumps the store root, the CURRENT delta chain, then the header + section
+// table of one epoch file (--epoch N, defaulting to CURRENT; delta records
+// are dumped like snapshots).  Exits non-zero when any chain record or the
+// chosen epoch fails structural validation so scripts can gate on it.
 int inspect_store(const char* store_dir, int argc, char** argv) {
   store::EpochStore store(store_dir);
   auto epochs = store.epochs();
   std::printf("epoch store: %s\n", store_dir);
   std::printf("  epochs on disk   %zu\n", epochs.size());
   if (epochs.empty()) return 0;
+  bool all_ok = true;
 
   auto current = store.current_epoch();
   if (current) {
@@ -48,11 +52,51 @@ int inspect_store(const char* store_dir, int argc, char** argv) {
     std::printf("  CURRENT          (missing)\n");
   }
 
+  // The delta chain CURRENT resolves through, head first.  Every record
+  // gets a CRC verdict (crc check over all sections of that file).
+  if (current) {
+    try {
+      auto chain = store.current_chain();
+      if (chain.size() == 1 && !chain.front().is_delta && !chain.front().compacted) {
+        std::printf("  chain            (none: full snapshot)\n");
+      } else {
+        std::printf("  chain            %zu link(s), %s\n", chain.size(),
+                    chain.front().is_delta
+                        ? "compaction pending"
+                        : "head compacted (snapshot supersedes its delta)");
+      }
+      for (const auto& link : chain) {
+        store::StoreFileInfo info = store::inspect_file(store::MappedFile(link.file));
+        bool crc_ok = true;
+        for (const auto& s : info.sections) crc_ok = crc_ok && s.crc_ok;
+        all_ok = all_ok && crc_ok;
+        if (link.is_delta) {
+          std::printf("    epoch %-8llu delta     base=%-8llu touched=%-6llu "
+                      "removed=%-4llu crc=%s\n",
+                      static_cast<unsigned long long>(link.epoch),
+                      static_cast<unsigned long long>(info.delta_base_epoch),
+                      static_cast<unsigned long long>(info.delta_touched_terms),
+                      static_cast<unsigned long long>(info.delta_removed_terms),
+                      crc_ok ? "OK" : "BAD");
+        } else {
+          std::printf("    epoch %-8llu snapshot  %-38s crc=%s\n",
+                      static_cast<unsigned long long>(link.epoch),
+                      link.compacted ? "(compacted from delta chain)" : "(full publish)",
+                      crc_ok ? "OK" : "BAD");
+        }
+      }
+    } catch (const store::StoreError& e) {
+      std::printf("    chain walk failed: %s\n", e.what());
+      all_ok = false;
+    }
+  }
+
   std::uint64_t chosen = current.value_or(epochs.back());
   if (const char* e = arg_value(argc, argv, "--epoch", nullptr)) {
     chosen = std::strtoull(e, nullptr, 10);
   }
   auto path = store.epoch_file(chosen);
+  if (!std::filesystem::exists(path)) path = store.delta_file(chosen);
   store::MappedFile file(path);
   store::StoreFileInfo info = store::inspect_file(file);
   std::printf("  epoch file       %s\n", path.c_str());
@@ -63,14 +107,18 @@ int inspect_store(const char* store_dir, int argc, char** argv) {
               static_cast<unsigned long long>(info.file_bytes));
   std::printf("    param fp       %s...\n",
               to_hex(info.param_fingerprint).substr(0, 16).c_str());
-  bool all_ok = true;
   for (const auto& s : info.sections) {
-    std::printf("    section %-14s offset=%-10llu size=%-10llu crc=%08x %s\n",
+    std::printf("    section %-20s offset=%-10llu size=%-10llu crc=%08x %s\n",
                 store::section_name(s.id), static_cast<unsigned long long>(s.offset),
                 static_cast<unsigned long long>(s.size), s.crc, s.crc_ok ? "OK" : "BAD");
     all_ok = all_ok && s.crc_ok;
   }
-  if (info.format_version >= store::kFormatVersionTiered) {
+  if (info.format_version == store::kFormatVersionDelta) {
+    std::printf("    delta          base epoch %llu, %llu touched, %llu removed\n",
+                static_cast<unsigned long long>(info.delta_base_epoch),
+                static_cast<unsigned long long>(info.delta_touched_terms),
+                static_cast<unsigned long long>(info.delta_removed_terms));
+  } else if (info.format_version >= store::kFormatVersionTiered) {
     std::printf("    witness tier   %llu terms, %llu table bytes\n",
                 static_cast<unsigned long long>(info.tier_terms),
                 static_cast<unsigned long long>(info.tier_table_bytes));

@@ -4,7 +4,7 @@
 //
 //   vcsearch-serve --dir DIR [--store DIR] [--port P]
 //                  [--scheme hybrid|accumulator|bloom|interval]
-//                  [--shards N] [--max-inflight M]
+//                  [--shards N] [--max-inflight M] [--compact-chain N]
 //                  [--slow-ms MS] [--trace-capacity N] [--profile]
 //
 // With --store, the server boots from the persistent epoch store when it
@@ -127,6 +127,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snapshot->epoch()), store_dir,
                 snapshot->term_count(),
                 static_cast<double>(opened.file->size()) / (1024 * 1024));
+    if (opened.chain_length > 0) {
+      std::printf("store: resolved delta chain (%u deltas on base epoch %llu)\n",
+                  opened.chain_length,
+                  static_cast<unsigned long long>(opened.base_epoch));
+    }
     if (opened.tier != nullptr) {
       std::printf("store: restored witness tier (%zu terms, %.2f MB tables, "
                   "no witness recompute)\n",
@@ -168,6 +173,22 @@ int main(int argc, char** argv) {
                      scheme, shards);
   HttpFrontend frontend(cloud, port, &pool, max_inflight);
   frontend.start();
+
+  // Background compaction: fold long delta chains back into full snapshots
+  // off the serving path.  The worker only ever writes a side file; this
+  // process keeps serving its current overlay and the *next* open (restart
+  // or publish_from) picks up the compacted snapshot.
+  std::optional<store::CompactionWorker> compactor;
+  std::uint32_t compact_chain = static_cast<std::uint32_t>(
+      std::strtoul(arg_value(argc, argv, "--compact-chain", "4"), nullptr, 10));
+  if (store && compact_chain > 0) {
+    compactor.emplace(*store,
+                      store::CompactionWorker::Options{
+                          .max_chain_length = compact_chain,
+                          .open = store::OpenOptions{.degrade_tier_on_corruption = true}});
+    compactor->start();
+    std::printf("store: background compaction at chain length %u\n", compact_chain);
+  }
   std::printf("serving %s scheme on http://127.0.0.1:%u "
               "(POST /search, GET /stats, GET /metrics, GET /traces) "
               "epoch=%llu shards=%zu max-inflight=%zu slow-ms=%llu\n",
@@ -183,6 +204,7 @@ int main(int argc, char** argv) {
   }
   std::printf("shutting down after %llu queries\n",
               static_cast<unsigned long long>(cloud.queries_served()));
+  if (compactor) compactor->stop();
   frontend.stop();  // graceful drain: in-flight searches finish first
   if (profile) {
     std::printf("\n--- profile (registry snapshot) ---\n%s",
