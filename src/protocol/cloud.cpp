@@ -1,10 +1,14 @@
 #include "protocol/cloud.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "store/epoch_store.hpp"
 #include "support/errors.hpp"
 #include "text/tokenizer.hpp"
+#include "vindex/witness_tier.hpp"
 
 namespace vc {
 
@@ -35,6 +39,38 @@ std::string shard_label(std::size_t shard) {
   return "shard=\"" + std::to_string(shard) + "\"";
 }
 
+obs::Gauge& publish_queue_depth(std::size_t shard) {
+  return obs::MetricsRegistry::global().gauge(
+      "vc_publish_queue_depth", shard_label(shard),
+      "Epochs staged in each shard's publish lane (0 or 1; newest wins)");
+}
+
+obs::Gauge& publish_lag_gauge(std::size_t shard) {
+  return obs::MetricsRegistry::global().gauge(
+      "vc_publish_lag_ms", shard_label(shard),
+      "Milliseconds from publish() staging an epoch to this shard's swap");
+}
+
+obs::Counter& shard_publishes(std::size_t shard) {
+  return obs::MetricsRegistry::global().counter(
+      "vc_shard_publishes_total", shard_label(shard),
+      "Epoch swaps completed by each shard's publish worker");
+}
+
+obs::Counter& publishes_dropped() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_publish_dropped_total", "",
+      "Staged epochs superseded before a slow shard's worker reached them");
+  return c;
+}
+
+obs::Counter& async_publishes() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_async_publishes_total", "",
+      "publish() calls staged through the async pipeline");
+  return c;
+}
+
 }  // namespace
 
 CloudService::CloudService(SnapshotPtr snapshot, AccumulatorContext public_ctx,
@@ -45,13 +81,29 @@ CloudService::CloudService(SnapshotPtr snapshot, AccumulatorContext public_ctx,
       owner_key_(std::move(owner_key)),
       scheme_(scheme),
       pool_(pool),
-      shards_(std::max<std::size_t>(1, shards)) {
+      shards_(std::max<std::size_t>(1, shards)),
+      stall_ms_(std::max<std::size_t>(1, shards)) {
   ctx_.set_pool(pool);
   publish(std::move(snapshot));
 }
 
-void CloudService::publish(SnapshotPtr snapshot) {
-  if (snapshot == nullptr) throw UsageError("publish requires a snapshot");
+CloudService::~CloudService() {
+  for (auto& p : publishers_) {
+    {
+      std::lock_guard lock(p->mu);
+      p->stop = true;
+    }
+    p->cv.notify_all();
+  }
+  for (auto& p : publishers_) {
+    if (p->worker.joinable()) p->worker.join();
+  }
+}
+
+CloudService::StatePtr CloudService::build_state(const SnapshotPtr& snapshot) {
+  // Serialized across shard workers: the context's fixed-base table and
+  // fixed_base_bits_ are shared publish-path state.
+  std::lock_guard lock(build_mu_);
   // Keep the shared fixed-base table for g wide enough for this snapshot's
   // longest posting list: every epoch's engine then reuses the same table
   // (it is shared through context copies) instead of rebuilding it.
@@ -73,9 +125,6 @@ void CloudService::publish(SnapshotPtr snapshot) {
   }
   auto engine = std::make_shared<const SearchEngine>(snapshot, ctx_, key_, pool_,
                                                      shards_.size());
-  auto state = std::make_shared<const EpochState>(
-      EpochState{snapshot, std::move(engine)});
-
   auto& reg = obs::MetricsRegistry::global();
   if (shards_.size() > 1) {
     std::vector<std::int64_t> per_shard(shards_.size(), 0);
@@ -88,6 +137,26 @@ void CloudService::publish(SnapshotPtr snapshot) {
           .set(per_shard[s]);
     }
   }
+  return std::make_shared<const EpochState>(EpochState{snapshot, std::move(engine)});
+}
+
+void CloudService::publish(SnapshotPtr snapshot) {
+  if (snapshot == nullptr) throw UsageError("publish requires a snapshot");
+  auto& reg = obs::MetricsRegistry::global();
+  if (!publishers_.empty()) {
+    // Async pipeline: stage and return.  State construction, warming and
+    // the swaps all happen on the shard workers.
+    static obs::Histogram& enqueue_stage = reg.stage("publish_enqueue");
+    obs::Span span(enqueue_stage, "publish_enqueue");
+    obs::trace_attr("epoch", static_cast<std::int64_t>(snapshot->epoch()));
+    auto pending = std::make_shared<PendingPublish>();
+    pending->snap = std::move(snapshot);
+    pending->enqueued = std::chrono::steady_clock::now();
+    stage_publish(std::move(pending));
+    async_publishes().inc();
+    return;
+  }
+  StatePtr state = build_state(snapshot);
   for (auto& slot : shards_) {
     slot.store(state);
   }
@@ -96,6 +165,127 @@ void CloudService::publish(SnapshotPtr snapshot) {
       .inc();
   reg.gauge("vc_epoch", "", "Epoch of the newest published index snapshot")
       .set(static_cast<std::int64_t>(snapshot->epoch()));
+}
+
+void CloudService::stage_publish(PendingPtr pending) {
+  for (std::size_t s = 0; s < publishers_.size(); ++s) {
+    ShardPublisher& lane = *publishers_[s];
+    {
+      std::lock_guard lock(lane.mu);
+      // Depth-1 newest-wins staging: a shard that stalls skips straight to
+      // the newest epoch instead of replaying every superseded one.
+      if (lane.pending != nullptr) publishes_dropped().inc();
+      lane.pending = pending;
+      publish_queue_depth(s).set(1);  // under mu so it never races the drain's 0
+    }
+    lane.cv.notify_one();
+  }
+}
+
+void CloudService::enable_async_publish(PublishConfig config) {
+  if (!publishers_.empty()) return;
+  publish_cfg_ = config;
+  if (const char* spec = std::getenv("VC_PUBLISH_STALL");
+      spec != nullptr && *spec != '\0') {
+    // "<shard>:<ms>" — the fault-injection hook the pipeline tests and the
+    // CLI harness use to emulate one slow shard.
+    char* end = nullptr;
+    unsigned long shard = std::strtoul(spec, &end, 10);
+    if (end != nullptr && *end == ':' && shard < shards_.size()) {
+      stall_ms_[shard].store(std::strtoul(end + 1, nullptr, 10),
+                             std::memory_order_relaxed);
+    }
+  }
+  publishers_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    publishers_.push_back(std::make_unique<ShardPublisher>());
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    publishers_[s]->worker = std::thread([this, s] { shard_publish_loop(s); });
+  }
+  // Stage the boot snapshot once so its warm stage runs off the serving
+  // path; the swap is an idempotent same-state store.
+  auto pending = std::make_shared<PendingPublish>();
+  StatePtr current = shards_[0].load();
+  pending->snap = current->snap;
+  pending->state = current;
+  std::call_once(pending->built, [] {});  // state already built
+  pending->enqueued = std::chrono::steady_clock::now();
+  stage_publish(std::move(pending));
+}
+
+void CloudService::shard_publish_loop(std::size_t shard) {
+  ShardPublisher& lane = *publishers_[shard];
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Histogram& publish_stage =
+      obs::MetricsRegistry::global().stage("shard_publish");
+  for (;;) {
+    PendingPtr pending;
+    {
+      std::unique_lock lock(lane.mu);
+      lane.cv.wait(lock, [&] { return lane.stop || lane.pending != nullptr; });
+      if (lane.stop) return;
+      pending = std::move(lane.pending);
+      lane.pending = nullptr;
+      publish_queue_depth(shard).set(0);
+    }
+    obs::Span span(publish_stage, "shard_publish");
+    obs::trace_attr("shard", static_cast<std::int64_t>(shard));
+    obs::trace_attr("epoch", static_cast<std::int64_t>(pending->snap->epoch()));
+    std::call_once(pending->built,
+                   [&] { pending->state = build_state(pending->snap); });
+    if (publish_cfg_.warm_budget_bytes > 0) warm_shard(shard, *pending->state);
+    if (std::uint64_t ms = stall_ms_[shard].load(std::memory_order_relaxed); ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    const std::uint64_t epoch = pending->state->snap->epoch();
+    shards_[shard].store(pending->state);
+    auto lag = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - pending->enqueued);
+    publish_lag_gauge(shard).set(static_cast<std::int64_t>(lag.count()));
+    shard_publishes(shard).inc();
+    // The epoch gauge / swap counter advance when the *first* shard serves
+    // the new epoch — that is when current_state()'s max-epoch pinning
+    // starts returning it.
+    auto& epoch_gauge =
+        reg.gauge("vc_epoch", "", "Epoch of the newest published index snapshot");
+    if (epoch_gauge.value() < static_cast<std::int64_t>(epoch)) {
+      epoch_gauge.set(static_cast<std::int64_t>(epoch));
+      reg.counter("vc_snapshot_swaps_total", "",
+                  "Snapshot epochs published to the serving core")
+          .inc();
+    }
+    {
+      std::lock_guard lock(swap_mu_);
+    }
+    swap_cv_.notify_all();
+  }
+}
+
+void CloudService::warm_shard(std::size_t shard, const EpochState& state) {
+  // The tier's term list is the publish-time hot set (ranked by traffic/df
+  // under the tier policy); this shard warms its own partition of it.  The
+  // global budget is apportioned by each shard's observed query traffic so
+  // the hottest shard's terms are resident first (equal split cold).
+  auto tier = state.snap->witness_tier();
+  if (tier == nullptr) return;
+  std::vector<std::uint64_t> traffic =
+      shard_query_counts_from_metrics(shards_.size());
+  std::uint64_t total = 0;
+  for (std::uint64_t t : traffic) total += t;
+  // Laplace-smoothed share: proportional to observed traffic but never
+  // zero, so a shard that has not seen a query yet still warms its
+  // partition (and a cold process degrades to an equal split).
+  std::uint64_t budget = static_cast<std::uint64_t>(
+      static_cast<double>(publish_cfg_.warm_budget_bytes) *
+      (static_cast<double>(traffic[shard]) + 1.0) /
+      (static_cast<double>(total) + static_cast<double>(shards_.size())));
+  if (budget == 0) return;
+  std::vector<std::string> mine;
+  for (const std::string& term : tier->terms()) {
+    if (term_shard(term, shards_.size()) == shard) mine.push_back(term);
+  }
+  store::warm_epoch(*state.snap, tier.get(), mine, budget);
 }
 
 std::uint64_t CloudService::publish_from(const store::EpochStore& store) {
@@ -135,6 +325,23 @@ CloudService::StatePtr CloudService::current_state() const {
 }
 
 std::uint64_t CloudService::epoch() const { return current_state()->snap->epoch(); }
+
+void CloudService::wait_published(std::uint64_t epoch) const {
+  std::unique_lock lock(swap_mu_);
+  swap_cv_.wait(lock, [&] {
+    for (const auto& slot : shards_) {
+      StatePtr s = slot.load();
+      if (s == nullptr || s->snap->epoch() < epoch) return false;
+    }
+    return true;
+  });
+}
+
+void CloudService::set_publish_stall_for_test(std::size_t shard, std::uint64_t ms) {
+  if (shard < stall_ms_.size()) {
+    stall_ms_[shard].store(ms, std::memory_order_relaxed);
+  }
+}
 
 SearchResponse CloudService::handle(const SignedQuery& query) {
   static obs::Histogram& handle_stage = obs::MetricsRegistry::global().stage("handle");

@@ -14,13 +14,28 @@
 // (see Prover); responses carry the serving snapshot's epoch in the signed
 // payload.
 //
+// Async publication pipeline (enable_async_publish): publish() then only
+// stages the epoch into a depth-1 newest-wins slot per shard and returns
+// immediately; one worker thread per shard builds the serving state (first
+// worker to reach it), runs an optional witness warm stage for its shard's
+// hot terms, and swaps its slot independently — a slow shard never delays
+// the others.  Consistency is unchanged: a query that observes mixed
+// epochs mid-pipeline pins to the max fully-published state it saw
+// (current_state), so responses never mix evidence across epochs and
+// verifier semantics are untouched.  A shard that falls behind skips
+// superseded epochs (newest wins) instead of queueing them.
+//
 // For tests and the arbitration example it can also be configured to
 // misbehave in the ways the paper's threat model names: dropping results or
 // tampering with weights.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "protocol/messages.hpp"
@@ -41,16 +56,49 @@ enum class CloudBehavior {
   kInflateWeight,    // tamper with a tf weight in the results
 };
 
+// Knobs for the asynchronous per-shard publication pipeline.
+struct PublishConfig {
+  // Warm-stage byte budget across the whole pool; apportioned to shards by
+  // their vc_shard_queries_total traffic share (equal split before any
+  // traffic is recorded).  0 disables the warm stage.
+  std::uint64_t warm_budget_bytes = 0;
+};
+
 class CloudService {
  public:
   CloudService(SnapshotPtr snapshot, AccumulatorContext public_ctx,
                SigningKey cloud_key, VerifyKey owner_key, ThreadPool* pool = nullptr,
                SchemeKind scheme = SchemeKind::kHybrid, std::size_t shards = 1);
 
+  ~CloudService();  // drains and joins the publish workers, if any
+
   // Swaps every shard slot to the given snapshot (a new epoch).  Safe to
   // call while queries are being served concurrently; concurrent publishers
-  // must be externally serialized (there is one owner).
+  // must be externally serialized (there is one owner).  With the async
+  // pipeline enabled this only stages the epoch (one depth-1 newest-wins
+  // slot per shard) and returns immediately — each shard's worker warms and
+  // swaps independently; wait_published() blocks until the swap completed
+  // everywhere.
   void publish(SnapshotPtr snapshot);
+
+  // Spawns one publish worker per shard and routes subsequent publish()
+  // calls through them.  Also stages the currently-served state once, so
+  // the warm stage runs for the boot snapshot off the serving path.
+  // Idempotent; must not race publish().  Honors VC_PUBLISH_STALL
+  // ("<shard>:<ms>", fault injection for tests) like
+  // set_publish_stall_for_test.
+  void enable_async_publish(PublishConfig config = {});
+  [[nodiscard]] bool async_publish_enabled() const { return !publishers_.empty(); }
+
+  // Blocks until every shard slot serves an epoch >= `epoch` (all shards
+  // finished swapping; with a staged-but-stalled shard this waits out the
+  // stall).  Immediate in sync mode.
+  void wait_published(std::uint64_t epoch) const;
+
+  // Fault injection for the publish-pipeline tests: the given shard's
+  // worker sleeps `ms` before its swap, emulating a slow shard (cold page
+  // cache, contended NUMA node, ...).  The other shards must not care.
+  void set_publish_stall_for_test(std::size_t shard, std::uint64_t ms);
 
   // Opens the store's CURRENT epoch (mmap-backed, lazily materialized) and
   // publishes it into the shard slots — the cold-restart entry point.
@@ -89,6 +137,36 @@ class CloudService {
   // query never mixes shards from different epochs even mid-publish.
   [[nodiscard]] StatePtr current_state() const;
 
+  // One staged epoch moving through the pipeline.  The serving state is
+  // built once, by whichever shard worker reaches it first (call_once);
+  // the others reuse it.
+  struct PendingPublish {
+    SnapshotPtr snap;
+    std::chrono::steady_clock::time_point enqueued;
+    std::once_flag built;
+    StatePtr state;
+  };
+  using PendingPtr = std::shared_ptr<PendingPublish>;
+
+  // Per-shard publish lane: a depth-1 newest-wins staging slot plus the
+  // worker that drains it.  Bounded by construction — a shard that stalls
+  // holds back at most one superseded epoch, which is dropped (counted in
+  // vc_publish_dropped_total) when a newer one lands.
+  struct ShardPublisher {
+    std::mutex mu;
+    std::condition_variable cv;
+    PendingPtr pending;
+    bool stop = false;
+    std::thread worker;
+  };
+
+  // Fixed-base sizing + engine construction for one epoch (the serialized
+  // part of a publish; guarded by build_mu_ under the async pipeline).
+  [[nodiscard]] StatePtr build_state(const SnapshotPtr& snapshot);
+  void stage_publish(PendingPtr pending);    // fan a staged epoch out to all lanes
+  void shard_publish_loop(std::size_t shard);
+  void warm_shard(std::size_t shard, const EpochState& state);
+
   AccumulatorContext ctx_;
   SigningKey key_;
   VerifyKey owner_key_;
@@ -98,6 +176,14 @@ class CloudService {
   std::atomic<std::uint64_t> served_{0};
   std::size_t fixed_base_bits_ = 0;  // capacity of the shared g-base table
   std::vector<std::atomic<StatePtr>> shards_;
+
+  // Async pipeline state (empty/idle in sync mode).
+  PublishConfig publish_cfg_;
+  std::mutex build_mu_;
+  std::vector<std::unique_ptr<ShardPublisher>> publishers_;
+  std::vector<std::atomic<std::uint64_t>> stall_ms_;  // fault injection, per shard
+  mutable std::mutex swap_mu_;               // pairs with swap_cv_ for wait_published
+  mutable std::condition_variable swap_cv_;  // notified after every shard swap
 };
 
 }  // namespace vc

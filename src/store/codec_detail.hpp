@@ -181,6 +181,12 @@ class MappedEntrySource final : public EntrySource {
     return entry;
   }
 
+  // The term directory records every entry's encoded extent, so the warm
+  // budget can be charged without parsing anything.
+  [[nodiscard]] std::uint64_t stored_bytes(std::size_t rank) const override {
+    return locs_[rank].size;
+  }
+
  private:
   std::shared_ptr<const MappedFile> file_;  // keeps the mapping alive
   std::span<const std::uint8_t> entries_;

@@ -414,6 +414,9 @@ OpenedEpoch EpochStore::resolve_chain(std::uint64_t head, const OpenOptions& opt
   std::vector<OpenedDelta> deltas;
   Digest chain_fp{};
   OpenOptions layer_options = options;
+  // Warming the base snapshot would prime entries the overlay may shadow;
+  // the overlay itself is warmed once, below.
+  layer_options.warm_budget_bytes = 0;
   std::uint64_t epoch = head;
   while (!fs::exists(epoch_file(epoch))) {
     const fs::path path = delta_file(epoch);
@@ -537,6 +540,10 @@ OpenedEpoch EpochStore::resolve_chain(std::uint64_t head, const OpenOptions& opt
   out.base_epoch = base.snapshot->epoch();
   out.chain_length = static_cast<std::uint32_t>(deltas.size());
   chain_length_gauge().set(static_cast<std::int64_t>(deltas.size()));
+  if (options.warm_budget_bytes > 0 && out.tier != nullptr) {
+    warm_epoch(*out.snapshot, out.tier.get(), out.tier->terms(),
+               options.warm_budget_bytes);
+  }
   return out;
 }
 

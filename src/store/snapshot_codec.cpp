@@ -267,7 +267,37 @@ OpenedEpoch open_snapshot(std::shared_ptr<const MappedFile> file, OpenOptions op
   out.file = std::move(file);
   open_seconds().add(timer.seconds());
   mapped_bytes().set(static_cast<std::int64_t>(data.size()));
+  if (options.warm_budget_bytes > 0 && out.tier != nullptr) {
+    warm_epoch(*out.snapshot, out.tier.get(), out.tier->terms(),
+               options.warm_budget_bytes);
+  }
   return out;
+}
+
+std::size_t warm_epoch(const IndexSnapshot& snap, const WitnessTier* tier,
+                       const std::vector<std::string>& warm_terms,
+                       std::uint64_t budget_bytes) {
+  static obs::Counter& warm_terms_total = obs::MetricsRegistry::global().counter(
+      "vc_warm_terms_total", "",
+      "Terms pre-materialized by a warm stage (publish pipeline or warm-on-open)");
+  static obs::Counter& warm_bytes_total = obs::MetricsRegistry::global().counter(
+      "vc_warm_bytes_total", "", "Stored bytes pre-materialized by warm stages");
+  static obs::Histogram& warm_stage = obs::MetricsRegistry::global().stage("warm_stage");
+  obs::Span span(warm_stage, "warm_stage");
+  std::uint64_t spent = 0;
+  std::size_t warmed = 0;
+  for (const std::string& term : warm_terms) {
+    if (spent >= budget_bytes) break;
+    std::uint64_t bytes = snap.warm(term);
+    if (tier != nullptr) bytes += tier->warm(term);
+    spent += bytes;
+    ++warmed;
+    warm_bytes_total.inc(bytes);
+  }
+  warm_terms_total.inc(warmed);
+  obs::trace_attr("warm_terms", static_cast<std::int64_t>(warmed));
+  obs::trace_attr("warm_bytes", static_cast<std::int64_t>(spent));
+  return warmed;
 }
 
 StoreFileInfo inspect_file(const MappedFile& file) {

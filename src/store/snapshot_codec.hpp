@@ -73,7 +73,21 @@ struct OpenOptions {
   // instead of failing the open — the tier is a cache, the base sections
   // are the data.  Base-section corruption still throws.
   bool degrade_tier_on_corruption = false;
+  // Warm-on-open: pre-materialize tiered terms' witness tables and index
+  // entries (hottest-first per the tier's publish-time order) until this
+  // many bytes are resident, so a cold restart's first queries skip the
+  // lazy call_once path.  0 disables.  Warming is an optimization — it
+  // never affects what the open returns, only when the decode cost is paid.
+  std::uint64_t warm_budget_bytes = 0;
 };
+
+// Pre-materializes tier tables and entries of `warm_terms` (in order) from
+// an already-opened epoch until `budget_bytes` of stored payload is
+// resident; returns the terms warmed.  Shared by the open path above and
+// CloudService's publish-pipeline warm stage.
+std::size_t warm_epoch(const IndexSnapshot& snap, const WitnessTier* tier,
+                       const std::vector<std::string>& warm_terms,
+                       std::uint64_t budget_bytes);
 
 // Validates every structural invariant (magic, version, size, table CRC,
 // section bounds, per-section CRCs, fingerprint-vs-config) and returns the

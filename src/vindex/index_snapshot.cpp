@@ -75,6 +75,16 @@ const IndexEntry* IndexSnapshot::find(std::string_view term) const {
   return it == entries_.end() ? nullptr : it->second.get();
 }
 
+std::uint64_t IndexSnapshot::warm(std::string_view term) const {
+  if (source_ == nullptr) return 0;  // eager snapshots are resident already
+  auto it = std::lower_bound(lazy_terms_.begin(), lazy_terms_.end(), term);
+  if (it == lazy_terms_.end() || *it != term) return 0;
+  auto rank = static_cast<std::size_t>(it - lazy_terms_.begin());
+  LazySlot& slot = lazy_slots_[rank];
+  std::call_once(slot.once, [&] { slot.entry = source_->load(rank, *it); });
+  return source_->stored_bytes(rank);
+}
+
 std::size_t term_shard(std::string_view term, std::size_t shard_count) {
   if (shard_count <= 1) return 0;
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis

@@ -80,6 +80,10 @@ class EntrySource {
   // `rank` is the term's position in the snapshot's sorted term list.
   [[nodiscard]] virtual std::shared_ptr<const IndexEntry> load(
       std::size_t rank, std::string_view term) const = 0;
+  // Encoded bytes of the term's stored entry, when the source knows them
+  // without a parse (mapped sources read the term directory).  Feeds the
+  // publish pipeline's warm-budget accounting; 0 means unknown.
+  [[nodiscard]] virtual std::uint64_t stored_bytes(std::size_t /*rank*/) const { return 0; }
 };
 
 class IndexSnapshot {
@@ -107,6 +111,14 @@ class IndexSnapshot {
                 std::shared_ptr<PrimeCache> doc_primes);
 
   [[nodiscard]] const IndexEntry* find(std::string_view term) const;
+
+  // Pre-materializes `term`'s entry off the query path (publish-pipeline
+  // warm stage, store warm-on-open).  Returns the entry's stored encoded
+  // bytes when the source knows them (warm-budget accounting), 0 for an
+  // unknown size or an eager snapshot (already resident), and leaves the
+  // snapshot untouched when the term is absent.
+  std::uint64_t warm(std::string_view term) const;
+
   [[nodiscard]] const VerifiableIndexConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] std::size_t term_count() const { return entries_.size(); }

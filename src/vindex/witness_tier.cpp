@@ -27,6 +27,25 @@ obs::Gauge& tier_bytes_gauge() {
   return g;
 }
 
+// Cold call_once decodes of a lazily mapped tier table — the event the
+// publish pipeline's warm stage exists to move off the query path.  The
+// warm-stage test asserts this stays flat across post-swap queries for the
+// warmed set.
+obs::Counter& tier_materializations() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_witness_tier_materializations_total", "",
+      "Lazy witness-tier tables decoded from the mapping (cold first touches)");
+  return c;
+}
+
+// find() calls served from a table the warm stage pre-materialized.
+obs::Counter& warm_hits() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "vc_warm_hits_total", "",
+      "Tier lookups served from a table pre-materialized by the warm stage");
+  return c;
+}
+
 }  // namespace
 
 // --- tables ------------------------------------------------------------------
@@ -106,17 +125,36 @@ WitnessTier::WitnessTier(std::vector<std::string> terms,
   tier_bytes_gauge().set(static_cast<std::int64_t>(table_bytes_));
 }
 
+const TermWitnessTable* WitnessTier::materialize(std::size_t rank) const {
+  Slot& slot = slots_[rank];
+  std::call_once(slot.once, [&] {
+    slot.table = source_->load(rank, terms_[rank]);
+    tier_materializations().inc();
+    obs::trace_attr("tier_lazy_materialize", terms_[rank]);
+  });
+  return slot.table.get();
+}
+
 const TermWitnessTable* WitnessTier::find(std::string_view term) const {
   auto it = std::lower_bound(terms_.begin(), terms_.end(), term);
   if (it == terms_.end() || *it != term) return nullptr;
   std::size_t rank = static_cast<std::size_t>(it - terms_.begin());
   if (source_ == nullptr) return tables_[rank].get();
-  Slot& slot = slots_[rank];
-  std::call_once(slot.once, [&] {
-    slot.table = source_->load(rank, *it);
-    obs::trace_attr("tier_lazy_materialize", std::string(*it));
-  });
-  return slot.table.get();
+  const TermWitnessTable* table = materialize(rank);
+  if (slots_[rank].warmed.load(std::memory_order_relaxed)) warm_hits().inc();
+  return table;
+}
+
+std::uint64_t WitnessTier::warm(std::string_view term) const {
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), term);
+  if (it == terms_.end() || *it != term) return 0;
+  std::size_t rank = static_cast<std::size_t>(it - terms_.begin());
+  // An eager tier is resident by construction; report its footprint so the
+  // warm budget still accounts for it.
+  if (source_ == nullptr) return tables_[rank]->byte_size;
+  const TermWitnessTable* table = materialize(rank);
+  slots_[rank].warmed.store(true, std::memory_order_relaxed);
+  return table->byte_size;
 }
 
 // --- online fast path --------------------------------------------------------

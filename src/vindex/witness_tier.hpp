@@ -19,6 +19,7 @@
 // term list, or document frequency, greedily packed under a byte budget.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -90,6 +91,14 @@ class WitnessTier {
   // first touch and are shared by every later call.
   [[nodiscard]] const TermWitnessTable* find(std::string_view term) const;
 
+  // Pre-materializes `term`'s table off the query path (the publish
+  // pipeline's warm stage and the store's warm-on-open both call this), so
+  // the first post-swap query pays a plain lookup instead of the cold
+  // call_once decode.  Returns the table's encoded bytes (0 when the term
+  // is not tiered).  Subsequent find() calls served from a warmed slot
+  // count into vc_warm_hits_total.
+  std::uint64_t warm(std::string_view term) const;
+
   [[nodiscard]] std::size_t term_count() const { return terms_.size(); }
   [[nodiscard]] const std::vector<std::string>& terms() const { return terms_; }
   [[nodiscard]] std::uint64_t table_bytes() const { return table_bytes_; }
@@ -98,7 +107,10 @@ class WitnessTier {
   struct Slot {
     std::once_flag once;
     std::shared_ptr<const TermWitnessTable> table;
+    std::atomic<bool> warmed{false};  // filled by warm(), read by find()
   };
+
+  [[nodiscard]] const TermWitnessTable* materialize(std::size_t rank) const;
 
   std::vector<std::string> terms_;  // sorted
   std::vector<std::shared_ptr<const TermWitnessTable>> tables_;  // eager mode

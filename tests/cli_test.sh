@@ -6,6 +6,13 @@ BUILD="$1"
 WORK=$(mktemp -d)
 trap 'kill $SERVE_PID 2>/dev/null || true; rm -rf "$WORK" || true' EXIT
 
+# VC_ASYNC_PUBLISH=1 (one CI Release leg) reruns the whole workflow with
+# the per-shard async publish pipeline and its warm stage on every serve.
+SERVE_FLAGS=""
+if [ -n "$VC_ASYNC_PUBLISH" ]; then
+  SERVE_FLAGS="--async-publish --warm-budget-mb 4"
+fi
+
 "$BUILD/tools/vcsearch-build" --out "$WORK" --synth 60 --seed 9 \
     --modulus-bits 512 --rep-bits 64 --interval 8 > "$WORK/build.log"
 grep -q "built verifiable index" "$WORK/build.log"
@@ -15,7 +22,7 @@ test -f "$WORK/owner.key"
 "$BUILD/tools/vcsearch-inspect" --dir "$WORK" --validate > "$WORK/inspect.log"
 grep -q "validation" "$WORK/inspect.log"
 
-"$BUILD/tools/vcsearch-serve" --dir "$WORK" --port 0 > "$WORK/serve.log" 2>&1 &
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --port 0 $SERVE_FLAGS > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 tries=0
 until grep -q "serving" "$WORK/serve.log" 2>/dev/null; do
@@ -23,6 +30,10 @@ until grep -q "serving" "$WORK/serve.log" 2>/dev/null; do
   test $tries -lt 100 || { echo "server never came up"; exit 1; }
   sleep 0.2
 done
+if [ -n "$VC_ASYNC_PUBLISH" ]; then
+  grep -q "async publish pipeline" "$WORK/serve.log" || {
+    echo "async publish pipeline not enabled"; cat "$WORK/serve.log"; exit 1; }
+fi
 PORT=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$WORK/serve.log" | head -1)
 
 # Two words guaranteed known: the top terms from the inspect output.  Two
@@ -114,7 +125,7 @@ wait $SERVE_PID 2>/dev/null || true
 
 # Sharded serving: restart with 4 shards and pooled dispatch, fire 4
 # concurrent verified queries, and require per-shard + epoch metrics.
-"$BUILD/tools/vcsearch-serve" --dir "$WORK" --port 0 --shards 4 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --port 0 --shards 4 $SERVE_FLAGS \
     > "$WORK/serve2.log" 2>&1 &
 SERVE_PID=$!
 tries=0

@@ -19,6 +19,14 @@ fi
     --modulus-bits 512 --rep-bits 64 --interval 8 > "$WORK/build.log"
 grep -q "built verifiable index" "$WORK/build.log"
 
+# VC_ASYNC_PUBLISH=1 (one CI Release leg) reruns every boot through the
+# async publish pipeline with warm-on-open — the proof byte-identity
+# assertions then also prove the warm stage never changes a proof byte.
+SERVE_FLAGS=""
+if [ -n "$VC_ASYNC_PUBLISH" ]; then
+  SERVE_FLAGS="--async-publish --warm-budget-mb 4"
+fi
+
 wait_serving() {
   tries=0
   until grep -q "serving" "$1" 2>/dev/null; do
@@ -30,7 +38,7 @@ wait_serving() {
 
 # First boot: no epoch on disk yet, so the server loads the builder
 # artifact and seeds the store.
-"$BUILD/tools/vcsearch-serve" --dir "$WORK" --store "$WORK/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --store "$WORK/store" --port 0 $SERVE_FLAGS \
     > "$WORK/serve1.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/serve1.log"
@@ -59,7 +67,7 @@ if grep -q "BAD" "$WORK/inspect.log"; then
 fi
 
 # Second boot: cold start from the mapped epoch.
-"$BUILD/tools/vcsearch-serve" --dir "$WORK" --store "$WORK/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK" --store "$WORK/store" --port 0 $SERVE_FLAGS \
     > "$WORK/serve2.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/serve2.log"
@@ -107,7 +115,7 @@ if grep -q "BAD" "$WORK/t/inspect.log"; then
 fi
 
 # First boot serves straight from the tiered store (never the builder file).
-"$BUILD/tools/vcsearch-serve" --dir "$WORK/t" --store "$WORK/t/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/t" --store "$WORK/t/store" --port 0 $SERVE_FLAGS \
     > "$WORK/t/serve1.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/t/serve1.log"
@@ -127,7 +135,7 @@ wait $SERVE_PID 2>/dev/null || true
 mv "$WORK/t/index.vc" "$WORK/t/index.vc.hidden"
 
 # Restart: tier intact, fixed base adopted, proof byte-identical.
-"$BUILD/tools/vcsearch-serve" --dir "$WORK/t" --store "$WORK/t/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/t" --store "$WORK/t/store" --port 0 $SERVE_FLAGS \
     > "$WORK/t/serve2.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/t/serve2.log"
@@ -157,7 +165,7 @@ grep -q "store: published epoch 1" "$WORK/d/build.log"
 DWORDS=$("$BUILD/tools/vcsearch-inspect" --dir "$WORK/d" --top 2 | grep ' docs' | awk '{print $1}')
 
 # Baseline proof from the full epoch.
-"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 $SERVE_FLAGS \
     > "$WORK/d/serve1.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/d/serve1.log"
@@ -196,7 +204,7 @@ grep -q "CURRENT          epoch 1" "$WORK/d/inspect2.log"
 
 # After both crashes a restart serves the last durable epoch with the
 # byte-identical proof.
-"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 $SERVE_FLAGS \
     > "$WORK/d/serve2.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/d/serve2.log"
@@ -224,7 +232,7 @@ fi
 # Serve the chain head from the store alone (builder artifact hidden) and
 # pin the overlay's proof bytes.
 mv "$WORK/d/index.vc" "$WORK/d/index.vc.hidden"
-"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 $SERVE_FLAGS \
     > "$WORK/d/serve3.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/d/serve3.log"
@@ -248,7 +256,7 @@ test $RC -eq 137 || { echo "compact-staged crash: expected exit 137, got $RC"; e
 "$BUILD/tools/vcsearch-inspect" --store "$WORK/d/store" > "$WORK/d/inspect4.log"
 grep -q "CURRENT          epoch 2" "$WORK/d/inspect4.log"
 grep -q "compaction pending" "$WORK/d/inspect4.log"
-"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 $SERVE_FLAGS \
     > "$WORK/d/serve4.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/d/serve4.log"
@@ -272,7 +280,7 @@ grep -q "head compacted" "$WORK/d/inspect5.log"
 if grep -q "BAD" "$WORK/d/inspect5.log"; then
   echo "CRC damage after compaction"; exit 1
 fi
-"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 \
+"$BUILD/tools/vcsearch-serve" --dir "$WORK/d" --store "$WORK/d/store" --port 0 $SERVE_FLAGS \
     > "$WORK/d/serve5.log" 2>&1 &
 SERVE_PID=$!
 wait_serving "$WORK/d/serve5.log"

@@ -6,6 +6,7 @@
 // canonical encodings equal the in-memory snapshot's bit for bit — that is
 // what lets the CI restart gate diff proofs across a SIGKILL.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -44,7 +45,11 @@ class StoreTest : public ::testing::Test {
                    .max_doc_words = 60, .vocab_size = 250, .zipf_s = 0.9, .seed = 77};
     bed_ = new testbed::TestBed(spec, testbed::small_config(256, "store"),
                                 /*key_seed=*/601, /*threads=*/2);
-    root_ = new fs::path(fs::path(::testing::TempDir()) / "vc_store_test");
+    // Per-process root: gtest_discover_tests runs every case as its own
+    // ctest process, and parallel siblings must not wipe each other's store
+    // (same fix as witness_tier_test's store_root()).
+    root_ = new fs::path(fs::path(::testing::TempDir()) /
+                         ("vc_store_test." + std::to_string(::getpid())));
     fs::remove_all(*root_);
     store::EpochStore store(*root_);
     // Pin the published epoch's state: one test mutates the shared builder,

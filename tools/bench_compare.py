@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against committed baselines.
+
+CI runs every Release leg's bench smoke, then this script diffs the fresh
+numbers against the blessed baselines in results/.  Each metric carries its
+own tolerance band:
+
+  * ratio metrics (speedups, hit rates) are stable across machines — a real
+    regression moves them regardless of runner speed, so their bands are
+    tight and ENFORCED (the job fails);
+  * absolute timings vary with runner load, so their bands are loose; an
+    egregious blow-up still fails, ordinary jitter never does.
+
+Every comparison (pass or fail) lands in the diff artifact so a human can
+audit drift that stayed inside the bands.
+
+Refreshing baselines after an intentional perf change:
+
+  # regenerate with the exact env the CI smoke uses, then
+  python3 tools/bench_compare.py --current bench-results --bless
+
+Exit codes: 0 ok / regression-free, 1 enforced regression, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+# Per-bench comparison spec: which columns identify a row, and per-metric
+# (direction, max regression factor, enforced) bands.  A "higher" metric
+# regresses when current < baseline / factor; a "lower" metric when
+# current > baseline * factor.  Enforced failures fail CI; the rest are
+# recorded in the diff artifact only.
+TABLE_CHECKS = {
+    "batch_witness": {
+        "key": ["series"],
+        "metrics": {
+            "speedup": ("higher", 1.6, True),
+            "seconds": ("lower", 4.0, True),
+        },
+    },
+    "cold_start": {
+        "key": ["docs"],
+        "metrics": {
+            "speedup": ("higher", 1.6, True),
+            "store_open_s": ("lower", 4.0, True),
+            "builder_s": ("lower", 4.0, False),
+        },
+    },
+    "witness_tier": {
+        "key": ["N", "scheme", "coverage"],
+        "metrics": {
+            "speedup": ("higher", 1.6, True),
+            "hit_rate": ("higher", 1.1, True),
+            "proofs_per_s": ("higher", 4.0, True),
+        },
+    },
+    "fig8_update": {
+        "key": ["initial_docs"],
+        "metrics": {
+            "Hybrid_s": ("lower", 4.0, True),
+            "serve_mean_ms": ("lower", 4.0, True),
+            # The async pipeline's whole point: staging must stay orders of
+            # magnitude under the sync publish.  The band is generous in
+            # absolute terms (sub-ms baseline) but still catches the
+            # pipeline silently degrading to a synchronous build.
+            "publish_async_ms": ("lower", 10.0, True),
+            "publish_sync_ms": ("lower", 4.0, False),
+            "async_settle_ms": ("lower", 4.0, False),
+        },
+    },
+    "delta_update": {
+        "key": ["initial_docs"],
+        "metrics": {
+            # Small-corpus delta timings are warmup-noisy; the ctest gate
+            # (delta_update_latency) owns the tight flatness/speedup bands
+            # at a bigger N, so these stay loose / informational.
+            "publish_speedup": ("higher", 2.5, True),
+            "delta_publish_s": ("lower", 4.0, False),
+            "update_s": ("lower", 4.0, False),
+        },
+    },
+}
+
+# serve_slo is a nested document, not a table: dotted paths select scalars.
+SERVE_SLO_CHECKS = {
+    "requests.errors": ("max_abs", 0.0, True),      # hard: no request may fail
+    "requests.shed": ("max_abs", 5.0, True),        # open loop sheds ~nothing
+    "requests.achieved_qps": ("higher", 1.3, True),  # offered load is fixed
+    "client_ms.p99": ("lower", 4.0, False),
+}
+
+
+def parse_number(cell):
+    """Numeric value of a table cell; strips %/x suffixes.  None if text."""
+    s = str(cell).strip().rstrip("%xX")
+    try:
+        return float(s)
+    except ValueError:
+        return None
+
+
+def table_rows(doc):
+    headers = doc.get("headers") or []
+    for row in doc.get("rows") or []:
+        yield dict(zip(headers, [str(c) for c in row]))
+
+
+def lookup_path(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else parse_number(node)
+
+
+def compare_value(direction, band, base, cur):
+    """Returns (ok, ratio).  ratio > 1 means 'worse than baseline'."""
+    if direction == "max_abs":
+        return cur <= band, cur
+    if direction == "higher":
+        ratio = (base / cur) if cur > 0 else float("inf")
+        if base == 0:
+            return True, 1.0
+    else:  # lower
+        ratio = (cur / base) if base > 0 else (float("inf") if cur > 0 else 1.0)
+    return ratio <= band, ratio
+
+
+def check_table(name, base_doc, cur_doc, results):
+    spec = TABLE_CHECKS[name]
+    base_rows = {tuple(r.get(k, "") for k in spec["key"]): r
+                 for r in table_rows(base_doc)}
+    for row in table_rows(cur_doc):
+        key = tuple(row.get(k, "") for k in spec["key"])
+        base_row = base_rows.get(key)
+        if base_row is None:
+            results.append({"bench": name, "row": "/".join(key),
+                            "status": "new-row"})
+            continue
+        for metric, (direction, band, enforced) in spec["metrics"].items():
+            base = parse_number(base_row.get(metric))
+            cur = parse_number(row.get(metric))
+            if base is None or cur is None:
+                continue
+            ok, ratio = compare_value(direction, band, base, cur)
+            results.append({
+                "bench": name, "row": "/".join(key), "metric": metric,
+                "direction": direction, "baseline": base, "current": cur,
+                "ratio_worse": round(ratio, 3), "band": band,
+                "enforced": enforced, "status": "ok" if ok else "regression",
+            })
+
+
+def check_serve_slo(base_doc, cur_doc, results):
+    for path, (direction, band, enforced) in SERVE_SLO_CHECKS.items():
+        base = lookup_path(base_doc, path)
+        cur = lookup_path(cur_doc, path)
+        if cur is None or (base is None and direction != "max_abs"):
+            continue
+        ok, ratio = compare_value(direction, band, base or 0.0, cur)
+        results.append({
+            "bench": "serve_slo", "metric": path, "direction": direction,
+            "baseline": base, "current": cur, "ratio_worse": round(ratio, 3),
+            "band": band, "enforced": enforced,
+            "status": "ok" if ok else "regression",
+        })
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", default="results",
+                    help="directory holding blessed BENCH_*.json (default: results)")
+    ap.add_argument("--current", required=True,
+                    help="directory holding freshly generated BENCH_*.json")
+    ap.add_argument("--out", default=None,
+                    help="write the full diff as JSON here (the CI artifact)")
+    ap.add_argument("--bless", action="store_true",
+                    help="copy current results over the baselines instead of comparing")
+    args = ap.parse_args()
+
+    names = sorted(f for f in os.listdir(args.current)
+                   if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print(f"bench_compare: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 2
+
+    if args.bless:
+        os.makedirs(args.baseline, exist_ok=True)
+        for f in names:
+            shutil.copyfile(os.path.join(args.current, f),
+                            os.path.join(args.baseline, f))
+            print(f"blessed {f} -> {args.baseline}/")
+        return 0
+
+    results = []
+    missing = []
+    for f in names:
+        base_path = os.path.join(args.baseline, f)
+        if not os.path.exists(base_path):
+            missing.append(f)
+            continue
+        with open(base_path) as fh:
+            base_doc = json.load(fh)
+        with open(os.path.join(args.current, f)) as fh:
+            cur_doc = json.load(fh)
+        bench = cur_doc.get("bench") or f[len("BENCH_"):-len(".json")]
+        if bench in TABLE_CHECKS:
+            check_table(bench, base_doc, cur_doc, results)
+        elif bench == "serve_slo":
+            check_serve_slo(base_doc, cur_doc, results)
+        else:
+            results.append({"bench": bench, "status": "no-spec"})
+
+    failures = [r for r in results
+                if r.get("status") == "regression" and r.get("enforced")]
+    soft = [r for r in results
+            if r.get("status") == "regression" and not r.get("enforced")]
+    verdict = "fail" if failures else "pass"
+    diff = {"verdict": verdict, "baseline_dir": args.baseline,
+            "current_dir": args.current, "missing_baselines": missing,
+            "checks": results}
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(diff, fh, indent=2)
+
+    for f in missing:
+        print(f"bench_compare: WARNING no baseline for {f} (run --bless to add)")
+    for r in soft:
+        print(f"bench_compare: drift (informational) {r['bench']}"
+              f"[{r.get('row', '')}] {r['metric']}: "
+              f"{r['baseline']} -> {r['current']} ({r['ratio_worse']}x worse, "
+              f"band {r['band']}x)")
+    for r in failures:
+        print(f"bench_compare: REGRESSION {r['bench']}[{r.get('row', '')}] "
+              f"{r['metric']}: {r['baseline']} -> {r['current']} "
+              f"({r['ratio_worse']}x worse, band {r['band']}x)", file=sys.stderr)
+    checked = sum(1 for r in results if "metric" in r)
+    print(f"bench_compare: {verdict} — {checked} checks, "
+          f"{len(failures)} enforced regressions, {len(soft)} soft drifts, "
+          f"{len(missing)} missing baselines")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

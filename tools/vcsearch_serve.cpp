@@ -5,7 +5,15 @@
 //   vcsearch-serve --dir DIR [--store DIR] [--port P]
 //                  [--scheme hybrid|accumulator|bloom|interval]
 //                  [--shards N] [--max-inflight M] [--compact-chain N]
+//                  [--async-publish] [--warm-budget-mb MB]
 //                  [--slow-ms MS] [--trace-capacity N] [--profile]
+//
+// --async-publish enables the per-shard epoch publication pipeline: one
+// worker per shard swaps its slot independently (queries pin the max
+// published epoch mid-pipeline), with a witness warm stage sized by
+// --warm-budget-mb (default 16) so the first post-swap query never pays
+// the cold lazy-materialization path.  With --store, the same budget also
+// warms the boot epoch's hot terms straight off the mapping (warm-on-open).
 //
 // With --store, the server boots from the persistent epoch store when it
 // has a published epoch (mmap-backed, lazily materialized — no builder
@@ -91,6 +99,11 @@ int main(int argc, char** argv) {
       std::strtoul(arg_value(argc, argv, "--max-inflight", "32"), nullptr, 10);
   if (max_inflight == 0) max_inflight = 1;
   const bool profile = has_flag(argc, argv, "--profile");
+  const bool async_publish = has_flag(argc, argv, "--async-publish");
+  const std::uint64_t warm_budget_mb =
+      std::strtoull(arg_value(argc, argv, "--warm-budget-mb", "16"), nullptr, 10);
+  const std::uint64_t warm_budget_bytes =
+      async_publish ? warm_budget_mb * 1024 * 1024 : 0;
 
   // Trace collection: --slow-ms / --trace-capacity override the collector's
   // env-seeded defaults (VC_SLOW_MS / VC_TRACE_CAPACITY, else 250 ms / 128).
@@ -120,7 +133,8 @@ int main(int argc, char** argv) {
     // A corrupt tier section degrades to untiered serving (the tier is a
     // cache over the base sections); base-section corruption still fails.
     store::OpenedEpoch opened =
-        store->open_current(store::OpenOptions{.degrade_tier_on_corruption = true});
+        store->open_current(store::OpenOptions{.degrade_tier_on_corruption = true,
+                                               .warm_budget_bytes = warm_budget_bytes});
     snapshot = opened.snapshot;
     restored_fixed_base = std::move(opened.fixed_base);
     std::printf("store: restored epoch %llu from %s (%zu terms, %.2f MB mapped)\n",
@@ -171,6 +185,13 @@ int main(int argc, char** argv) {
   ThreadPool pool;
   CloudService cloud(snapshot, cloud_ctx, cloud_key, owner_key.verify_key(), &pool,
                      scheme, shards);
+  if (async_publish) {
+    // Per-shard publish workers from here on; the boot snapshot is staged
+    // once so its warm stage runs off the serving path.
+    cloud.enable_async_publish(PublishConfig{.warm_budget_bytes = warm_budget_bytes});
+    std::printf("async publish pipeline: %zu shard worker(s), warm budget %llu MB\n",
+                shards, static_cast<unsigned long long>(warm_budget_mb));
+  }
   HttpFrontend frontend(cloud, port, &pool, max_inflight);
   frontend.start();
 
